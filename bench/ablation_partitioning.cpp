@@ -1,0 +1,111 @@
+// Ablation — design-space exploration of the analog/digital partitioning
+// (paper §2/§3: sub-block dimensioning comes from the system model).
+//
+// Three sweeps on the Full-fidelity gyro system:
+//   1. ADC resolution vs rate-noise density — shows the sub-LSB carrier
+//      quantization cliff below 14 bits that fixed the platform's converter
+//      choice (see DESIGN.md).
+//   2. Open vs closed loop — linearity and bandwidth (paper §4.1: closed
+//      loop gives "more linear and accurate measures").
+//   3. Output FIR corner vs measured -3 dB bandwidth — the programmable-
+//      bandwidth knob behind Table 1's 25..75 Hz row.
+#include <cmath>
+#include <cstdio>
+
+#include "common/math.hpp"
+#include "common/spectrum.hpp"
+#include "core/gyro_system.hpp"
+#include "core/metrics.hpp"
+
+using namespace ascp;
+using namespace ascp::core;
+
+namespace {
+
+/// Warm up, measure raw gain and zero-rate noise, rate-referred.
+struct QuickChar {
+  double noise_dps = 0.0;
+  double nonlin_pct = 0.0;
+};
+
+QuickChar quick_characterize(GyroSystemConfig cfg) {
+  GyroSystem sys(cfg);
+  sys.power_on(1);
+  sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 1.2, nullptr);
+
+  std::vector<double> rates, outs;
+  for (double r : {-300.0, -150.0, 0.0, 150.0, 300.0}) {
+    std::vector<double> o;
+    sys.run(sensor::Profile::constant(r), sensor::Profile::constant(25.0), 0.25, &o);
+    rates.push_back(r);
+    outs.push_back(mean(std::span(o).subspan(o.size() / 2)));
+  }
+  const auto fit = fit_line(rates, outs);
+
+  sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.3, nullptr);
+  std::vector<double> z;
+  sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 4.0, &z);
+  const auto psd = welch_psd(z, sys.output_rate_hz(), 1024);
+
+  QuickChar qc;
+  qc.noise_dps = std::sqrt(psd.band_mean(4.0, 20.0)) / std::abs(fit.slope);
+  qc.nonlin_pct = fit.max_abs_residual / (std::abs(fit.slope) * 300.0) * 100.0;
+  return qc;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: analog/digital partitioning sweeps ===\n\n");
+
+  std::printf("[1] ADC resolution vs rate noise (Brownian floor ~0.09 deg/s/rtHz):\n");
+  std::printf("    bits   noise [deg/s/rtHz]\n");
+  for (int bits : {10, 12, 14, 16}) {
+    auto cfg = default_gyro_system(Fidelity::Full);
+    cfg.adc.bits = bits;
+    const auto qc = quick_characterize(cfg);
+    std::printf("    %4d   %8.4f%s\n", bits, qc.noise_dps,
+                bits < 14 ? "   <- sub-LSB carrier quantization penalty" : "");
+  }
+
+  std::printf("\n[2] open loop vs closed loop (force feedback):\n");
+  std::printf("    mode        nonlinearity [%%FS]  noise [deg/s/rtHz]\n");
+  for (const auto mode : {SenseMode::OpenLoop, SenseMode::ClosedLoop}) {
+    auto cfg = default_gyro_system(Fidelity::Full);
+    cfg.sense.mode = mode;
+    const auto qc = quick_characterize(cfg);
+    std::printf("    %-11s %12.3f %18.4f\n",
+                mode == SenseMode::OpenLoop ? "open" : "closed", qc.nonlin_pct, qc.noise_dps);
+  }
+  std::printf("    (open loop reads the residual sense motion through the nonlinear\n");
+  std::printf("    pickoff and the narrow resonator envelope; closed loop nulls it —\n");
+  std::printf("    the paper's sec. 4.1 'more linear and accurate measures'.)\n");
+
+  std::printf("\n[3] programmable output bandwidth vs measured -3 dB (Table 1: 25..75 Hz):\n");
+  std::printf("    bw setting [Hz]   measured BW [Hz]\n");
+  for (double corner : {25.0, 50.0, 75.0}) {
+    auto cfg = default_gyro_system(Fidelity::Full);
+    cfg.sense.output_bw_hz = corner;
+    GyroSystem sys(cfg);
+    sys.power_on(1);
+    sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 1.2, nullptr);
+    const double bw = measure_bandwidth(sys, 25.0);
+    std::printf("    %10.0f %18.1f\n", corner, bw);
+  }
+
+  std::printf("\n[4] DSP datapath word length (the 'RTL dimensioning' of sec. 2):\n");
+  std::printf("    bits    noise [deg/s/rtHz]   nonlinearity [%%FS]\n");
+  for (int bits : {8, 10, 12, 16, 0}) {
+    auto cfg = default_gyro_system(Fidelity::Full);
+    cfg.sense.datapath_bits = bits;
+    const auto qc = quick_characterize(cfg);
+    if (bits == 0)
+      std::printf("    float  %10.4f %18.3f   (MATLAB reference level)\n", qc.noise_dps,
+                  qc.nonlin_pct);
+    else
+      std::printf("    %5d  %10.4f %18.3f\n", bits, qc.noise_dps, qc.nonlin_pct);
+  }
+  std::printf("    (the servo dead-zone appears below ~10 bits; 16-bit baseband\n");
+  std::printf("    registers are transparent against the float reference.)\n");
+  return 0;
+}

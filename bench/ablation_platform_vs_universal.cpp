@@ -1,0 +1,89 @@
+// Ablation — the paper's central economic claim (§1/§3): a platform-derived
+// per-sensor customization instantiates only the required blocks, while a
+// Universal Sensor Interface ships the whole portfolio to every socket.
+//
+// We build three customizations (gyro, capacitive pressure, resistive
+// bridge) and compare each against the universal superset on digital gates,
+// analog area and power — the overhead the paper says its methodology
+// removes ("practically no area overhead and best fit circuitry").
+#include <cstdio>
+
+#include "platform/area_model.hpp"
+
+using namespace ascp::platform;
+
+namespace {
+
+AreaModel mcu_subsystem_base() {
+  AreaModel m;
+  for (const char* ip : {"cpu8051", "rom16k", "ram_ctrl", "uart", "bridge16", "regfile",
+                         "jtag_tap", "spi", "timer16", "watchdog"})
+    m.instantiate(ip);
+  return m;
+}
+
+AreaModel gyro_customization() {
+  AreaModel m = mcu_subsystem_base();
+  m.instantiate("sram_ctrl");
+  m.instantiate("cache_ctrl");
+  for (const char* ip : {"nco", "pll_loop", "agc_loop", "iq_mod", "compensation", "biquad_bank",
+                         "chain_ctrl", "fir"})
+    m.instantiate(ip);
+  m.instantiate("iq_demod", 2);
+  m.instantiate("cic_decim", 2);
+  m.instantiate("jtag_tap");
+  for (const char* ip : {"charge_amp", "pga", "sar_adc12"}) m.instantiate(ip, 2);
+  m.instantiate("dac12", 4);
+  for (const char* ip : {"vref", "osc", "temp_sensor", "pad_ring"}) m.instantiate(ip);
+  return m;
+}
+
+AreaModel pressure_customization() {
+  // Capacitive pressure sensor: CDC-style chain, no drive loops at all.
+  AreaModel m = mcu_subsystem_base();
+  for (const char* ip : {"cap_cdc_dsp", "fir", "compensation", "chain_ctrl"}) m.instantiate(ip);
+  m.instantiate("charge_amp");
+  m.instantiate("pga");
+  m.instantiate("sar_adc12");
+  for (const char* ip : {"vref", "osc", "temp_sensor", "pad_ring"}) m.instantiate(ip);
+  return m;
+}
+
+AreaModel bridge_customization() {
+  // Resistive Wheatstone bridge: excitation + readout + compensation.
+  AreaModel m = mcu_subsystem_base();
+  for (const char* ip : {"bridge_readout_dsp", "fir", "compensation", "chain_ctrl"})
+    m.instantiate(ip);
+  m.instantiate("wheatstone_exc");
+  m.instantiate("pga");
+  m.instantiate("sar_adc12");
+  for (const char* ip : {"vref", "osc", "temp_sensor", "pad_ring"}) m.instantiate(ip);
+  return m;
+}
+
+void compare(const char* name, const AreaModel& custom, const AreaModel& universal) {
+  const double g_over = (universal.total_kgates() / custom.total_kgates() - 1.0) * 100.0;
+  const double a_over = (universal.total_analog_mm2() / custom.total_analog_mm2() - 1.0) * 100.0;
+  const double p_over = (universal.total_power_mw() / custom.total_power_mw() - 1.0) * 100.0;
+  std::printf("  %-22s %8.1f Kg %8.2f mm2 %8.1f mW   universal overhead: +%.0f%% gates, +%.0f%% analog, +%.0f%% power\n",
+              name, custom.total_kgates(), custom.total_analog_mm2(), custom.total_power_mw(),
+              g_over, a_over, p_over);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: platform customization vs Universal Sensor Interface ===\n\n");
+  const auto universal = AreaModel::universal();
+  std::printf("universal chip (whole portfolio): %.1f Kgates, %.2f mm2 analog, %.1f mW\n\n",
+              universal.total_kgates(), universal.total_analog_mm2(),
+              universal.total_power_mw());
+  std::printf("per-sensor platform customizations:\n");
+  compare("gyro (Table 1 system)", gyro_customization(), universal);
+  compare("capacitive pressure", pressure_customization(), universal);
+  compare("resistive bridge", bridge_customization(), universal);
+  std::printf("\npaper claim (sec. 1): universal interfaces carry 'an increase in overall\n");
+  std::printf("area and power consumption' for any given sensor; the platform flow\n");
+  std::printf("instantiates only what the sensor needs. The overhead columns quantify it.\n");
+  return 0;
+}

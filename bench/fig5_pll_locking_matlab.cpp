@@ -1,0 +1,55 @@
+// Fig. 5 — "Waveforms of PLL locking (MATLAB)".
+//
+// The paper's first validation artifact: the system-level (MATLAB) model of
+// the drive loop acquiring lock, showing four traces — amplitude control,
+// phase error, amplitude error, VCO control. We reproduce it with the Ideal
+// fidelity (float chain, ideal transduction), print summary milestones and
+// render the four waveforms; the full series goes to fig5_traces.csv.
+#include <cstdio>
+
+#include "common/trace.hpp"
+#include "core/gyro_system.hpp"
+
+using namespace ascp;
+using namespace ascp::core;
+
+int main() {
+  std::printf("=== Fig. 5: PLL locking waveforms (system-level / 'MATLAB' model) ===\n");
+  std::printf("Ideal fidelity: float DSP, ideal transduction, no AFE noise.\n\n");
+
+  GyroSystem sys(default_gyro_system(Fidelity::Ideal));
+  TraceRecorder trace;
+  sys.set_trace(&trace, /*decimate=*/64);  // 3.75 kHz trace rate
+  sys.power_on(1);
+
+  // Power-on transient at rest, room temperature — the paper's scenario.
+  const double kSimSeconds = 1.0;
+  std::vector<double> out;
+  double t_pll_lock = -1.0, t_agc_settle = -1.0;
+  const double slice = 0.01;
+  for (double t = 0.0; t < kSimSeconds; t += slice) {
+    sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), slice, &out);
+    if (t_pll_lock < 0 && sys.drive().pll_locked()) t_pll_lock = t + slice;
+    if (t_agc_settle < 0 && sys.locked()) t_agc_settle = t + slice;
+  }
+
+  std::printf("milestones:\n");
+  std::printf("  PLL lock detected      : %6.1f ms\n", t_pll_lock * 1e3);
+  std::printf("  AGC amplitude settled  : %6.1f ms\n", t_agc_settle * 1e3);
+  std::printf("  final drive frequency  : %8.2f Hz (resonance 15000.00 Hz)\n",
+              sys.drive().frequency());
+  std::printf("  final amplitude control: %8.4f V  (expected x*w0^2/(Q*fpv) = 1.78 V)\n",
+              sys.drive().amplitude_control());
+  std::printf("  final phase error      : %+8.5f (normalized PD)\n", sys.drive().phase_error());
+  std::printf("  final VCO control      : %+8.3f Hz from centre\n\n", sys.drive().vco_control());
+
+  for (const char* ch : {"amplitude_control", "phase_error", "amplitude_error", "vco_control"})
+    std::printf("%s\n", trace.render_ascii(ch).c_str());
+
+  trace.write_csv("fig5_traces.csv");
+  std::printf("full series written to fig5_traces.csv\n");
+  std::printf("paper shape: amplitude control ramps to its rail then settles; phase\n");
+  std::printf("error spikes during pull-in and collapses to zero; amplitude error decays\n");
+  std::printf("with the 2Q/w0 envelope; VCO control converges to the resonance offset.\n");
+  return 0;
+}

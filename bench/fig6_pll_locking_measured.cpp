@@ -1,0 +1,65 @@
+// Fig. 6 — "Measured waveforms (AC probe)".
+//
+// The paper's second validation artifact: the same locking transient
+// observed on the real prototype (FPGA + analog front end + sensor). Our
+// equivalent is the Full fidelity path: charge amps, PGAs, anti-aliasing,
+// SAR ADCs, DACs with settling/glitch, reference drift, electronics noise.
+// The "AC probe" view is the primary pickoff at the ADC — a 15 kHz carrier
+// whose envelope ring-up is what the paper's scope shot shows.
+#include <cmath>
+#include <cstdio>
+
+#include "common/math.hpp"
+#include "common/trace.hpp"
+#include "core/gyro_system.hpp"
+
+using namespace ascp;
+using namespace ascp::core;
+
+int main() {
+  std::printf("=== Fig. 6: measured PLL locking (emulation / Full-fidelity path) ===\n");
+  std::printf("Full fidelity: SAR ADCs, DACs, charge amps, noise — the 'prototype'.\n\n");
+
+  GyroSystem sys(default_gyro_system(Fidelity::Full));
+  TraceRecorder trace;
+  sys.set_trace(&trace, /*decimate=*/64);
+  sys.power_on(1);
+
+  std::vector<double> out;
+  double t_pll_lock = -1.0, t_agc_settle = -1.0;
+  const double slice = 0.01;
+  for (double t = 0.0; t < 1.0; t += slice) {
+    sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), slice, &out);
+    if (t_pll_lock < 0 && sys.drive().pll_locked()) t_pll_lock = t + slice;
+    if (t_agc_settle < 0 && sys.locked()) t_agc_settle = t + slice;
+  }
+
+  std::printf("milestones (compare Fig. 5 — same shape, now with AFE in the loop):\n");
+  std::printf("  PLL lock detected      : %6.1f ms\n", t_pll_lock * 1e3);
+  std::printf("  AGC amplitude settled  : %6.1f ms\n", t_agc_settle * 1e3);
+  std::printf("  final drive frequency  : %8.2f Hz\n", sys.drive().frequency());
+  std::printf("  final pickoff amplitude: %8.4f V at the ADC (AGC target 1.0 V)\n\n",
+              sys.drive().amplitude());
+
+  // Envelope of the "AC probe" pickoff: peak per 2 ms bucket.
+  const auto& pick = trace.channel("pickoff");
+  const std::size_t per_bucket = static_cast<std::size_t>(0.002 / pick.dt);
+  std::printf("pickoff envelope (AC probe), 2 ms buckets:\n  t[ms]  amplitude[V]\n");
+  for (std::size_t b = 0; b + per_bucket <= pick.samples.size(); b += per_bucket * 25) {
+    double peak = 0.0;
+    for (std::size_t i = b; i < b + per_bucket; ++i)
+      peak = std::max(peak, std::abs(pick.samples[i]));
+    std::printf("  %5.0f  %8.4f\n", static_cast<double>(b) * pick.dt * 1e3, peak);
+  }
+  std::printf("\n");
+
+  for (const char* ch : {"amplitude_control", "phase_error", "amplitude_error", "vco_control"})
+    std::printf("%s\n", trace.render_ascii(ch).c_str());
+
+  trace.write_csv("fig6_traces.csv");
+  std::printf("full series written to fig6_traces.csv\n");
+  std::printf("paper claim: 'an emulation environment has brought real sensors to\n");
+  std::printf("locking' — the measured transient matches the MATLAB prediction of\n");
+  std::printf("Fig. 5 apart from AFE noise and quantization texture.\n");
+  return 0;
+}

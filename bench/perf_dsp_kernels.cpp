@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) of the DSP IPs and the full simulation
+// step — documents the simulator's throughput (how many seconds of platform
+// operation per wall second) and the relative kernel costs.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/gyro_system.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/cic.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/nco.hpp"
+#include "dsp/pll.hpp"
+#include "mcu/assembler.hpp"
+#include "mcu/core8051.hpp"
+#include "sensor/gyro_mems.hpp"
+
+using namespace ascp;
+
+static void BM_FirFilter33(benchmark::State& state) {
+  dsp::FirFilter fir(dsp::design_lowpass(33, 75.0, 1875.0));
+  double x = 0.3;
+  for (auto _ : state) {
+    x = fir.process(x * 0.999 + 0.001);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_FirFilter33);
+
+static void BM_FirFilterFx33(benchmark::State& state) {
+  dsp::FirFilterFx fir(dsp::design_lowpass(33, 75.0, 1875.0), 16, 14, 24);
+  double x = 0.3;
+  for (auto _ : state) {
+    x = fir.process(x * 0.999 + 0.001);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_FirFilterFx33);
+
+static void BM_Biquad(benchmark::State& state) {
+  dsp::Biquad bq(dsp::design_biquad_lowpass(400.0, 0.707, 240e3));
+  double x = 0.3;
+  for (auto _ : state) {
+    x = bq.process(x * 0.999 + 0.001);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Biquad);
+
+static void BM_Nco(benchmark::State& state) {
+  dsp::Nco nco(240e3, 15e3);
+  for (auto _ : state) benchmark::DoNotOptimize(nco.step());
+}
+BENCHMARK(BM_Nco);
+
+static void BM_CicDecimator(benchmark::State& state) {
+  dsp::CicDecimator cic(3, 128, 16, 2.5);
+  double x = 0.1;
+  for (auto _ : state) {
+    x = x * 0.999 + 0.001;
+    benchmark::DoNotOptimize(cic.push(x));
+  }
+}
+BENCHMARK(BM_CicDecimator);
+
+static void BM_PllStep(benchmark::State& state) {
+  dsp::Pll pll(dsp::PllConfig{});
+  double pickoff = 0.0;
+  for (auto _ : state) {
+    const double drive = pll.step(pickoff);
+    pickoff = 0.9 * drive;  // crude loop closure
+    benchmark::DoNotOptimize(pickoff);
+  }
+}
+BENCHMARK(BM_PllStep);
+
+static void BM_GyroMemsRk4Step(benchmark::State& state) {
+  sensor::GyroMemsConfig cfg;
+  sensor::GyroMems mems(cfg, Rng(1));
+  sensor::GyroInputs in;
+  in.v_drive = 1.0;
+  in.rate_dps = 100.0;
+  for (auto _ : state) benchmark::DoNotOptimize(mems.step(in));
+}
+BENCHMARK(BM_GyroMemsRk4Step);
+
+static void BM_Core8051Instruction(benchmark::State& state) {
+  mcu::Core8051 core;
+  mcu::Assembler as;
+  core.load_program(as.assemble(R"(
+loop: MOV A,#5
+      ADD A,#3
+      MOV R2,A
+      DJNZ R2,skip
+skip: SJMP loop
+  )").image);
+  for (auto _ : state) benchmark::DoNotOptimize(core.step());
+}
+BENCHMARK(BM_Core8051Instruction);
+
+static void BM_FullSystemMillisecond_Ideal(benchmark::State& state) {
+  core::GyroSystem sys(core::default_gyro_system(core::Fidelity::Ideal));
+  sys.power_on(1);
+  const auto rate = sensor::Profile::constant(100.0);
+  const auto temp = sensor::Profile::constant(25.0);
+  for (auto _ : state) sys.run(rate, temp, 1e-3, nullptr);
+}
+BENCHMARK(BM_FullSystemMillisecond_Ideal)->Unit(benchmark::kMillisecond);
+
+static void BM_FullSystemMillisecond_Full(benchmark::State& state) {
+  core::GyroSystem sys(core::default_gyro_system(core::Fidelity::Full));
+  sys.power_on(1);
+  const auto rate = sensor::Profile::constant(100.0);
+  const auto temp = sensor::Profile::constant(25.0);
+  for (auto _ : state) sys.run(rate, temp, 1e-3, nullptr);
+}
+BENCHMARK(BM_FullSystemMillisecond_Full)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

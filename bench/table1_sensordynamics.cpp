@@ -1,0 +1,35 @@
+// Table 1 — "Performance of SensorDynamics implementation".
+//
+// Full characterization campaign of the platform's gyro customization:
+// per-device temperature calibration, then the complete datasheet metrology
+// (sensitivity, nonlinearity, null, turn-on, noise density, bandwidth) over
+// several dies and the full automotive temperature range.
+#include <cstdio>
+
+#include "core/datasheet.hpp"
+#include "core/gyro_system.hpp"
+
+using namespace ascp::core;
+
+int main() {
+  std::printf("=== Table 1: SensorDynamics platform implementation ===\n");
+  std::printf("(Full fidelity, 3 dies, -40..+85 degC; runtime a few minutes)\n\n");
+
+  GyroSystem sys(default_gyro_system(Fidelity::Full));
+  CharacterizationConfig cfg;
+  cfg.seeds = {1, 2, 3};
+  const auto ds = characterize(sys, "SensorDynamics (this reproduction)", cfg);
+  std::printf("%s\n", ds.format().c_str());
+
+  std::printf("paper Table 1 (min/typ/max):\n");
+  std::printf("  Dynamic Range          +/-75 .. +/-300 deg/s (configurable)\n");
+  std::printf("  Sensitivity Initial    4.85 / 5.00 / 5.15  mV/deg/s\n");
+  std::printf("  Sensitivity Over Temp  4.80 / 5.00 / 5.20  mV/deg/s\n");
+  std::printf("  Non Linearity          0.07 / 0.10 / 0.20  %% of FS\n");
+  std::printf("  Null (initial/over T)  ~2.5 V (2.53 max)\n");
+  std::printf("  Turn On Time           500 ms\n");
+  std::printf("  Rate Noise Density     0.04 / 0.09 / 0.13  deg/s/rtHz\n");
+  std::printf("  3 dB Bandwidth         25 / 75 Hz\n");
+  std::printf("  Operating Temp         -40 .. +85 degC\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// design_exploration — the paper's §2 flow in action: "Through simulations,
+// design iterations and functional blocks refinements a project space
+// exploration can be performed", fixing the partitioning and dimensioning
+// before anything is committed to silicon.
+//
+// Three exploration questions a conditioning-ASIC architect actually asks,
+// answered by simulation sweeps on the platform model:
+//   1. How high a Q should the MEMS ring target? (noise vs turn-on trade)
+//   2. Which loop mode ships? (open vs closed: linearity/bandwidth/noise)
+//   3. How many ADC bits are enough? (the sub-LSB carrier cliff)
+#include <cmath>
+#include <cstdio>
+
+#include "common/math.hpp"
+#include "common/spectrum.hpp"
+#include "core/gyro_system.hpp"
+#include "core/metrics.hpp"
+
+using namespace ascp;
+using namespace ascp::core;
+
+namespace {
+
+struct Sweep {
+  double noise_dps;
+  double turn_on_ms;
+  double nonlin_pct;
+};
+
+Sweep evaluate(GyroSystemConfig cfg) {
+  Sweep s{};
+  GyroSystem sys(cfg);
+  s.turn_on_ms = measure_turn_on(sys, 1, 25.0, 10e-3, 2.0) * 1e3;
+  sys.power_on(1);
+  sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 1.2, nullptr);
+
+  std::vector<double> rates, outs;
+  for (double r : {-300.0, -150.0, 0.0, 150.0, 300.0}) {
+    std::vector<double> o;
+    sys.run(sensor::Profile::constant(r), sensor::Profile::constant(25.0), 0.25, &o);
+    rates.push_back(r);
+    outs.push_back(mean(std::span(o).subspan(o.size() / 2)));
+  }
+  const auto fit = fit_line(rates, outs);
+  s.nonlin_pct = fit.max_abs_residual / (std::abs(fit.slope) * 300.0) * 100.0;
+
+  sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.3, nullptr);
+  std::vector<double> z;
+  sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 4.0, &z);
+  const auto psd = welch_psd(z, sys.output_rate_hz(), 1024);
+  s.noise_dps = std::sqrt(psd.band_mean(4.0, 20.0)) / std::abs(fit.slope);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Design-space exploration (paper sec. 2 flow) ===\n");
+  std::printf("(each row is a full mixed-signal simulation; ~2 min total)\n\n");
+
+  std::printf("[Q1] ring quality factor: Brownian noise vs turn-on time\n");
+  std::printf("      Q     noise[deg/s/rtHz]   turn-on[ms]\n");
+  for (double q : {1500.0, 3000.0, 5000.0, 8000.0}) {
+    auto cfg = default_gyro_system(Fidelity::Full);
+    cfg.mems.q_drive = q;
+    cfg.mems.q_sense = q;
+    // Keep the drive within the DAC rail: amplitude target scales with Q.
+    cfg.drive.agc.target = std::min(1.0, q / 5000.0);
+    const auto s = evaluate(cfg);
+    std::printf("  %6.0f   %12.4f %15.0f\n", q, s.noise_dps, s.turn_on_ms);
+  }
+  std::printf("  -> the paper's choice (high-Q ring, ~500 ms turn-on) buys its\n");
+  std::printf("     0.09 deg/s/rtHz noise floor with start-up time.\n\n");
+
+  std::printf("[Q2] loop mode: linearity is the closed-loop argument\n");
+  std::printf("      mode     nonlin[%%FS]   noise[deg/s/rtHz]\n");
+  for (auto mode : {SenseMode::OpenLoop, SenseMode::ClosedLoop}) {
+    auto cfg = default_gyro_system(Fidelity::Full);
+    cfg.sense.mode = mode;
+    const auto s = evaluate(cfg);
+    std::printf("  %8s   %10.3f   %14.4f\n",
+                mode == SenseMode::OpenLoop ? "open" : "closed", s.nonlin_pct, s.noise_dps);
+  }
+  std::printf("\n");
+
+  std::printf("[Q3] ADC resolution: the sub-LSB carrier cliff\n");
+  std::printf("      bits   noise[deg/s/rtHz]\n");
+  for (int bits : {12, 13, 14, 15}) {
+    auto cfg = default_gyro_system(Fidelity::Full);
+    cfg.adc.bits = bits;
+    const auto s = evaluate(cfg);
+    std::printf("  %6d   %12.4f\n", bits, s.noise_dps);
+  }
+  std::printf("  -> 14 bits is the knee; the platform ships 14-bit SAR converters.\n");
+  return 0;
+}

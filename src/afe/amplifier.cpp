@@ -1,0 +1,35 @@
+#include "afe/amplifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace ascp::afe {
+
+namespace {
+double pole_alpha(double bw_hz, double fs) {
+  // Exact ZOH discretization of a single pole at bw_hz.
+  return 1.0 - std::exp(-kTwoPi * bw_hz / fs);
+}
+}  // namespace
+
+Amplifier::Amplifier(const AmplifierConfig& cfg, ascp::Rng rng)
+    : cfg_(cfg),
+      offset_(rng.gaussian(cfg.offset_volts)),
+      alpha_(pole_alpha(cfg.bandwidth_hz, cfg.fs)),
+      noise_(cfg.noise, cfg.fs, rng.fork(3)) {}
+
+void Amplifier::set_bandwidth(double bw_hz) {
+  cfg_.bandwidth_hz = bw_hz;
+  alpha_ = pole_alpha(bw_hz, cfg_.fs);
+}
+
+double Amplifier::step(double vin, double temp_c) {
+  const double v_in_eff = vin + offset_ + cfg_.offset_drift * (temp_c - 25.0) + noise_.sample(temp_c);
+  const double target = cfg_.gain * v_in_eff;
+  state_ += alpha_ * (target - state_);
+  return std::clamp(state_, -cfg_.vsat, cfg_.vsat);
+}
+
+}  // namespace ascp::afe

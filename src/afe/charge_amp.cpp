@@ -1,0 +1,32 @@
+#include "afe/charge_amp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace ascp::afe {
+
+ChargeAmp::ChargeAmp(const ChargeAmpConfig& cfg, ascp::Rng rng)
+    : cfg_(cfg),
+      lp_alpha_(1.0 - std::exp(-kTwoPi * cfg.bandwidth_hz / cfg.fs)),
+      hp_alpha_(1.0 - std::exp(-kTwoPi * cfg.hp_corner_hz / cfg.fs)),
+      noise_(cfg.noise, cfg.fs, rng.fork(5)) {}
+
+double ChargeAmp::step(double dc_farads, double temp_c) {
+  const double v_ideal = gain() * dc_farads;
+  // Bandwidth-limited low-pass stage.
+  lp_state_ += lp_alpha_ * (v_ideal - lp_state_);
+  // DC-servo high-pass: subtract a slow tracking of the output. The gyro
+  // carrier (~15 kHz) passes untouched; electrode bias drift does not.
+  hp_state_ += hp_alpha_ * (lp_state_ - hp_state_);
+  const double v = lp_state_ - hp_state_ + noise_.sample(temp_c);
+  return std::clamp(v, -cfg_.vsat, cfg_.vsat);
+}
+
+void ChargeAmp::reset() {
+  lp_state_ = 0.0;
+  hp_state_ = 0.0;
+}
+
+}  // namespace ascp::afe

@@ -1,0 +1,34 @@
+#include "afe/frontend.hpp"
+
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace ascp::afe {
+
+AcquisitionChannel::AcquisitionChannel(const FrontendConfig& cfg, ascp::Rng rng)
+    : cfg_([&] {
+        FrontendConfig c = cfg;
+        c.amp.fs = cfg.analog_fs;
+        c.adc.fs = cfg.analog_fs / cfg.decimation;
+        return c;
+      }()),
+      amp_(cfg_.amp, rng.fork(21)),
+      adc_(cfg_.adc, rng.fork(22)),
+      aa_alpha_(1.0 - std::exp(-kTwoPi * cfg.aa_corner_hz / cfg.analog_fs)) {}
+
+std::optional<double> AcquisitionChannel::step(double vin, double temp_c) {
+  const double amplified = amp_.step(vin, temp_c);
+  aa_state_ += aa_alpha_ * (amplified - aa_state_);
+  if (++phase_ < cfg_.decimation) return std::nullopt;
+  phase_ = 0;
+  return adc_.convert_volts(aa_state_, temp_c);
+}
+
+void AcquisitionChannel::reset() {
+  amp_.reset();
+  aa_state_ = 0.0;
+  phase_ = 0;
+}
+
+}  // namespace ascp::afe

@@ -1,0 +1,160 @@
+// fixed.hpp — compile-time Q-format fixed-point arithmetic.
+//
+// The paper's DSP chain is hardwired VHDL: every register has a word length
+// chosen during the MATLAB design-space exploration. fx::Fixed<I,F> models a
+// two's-complement signed value with I integer bits (excluding sign) and F
+// fractional bits, with saturating arithmetic — the behaviour a synthesized
+// datapath with output saturation exhibits.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace ascp::fx {
+
+/// Rounding applied when discarding fractional bits.
+enum class Round {
+  Truncate,  ///< floor — cheapest hardware, biased
+  Nearest,   ///< round-half-up — one adder, unbiased for typical signals
+};
+
+/// Overflow behaviour when a value exceeds the representable range.
+enum class Overflow {
+  Saturate,  ///< clamp to min/max — standard for signal datapaths
+  Wrap,      ///< discard MSBs — models an unprotected accumulator
+};
+
+namespace detail {
+
+/// Smallest signed integer type holding at least Bits bits.
+template <int Bits>
+using int_for = std::conditional_t<
+    (Bits <= 8), std::int8_t,
+    std::conditional_t<(Bits <= 16), std::int16_t,
+                       std::conditional_t<(Bits <= 32), std::int32_t, std::int64_t>>>;
+
+constexpr std::int64_t shift_left(std::int64_t v, int n) {
+  return n >= 0 ? static_cast<std::int64_t>(static_cast<std::uint64_t>(v) << n) : v >> -n;
+}
+
+/// Arithmetic right shift with round-to-nearest (half away from zero towards +inf).
+constexpr std::int64_t shift_right_round(std::int64_t v, int n, Round r) {
+  if (n <= 0) return shift_left(v, -n);
+  if (r == Round::Nearest) {
+    const std::int64_t half = std::int64_t{1} << (n - 1);
+    return (v + half) >> n;
+  }
+  return v >> n;
+}
+
+constexpr std::int64_t clamp_to(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace detail
+
+/// Signed fixed-point number: 1 sign bit + I integer bits + F fractional bits.
+/// Total width W = 1 + I + F must fit in 63 bits so products are computable
+/// in int64 (a product of two 31-bit operands needs 62 bits).
+template <int I, int F, Round R = Round::Nearest, Overflow O = Overflow::Saturate>
+class Fixed {
+  static_assert(I >= 0 && F >= 0, "negative field widths");
+  static_assert(1 + I + F <= 32, "width must allow int64 products");
+
+ public:
+  static constexpr int kIntBits = I;
+  static constexpr int kFracBits = F;
+  static constexpr int kWidth = 1 + I + F;
+  static constexpr std::int64_t kRawMax = (std::int64_t{1} << (I + F)) - 1;
+  static constexpr std::int64_t kRawMin = -(std::int64_t{1} << (I + F));
+  static constexpr double kScale = static_cast<double>(std::int64_t{1} << F);
+  static constexpr double kLsb = 1.0 / kScale;
+
+  using raw_type = detail::int_for<kWidth>;
+
+  constexpr Fixed() = default;
+
+  /// Quantize a real value. Saturates (or wraps) per policy.
+  constexpr explicit Fixed(double v) : raw_(quantize(v)) {}
+
+  /// Reinterpret a raw integer as a fixed-point value (no scaling).
+  static constexpr Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = static_cast<raw_type>(handle_overflow(raw));
+    return f;
+  }
+
+  constexpr double to_double() const { return static_cast<double>(raw_) / kScale; }
+  constexpr std::int64_t raw() const { return raw_; }
+
+  static constexpr Fixed max() { return from_raw(kRawMax); }
+  static constexpr Fixed min() { return from_raw(kRawMin); }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(static_cast<std::int64_t>(a.raw_) + b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(static_cast<std::int64_t>(a.raw_) - b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a) { return from_raw(-static_cast<std::int64_t>(a.raw_)); }
+
+  /// Full-precision product renormalized back to this format.
+  friend constexpr Fixed operator*(Fixed a, Fixed b) {
+    const std::int64_t p = static_cast<std::int64_t>(a.raw_) * b.raw_;
+    return from_raw(detail::shift_right_round(p, F, R));
+  }
+
+  friend constexpr bool operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
+  friend constexpr auto operator<=>(Fixed a, Fixed b) { return a.raw_ <=> b.raw_; }
+
+  constexpr Fixed& operator+=(Fixed b) { return *this = *this + b; }
+  constexpr Fixed& operator-=(Fixed b) { return *this = *this - b; }
+  constexpr Fixed& operator*=(Fixed b) { return *this = *this * b; }
+
+  /// Convert to a different Q format with rounding/saturation.
+  template <int I2, int F2, Round R2 = R, Overflow O2 = O>
+  constexpr Fixed<I2, F2, R2, O2> convert() const {
+    const std::int64_t shifted = detail::shift_right_round(raw_, F - F2, R2);
+    return Fixed<I2, F2, R2, O2>::from_raw(shifted);
+  }
+
+ private:
+  static constexpr std::int64_t handle_overflow(std::int64_t raw) {
+    if constexpr (O == Overflow::Saturate) {
+      return detail::clamp_to(raw, kRawMin, kRawMax);
+    } else {
+      // Keep the low kWidth bits, sign-extended: modular wrap-around.
+      const std::uint64_t mask = (std::uint64_t{1} << kWidth) - 1;
+      std::uint64_t u = static_cast<std::uint64_t>(raw) & mask;
+      if (u & (std::uint64_t{1} << (kWidth - 1))) u |= ~mask;
+      return static_cast<std::int64_t>(u);
+    }
+  }
+
+  static constexpr raw_type quantize(double v) {
+    // Round-half-away-from-zero without <cmath> (keeps this constexpr-friendly).
+    const double scaled = v * kScale;
+    const double adj = (R == Round::Nearest) ? (scaled >= 0 ? 0.5 : -0.5) : 0.0;
+    // Clamp in the double domain first so the int64 cast itself is safe even
+    // for wildly out-of-range inputs (cast of out-of-range double is UB).
+    double d = scaled + adj;
+    const double lo = static_cast<double>(kRawMin);
+    const double hi = static_cast<double>(kRawMax);
+    if (d < lo) d = lo;
+    if (d > hi) d = hi;
+    return static_cast<raw_type>(handle_overflow(static_cast<std::int64_t>(d)));
+  }
+
+  raw_type raw_{0};
+};
+
+/// Chain-standard formats used by the gyro DSP datapath (chosen in the
+/// "MATLAB exploration" — here: by the tests in tests/dsp).
+using Q1_14 = Fixed<1, 14>;   ///< ±2, ADC samples and unit-amplitude carriers
+using Q1_22 = Fixed<1, 22>;   ///< ±2, filter states / high-resolution outputs
+using Q4_18 = Fixed<4, 18>;   ///< ±16, accumulators and loop-filter integrators
+using Q8_23 = Fixed<8, 23>;   ///< ±256, wide accumulator (CIC stages)
+
+}  // namespace ascp::fx

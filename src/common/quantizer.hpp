@@ -1,0 +1,53 @@
+// quantizer.hpp — runtime-configurable quantization.
+//
+// The platform's word lengths are *parameters* explored at design time
+// (paper §2: "sub-blocks dimensioning are derived from the MATLAB model").
+// Quantizer models an arbitrary signed fixed-point register whose width and
+// binary point are set at run time, so benches can sweep datapath precision.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace ascp {
+
+/// Signed mid-tread quantizer with runtime word length and full-scale range.
+/// quantize() maps a real value onto the nearest representable code and back,
+/// saturating at the rails — exactly what a W-bit datapath register does.
+class Quantizer {
+ public:
+  /// `bits` total width including sign (2..63), `full_scale` the magnitude
+  /// mapped to the most positive code.
+  Quantizer(int bits, double full_scale)
+      : bits_(std::clamp(bits, 2, 63)),
+        full_scale_(full_scale),
+        levels_(std::int64_t{1} << (bits_ - 1)),
+        lsb_(full_scale / static_cast<double>(levels_)) {}
+
+  int bits() const { return bits_; }
+  double full_scale() const { return full_scale_; }
+  double lsb() const { return lsb_; }
+
+  /// Real value -> integer code (two's-complement range).
+  std::int64_t to_code(double v) const {
+    const double scaled = std::nearbyint(v / lsb_);
+    const double hi = static_cast<double>(levels_ - 1);
+    const double lo = static_cast<double>(-levels_);
+    return static_cast<std::int64_t>(std::clamp(scaled, lo, hi));
+  }
+
+  /// Integer code -> real value.
+  double from_code(std::int64_t code) const { return static_cast<double>(code) * lsb_; }
+
+  /// Round-trip: the value the datapath actually carries.
+  double quantize(double v) const { return from_code(to_code(v)); }
+
+ private:
+  int bits_;
+  double full_scale_;
+  std::int64_t levels_;
+  double lsb_;
+};
+
+}  // namespace ascp

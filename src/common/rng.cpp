@@ -1,0 +1,90 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ascp {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  has_cached_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::gaussian() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box–Muller; reject u1 == 0 to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::fork(std::uint64_t tag) {
+  std::uint64_t mix = next_u64() ^ (tag * 0xD1342543DE82EF95ull);
+  return Rng(splitmix64(mix));
+}
+
+FlickerNoise::FlickerNoise(Rng rng, double sigma, int num_octaves)
+    : rng_(rng), stages_(num_octaves) {
+  if (stages_ < 1) stages_ = 1;
+  if (stages_ > 24) stages_ = 24;
+  // Independent octave sources of equal variance: total variance is
+  // stages · per-stage variance.
+  per_stage_sigma_ = sigma / std::sqrt(static_cast<double>(stages_));
+  for (int k = 0; k < stages_; ++k) state_[k] = rng_.gaussian(per_stage_sigma_);
+  sum_ = 0.0;
+  for (int k = 0; k < stages_; ++k) sum_ += state_[k];
+}
+
+double FlickerNoise::next() {
+  // Stage k redraws when bit k of the counter toggles low→(trailing-zero
+  // rule): on average two redraws per call, independent of stage count.
+  const std::uint64_t n = counter_++;
+  std::uint64_t changed = n ^ (n + 1);  // trailing ones of n plus next bit
+  for (int k = 0; k < stages_ && (changed >> k) & 1; ++k) {
+    sum_ -= state_[k];
+    state_[k] = rng_.gaussian(per_stage_sigma_);
+    sum_ += state_[k];
+  }
+  return sum_;
+}
+
+}  // namespace ascp

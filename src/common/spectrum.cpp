@@ -1,0 +1,113 @@
+#include "common/spectrum.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace ascp {
+
+void fft(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  assert((n & (n - 1)) == 0 && "FFT length must be a power of two");
+  if (n < 2) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 1.0 : -1.0) * kTwoPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> x) {
+  std::size_t n = 1;
+  while (n < x.size()) n <<= 1;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = x[i];
+  fft(data);
+  return data;
+}
+
+double Psd::band_mean(double f_lo, double f_hi) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    if (freq[i] >= f_lo && freq[i] <= f_hi) {
+      sum += power[i];
+      ++count;
+    }
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+Psd welch_psd(std::span<const double> x, double fs, std::size_t nfft) {
+  assert((nfft & (nfft - 1)) == 0 && nfft >= 8);
+  Psd out;
+  if (x.size() < nfft) return out;
+
+  const auto window = hann_window(nfft);
+  double win_power = 0.0;  // sum of w[i]^2 for PSD normalization
+  for (double w : window) win_power += w * w;
+
+  const std::size_t hop = nfft / 2;  // 50 % overlap
+  const std::size_t nseg = (x.size() - nfft) / hop + 1;
+
+  std::vector<double> acc(nfft / 2 + 1, 0.0);
+  std::vector<std::complex<double>> buf(nfft);
+  // Remove the global mean once: the DC bin would otherwise leak into the
+  // low-frequency band used by the noise-density metric.
+  const double m = mean(x);
+
+  for (std::size_t s = 0; s < nseg; ++s) {
+    const std::size_t base = s * hop;
+    for (std::size_t i = 0; i < nfft; ++i) buf[i] = (x[base + i] - m) * window[i];
+    fft(buf);
+    for (std::size_t k = 0; k <= nfft / 2; ++k) acc[k] += std::norm(buf[k]);
+  }
+
+  out.freq.resize(nfft / 2 + 1);
+  out.power.resize(nfft / 2 + 1);
+  const double norm = 1.0 / (static_cast<double>(nseg) * fs * win_power);
+  for (std::size_t k = 0; k <= nfft / 2; ++k) {
+    out.freq[k] = static_cast<double>(k) * fs / static_cast<double>(nfft);
+    // One-sided: double everything except DC and Nyquist.
+    const double one_sided = (k == 0 || k == nfft / 2) ? 1.0 : 2.0;
+    out.power[k] = one_sided * acc[k] * norm;
+  }
+  return out;
+}
+
+ToneEstimate estimate_tone(std::span<const double> x, double fs, double f) {
+  ToneEstimate est;
+  if (x.empty()) return est;
+  const double w = kTwoPi * f / fs;
+  double re = 0.0, im = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ph = w * static_cast<double>(i);
+    re += x[i] * std::cos(ph);
+    im -= x[i] * std::sin(ph);
+  }
+  const double scale = 2.0 / static_cast<double>(x.size());
+  est.amplitude = scale * std::hypot(re, im);
+  est.phase = std::atan2(im, re);
+  return est;
+}
+
+}  // namespace ascp

@@ -1,0 +1,46 @@
+// spectrum.hpp — FFT and Welch power-spectral-density estimation.
+//
+// The paper reports rate-noise density in °/s/√Hz (Tables 1–3). That metric
+// is the square root of the one-sided PSD of the rate output at 0 °/s input,
+// so the metrology layer needs a PSD estimator; Welch averaging with a Hann
+// window is the standard instrument-grade choice.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ascp {
+
+/// In-place radix-2 decimation-in-time FFT. data.size() must be a power of 2.
+/// inverse=true computes the unnormalized inverse transform.
+void fft(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Forward FFT of a real signal (zero-padded to the next power of two).
+std::vector<std::complex<double>> fft_real(std::span<const double> x);
+
+/// One-sided Welch PSD estimate.
+struct Psd {
+  std::vector<double> freq;  ///< bin centre frequencies [Hz]
+  std::vector<double> power; ///< power density [units^2 / Hz]
+
+  /// Mean density over [f_lo, f_hi]; returns 0 if the band is empty.
+  double band_mean(double f_lo, double f_hi) const;
+};
+
+/// Welch estimator: Hann-windowed segments of length nfft (power of two),
+/// 50 % overlap, one-sided normalization so that the integral of `power`
+/// over frequency equals the signal variance.
+Psd welch_psd(std::span<const double> x, double fs, std::size_t nfft);
+
+/// Amplitude and phase of the component of x at frequency f (single-bin DFT,
+/// a.k.a. Goertzel-style correlation). Used by the bandwidth measurement to
+/// extract the response to a sinusoidal rate stimulus.
+struct ToneEstimate {
+  double amplitude = 0.0;
+  double phase = 0.0;
+};
+ToneEstimate estimate_tone(std::span<const double> x, double fs, double f);
+
+}  // namespace ascp

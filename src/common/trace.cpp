@@ -1,0 +1,89 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ascp {
+
+void TraceRecorder::open(std::string_view name, double dt, std::size_t decimate) {
+  auto [it, inserted] = channels_.try_emplace(std::string(name));
+  if (inserted) {
+    it->second.data.dt = dt * static_cast<double>(std::max<std::size_t>(decimate, 1));
+    it->second.decimate = std::max<std::size_t>(decimate, 1);
+  }
+}
+
+void TraceRecorder::push(std::string_view name, double value) {
+  const auto it = channels_.find(name);
+  if (it == channels_.end()) throw std::out_of_range("trace channel not open: " + std::string(name));
+  Slot& slot = it->second;
+  if (slot.counter++ % slot.decimate == 0) slot.data.samples.push_back(value);
+}
+
+bool TraceRecorder::has(std::string_view name) const { return channels_.contains(name); }
+
+const TraceChannel& TraceRecorder::channel(std::string_view name) const {
+  const auto it = channels_.find(name);
+  if (it == channels_.end()) throw std::out_of_range("trace channel not found: " + std::string(name));
+  return it->second.data;
+}
+
+std::vector<std::string> TraceRecorder::names() const {
+  std::vector<std::string> out;
+  out.reserve(channels_.size());
+  for (const auto& [name, slot] : channels_) out.push_back(name);
+  return out;
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace CSV for writing: " + path);
+  for (const auto& [name, slot] : channels_) {
+    f << "# channel: " << name << " dt=" << slot.data.dt << "\n";
+    f << "t," << name << "\n";
+    for (std::size_t i = 0; i < slot.data.samples.size(); ++i)
+      f << static_cast<double>(i) * slot.data.dt << "," << slot.data.samples[i] << "\n";
+    f << "\n";
+  }
+}
+
+std::string TraceRecorder::render_ascii(std::string_view name, std::size_t width,
+                                        std::size_t height) const {
+  const TraceChannel& ch = channel(name);
+  std::ostringstream out;
+  if (ch.samples.empty() || width == 0 || height < 2) return out.str();
+
+  const auto [mn_it, mx_it] = std::minmax_element(ch.samples.begin(), ch.samples.end());
+  double lo = *mn_it, hi = *mx_it;
+  if (hi - lo < 1e-300) hi = lo + 1.0;
+
+  // Column i shows the mean of the samples mapped onto it.
+  std::vector<double> col(width, 0.0);
+  std::vector<std::size_t> cnt(width, 0);
+  for (std::size_t i = 0; i < ch.samples.size(); ++i) {
+    const std::size_t c = std::min(width - 1, i * width / ch.samples.size());
+    col[c] += ch.samples[i];
+    ++cnt[c];
+  }
+  std::vector<int> row(width, 0);
+  for (std::size_t c = 0; c < width; ++c) {
+    const double v = cnt[c] ? col[c] / static_cast<double>(cnt[c]) : lo;
+    row[c] = static_cast<int>(std::lround((v - lo) / (hi - lo) * static_cast<double>(height - 1)));
+  }
+
+  out << name << "  [" << lo << " .. " << hi << "]  n=" << ch.samples.size()
+      << " span=" << static_cast<double>(ch.samples.size()) * ch.dt << " s\n";
+  for (int r = static_cast<int>(height) - 1; r >= 0; --r) {
+    out << "  |";
+    for (std::size_t c = 0; c < width; ++c) out << (row[c] == r ? '*' : (r == 0 ? '.' : ' '));
+    out << "\n";
+  }
+  return out.str();
+}
+
+void TraceRecorder::clear() { channels_.clear(); }
+
+}  // namespace ascp

@@ -1,0 +1,59 @@
+// trace.hpp — waveform trace recorder.
+//
+// The paper's prototype stores chain-internal data into a 512 Kb SRAM in real
+// time for later read-back and analysis (§4.2). TraceRecorder is the
+// simulation-side equivalent: named channels, decimated capture, CSV export
+// for plotting, and summary statistics for the benches.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ascp {
+
+/// One recorded waveform: sample period and values.
+struct TraceChannel {
+  double dt = 0.0;
+  std::vector<double> samples;
+};
+
+/// Collects named sampled waveforms during a simulation run.
+class TraceRecorder {
+ public:
+  /// Create (or fetch) a channel; `dt` is the spacing between pushed samples.
+  /// `decimate` keeps every Nth pushed value (N>=1) so megahertz-rate nodes
+  /// can be traced for seconds without exhausting memory.
+  void open(std::string_view name, double dt, std::size_t decimate = 1);
+
+  /// Append a sample to the channel (must be open).
+  void push(std::string_view name, double value);
+
+  bool has(std::string_view name) const;
+  const TraceChannel& channel(std::string_view name) const;
+  std::vector<std::string> names() const;
+
+  /// Write all channels to a CSV file: time column per channel block.
+  void write_csv(const std::string& path) const;
+
+  /// ASCII-art render of one channel (rows = amplitude bins) — lets the
+  /// figure benches show waveform shape directly on stdout, the way the
+  /// paper shows scope screenshots.
+  std::string render_ascii(std::string_view name, std::size_t width = 72,
+                           std::size_t height = 12) const;
+
+  void clear();
+
+ private:
+  struct Slot {
+    TraceChannel data;
+    std::size_t decimate = 1;
+    std::size_t counter = 0;
+  };
+  std::map<std::string, Slot, std::less<>> channels_;
+};
+
+}  // namespace ascp

@@ -1,0 +1,80 @@
+// units.hpp — strong types for the physical quantities flowing through the
+// platform. A conditioning chain mixes volts, farads, °/s and °C in the same
+// expressions; wrapping them prevents the classic "passed mV where V was
+// expected" unit bug while staying zero-cost.
+#pragma once
+
+#include <compare>
+
+namespace ascp {
+
+/// CRTP base for a dimensioned scalar. Derived types are regular, totally
+/// ordered value types supporting the affine/vector operations that make
+/// sense for a physical quantity.
+template <class Derived>
+struct Quantity {
+  double value{0.0};
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.value + b.value}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.value - b.value}; }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value}; }
+  friend constexpr Derived operator*(Derived a, double k) { return Derived{a.value * k}; }
+  friend constexpr Derived operator*(double k, Derived a) { return Derived{a.value * k}; }
+  friend constexpr Derived operator/(Derived a, double k) { return Derived{a.value / k}; }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) { return a.value / b.value; }
+  friend constexpr auto operator<=>(Derived a, Derived b) { return a.value <=> b.value; }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.value == b.value; }
+
+  constexpr Derived& operator+=(Derived b) {
+    value += b.value;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived b) {
+    value -= b.value;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+struct Volts : Quantity<Volts> {
+  using Quantity::Quantity;
+};
+struct Seconds : Quantity<Seconds> {
+  using Quantity::Quantity;
+};
+struct Hertz : Quantity<Hertz> {
+  using Quantity::Quantity;
+};
+/// Angular rate in degrees per second (the gyro's measurand).
+struct DegPerSec : Quantity<DegPerSec> {
+  using Quantity::Quantity;
+};
+struct Celsius : Quantity<Celsius> {
+  using Quantity::Quantity;
+};
+struct Farads : Quantity<Farads> {
+  using Quantity::Quantity;
+};
+
+namespace literals {
+constexpr Volts operator""_V(long double v) { return Volts{static_cast<double>(v)}; }
+constexpr Volts operator""_mV(long double v) { return Volts{static_cast<double>(v) * 1e-3}; }
+constexpr Seconds operator""_s(long double v) { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds operator""_ms(long double v) { return Seconds{static_cast<double>(v) * 1e-3}; }
+constexpr Seconds operator""_us(long double v) { return Seconds{static_cast<double>(v) * 1e-6}; }
+constexpr Hertz operator""_Hz(long double v) { return Hertz{static_cast<double>(v)}; }
+constexpr Hertz operator""_kHz(long double v) { return Hertz{static_cast<double>(v) * 1e3}; }
+constexpr Hertz operator""_MHz(long double v) { return Hertz{static_cast<double>(v) * 1e6}; }
+constexpr DegPerSec operator""_dps(long double v) { return DegPerSec{static_cast<double>(v)}; }
+constexpr Celsius operator""_degC(long double v) { return Celsius{static_cast<double>(v)}; }
+constexpr Farads operator""_pF(long double v) { return Farads{static_cast<double>(v) * 1e-12}; }
+constexpr Farads operator""_fF(long double v) { return Farads{static_cast<double>(v) * 1e-15}; }
+}  // namespace literals
+
+/// Period of a frequency.
+constexpr Seconds period(Hertz f) { return Seconds{1.0 / f.value}; }
+
+}  // namespace ascp

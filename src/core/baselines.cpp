@@ -1,0 +1,176 @@
+#include "core/baselines.hpp"
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "dsp/modem.hpp"
+
+namespace ascp::core {
+
+BaselineConfig adxrs300_like() {
+  BaselineConfig cfg;
+  // Low-Q resonator: surface-micromachined polysilicon in air — this is
+  // what buys the 35 ms turn-on (envelope τ = 2Q/ω0 ≈ 8.5 ms).
+  cfg.mems.f0_hz = 14e3;
+  cfg.mems.q_drive = 400.0;
+  cfg.mems.q_sense = 400.0;
+  // Low-Q element needs a stronger electrostatic drive to reach the same
+  // amplitude (F = x·ω0²/Q quadruples vs the high-Q ring).
+  cfg.mems.force_per_volt = 4.0;
+  cfg.mems.brownian_accel_density = 1.5e-5;
+  // Split-mode operation: the sense resonance sits 200 Hz above the drive,
+  // so the rate response is stiffness-dominated and flat across the output
+  // filter's 40 Hz — the analog way to buy bandwidth (at a gain penalty).
+  cfg.mems.mode_split_hz = 200.0;
+  cfg.drive.pll.f_center = 14e3;
+  cfg.drive.pll.f_min = 12e3;
+  cfg.drive.pll.f_max = 16e3;
+  // Continuous-time AGC/PLL settle much faster than the platform's digital
+  // loops — part of how the analog part reaches its 35 ms turn-on.
+  cfg.drive.agc.kp = 2.0;
+  cfg.drive.agc.ki = 600.0;
+  cfg.drive.agc.settle_count = 500;
+  cfg.drive.pll.ki = 12000.0;
+  cfg.drive.pll.lock_count = 500;
+  cfg.nominal_sensitivity = 5e-3;   // Table 2: 5 mV/°/s typ
+  cfg.trim_sigma = 0.04;            // 4.6–5.4 mV/°/s initial spread
+  cfg.sens_tempco = -4e-4;
+  cfg.null_v = 2.5;
+  cfg.null_sigma_v = 0.15;          // 2.3–2.7 V initial nulls
+  cfg.null_tempco_v = 1.5e-3;
+  cfg.output_lpf_hz = 40.0;         // Table 2: 40 Hz bandwidth
+  cfg.output_lpf_poles = 1;
+  cfg.noise_dps_rt_hz = 0.1;        // Table 2: 0.1 °/s/√Hz
+  cfg.full_scale_dps = 300.0;
+  return cfg;
+}
+
+BaselineConfig gyrostar_like() {
+  BaselineConfig cfg;
+  // Piezoelectric tuning-fork element (ENV-05 class): moderate Q, very low
+  // transduction, loose factory trim, narrow temperature window.
+  cfg.mems.f0_hz = 15e3;
+  cfg.mems.q_drive = 2000.0;
+  cfg.mems.q_sense = 2000.0;
+  cfg.mems.brownian_accel_density = 2e-5;
+  cfg.mems.mode_split_hz = 120.0;
+  cfg.drive = default_drive_loop();
+  cfg.nominal_sensitivity = 0.67e-3;  // Table 3: 0.67 mV/°/s
+  cfg.trim_sigma = 0.10;              // 0.54–0.80 spread
+  cfg.sens_tempco = 1.0e-3;           // ±5 % over −5..+75 °C
+  cfg.null_v = 1.35;
+  cfg.null_sigma_v = 0.05;
+  cfg.null_tempco_v = 2.0e-3;
+  cfg.demod_phase_err_sigma = 0.05;
+  cfg.output_lpf_hz = 50.0;           // Table 3: < 50 Hz
+  cfg.output_lpf_poles = 2;
+  cfg.noise_dps_rt_hz = 0.15;
+  cfg.full_scale_dps = 300.0;
+  return cfg;
+}
+
+AnalogGyroBaseline::AnalogGyroBaseline(const BaselineConfig& cfg) : cfg_(cfg) {
+  build(1);
+}
+
+void AnalogGyroBaseline::build(std::uint64_t seed) {
+  Rng rng(seed);
+  sensor::GyroMemsConfig mems_cfg = cfg_.mems;
+  mems_cfg.sim_fs = cfg_.analog_fs;
+  mems_ = std::make_unique<sensor::GyroMems>(mems_cfg, rng.fork(1));
+
+  DriveLoopConfig drive_cfg = cfg_.drive;
+  const double loop_fs = cfg_.analog_fs / cfg_.loop_div;
+  drive_cfg.pll.fs = loop_fs;
+  drive_cfg.agc.fs = loop_fs;
+  drive_ = std::make_unique<DriveLoop>(drive_cfg);
+  demod_ = std::make_unique<dsp::IqDemodulator>(loop_fs, cfg_.demod_bw_hz);
+
+  trim_gain_ = 1.0 + rng.gaussian(cfg_.trim_sigma);
+  null_draw_ = rng.gaussian(cfg_.null_sigma_v);
+  phase_err_ = rng.gaussian(cfg_.demod_phase_err_sigma);
+  noise_rng_ = rng.fork(9);
+  noise_sigma_ = cfg_.noise_dps_rt_hz * cfg_.nominal_sensitivity * std::sqrt(loop_fs / 2.0);
+
+  // Factory scaling: demod volts per °/s from the element physics at the
+  // AGC operating point (the trim station sets the final analog gain).
+  // The split-mode sense response to a drive-frequency force is
+  // H(jωd) = 1/((ωs²−ωd²) + jωd·ωs/Qs): magnitude sets the gain, and its
+  // phase φH sets where the Coriolis signal lands in the I/Q plane — the
+  // analog demodulator is built rotated to that angle.
+  const double x_amp = drive_cfg.agc.target / cfg_.sense_gain_v_per_m;
+  const double w0d = kTwoPi * cfg_.mems.f0_hz;
+  const double w0s = kTwoPi * (cfg_.mems.f0_hz + cfg_.mems.mode_split_hz);
+  const double split_term = w0s * w0s - w0d * w0d;
+  const double damp_term = w0d * w0s / cfg_.mems.q_sense;
+  const double h_mag = 1.0 / std::hypot(split_term, damp_term);
+  demod_angle_ = std::atan2(damp_term, split_term);
+  const double omega_per_dps = kPi / 180.0;
+  const double raw_v_per_dps = 2.0 * cfg_.mems.angular_gain * omega_per_dps * w0d * x_amp *
+                               h_mag * cfg_.sense_gain_v_per_m;
+  scale_v_per_demod_ = cfg_.nominal_sensitivity / raw_v_per_dps;
+
+  lpf_state_[0] = lpf_state_[1] = 0.0;
+  lpf_alpha_ = 1.0 - std::exp(-kTwoPi * cfg_.output_lpf_hz / loop_fs);
+  adc_phase_ = 0;
+  out_phase_ = 0;
+  drive_v_ = 0.0;
+}
+
+void AnalogGyroBaseline::power_on(std::uint64_t seed) { build(seed); }
+
+void AnalogGyroBaseline::run(const sensor::Profile& rate, const sensor::Profile& temp,
+                             double seconds, std::vector<double>* out) {
+  const double dt = 1.0 / cfg_.analog_fs;
+  const long ticks = static_cast<long>(seconds * cfg_.analog_fs + 0.5);
+  const double loop_fs = cfg_.analog_fs / cfg_.loop_div;
+  const int out_div = static_cast<int>(loop_fs / cfg_.output_rate_hz + 0.5);
+  const double v_per_m = cfg_.sense_gain_v_per_m / cfg_.mems.cap_per_meter;  // V per farad
+
+  for (long i = 0; i < ticks; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    const double temp_c = temp.at(t);
+
+    sensor::GyroInputs in;
+    in.v_drive = drive_v_;
+    in.rate_dps = rate.at(t);
+    in.temp_c = temp_c;
+    const auto pick = mems_->step(in);
+
+    if (++adc_phase_ < cfg_.loop_div) continue;
+    adc_phase_ = 0;
+
+    // ---- analog conditioning at the loop rate ----
+    const double vp = v_per_m * pick.dc_primary;
+    const double vs = v_per_m * pick.dc_sense;
+    drive_v_ = drive_->step(vp);
+    const auto bb = demod_->step(vs, drive_->carrier_i(), drive_->carrier_q());
+
+    // Fixed analog demodulation phase, built at φH + trim error, drifting
+    // with temperature; residual misalignment leaks quadrature into rate.
+    const double phi = demod_angle_ + phase_err_ + cfg_.demod_phase_tempco * (temp_c - 25.0);
+    const double rate_demod = bb.q * std::sin(phi) - bb.i * std::cos(phi);
+
+    const double dtc = temp_c - 25.0;
+    const double gain = scale_v_per_demod_ * trim_gain_ * (1.0 + cfg_.sens_tempco * dtc);
+    double v = gain * rate_demod + noise_rng_.gaussian(noise_sigma_);
+
+    // Output RC filter.
+    lpf_state_[0] += lpf_alpha_ * (v - lpf_state_[0]);
+    v = lpf_state_[0];
+    if (cfg_.output_lpf_poles >= 2) {
+      lpf_state_[1] += lpf_alpha_ * (v - lpf_state_[1]);
+      v = lpf_state_[1];
+    }
+
+    if (++out_phase_ >= out_div) {
+      out_phase_ = 0;
+      if (out) {
+        const double null = cfg_.null_v + null_draw_ + cfg_.null_tempco_v * dtc;
+        out->push_back(null + v);
+      }
+    }
+  }
+}
+
+}  // namespace ascp::core

@@ -1,0 +1,99 @@
+// baselines.hpp — behavioral models of the paper's commercial comparators.
+//
+// Tables 2 and 3 compare the platform against the Analog Devices ADXRS300
+// and Murata's Gyrostar (ENV-05 class). Both are *analog-conditioned* gyros:
+// the rate signal is demodulated, filtered and scaled in the continuous
+// domain, with laser/factory trim at room temperature only — no digital
+// temperature compensation, no resonance-tracked demodulation phase, no
+// configurable bandwidth. AnalogGyroBaseline models that architecture on
+// top of the same MEMS substrate:
+//
+//   MEMS ─► pickoff ─► analog AGC/PLL drive ─► analog demod (fixed phase
+//   error, drifts with temp) ─► RC low-pass ─► gain+offset trim ─► output
+//
+// The structural consequences reproduce the table shapes: low-Q elements
+// ring up fast (35 ms turn-on vs our 500 ms), but initial tolerances are
+// wide (trim-limited), nulls drift with temperature (no compensation), and
+// the bandwidth is whatever the RC made it.
+#pragma once
+
+#include <memory>
+
+#include "core/drive_loop.hpp"
+#include "core/rate_sensor.hpp"
+#include "dsp/modem.hpp"
+#include "sensor/gyro_mems.hpp"
+
+namespace ascp::core {
+
+struct BaselineConfig {
+  sensor::GyroMemsConfig mems{};
+  DriveLoopConfig drive = default_drive_loop();
+  double analog_fs = 1.92e6;
+  int loop_div = 8;  ///< conditioning evaluated at analog_fs / loop_div
+
+  double sense_gain_v_per_m = 4e6;   ///< pickoff + front-end gain
+  double demod_bw_hz = 400.0;
+
+  double nominal_sensitivity = 5e-3; ///< V per °/s after trim
+  double trim_sigma = 0.05;          ///< 1σ relative trim error (laser trim)
+  double sens_tempco = -4e-4;        ///< relative sensitivity drift per °C
+  double null_v = 2.5;
+  double null_sigma_v = 0.15;        ///< 1σ initial null error
+  double null_tempco_v = 1.5e-3;     ///< null drift [V/°C]
+  double demod_phase_err_sigma = 0.03;  ///< [rad] fixed analog phase error
+  double demod_phase_tempco = 5e-4;     ///< [rad/°C]
+
+  double output_lpf_hz = 40.0;       ///< analog RC bandwidth
+  int output_lpf_poles = 2;
+  double noise_dps_rt_hz = 0.1;      ///< electronics-limited noise floor
+
+  double full_scale_dps = 300.0;
+  double output_rate_hz = 1875.0;    ///< DAQ sampling of the analog output
+};
+
+/// ADXRS300-class configuration (Table 2).
+BaselineConfig adxrs300_like();
+/// Gyrostar-class configuration (Table 3).
+BaselineConfig gyrostar_like();
+
+class AnalogGyroBaseline : public RateSensor {
+ public:
+  explicit AnalogGyroBaseline(const BaselineConfig& cfg);
+
+  void power_on(std::uint64_t seed) override;
+  double output_rate_hz() const override { return cfg_.output_rate_hz; }
+  void run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
+           std::vector<double>* out) override;
+  double nominal_sensitivity() const override { return cfg_.nominal_sensitivity; }
+  double nominal_null() const override { return cfg_.null_v; }
+  double full_scale_dps() const override { return cfg_.full_scale_dps; }
+
+  bool locked() const { return drive_->locked(); }
+
+ private:
+  void build(std::uint64_t seed);
+
+  BaselineConfig cfg_;
+  std::unique_ptr<sensor::GyroMems> mems_;
+  std::unique_ptr<DriveLoop> drive_;
+  std::unique_ptr<dsp::IqDemodulator> demod_;
+
+  // Device draws.
+  double trim_gain_ = 1.0;
+  double null_draw_ = 0.0;
+  double phase_err_ = 0.0;
+  double demod_angle_ = 0.0;  ///< φH: where the Coriolis response lands
+  Rng noise_rng_{1};
+  double noise_sigma_ = 0.0;
+
+  // Output RC filter state (up to 2 poles) and decimation phase.
+  double lpf_state_[2] = {0.0, 0.0};
+  double lpf_alpha_ = 0.0;
+  double scale_v_per_demod_ = 1.0;  ///< analog gain: demod volts → output volts
+  int adc_phase_ = 0;
+  int out_phase_ = 0;
+  double drive_v_ = 0.0;
+};
+
+}  // namespace ascp::core

@@ -1,0 +1,39 @@
+#include "core/calibration.hpp"
+
+#include "common/math.hpp"
+
+namespace ascp::core {
+
+namespace {
+double mean_output(GyroSystem& sys, double rate_dps, double temp_c, double seconds) {
+  std::vector<double> samples;
+  sys.run(sensor::Profile::constant(rate_dps), sensor::Profile::constant(temp_c), seconds,
+          &samples);
+  const std::size_t half = samples.size() / 2;
+  return mean(std::span(samples).subspan(half));
+}
+}  // namespace
+
+dsp::CompensationCoeffs run_calibration(GyroSystem& sys, const CalibrationConfig& cfg) {
+  // Measure through an identity compensation so the output exposes the raw
+  // chain (output = raw + null offset).
+  const dsp::CompensationCoeffs saved = sys.sense().compensation().coeffs();
+  sys.set_compensation(dsp::CompensationCoeffs{});
+  const double null_offset = sys.config().sense.output_offset;
+
+  std::vector<double> temps, offsets, gains;
+  for (double t : cfg.temps) {
+    sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(t), cfg.warmup_s, nullptr);
+    const double at_zero = mean_output(sys, 0.0, t, cfg.dwell_s) - null_offset;
+    const double at_pos = mean_output(sys, cfg.cal_rate_dps, t, cfg.dwell_s) - null_offset;
+    const double at_neg = mean_output(sys, -cfg.cal_rate_dps, t, cfg.dwell_s) - null_offset;
+    temps.push_back(t);
+    offsets.push_back(at_zero);
+    gains.push_back((at_pos - at_neg) / (2.0 * cfg.cal_rate_dps));
+  }
+
+  sys.set_compensation(saved);  // leave the device as found
+  return dsp::fit_compensation(temps, offsets, gains, cfg.target_v_per_dps);
+}
+
+}  // namespace ascp::core

@@ -1,0 +1,33 @@
+// calibration.hpp — per-device temperature calibration flow.
+//
+// The paper's platform trims every device (paper §3: "on-line trimming",
+// §4.2: "manual trimming can be performed" over the PC link; the shipped
+// chip carries its coefficients). The flow soaks the device at a set of
+// temperatures, measures the raw chain null and scale at each, fits the
+// quadratic compensation polynomials and writes them into the compensation
+// block — turning the drifting raw chain into the 5 mV/°/s ±0 null device
+// of Table 1.
+#pragma once
+
+#include <vector>
+
+#include "core/gyro_system.hpp"
+#include "dsp/compensation.hpp"
+
+namespace ascp::core {
+
+struct CalibrationConfig {
+  // Production soak points: slightly inside the -40..+85 spec range, so
+  // the spec extremes exercise the fitted polynomial's extrapolation.
+  std::vector<double> temps{-30.0, 25.0, 75.0};
+  double warmup_s = 1.2;     ///< lock + thermal settle per soak
+  double dwell_s = 0.4;      ///< measurement time per rate point
+  double cal_rate_dps = 100.0;
+  double target_v_per_dps = 5e-3;  ///< Table 1 sensitivity
+};
+
+/// Run the flow on `sys` (must be powered on). Returns the fitted
+/// coefficients; the caller (or factory_calibrate) writes them back.
+dsp::CompensationCoeffs run_calibration(GyroSystem& sys, const CalibrationConfig& cfg = {});
+
+}  // namespace ascp::core

@@ -1,0 +1,130 @@
+#include "core/datasheet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ascp::core {
+
+namespace {
+
+std::string cell(const std::optional<double>& v, int precision = 2) {
+  if (!v) return "";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, *v);
+  return buf;
+}
+
+void print_row(std::ostringstream& out, const std::string& name, const Row& row,
+               int precision = 2) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-22s %10s %10s %10s  %s\n", name.c_str(),
+                cell(row.min, precision).c_str(), cell(row.typ, precision).c_str(),
+                cell(row.max, precision).c_str(), row.units.c_str());
+  out << buf;
+}
+
+Row aggregate(std::vector<double> values, std::string units) {
+  Row row;
+  row.units = std::move(units);
+  if (values.empty()) return row;
+  std::sort(values.begin(), values.end());
+  row.min = values.front();
+  row.max = values.back();
+  row.typ = values[values.size() / 2];
+  return row;
+}
+
+}  // namespace
+
+std::string Datasheet::format() const {
+  std::ostringstream out;
+  out << device_name << "\n";
+  out << "  Parameter                    Min        Typ        Max  Units\n";
+  out << "  Sensitivity\n";
+  print_row(out, "  Dynamic Range", dynamic_range, 0);
+  print_row(out, "  Initial", sensitivity_initial);
+  print_row(out, "  Over Temperature", sensitivity_over_t);
+  print_row(out, "  Non Linearity", nonlinearity);
+  out << "  Null\n";
+  print_row(out, "  Initial", null_initial);
+  print_row(out, "  Over Temperature", null_over_t);
+  print_row(out, "  Turn On Time", turn_on_ms, 0);
+  out << "  Noise\n";
+  print_row(out, "  Rate Noise Dens.", noise_density, 3);
+  out << "  Freq. Response\n";
+  print_row(out, "  3 dB Bandwidth", bandwidth_hz, 1);
+  out << "  Temp. Ranges\n";
+  print_row(out, "  Operating Temp.", temp_range, 0);
+  return out.str();
+}
+
+Datasheet characterize(RateSensor& dut, const std::string& device_name,
+                       const CharacterizationConfig& cfg) {
+  Datasheet ds;
+  ds.device_name = device_name;
+  ds.dynamic_range.min = -dut.full_scale_dps();
+  ds.dynamic_range.max = dut.full_scale_dps();
+  ds.dynamic_range.units = "deg/s";
+  ds.temp_range.min = cfg.temp_lo;
+  ds.temp_range.max = cfg.temp_hi;
+  ds.temp_range.units = "degC";
+
+  std::vector<double> sens25, sens_all, nonlin_all, null25, null_all, turn_on, noise;
+  std::vector<double> bandwidth;
+
+  const auto warm_up = [&](double temp_c) {
+    dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(temp_c), cfg.warmup_s,
+            nullptr);
+  };
+
+  for (std::uint64_t seed : cfg.seeds) {
+    dut.power_on(seed);
+    dut.factory_calibrate();
+    dut.power_on(seed);  // characterization starts from a fresh boot
+    warm_up(25.0);
+
+    // Room-temperature characterization.
+    const auto s25 = measure_sensitivity(dut, 25.0);
+    sens25.push_back(s25.mv_per_dps);
+    sens_all.push_back(s25.mv_per_dps);
+    nonlin_all.push_back(s25.nonlinearity_pct_fs);
+    null25.push_back(s25.null_v);
+    null_all.push_back(s25.null_v);
+    noise.push_back(measure_noise_density(dut, 25.0, cfg.noise_seconds));
+
+    // Temperature extremes.
+    for (double t : {cfg.temp_lo, cfg.temp_hi}) {
+      warm_up(t);
+      const auto st = measure_sensitivity(dut, t, /*points=*/5);
+      sens_all.push_back(st.mv_per_dps);
+      nonlin_all.push_back(st.nonlinearity_pct_fs);
+      null_all.push_back(st.null_v);
+    }
+
+    // Turn-on: fresh cold start of the same die.
+    turn_on.push_back(measure_turn_on(dut, seed, 25.0, cfg.turn_on_tol_v) * 1e3);
+
+    if (cfg.measure_bandwidth_flag && seed == cfg.seeds.front()) {
+      warm_up(25.0);
+      bandwidth.push_back(measure_bandwidth(dut, 25.0));
+    }
+  }
+
+  // Report magnitudes: the electrical sign convention is not a datasheet
+  // parameter.
+  for (auto* v : {&sens25, &sens_all})
+    for (double& x : *v) x = std::abs(x);
+
+  ds.sensitivity_initial = aggregate(sens25, "mV/deg/s");
+  ds.sensitivity_over_t = aggregate(sens_all, "mV/deg/s");
+  ds.nonlinearity = aggregate(nonlin_all, "% of FS");
+  ds.null_initial = aggregate(null25, "V");
+  ds.null_over_t = aggregate(null_all, "V");
+  ds.turn_on_ms = aggregate(turn_on, "ms");
+  ds.noise_density = aggregate(noise, "deg/s/rtHz");
+  ds.bandwidth_hz = aggregate(bandwidth, "Hz");
+  return ds;
+}
+
+}  // namespace ascp::core

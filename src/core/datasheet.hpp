@@ -1,0 +1,56 @@
+// datasheet.hpp — characterization campaign and paper-style table output.
+//
+// Runs the metrology of metrics.hpp over several devices (seeds) and the
+// specified temperature range, aggregates min/typ/max, and renders a table
+// in the shape of the paper's Tables 1–3.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/rate_sensor.hpp"
+
+namespace ascp::core {
+
+/// One datasheet row: any of the three columns may be absent (the paper's
+/// tables leave cells blank).
+struct Row {
+  std::optional<double> min, typ, max;
+  std::string units;
+};
+
+struct Datasheet {
+  std::string device_name;
+  Row dynamic_range;       ///< °/s (specified, not measured)
+  Row sensitivity_initial; ///< mV/°/s across devices at 25 °C
+  Row sensitivity_over_t;  ///< mV/°/s across devices and temperature
+  Row nonlinearity;        ///< % of FS
+  Row null_initial;        ///< V at 25 °C
+  Row null_over_t;         ///< V over temperature
+  Row turn_on_ms;          ///< ms
+  Row noise_density;       ///< °/s/√Hz
+  Row bandwidth_hz;        ///< Hz (−3 dB)
+  Row temp_range;          ///< °C (specified)
+
+  /// Paper-style rendering.
+  std::string format() const;
+};
+
+struct CharacterizationConfig {
+  std::vector<std::uint64_t> seeds{1, 2, 3};
+  double temp_lo = -40.0;
+  double temp_hi = 85.0;
+  double warmup_s = 1.2;
+  bool measure_bandwidth_flag = true;  ///< bandwidth sweep is the slowest step
+  double turn_on_tol_v = 5e-3;
+  double noise_seconds = 6.0;
+};
+
+/// Full campaign on one DUT type. The DUT is powered on and factory-
+/// calibrated per seed.
+Datasheet characterize(RateSensor& dut, const std::string& device_name,
+                       const CharacterizationConfig& cfg = {});
+
+}  // namespace ascp::core

@@ -1,0 +1,37 @@
+#include "core/drive_loop.hpp"
+
+namespace ascp::core {
+
+DriveLoopConfig default_drive_loop(double fs) {
+  DriveLoopConfig cfg;
+  cfg.pll.fs = fs;
+  cfg.pll.f_center = 15e3;
+  cfg.pll.f_min = 13e3;
+  cfg.pll.f_max = 17e3;
+  cfg.pll.kp = 40.0;
+  cfg.pll.ki = 4000.0;
+  cfg.pll.pd_lpf_hz = 400.0;
+
+  cfg.agc.fs = fs;
+  cfg.agc.target = 1.0;   // pickoff amplitude at the ADC [V]
+  cfg.agc.kp = 0.5;
+  cfg.agc.ki = 60.0;
+  cfg.agc.gain_min = 0.0;
+  cfg.agc.gain_max = 2.4;  // drive-DAC rail
+  return cfg;
+}
+
+DriveLoop::DriveLoop(const DriveLoopConfig& cfg) : pll_(cfg.pll), agc_(cfg.agc) {}
+
+double DriveLoop::step(double pickoff) {
+  const double carrier = pll_.step(pickoff);
+  const double gain = agc_.step(pll_.amplitude());
+  return gain * carrier;
+}
+
+void DriveLoop::reset() {
+  pll_.reset();
+  agc_.reset();
+}
+
+}  // namespace ascp::core

@@ -1,0 +1,54 @@
+// drive_loop.hpp — primary-mode control: PLL resonance tracking + AGC.
+//
+// Paper §4.1: the gyro needs "a PLL (for primary drive), which has to keep
+// the ring in resonance (at a frequency of approximately 15 KHz), an AGC
+// (to control the amplitude of this vibration)". DriveLoop composes the two
+// hardwired IPs around the shared NCO and produces the drive-DAC voltage
+// from the primary-pickoff ADC samples. Its observables are exactly the
+// four traces of the paper's Fig. 5.
+#pragma once
+
+#include "dsp/agc.hpp"
+#include "dsp/pll.hpp"
+
+namespace ascp::core {
+
+struct DriveLoopConfig {
+  dsp::PllConfig pll{};
+  dsp::AgcConfig agc{};
+};
+
+/// Default tuning for the 15 kHz ring sampled at 240 kHz with the platform's
+/// AFE scaling (pickoff amplitude ≈ 1 V at target drive).
+DriveLoopConfig default_drive_loop(double fs = 240e3);
+
+class DriveLoop {
+ public:
+  explicit DriveLoop(const DriveLoopConfig& cfg);
+
+  /// One DSP sample: primary pickoff in, drive voltage out.
+  double step(double pickoff);
+
+  /// Phase-coherent carriers for the sense-chain demodulators.
+  double carrier_i() const { return pll_.nco().sine(); }
+  double carrier_q() const { return pll_.nco().cosine(); }
+
+  // Fig. 5 observables.
+  double amplitude_control() const { return agc_.gain(); }   ///< AGC actuator
+  double phase_error() const { return pll_.phase_error(); }  ///< PLL PD
+  double amplitude_error() const { return agc_.error(); }    ///< AGC error
+  double vco_control() const { return pll_.vco_control(); }  ///< loop integrator
+
+  double frequency() const { return pll_.frequency(); }
+  double amplitude() const { return pll_.amplitude(); }
+  bool locked() const { return pll_.locked() && agc_.settled(); }
+  bool pll_locked() const { return pll_.locked(); }
+
+  void reset();
+
+ private:
+  dsp::Pll pll_;
+  dsp::Agc agc_;
+};
+
+}  // namespace ascp::core

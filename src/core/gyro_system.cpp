@@ -1,0 +1,252 @@
+#include "core/gyro_system.hpp"
+
+#include <cmath>
+
+#include "core/calibration.hpp"
+
+namespace ascp::core {
+
+GyroSystemConfig default_gyro_system(Fidelity fidelity) {
+  GyroSystemConfig cfg;
+  cfg.fidelity = fidelity;
+
+  // Drive-loop servo tuning (see DESIGN.md "simulation-rate architecture").
+  cfg.drive = default_drive_loop(240e3);
+
+  // Force-feedback servo: plant envelope pole at ω0/2Q ≈ 1.5 Hz and
+  // baseband gain ≈ 2.2 V/V require a strong PD zero for a ~100 Hz loop.
+  cfg.sense.fs = 240e3;
+  cfg.sense.rate_kp = 30.0;
+  cfg.sense.rate_ki = 4000.0;
+  cfg.sense.quad_kp = 30.0;
+  cfg.sense.quad_ki = 4000.0;
+
+  // Design-space-exploration outcome (see bench/ablation_partitioning): the
+  // Brownian-excited sense carrier is sub-LSB at 12 bits, and quantizing a
+  // narrowband sub-LSB signal folds correlated noise into the rate band —
+  // 14-bit SAR converters restore the Brownian-limited floor.
+  cfg.adc.bits = 14;
+  cfg.adc.vref = 2.5;
+  cfg.dac.bits = 12;
+  cfg.dac.vref = 2.5;
+  cfg.dac.update_rate = 240e3;
+  return cfg;
+}
+
+GyroSystem::GyroSystem(const GyroSystemConfig& cfg) : cfg_(cfg) {
+  // Area bookkeeping: the DSP IPs this customization instantiates on top of
+  // the MCU subsystem (paper §4.3: ≈200 Kgates total digital).
+  auto& area = platform_.area();
+  for (const char* ip : {"nco", "pll_loop", "agc_loop", "iq_mod", "compensation",
+                         "biquad_bank", "chain_ctrl", "fir"})
+    area.instantiate(ip);
+  area.instantiate("iq_demod", 2);
+  area.instantiate("cic_decim", 2);
+  area.instantiate("jtag_tap");  // analog die TAP
+  for (const char* ip : {"charge_amp", "pga", "sar_adc12"}) area.instantiate(ip, 2);
+  area.instantiate("dac12", 4);  // paper: couples of DACs per loop
+  for (const char* ip : {"vref", "osc", "temp_sensor", "pad_ring"}) area.instantiate(ip);
+
+  define_registers();
+  build(cfg.seed);
+}
+
+void GyroSystem::define_registers() {
+  using platform::RegKind;
+  auto& rf = platform_.regs();
+  rf.define("lock", reg::kLock, RegKind::Status);
+  rf.define("freq", reg::kFreq, RegKind::Status);
+  rf.define("agc_gain", reg::kAgcGain, RegKind::Status);
+  rf.define("rate_out", reg::kRateOut, RegKind::Status);
+  rf.define("quad", reg::kQuad, RegKind::Status);
+  rf.define("temp", reg::kTemp, RegKind::Status);
+  rf.define("mode", reg::kMode, RegKind::Config,
+            cfg_.sense.mode == SenseMode::ClosedLoop ? 1 : 0, [this](std::uint16_t v) {
+              cfg_.sense.mode = v ? SenseMode::ClosedLoop : SenseMode::OpenLoop;
+            });
+  rf.define("sense_gain", reg::kSenseGain, RegKind::Config,
+            static_cast<std::uint16_t>(cfg_.sense_pga_gain * 16.0), [this](std::uint16_t v) {
+              cfg_.sense_pga_gain = static_cast<double>(v) / 16.0;
+            });
+
+  // Analog-die registers behind the second TAP (Fig. 2: JTAG on both dies).
+  afe_regs_.define("pga_primary", reg::kAfePgaPrimary, RegKind::Config,
+                   static_cast<std::uint16_t>(cfg_.primary_pga_gain * 16.0),
+                   [this](std::uint16_t v) { cfg_.primary_pga_gain = v / 16.0; });
+  afe_regs_.define("pga_sense", reg::kAfePgaSense, RegKind::Config,
+                   static_cast<std::uint16_t>(cfg_.sense_pga_gain * 16.0),
+                   [this](std::uint16_t v) { cfg_.sense_pga_gain = v / 16.0; });
+  afe_regs_.define("adc_bits", reg::kAfeAdcBits, RegKind::Config,
+                   static_cast<std::uint16_t>(cfg_.adc.bits),
+                   [this](std::uint16_t v) { cfg_.adc.bits = static_cast<int>(v); });
+  platform_.jtag_chain().add(&afe_tap_);
+}
+
+void GyroSystem::build(std::uint64_t seed) {
+  Rng rng(seed);
+
+  sensor::GyroMemsConfig mems_cfg = cfg_.mems;
+  mems_cfg.sim_fs = cfg_.analog_fs;
+  mems_ = std::make_unique<sensor::GyroMems>(mems_cfg, rng.fork(1));
+
+  afe::ChargeAmpConfig champ = cfg_.charge_amp;
+  champ.fs = cfg_.analog_fs;
+  champ_primary_ = std::make_unique<afe::ChargeAmp>(champ, rng.fork(2));
+  champ_sense_ = std::make_unique<afe::ChargeAmp>(champ, rng.fork(3));
+
+  afe::FrontendConfig fe;
+  fe.analog_fs = cfg_.analog_fs;
+  fe.decimation = cfg_.adc_div;
+  fe.adc = cfg_.adc;
+  fe.amp.vsat = cfg_.adc.vref;
+  fe.amp.gain = cfg_.primary_pga_gain;
+  acq_primary_ = std::make_unique<afe::AcquisitionChannel>(fe, rng.fork(4));
+  fe.amp.gain = cfg_.sense_pga_gain;
+  acq_sense_ = std::make_unique<afe::AcquisitionChannel>(fe, rng.fork(5));
+
+  dac_drive_ = std::make_unique<afe::Dac>(cfg_.dac, rng.fork(6));
+  dac_ctrl_ = std::make_unique<afe::Dac>(cfg_.dac, rng.fork(7));
+  temp_sensor_ = std::make_unique<afe::TempSensor>(0.3, 0.5, rng.fork(8));
+
+  drive_ = std::make_unique<DriveLoop>(cfg_.drive);
+  SenseChainConfig sense_cfg = cfg_.sense;
+  sense_ = std::make_unique<SenseChain>(sense_cfg);
+  sense_->set_compensation(cfg_.comp);
+
+  // Ideal transduction gains mirror the Full chain's nominal gains so both
+  // fidelities share servo tunings and calibration scale.
+  const double champ_gain = champ.v_bias / champ.c_feedback_farads;  // V/F
+  ideal_gain_primary_ = champ_gain * cfg_.primary_pga_gain;
+  ideal_gain_sense_ = champ_gain * cfg_.sense_pga_gain;
+
+  drive_v_ = ctrl_v_ = 0.0;
+  last_output_ = cfg_.sense.output_offset;
+  base_ticks_ = 0;
+}
+
+void GyroSystem::power_on(std::uint64_t seed) {
+  cfg_.seed = seed;
+  build(seed);
+}
+
+void GyroSystem::factory_calibrate() {
+  set_compensation(run_calibration(*this));
+  // The flow leaves the device soaked at the last calibration temperature;
+  // re-arm it cold so characterization starts from a clean power-on.
+  build(cfg_.seed);
+}
+
+double GyroSystem::output_rate_hz() const {
+  return cfg_.analog_fs / cfg_.adc_div / cfg_.sense.cic_ratio;
+}
+
+void GyroSystem::set_compensation(const dsp::CompensationCoeffs& c) {
+  cfg_.comp = c;
+  sense_->set_compensation(c);
+}
+
+void GyroSystem::set_trace(TraceRecorder* trace, std::size_t decimate) {
+  trace_ = trace;
+  trace_decimate_ = decimate;
+  if (!trace_) return;
+  const double fs_dsp = cfg_.analog_fs / cfg_.adc_div;
+  for (const char* name : {"amplitude_control", "phase_error", "amplitude_error", "vco_control",
+                           "pickoff"})
+    trace_->open(name, 1.0 / fs_dsp, decimate);
+  trace_->open("rate_out", 1.0 / output_rate_hz());
+}
+
+void GyroSystem::post_status(double measured_temp) {
+  auto& rf = platform_.regs();
+  rf.post_status(reg::kLock, static_cast<std::uint16_t>((drive_->pll_locked() ? 1 : 0) |
+                                                        (drive_->locked() ? 2 : 0)));
+  rf.post_status(reg::kFreq, static_cast<std::uint16_t>(drive_->frequency() / 4.0));
+  rf.post_status(reg::kAgcGain, static_cast<std::uint16_t>(drive_->amplitude_control() * 1000.0));
+  rf.post_status(reg::kRateOut, static_cast<std::uint16_t>(last_output_ * 1000.0));
+  rf.post_status(reg::kQuad,
+                 static_cast<std::uint16_t>(static_cast<std::int16_t>(sense_->raw_quad() * 1000.0)));
+  rf.post_status(reg::kTemp,
+                 static_cast<std::uint16_t>(static_cast<std::int16_t>(measured_temp * 8.0)));
+}
+
+void GyroSystem::run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
+                     std::vector<double>* out) {
+  const bool full = cfg_.fidelity == Fidelity::Full;
+  const double dt = 1.0 / cfg_.analog_fs;
+  const long ticks = static_cast<long>(seconds * cfg_.analog_fs + 0.5);
+  const long cpu_cycles_per_slow =
+      cfg_.with_mcu ? platform_.cycles_per_sample(output_rate_hz()) : 0;
+
+  int adc_phase = 0;
+  for (long i = 0; i < ticks; ++i, ++base_ticks_) {
+    const double t = static_cast<double>(i) * dt;
+    const double temp_c = temp.at(t);
+
+    sensor::GyroInputs in;
+    in.rate_dps = rate.at(t);
+    in.temp_c = temp_c;
+    if (full) {
+      in.v_drive = dac_drive_->output(dt, temp_c);
+      in.v_control = dac_ctrl_->output(dt, temp_c);
+    } else {
+      in.v_drive = drive_v_;
+      in.v_control = ctrl_v_;
+    }
+    const auto pick = mems_->step(in);
+
+    std::optional<double> sp, ss;
+    if (full) {
+      const double vp = champ_primary_->step(pick.dc_primary, temp_c);
+      const double vs = champ_sense_->step(pick.dc_sense, temp_c);
+      sp = acq_primary_->step(vp, temp_c);
+      ss = acq_sense_->step(vs, temp_c);
+    } else if (++adc_phase >= cfg_.adc_div) {
+      adc_phase = 0;
+      sp = ideal_gain_primary_ * pick.dc_primary;
+      ss = ideal_gain_sense_ * pick.dc_sense;
+    }
+
+    if (!sp) continue;
+
+    // ---- DSP sample rate (240 kHz) ----
+    drive_v_ = drive_->step(*sp);
+    const auto fast = sense_->step(*ss, drive_->carrier_i(), drive_->carrier_q());
+    ctrl_v_ = fast.control_v;
+    if (full) {
+      dac_drive_->write_volts(drive_v_);
+      dac_ctrl_->write_volts(ctrl_v_);
+    }
+
+    if (trace_) {
+      trace_->push("amplitude_control", drive_->amplitude_control());
+      trace_->push("phase_error", drive_->phase_error());
+      trace_->push("amplitude_error", drive_->amplitude_error());
+      trace_->push("vco_control", drive_->vco_control());
+      trace_->push("pickoff", *sp);
+    }
+
+    // ---- decimated output rate (1.875 kHz) ----
+    const double measured_temp = temp_sensor_ ? temp_sensor_->read(temp_c) : temp_c;
+    if (const auto slow = sense_->slow_output(measured_temp)) {
+      last_output_ = slow->rate;
+      if (out) out->push_back(slow->rate);
+      if (trace_) trace_->push("rate_out", slow->rate);
+      post_status(measured_temp);
+      if (cfg_.with_mcu && cpu_cycles_per_slow > 0) platform_.run_cpu(cpu_cycles_per_slow);
+      if (auto* sram = platform_.sram_trace()) {
+        // Selectable chain nodes (paper §4.2: "digital data coming from any
+        // node of the DSP chain"), Q3.12 signed format.
+        const auto q312 = [](double v) {
+          return static_cast<std::uint16_t>(static_cast<std::int32_t>(v * 8192.0) & 0xFFFF);
+        };
+        sram->push(0, q312(sense_->raw_rate()));
+        sram->push(1, q312(sense_->raw_quad()));
+        sram->push(2, q312(drive_->amplitude()));
+        sram->push(3, q312(drive_->amplitude_control()));
+        sram->push(4, q312(drive_->vco_control() / 16.0));
+      }
+    }
+  }
+}
+
+}  // namespace ascp::core

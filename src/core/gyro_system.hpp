@@ -1,0 +1,142 @@
+// gyro_system.hpp — the complete conditioned gyro (paper §4).
+//
+// Assembles the platform customization end to end:
+//
+//   GyroMems ──ΔC──► charge amps ──► PGA+AA+SAR ADC ──► DriveLoop / SenseChain
+//      ▲                                                    │
+//      └──────────── drive & control DACs ◄─────────────────┘
+//
+// Two fidelity levels reproduce the paper's two validation stages:
+//   * Ideal — the MATLAB system model: float DSP, ideal transduction, no
+//     electronics noise/quantization (Fig. 5).
+//   * Full  — the emulation/measured configuration: charge amps, PGAs,
+//     anti-aliasing, SAR ADCs, DACs with settling and glitch, reference and
+//     temperature-sensor errors (Fig. 6, Table 1).
+//
+// The platform fabric is attached: status registers updated every decimated
+// sample (readable over JTAG and by the 8051 through the bridge), and an
+// optional MCU monitor slice runs the paper's control/monitoring firmware.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "afe/charge_amp.hpp"
+#include "afe/dac.hpp"
+#include "afe/frontend.hpp"
+#include "afe/reference.hpp"
+#include "common/trace.hpp"
+#include "core/drive_loop.hpp"
+#include "core/rate_sensor.hpp"
+#include "core/sense_chain.hpp"
+#include "platform/platform.hpp"
+#include "sensor/gyro_mems.hpp"
+
+namespace ascp::core {
+
+enum class Fidelity { Ideal, Full };
+
+/// Status-register addresses in the platform register file.
+namespace reg {
+constexpr std::uint16_t kLock = 0;      ///< bit0 PLL locked, bit1 AGC settled
+// Analog-die register file (second TAP in the chain):
+constexpr std::uint16_t kAfePgaPrimary = 0;  ///< config: primary PGA gain ×16
+constexpr std::uint16_t kAfePgaSense = 1;    ///< config: sense PGA gain ×16
+constexpr std::uint16_t kAfeAdcBits = 2;     ///< config: SAR resolution
+constexpr std::uint16_t kFreq = 1;      ///< drive frequency [Hz/4]
+constexpr std::uint16_t kAgcGain = 2;   ///< AGC gain [mV/V × 1000]
+constexpr std::uint16_t kRateOut = 3;   ///< rate output [mV]
+constexpr std::uint16_t kQuad = 4;      ///< quadrature monitor [mV, signed]
+constexpr std::uint16_t kTemp = 5;      ///< measured temperature [°C × 8, signed]
+constexpr std::uint16_t kMode = 16;     ///< config: 0 open loop, 1 closed loop
+constexpr std::uint16_t kSenseGain = 17;///< config: sense PGA gain [×16]
+}  // namespace reg
+
+struct GyroSystemConfig {
+  Fidelity fidelity = Fidelity::Full;
+  sensor::GyroMemsConfig mems{};
+  DriveLoopConfig drive = default_drive_loop();
+  SenseChainConfig sense{};
+  double analog_fs = 1.92e6;
+  int adc_div = 8;  ///< ADC/DSP rate = analog_fs / adc_div (240 kHz)
+
+  double primary_pga_gain = 2.0;
+  double sense_pga_gain = 8.0;
+  afe::ChargeAmpConfig charge_amp{};  ///< shared template for both channels
+  afe::AdcConfig adc{};
+  afe::DacConfig dac{};
+
+  bool with_mcu = false;  ///< instantiate the 8051 monitor subsystem
+  dsp::CompensationCoeffs comp{};
+  std::uint64_t seed = 1;
+};
+
+/// Factory defaults tuned to the paper's operating point (see DESIGN.md).
+GyroSystemConfig default_gyro_system(Fidelity fidelity = Fidelity::Full);
+
+class GyroSystem : public RateSensor {
+ public:
+  explicit GyroSystem(const GyroSystemConfig& cfg = default_gyro_system());
+
+  // ---- RateSensor ---------------------------------------------------------
+  void power_on(std::uint64_t seed) override;
+  /// Runs the temperature-calibration flow and stores the coefficients.
+  void factory_calibrate() override;
+  double output_rate_hz() const override;
+  void run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
+           std::vector<double>* out) override;
+  double nominal_sensitivity() const override { return 5e-3; }  // 5 mV/°/s, Table 1
+  double nominal_null() const override { return cfg_.sense.output_offset; }
+  double full_scale_dps() const override { return 300.0; }
+
+  // ---- observability ------------------------------------------------------
+  DriveLoop& drive() { return *drive_; }
+  SenseChain& sense() { return *sense_; }
+  sensor::GyroMems& mems() { return *mems_; }
+  platform::RegisterFile& regs() { return platform_.regs(); }
+  /// Analog-die configuration registers (paper Fig. 2 shows a TAP on each
+  /// die): PGA gains and ADC resolution, applied at the next power_on.
+  platform::RegisterFile& afe_regs() { return afe_regs_; }
+  platform::McuSubsystem& platform() { return platform_; }
+  bool locked() const { return drive_->locked(); }
+  double last_output() const { return last_output_; }
+
+  /// Attach a trace recorder: Fig. 5/6 channels (amplitude_control,
+  /// phase_error, amplitude_error, vco_control, pickoff) at fs/`decimate`
+  /// plus rate_out at the decimated rate.
+  void set_trace(TraceRecorder* trace, std::size_t decimate = 16);
+
+  void set_compensation(const dsp::CompensationCoeffs& c);
+  const GyroSystemConfig& config() const { return cfg_; }
+
+ private:
+  void build(std::uint64_t seed);
+  void define_registers();
+  void post_status(double measured_temp);
+
+  GyroSystemConfig cfg_;
+  platform::McuSubsystem platform_;
+  platform::RegisterFile afe_regs_;
+  platform::JtagDevice afe_tap_{0x1A5CA002, &afe_regs_};  // analog die
+
+  // Rebuilt on every power_on (a fresh die + cold electronics).
+  std::unique_ptr<sensor::GyroMems> mems_;
+  std::unique_ptr<afe::ChargeAmp> champ_primary_, champ_sense_;
+  std::unique_ptr<afe::AcquisitionChannel> acq_primary_, acq_sense_;
+  std::unique_ptr<afe::Dac> dac_drive_, dac_ctrl_;
+  std::unique_ptr<afe::TempSensor> temp_sensor_;
+  std::unique_ptr<DriveLoop> drive_;
+  std::unique_ptr<SenseChain> sense_;
+
+  double ideal_gain_primary_ = 0.0;  ///< V per farad, Ideal fidelity
+  double ideal_gain_sense_ = 0.0;
+  double drive_v_ = 0.0;  ///< latched DSP outputs (Ideal path / DAC targets)
+  double ctrl_v_ = 0.0;
+  double last_output_ = 2.5;
+  long base_ticks_ = 0;
+
+  TraceRecorder* trace_ = nullptr;
+  std::size_t trace_decimate_ = 16;
+};
+
+}  // namespace ascp::core

@@ -1,0 +1,129 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/spectrum.hpp"
+
+namespace ascp::core {
+
+namespace {
+/// Mean of the last `fraction` of a sample vector.
+double tail_mean(const std::vector<double>& v, double fraction) {
+  if (v.empty()) return 0.0;
+  const std::size_t start = static_cast<std::size_t>(static_cast<double>(v.size()) * (1.0 - fraction));
+  return mean(std::span(v).subspan(start));
+}
+}  // namespace
+
+SensitivityResult measure_sensitivity(RateSensor& dut, double temp_c, int points,
+                                      double dwell_s) {
+  const double fs = dut.full_scale_dps();
+  std::vector<double> rates, outputs;
+  const auto temp = sensor::Profile::constant(temp_c);
+  for (int i = 0; i < points; ++i) {
+    const double rate = -fs + 2.0 * fs * static_cast<double>(i) / (points - 1);
+    std::vector<double> samples;
+    dut.run(sensor::Profile::constant(rate), temp, dwell_s, &samples);
+    rates.push_back(rate);
+    outputs.push_back(tail_mean(samples, 0.5));
+  }
+  const auto fit = fit_line(rates, outputs);
+  SensitivityResult r;
+  r.mv_per_dps = fit.slope * 1e3;
+  const double fs_output_span = std::abs(fit.slope) * fs;
+  r.nonlinearity_pct_fs = fs_output_span > 0 ? fit.max_abs_residual / fs_output_span * 100.0 : 0.0;
+  r.null_v = fit.offset;
+  return r;
+}
+
+double measure_null(RateSensor& dut, double temp_c, double settle_s, double measure_s) {
+  const auto zero = sensor::Profile::constant(0.0);
+  const auto temp = sensor::Profile::constant(temp_c);
+  dut.run(zero, temp, settle_s, nullptr);
+  std::vector<double> samples;
+  dut.run(zero, temp, measure_s, &samples);
+  return mean(samples);
+}
+
+double measure_turn_on(RateSensor& dut, std::uint64_t seed, double temp_c, double tol_v,
+                       double max_s) {
+  // Time-to-valid-output: power on with a reference rate applied (a third
+  // of full scale) and find when the output holds its final value — this
+  // captures drive ring-up, AGC settling and filter transients, which a
+  // zero-rate capture of a drift-free device would miss.
+  dut.power_on(seed);
+  const double ref_rate = dut.full_scale_dps() / 3.0;
+  std::vector<double> samples;
+  dut.run(sensor::Profile::constant(ref_rate), sensor::Profile::constant(temp_c), max_s,
+          &samples);
+  if (samples.size() < 64) return max_s;
+  // Smooth over ~50 ms windows so broadband output noise doesn't mask the
+  // settling transient (a rate-table readout would average the same way).
+  const std::size_t win = std::max<std::size_t>(4, static_cast<std::size_t>(
+                                                       0.05 * dut.output_rate_hz()));
+  std::vector<double> smooth;
+  smooth.reserve(samples.size() / win);
+  for (std::size_t i = 0; i + win <= samples.size(); i += win)
+    smooth.push_back(mean(std::span(samples).subspan(i, win)));
+  const double final_value = tail_mean(smooth, 0.1);
+  // Two consecutive out-of-tolerance windows mark the transient; a single
+  // isolated noise excursion does not re-arm the timer.
+  std::size_t last_bad = 0;
+  bool prev_bad = false;
+  for (std::size_t i = 0; i < smooth.size(); ++i) {
+    const bool bad = std::abs(smooth[i] - final_value) > tol_v;
+    if (bad && (prev_bad || i == 0)) last_bad = i + 1;
+    prev_bad = bad;
+  }
+  return static_cast<double>(last_bad * win) / dut.output_rate_hz();
+}
+
+double measure_noise_density(RateSensor& dut, double temp_c, double seconds, double band_lo,
+                             double band_hi) {
+  std::vector<double> samples;
+  dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(temp_c), seconds, &samples);
+  const double fs_out = dut.output_rate_hz();
+  // nfft sized for ≥4 Hz-resolution bins inside the band.
+  std::size_t nfft = 1;
+  while (nfft * 2 <= samples.size() / 4 && nfft < 4096) nfft <<= 1;
+  const auto psd = welch_psd(samples, fs_out, nfft);
+  const double v_density = std::sqrt(psd.band_mean(band_lo, band_hi));  // V/√Hz
+  return v_density / std::abs(dut.nominal_sensitivity());
+}
+
+double measure_bandwidth(RateSensor& dut, double temp_c, double amp_dps, double f_ref_hz,
+                         double f_max_hz) {
+  const auto temp = sensor::Profile::constant(temp_c);
+  const auto response_at = [&](double f) {
+    // Settle one stimulus period (min 0.2 s), then measure over an integer
+    // number of periods ≥ 1 s.
+    dut.run(sensor::Profile::sine(amp_dps, f), temp, std::max(0.2, 1.0 / f), nullptr);
+    const double measure_s = std::max(1.0, std::ceil(f) / f);
+    std::vector<double> samples;
+    dut.run(sensor::Profile::sine(amp_dps, f), temp, measure_s, &samples);
+    return estimate_tone(samples, dut.output_rate_hz(), f).amplitude;
+  };
+
+  const double ref = response_at(f_ref_hz);
+  if (ref <= 0.0) return 0.0;
+  const double target = ref / std::sqrt(2.0);
+
+  double f_lo = f_ref_hz, a_lo = ref;
+  double f = f_ref_hz * 2.0;
+  while (f <= f_max_hz) {
+    const double a = response_at(f);
+    if (a < target) {
+      // Log-domain interpolation between the straddling points.
+      const double t = (std::log(a_lo) - std::log(target)) / (std::log(a_lo) - std::log(a));
+      return std::exp(std::log(f_lo) + t * (std::log(f) - std::log(f_lo)));
+    }
+    f_lo = f;
+    a_lo = a;
+    f *= std::sqrt(2.0);
+  }
+  return f_max_hz;
+}
+
+}  // namespace ascp::core

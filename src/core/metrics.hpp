@@ -1,0 +1,48 @@
+// metrics.hpp — datasheet metrology.
+//
+// Tables 1–3 of the paper are gyro datasheets: sensitivity, nonlinearity,
+// null, turn-on time, rate-noise density and −3 dB bandwidth, with min/typ/
+// max columns over devices and temperature. These functions measure each
+// figure on anything implementing RateSensor, the way an evaluation lab
+// would: rate-table staircases, power-on step captures, PSD estimation at
+// zero rate, and sinusoidal rate sweeps.
+#pragma once
+
+#include "core/rate_sensor.hpp"
+
+namespace ascp::core {
+
+struct SensitivityResult {
+  double mv_per_dps = 0.0;          ///< fitted scale factor [mV/°/s]
+  double nonlinearity_pct_fs = 0.0; ///< max deviation from best line [% of FS]
+  double null_v = 0.0;              ///< output at 0 °/s [V]
+};
+
+/// Rate-table staircase at fixed temperature. The device must already be
+/// warmed up (run ≥ warm-up time after power_on). `points` levels spanning
+/// ±full_scale; each level dwells `dwell_s` and the last half is averaged.
+SensitivityResult measure_sensitivity(RateSensor& dut, double temp_c, int points = 9,
+                                      double dwell_s = 0.25);
+
+/// Output at zero rate after `settle_s`, averaged over `measure_s`.
+double measure_null(RateSensor& dut, double temp_c, double settle_s = 0.5,
+                    double measure_s = 0.5);
+
+/// Cold-start to valid output: power the DUT on, run at 0 °/s and find when
+/// the output stays within `tol_v` of its final value. Returns seconds (or
+/// max_s if it never settles).
+double measure_turn_on(RateSensor& dut, std::uint64_t seed, double temp_c, double tol_v = 5e-3,
+                       double max_s = 2.0);
+
+/// Rate-noise density [°/s/√Hz], averaged over [band_lo, band_hi] Hz of the
+/// zero-rate output PSD. Device must be warm.
+double measure_noise_density(RateSensor& dut, double temp_c, double seconds = 6.0,
+                             double band_lo = 4.0, double band_hi = 20.0);
+
+/// −3 dB bandwidth [Hz]: sinusoidal rate stimulus amplitude `amp_dps`,
+/// response referenced to `f_ref_hz`, frequency raised until the response
+/// drops below 1/√2 (log interpolation between the straddling points).
+double measure_bandwidth(RateSensor& dut, double temp_c, double amp_dps = 50.0,
+                         double f_ref_hz = 4.0, double f_max_hz = 400.0);
+
+}  // namespace ascp::core

@@ -1,0 +1,48 @@
+// rate_sensor.hpp — common interface for anything that measures yaw rate.
+//
+// The metrology layer (metrics.hpp) characterizes a device through this
+// interface only, so the same code produces Table 1 (our platform), Table 2
+// (the ADXRS300-like baseline) and Table 3 (the Gyrostar-like baseline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sensor/environment.hpp"
+
+namespace ascp::core {
+
+class RateSensor {
+ public:
+  virtual ~RateSensor() = default;
+
+  /// Cold power-on. `seed` selects the device (mismatch draws): different
+  /// seeds are different dies off the same wafer.
+  virtual void power_on(std::uint64_t seed) = 0;
+
+  /// Factory trim: whatever per-device calibration this product gets before
+  /// it ships. Analog baselines are laser-trimmed at build time (no-op
+  /// here); the platform runs its temperature-calibration flow.
+  virtual void factory_calibrate() {}
+
+  /// Rate of the samples appended by run() [Hz].
+  virtual double output_rate_hz() const = 0;
+
+  /// Simulate `seconds`, driving the sensor with the given rate [°/s] and
+  /// temperature [°C] profiles (evaluated from 0 at the start of this call),
+  /// appending every output sample [V] to `out` (if non-null). Simulation
+  /// state persists across calls.
+  virtual void run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
+                   std::vector<double>* out) = 0;
+
+  /// Datasheet scale factor the device is calibrated to [V per °/s].
+  virtual double nominal_sensitivity() const = 0;
+
+  /// Datasheet null level [V].
+  virtual double nominal_null() const = 0;
+
+  /// Specified dynamic range [°/s] (full scale used by the metrology).
+  virtual double full_scale_dps() const = 0;
+};
+
+}  // namespace ascp::core

@@ -1,0 +1,2 @@
+// agc.cpp — Agc is header-only (small PI loop); this TU anchors the target.
+#include "dsp/agc.hpp"

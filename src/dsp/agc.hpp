@@ -1,0 +1,70 @@
+// agc.hpp — automatic gain control for the primary-mode vibration amplitude.
+//
+// Paper §4.1: the drive loop needs "an AGC (to control the amplitude of this
+// vibration)". The AGC holds the primary-mode displacement at a fixed set
+// point — the Coriolis scale factor is proportional to drive velocity, so
+// amplitude regulation is what makes the rate output's sensitivity stable.
+#pragma once
+
+#include <algorithm>
+
+namespace ascp::dsp {
+
+struct AgcConfig {
+  double fs = 240e3;        ///< sample rate [Hz]
+  double target = 1.0;      ///< desired detected amplitude
+  double kp = 2.0;          ///< proportional gain [gain units per amplitude unit]
+  double ki = 200.0;        ///< integral gain [gain units per amplitude-second]
+  double gain_min = 0.0;    ///< actuator lower rail
+  double gain_max = 8.0;    ///< actuator upper rail
+  double settle_tol = 0.02; ///< |error|/target for "settled" detection
+  int settle_count = 2000;  ///< consecutive in-tolerance samples
+};
+
+/// PI amplitude regulator. Feed it the measured carrier amplitude each
+/// sample (typically Pll::amplitude()); multiply the NCO carrier by gain().
+class Agc {
+ public:
+  explicit Agc(const AgcConfig& cfg) : cfg_(cfg), gain_(cfg.gain_min) {}
+
+  /// One control step; returns the updated drive gain.
+  double step(double measured_amplitude) {
+    error_ = cfg_.target - measured_amplitude;
+    const double dt = 1.0 / cfg_.fs;
+    integ_ += cfg_.ki * error_ * dt;
+    integ_ = std::clamp(integ_, cfg_.gain_min, cfg_.gain_max);  // anti-windup
+    gain_ = std::clamp(integ_ + cfg_.kp * error_, cfg_.gain_min, cfg_.gain_max);
+
+    if (std::abs(error_) < cfg_.settle_tol * cfg_.target) {
+      if (settle_counter_ < cfg_.settle_count) ++settle_counter_;
+    } else {
+      settle_counter_ = 0;
+    }
+    return gain_;
+  }
+
+  /// Current actuator output (the "amplitude control" trace of Fig. 5).
+  double gain() const { return gain_; }
+
+  /// Current amplitude error (the "amplitude error" trace of Fig. 5).
+  double error() const { return error_; }
+
+  /// Amplitude held at target for settle_count consecutive samples.
+  bool settled() const { return settle_counter_ >= cfg_.settle_count; }
+
+  void reset() {
+    gain_ = cfg_.gain_min;
+    integ_ = 0.0;
+    error_ = 0.0;
+    settle_counter_ = 0;
+  }
+
+ private:
+  AgcConfig cfg_;
+  double gain_;
+  double integ_ = 0.0;
+  double error_ = 0.0;
+  int settle_counter_ = 0;
+};
+
+}  // namespace ascp::dsp

@@ -1,0 +1,90 @@
+#include "dsp/compensation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ascp::dsp {
+
+namespace {
+/// Least-squares quadratic fit y = c0 + c1 x + c2 x² via normal equations
+/// (3×3 Gaussian elimination — small and self-contained).
+std::array<double, 3> fit_quadratic(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size() && x.size() >= 3);
+  double s[5] = {0, 0, 0, 0, 0};  // sums of x^0..x^4
+  double t[3] = {0, 0, 0};        // sums of y·x^0..x^2
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double xp = 1.0;
+    for (int p = 0; p <= 4; ++p) {
+      s[p] += xp;
+      if (p <= 2) t[p] += y[i] * xp;
+      xp *= x[i];
+    }
+  }
+  double a[3][4] = {{s[0], s[1], s[2], t[0]}, {s[1], s[2], s[3], t[1]}, {s[2], s[3], s[4], t[2]}};
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    for (int c = 0; c < 4; ++c) std::swap(a[col][c], a[pivot][c]);
+    assert(std::abs(a[col][col]) > 1e-12 && "singular normal equations");
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (int c = col; c < 4; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  return {a[0][3] / a[0][0], a[1][3] / a[1][1], a[2][3] / a[2][2]};
+}
+}  // namespace
+
+double Compensation::offset_at(double temp_c) const {
+  const double dt = temp_c - 25.0;
+  return c_.offset[0] + dt * (c_.offset[1] + dt * c_.offset[2]);
+}
+
+double Compensation::scale_at(double temp_c) const {
+  const double dt = temp_c - 25.0;
+  return c_.s0 * (1.0 + dt * (c_.s1 + dt * c_.s2));
+}
+
+namespace {
+/// Degree-adaptive fit: quadratic needs 3 points, linear 2, constant 1.
+std::array<double, 3> fit_poly(std::span<const double> x, std::span<const double> y) {
+  if (x.size() >= 3) return fit_quadratic(x, y);
+  if (x.size() == 2) {
+    const double slope = (y[1] - y[0]) / (x[1] - x[0]);
+    return {y[0] - slope * x[0], slope, 0.0};
+  }
+  return {y.empty() ? 0.0 : y[0], 0.0, 0.0};
+}
+}  // namespace
+
+CompensationCoeffs fit_compensation(std::span<const double> temps,
+                                    std::span<const double> offsets,
+                                    std::span<const double> gains,
+                                    double target_sensitivity) {
+  assert(temps.size() == offsets.size() && temps.size() == gains.size());
+  CompensationCoeffs c;
+
+  std::vector<double> dt(temps.size());
+  for (std::size_t i = 0; i < temps.size(); ++i) dt[i] = temps[i] - 25.0;
+
+  c.offset = fit_poly(dt, offsets);
+
+  // scale(T) must equal target_sensitivity / gain(T). Fit the required scale
+  // directly, then factor into s0·(1 + s1 dT + s2 dT²).
+  std::vector<double> req(gains.size());
+  for (std::size_t i = 0; i < gains.size(); ++i) {
+    assert(std::abs(gains[i]) > 1e-12 && "zero calibration gain");
+    req[i] = target_sensitivity / gains[i];
+  }
+  const auto sc = fit_poly(dt, req);
+  c.s0 = sc[0];
+  c.s1 = sc[0] != 0.0 ? sc[1] / sc[0] : 0.0;
+  c.s2 = sc[0] != 0.0 ? sc[2] / sc[0] : 0.0;
+  return c;
+}
+
+}  // namespace ascp::dsp

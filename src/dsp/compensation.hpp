@@ -1,0 +1,59 @@
+// compensation.hpp — offset / sensitivity / temperature compensation block.
+//
+// The last hardwired stage of the sense chain (paper §4.1 lists
+// "temperature/offset compensation" explicitly). It applies the calibration
+// coefficients written by the trim procedure over JTAG/registers:
+//
+//   y = (x − offset(T)) · scale(T)
+//
+// where offset(T) and scale(T) are low-order polynomials in (T − T_ref).
+#pragma once
+
+#include <array>
+#include <span>
+
+namespace ascp::dsp {
+
+/// Calibration coefficient set. Polynomials are in dT = T − 25 °C.
+struct CompensationCoeffs {
+  /// offset(T) = o0 + o1·dT + o2·dT²  [chain units]
+  std::array<double, 3> offset{0.0, 0.0, 0.0};
+  /// scale(T)  = s0 · (1 + s1·dT + s2·dT²)  [output units per chain unit]
+  double s0 = 1.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+};
+
+/// Stateless compensation datapath; temperature is provided by the on-chip
+/// temperature sensor channel each update.
+class Compensation {
+ public:
+  Compensation() = default;
+  explicit Compensation(const CompensationCoeffs& c) : c_(c) {}
+
+  void set_coeffs(const CompensationCoeffs& c) { c_ = c; }
+  const CompensationCoeffs& coeffs() const { return c_; }
+
+  double offset_at(double temp_c) const;
+  double scale_at(double temp_c) const;
+
+  /// Apply compensation to one sample.
+  double apply(double x, double temp_c) const {
+    return (x - offset_at(temp_c)) * scale_at(temp_c);
+  }
+
+ private:
+  CompensationCoeffs c_;
+};
+
+/// Fit compensation coefficients from calibration measurements:
+/// `temps` [°C], `offsets` raw chain output at 0 rate per temperature, and
+/// `gains` raw chain units per °/s per temperature. Produces coefficients
+/// such that apply() yields 0 at zero rate and `target_sensitivity` per °/s
+/// across the calibrated range (least-squares quadratic fits).
+CompensationCoeffs fit_compensation(std::span<const double> temps,
+                                    std::span<const double> offsets,
+                                    std::span<const double> gains,
+                                    double target_sensitivity);
+
+}  // namespace ascp::dsp

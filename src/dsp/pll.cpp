@@ -1,0 +1,60 @@
+#include "dsp/pll.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ascp::dsp {
+
+Pll::Pll(const PllConfig& cfg)
+    : cfg_(cfg),
+      nco_(cfg.fs, cfg.f_center),
+      pd_lpf_(design_biquad_lowpass(cfg.pd_lpf_hz, 0.707, cfg.fs)),
+      q_lpf_(design_biquad_lowpass(cfg.pd_lpf_hz, 0.707, cfg.fs)) {}
+
+double Pll::step(double pickoff) {
+  const double drive = nco_.step();
+
+  // Quadrature correlators. At resonance the resonator responds −90° from
+  // the drive, so the in-phase correlation (× sin) is the phase error and
+  // the quadrature correlation (× cos) carries the amplitude.
+  const double i_raw = pickoff * nco_.sine();
+  const double q_raw = pickoff * nco_.cosine();
+  const double i_f = pd_lpf_.process(i_raw);
+  const double q_f = q_lpf_.process(q_raw);
+
+  amplitude_ = 2.0 * std::hypot(i_f, q_f);
+
+  // Normalize the PD by the measured amplitude so loop gain is independent
+  // of the AGC settling point; hold the PD at zero when there is no signal.
+  const double denom = std::max(amplitude_ / 2.0, 1e-4);
+  pd_filtered_ = (amplitude_ > 1e-3) ? (i_f / denom) : 0.0;
+
+  // PI loop filter in the frequency domain: Δf = kp·e + ∫ ki·e dt.
+  const double dt = 1.0 / cfg_.fs;
+  integ_ += cfg_.ki * pd_filtered_ * dt;
+  integ_ = std::clamp(integ_, cfg_.f_min - cfg_.f_center, cfg_.f_max - cfg_.f_center);
+  double f = cfg_.f_center + integ_ + cfg_.kp * pd_filtered_;
+  f = std::clamp(f, cfg_.f_min, cfg_.f_max);
+  nco_.set_frequency(f);
+
+  // Lock detector: sustained small normalized phase error with real signal.
+  if (amplitude_ > 1e-3 && std::abs(pd_filtered_) < cfg_.lock_threshold) {
+    if (lock_counter_ < cfg_.lock_count) ++lock_counter_;
+  } else {
+    lock_counter_ = 0;
+  }
+  return drive;
+}
+
+void Pll::reset() {
+  nco_.set_frequency(cfg_.f_center);
+  nco_.reset_phase();
+  pd_lpf_.reset();
+  q_lpf_.reset();
+  pd_filtered_ = 0.0;
+  integ_ = 0.0;
+  amplitude_ = 0.0;
+  lock_counter_ = 0;
+}
+
+}  // namespace ascp::dsp

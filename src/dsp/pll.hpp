@@ -1,0 +1,75 @@
+// pll.hpp — digital phase-locked loop for primary-mode resonance tracking.
+//
+// Paper §4.1: "Such sensors basically require a PLL (for primary drive),
+// which has to keep the ring in resonance (at a frequency of approximately
+// 15 KHz)". The loop is the classic multiplying-PD type-II structure:
+//
+//   pickoff ──► mixer (× NCO cos) ──► LPF ──► PI loop filter ──► NCO Δf
+//
+// At resonance the resonator contributes exactly −90° of phase, so driving
+// with the NCO sine and correlating the pickoff against the NCO sine
+// (quadrature of the −90°-shifted response) yields a zero-crossing phase
+// detector with sign discrimination.
+#pragma once
+
+#include "dsp/biquad.hpp"
+#include "dsp/nco.hpp"
+
+namespace ascp::dsp {
+
+/// Loop configuration. Defaults tuned for a 15 kHz resonator sampled at
+/// 240 kHz with a ~100 Hz loop bandwidth — the paper's operating point.
+struct PllConfig {
+  double fs = 240e3;          ///< sample rate [Hz]
+  double f_center = 15e3;     ///< NCO start frequency [Hz]
+  double f_min = 10e3;        ///< lower tuning rail [Hz]
+  double f_max = 20e3;        ///< upper tuning rail [Hz]
+  double kp = 40.0;           ///< proportional gain [Hz per unit PD output]
+  double ki = 4000.0;         ///< integral gain [Hz/s per unit PD output]
+  double pd_lpf_hz = 400.0;   ///< phase-detector post-mixer low-pass corner
+  double lock_threshold = 0.02;  ///< |PD| level below which lock is declared
+  int lock_count = 2000;      ///< consecutive samples under threshold for lock
+};
+
+/// Type-II digital PLL. Call step(pickoff) once per DSP sample; use the NCO
+/// outputs to drive the resonator and demodulate the sense channel.
+class Pll {
+ public:
+  explicit Pll(const PllConfig& cfg);
+
+  /// One sample: updates the NCO and loop state from the pickoff sample.
+  /// Returns the current NCO sine (the drive carrier).
+  double step(double pickoff);
+
+  const Nco& nco() const { return nco_; }
+  Nco& nco() { return nco_; }
+
+  /// Filtered phase-detector output (the "phase error" trace of Fig. 5).
+  double phase_error() const { return pd_filtered_; }
+
+  /// Loop-filter integrator state = frequency offset from centre [Hz]
+  /// (the "VCO control" trace of Fig. 5).
+  double vco_control() const { return integ_; }
+
+  double frequency() const { return nco_.frequency(); }
+
+  /// Measured pickoff carrier amplitude (the AGC's detector input).
+  double amplitude() const { return amplitude_; }
+
+  /// Lock detector: PD output persistently under threshold.
+  bool locked() const { return lock_counter_ >= cfg_.lock_count; }
+
+  void reset();
+
+ private:
+  PllConfig cfg_;
+  Nco nco_;
+  Biquad pd_lpf_;
+  Biquad q_lpf_;
+  double pd_filtered_ = 0.0;
+  double integ_ = 0.0;
+  double amplitude_ = 0.0;
+  int lock_counter_ = 0;
+};
+
+}  // namespace ascp::dsp

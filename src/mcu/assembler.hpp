@@ -1,0 +1,71 @@
+// assembler.hpp — two-pass MCS-51 assembler.
+//
+// The paper's software deliverable is 8051 firmware (boot loader, monitor,
+// communication routines). To make that firmware first-class in this
+// reproduction, programs are written in assembly source, assembled by this
+// class and executed on the ISS — no hand-maintained byte arrays.
+//
+// Supported: the full MCS-51 mnemonic set, labels, EQU, ORG, DB, DW, DS,
+// numeric literals (decimal, 0x…/…h hex, …b binary, 'c' char), +/- constant
+// expressions, predefined SFR and SFR-bit symbols, and dotted bit syntax
+// (P1.3, ACC.7, 20h.0).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ascp::mcu {
+
+/// Error with source line context.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct AsmResult {
+  std::vector<std::uint8_t> image;           ///< code image from address 0
+  std::uint16_t entry = 0;                   ///< ORG of the first emitted byte
+  std::map<std::string, std::uint16_t> symbols;  ///< resolved label/EQU values
+};
+
+class Assembler {
+ public:
+  Assembler();
+
+  /// Assemble a full source text. Throws AsmError on any syntax problem.
+  AsmResult assemble(std::string_view source);
+
+  /// Define an external symbol before assembly (e.g. platform register
+  /// addresses shared between C++ and firmware).
+  void define(const std::string& name, std::uint16_t value);
+
+ private:
+  struct Line {
+    int number;
+    std::string label;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+  };
+
+  std::map<std::string, std::uint16_t> symbols_;
+  std::map<std::string, std::uint8_t> bit_symbols_;
+
+  static std::vector<Line> parse(std::string_view source);
+  int instruction_size(const Line& line) const;
+  void encode(const Line& line, std::uint16_t addr, std::vector<std::uint8_t>& out) const;
+
+  std::uint16_t eval(const std::string& expr, int line) const;
+  std::uint8_t eval_bit(const std::string& expr, int line) const;
+  std::uint8_t eval8(const std::string& expr, int line) const;
+};
+
+}  // namespace ascp::mcu

@@ -1,0 +1,163 @@
+#include "mcu/bootrom.hpp"
+
+#include "mcu/assembler.hpp"
+
+namespace ascp::mcu {
+
+std::string BootRom::source(const BootRomConfig& cfg) {
+  (void)cfg;  // addresses are injected as symbols in image()
+  // R2:R3 = remaining byte count, R4 = running checksum, R5 = scratch byte,
+  // R6:R7 = saved DPTR across spi_xfer.
+  return R"(
+        ORG 0
+start:  MOV SP,#40h
+        MOV SCON,#50h        ; UART mode 1, receiver enabled
+        MOV TMOD,#20h        ; timer 1: 8-bit auto-reload (baud generator)
+        MOV TH1,#0FDh
+        SETB TR1
+
+        ; ---- probe the SPI EEPROM (channel auto-detection) ----
+        LCALL cs_on
+        MOV A,#03h           ; READ
+        LCALL spi_xfer
+        CLR A
+        LCALL spi_xfer       ; address 0x0000
+        CLR A
+        LCALL spi_xfer
+        MOV A,#0FFh
+        LCALL spi_xfer       ; magic byte
+        CJNE A,#0A5h,no_eeprom
+
+        ; ---- copy the EEPROM image into program RAM ----
+        MOV A,#0FFh
+        LCALL spi_xfer
+        MOV R2,A             ; length high
+        MOV A,#0FFh
+        LCALL spi_xfer
+        MOV R3,A             ; length low
+        MOV DPTR,#PROGRAM
+        MOV R4,#0
+ecopy:  MOV A,R2
+        ORL A,R3
+        JZ edone
+        MOV A,#0FFh
+        LCALL spi_xfer
+        MOV R5,A
+        MOVX @DPTR,A
+        INC DPTR
+        MOV A,R4
+        ADD A,R5
+        MOV R4,A
+        MOV A,R3
+        JNZ enolo
+        DEC R2
+enolo:  DEC R3
+        SJMP ecopy
+edone:  MOV A,#0FFh
+        LCALL spi_xfer       ; stored checksum
+        XRL A,R4
+        JNZ no_eeprom        ; corrupt image: fall back to UART
+        LCALL cs_off
+        LJMP PROGRAM
+
+        ; ---- UART download ----
+no_eeprom:
+        LCALL cs_off
+magic:  LCALL uart_rx
+        CJNE A,#0A5h,magic
+        LCALL uart_rx
+        MOV R2,A
+        LCALL uart_rx
+        MOV R3,A
+        MOV DPTR,#PROGRAM
+        MOV R4,#0
+ucopy:  MOV A,R2
+        ORL A,R3
+        JZ udone
+        LCALL uart_rx
+        MOV R5,A
+        MOVX @DPTR,A
+        INC DPTR
+        MOV A,R4
+        ADD A,R5
+        MOV R4,A
+        MOV A,R3
+        JNZ unolo
+        DEC R2
+unolo:  DEC R3
+        SJMP ucopy
+udone:  LCALL uart_rx        ; checksum
+        XRL A,R4
+        JNZ bad
+        MOV A,#06h           ; ACK
+        LCALL uart_tx
+        LJMP PROGRAM
+bad:    MOV A,#15h           ; NAK
+        LCALL uart_tx
+        SJMP magic
+
+        ; ---- helpers ----
+uart_rx:
+        JNB RI,uart_rx
+        MOV A,SBUF           ; read before releasing RI: the host may refill
+        CLR RI               ; the receive buffer the moment RI drops
+        RET
+uart_tx:
+        MOV SBUF,A
+waitti: JNB TI,waitti
+        CLR TI
+        RET
+cs_on:  MOV DPTR,#SPICTRL
+        MOV A,#1
+        MOVX @DPTR,A
+        INC DPTR
+        CLR A
+        MOVX @DPTR,A
+        RET
+cs_off: MOV DPTR,#SPICTRL
+        CLR A
+        MOVX @DPTR,A
+        INC DPTR
+        CLR A
+        MOVX @DPTR,A
+        RET
+spi_xfer:
+        MOV R6,DPL
+        MOV R7,DPH
+        MOV DPTR,#SPIDATA
+        MOVX @DPTR,A         ; latch low byte
+        INC DPTR
+        CLR A
+        MOVX @DPTR,A         ; commit: transfer fires
+        MOV DPTR,#SPIDATA
+        MOVX A,@DPTR         ; received byte
+        MOV DPL,R6
+        MOV DPH,R7
+        RET
+)";
+}
+
+std::vector<std::uint8_t> BootRom::image(const BootRomConfig& cfg) {
+  Assembler as;
+  as.define("PROGRAM", cfg.prog_base);
+  as.define("SPIDATA", cfg.spi_base);                                   // word reg 0
+  as.define("SPICTRL", static_cast<std::uint16_t>(cfg.spi_base + 2));   // word reg 1
+  return as.assemble(source(cfg)).image;
+}
+
+std::vector<std::uint8_t> BootRom::eeprom_image(const std::vector<std::uint8_t>& program) {
+  std::vector<std::uint8_t> out;
+  out.reserve(program.size() + 4);
+  out.push_back(kMagic);
+  out.push_back(static_cast<std::uint8_t>(program.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(program.size() & 0xFF));
+  std::uint8_t checksum = 0;
+  for (std::uint8_t b : program) {
+    out.push_back(b);
+    checksum = static_cast<std::uint8_t>(checksum + b);
+  }
+  out.push_back(checksum);
+  return out;
+}
+
+}  // namespace ascp::mcu

@@ -1,0 +1,43 @@
+// bootrom.hpp — the platform's boot flows (paper §4.2).
+//
+// "in a 'prototype' version, a big RAM would be instantiated and used as
+// Program Storage (while the boot placed in a small 1 Kb ROM would perform
+// software download via UART) … moreover it's possible to store the
+// downloaded software into an external SPI EEPROM, and so reboot directly
+// from EEPROM instead of downloading each time after reset."
+//
+// BootRom produces the boot firmware as real 8051 assembly: on reset it
+// probes the SPI EEPROM for a valid framed image (auto-detection of the
+// connected channel), copies it into program RAM and jumps; otherwise it
+// falls back to the UART download protocol (0xA5, 16-bit length, payload,
+// mod-256 checksum; ACK 0x06 / NAK 0x15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ascp::mcu {
+
+struct BootRomConfig {
+  std::uint16_t spi_base = 0xFF00;   ///< SPI master window on the bridge
+  std::uint16_t prog_base = 0x8000;  ///< program RAM base (= code entry)
+};
+
+class BootRom {
+ public:
+  /// Assembly source of the boot loader.
+  static std::string source(const BootRomConfig& cfg = {});
+
+  /// Assembled boot image (ORG 0).
+  static std::vector<std::uint8_t> image(const BootRomConfig& cfg = {});
+
+  /// Frame a program for EEPROM storage: magic, length, payload, checksum.
+  static std::vector<std::uint8_t> eeprom_image(const std::vector<std::uint8_t>& program);
+
+  static constexpr std::uint8_t kMagic = 0xA5;
+  static constexpr std::uint8_t kAck = 0x06;
+  static constexpr std::uint8_t kNak = 0x15;
+};
+
+}  // namespace ascp::mcu

@@ -1,0 +1,121 @@
+#include "mcu/monitor_rom.hpp"
+
+#include "mcu/assembler.hpp"
+
+namespace ascp::mcu {
+
+std::string MonitorRom::source() {
+  // R2:R3 hold the address operand; A carries data. uart_rx preserves the
+  // read-before-clear ordering required by the instantaneous host link.
+  return R"(
+        ORG 0
+start:  MOV SP,#40h
+        MOV SCON,#50h        ; UART mode 1, receiver enabled
+        MOV TMOD,#20h
+        MOV TH1,#0FDh
+        SETB TR1
+
+main:   LCALL uart_rx        ; command byte
+        CJNE A,#'P',notping
+        MOV A,#'p'
+        LCALL uart_tx
+        MOV A,#51h           ; 'Q'
+        LCALL uart_tx
+        SJMP main
+notping:
+        CJNE A,#'R',notread
+        LCALL rx_addr
+        MOVX A,@DPTR
+        MOV R4,A
+        MOV A,#'r'
+        LCALL uart_tx
+        MOV A,R4
+        LCALL uart_tx
+        SJMP main
+notread:
+        CJNE A,#'W',notwrite
+        LCALL rx_addr
+        LCALL uart_rx        ; data byte
+        MOVX @DPTR,A
+        MOV A,#'w'
+        LCALL uart_tx
+        SJMP main
+notwrite:
+        MOV A,#'?'
+        LCALL uart_tx
+        SJMP main
+
+rx_addr:                      ; receive addr_hi addr_lo into DPTR
+        LCALL uart_rx
+        MOV DPH,A
+        LCALL uart_rx
+        MOV DPL,A
+        RET
+
+uart_rx:
+        JNB RI,uart_rx
+        MOV A,SBUF           ; read before clearing RI (host may refill)
+        CLR RI
+        RET
+uart_tx:
+        MOV SBUF,A
+txw:    JNB TI,txw
+        CLR TI
+        RET
+)";
+}
+
+std::vector<std::uint8_t> MonitorRom::image() {
+  Assembler as;
+  return as.assemble(source()).image;
+}
+
+std::optional<std::vector<std::uint8_t>> MonitorHost::transact(
+    const std::vector<std::uint8_t>& tx, std::size_t reply_len) {
+  const std::size_t base = link_.received().size();
+  link_.send(tx);
+  long used = 0;
+  while (link_.received().size() < base + reply_len && used < timeout_) {
+    used += core_.step();
+    link_.pump(core_);
+  }
+  if (link_.received().size() < base + reply_len) return std::nullopt;
+  return std::vector<std::uint8_t>(link_.received().begin() + static_cast<long>(base),
+                                   link_.received().end());
+}
+
+bool MonitorHost::ping() {
+  const auto reply = transact({'P'}, 2);
+  return reply && (*reply)[0] == 'p' && (*reply)[1] == 0x51;
+}
+
+std::optional<std::uint8_t> MonitorHost::read_byte(std::uint16_t addr) {
+  const auto reply = transact({'R', static_cast<std::uint8_t>(addr >> 8),
+                               static_cast<std::uint8_t>(addr & 0xFF)},
+                              2);
+  if (!reply || (*reply)[0] != 'r') return std::nullopt;
+  return (*reply)[1];
+}
+
+bool MonitorHost::write_byte(std::uint16_t addr, std::uint8_t value) {
+  const auto reply = transact({'W', static_cast<std::uint8_t>(addr >> 8),
+                               static_cast<std::uint8_t>(addr & 0xFF), value},
+                              1);
+  return reply && (*reply)[0] == 'w';
+}
+
+std::optional<std::uint16_t> MonitorHost::read_word(std::uint16_t addr) {
+  const auto lo = read_byte(addr);  // latches the word in the bridge
+  if (!lo) return std::nullopt;
+  const auto hi = read_byte(static_cast<std::uint16_t>(addr + 1));
+  if (!hi) return std::nullopt;
+  return static_cast<std::uint16_t>(*hi << 8 | *lo);
+}
+
+bool MonitorHost::write_word(std::uint16_t addr, std::uint16_t value) {
+  if (!write_byte(addr, static_cast<std::uint8_t>(value & 0xFF))) return false;
+  return write_byte(static_cast<std::uint16_t>(addr + 1),
+                    static_cast<std::uint8_t>(value >> 8));
+}
+
+}  // namespace ascp::mcu

@@ -1,0 +1,71 @@
+// monitor_rom.hpp — the resident monitor firmware and its host protocol.
+//
+// Paper §4.2: "during prototyping phase, the system can be linked to a PC
+// and through a graphical interface manual trimming can be performed and
+// all intermediate data of the chain can be accessed."  The GUI needs a
+// wire protocol; this module provides both ends of it:
+//
+//   * MonitorRom — assembles the resident 8051 firmware: a command
+//     interpreter on the UART that can read/write any XDATA address
+//     (register fabric, bridge peripherals, SRAM trace) and report alive.
+//   * MonitorHost — the PC side: typed helpers that frame commands, drive
+//     the link and decode replies.
+//
+// Wire format (all multi-byte fields big-endian):
+//   host → MCU : 'R' addr_hi addr_lo            read one XDATA byte
+//                'W' addr_hi addr_lo data       write one XDATA byte
+//                'P'                             ping
+//   MCU → host : 'r' data        read reply
+//                'w'             write acknowledge
+//                'p' 0x51        ping reply ("Q")
+// Unknown commands answer '?'. Word-register access is composed from two
+// byte transactions by the host (low byte first — the bridge read latch
+// keeps the pair coherent).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcu/core8051.hpp"
+#include "mcu/uart.hpp"
+
+namespace ascp::mcu {
+
+class MonitorRom {
+ public:
+  /// Assembly source of the monitor.
+  static std::string source();
+  /// Assembled image (ORG 0).
+  static std::vector<std::uint8_t> image();
+};
+
+/// Host-side protocol driver. Owns no hardware: it frames bytes into the
+/// HostLink and steps the core until the reply arrives.
+class MonitorHost {
+ public:
+  MonitorHost(Core8051& core, HostLink& link) : core_(core), link_(link) {}
+
+  /// Budget of machine cycles allowed per transaction before giving up.
+  void set_timeout_cycles(long cycles) { timeout_ = cycles; }
+
+  bool ping();
+  std::optional<std::uint8_t> read_byte(std::uint16_t addr);
+  bool write_byte(std::uint16_t addr, std::uint8_t value);
+
+  /// 16-bit register access composed of coherent byte transactions
+  /// (low byte first on read — the bridge latches the word).
+  std::optional<std::uint16_t> read_word(std::uint16_t addr);
+  bool write_word(std::uint16_t addr, std::uint16_t value);
+
+ private:
+  std::optional<std::vector<std::uint8_t>> transact(const std::vector<std::uint8_t>& tx,
+                                                    std::size_t reply_len);
+
+  Core8051& core_;
+  HostLink& link_;
+  long timeout_ = 2'000'000;
+};
+
+}  // namespace ascp::mcu

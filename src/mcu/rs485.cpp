@@ -1,0 +1,35 @@
+#include "mcu/rs485.hpp"
+
+namespace ascp::mcu {
+
+std::size_t Rs485Bus::attach(Core8051& node) {
+  const std::size_t index = nodes_.size();
+  nodes_.push_back(&node);
+  node.set_on_tx([this, index, &node](std::uint8_t byte) {
+    log_.push_back(NodeByte{index, byte, node.last_tx_bit9()});
+  });
+  return index;
+}
+
+bool Rs485Bus::pump() {
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return false;
+  }
+  if (tx_queue_.empty()) return false;
+  const Frame f = tx_queue_.front();
+  // The wire is broadcast: all nodes must be able to take the frame (a node
+  // with RI still set and SM2 clear would lose it — hold the frame until
+  // every addressable receiver is ready, like a polled master would).
+  for (Core8051* node : nodes_) {
+    const std::uint8_t scon = node->read_sfr(sfr::SCON);
+    const bool filtering = (scon & 0x20) && (scon & 0x80) && !f.bit9;
+    if (!filtering && (scon & 0x10) && (scon & 0x01)) return false;  // busy
+  }
+  for (Core8051* node : nodes_) node->inject_rx9(f.byte, f.bit9);
+  tx_queue_.pop_front();
+  cooldown_ = frame_gap_;
+  return true;
+}
+
+}  // namespace ascp::mcu

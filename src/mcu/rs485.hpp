@@ -1,0 +1,71 @@
+// rs485.hpp — multi-drop serial bus (paper §4.2).
+//
+// "Software download is also possible by means of RS485 (in place of simple
+// RS232 protocol implemented by the UART)" — several conditioning chips can
+// hang off one differential pair, each with a node address, using the
+// 8051's 9-bit multiprocessor mode: address frames carry the ninth bit set
+// and wake every receiver; data frames (ninth bit clear) are only seen by
+// the node that dropped SM2 after recognizing its address.
+//
+// Rs485Bus models the shared wire: every frame the master sends reaches
+// every node; everything any node transmits reaches the master log (and is
+// tagged with the transmitting node).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mcu/core8051.hpp"
+
+namespace ascp::mcu {
+
+class Rs485Bus {
+ public:
+  /// Attach a node; installs its TX hook. Returns the node index.
+  std::size_t attach(Core8051& node);
+
+  /// Master-side transmit: address frame (9th bit set) to select a node…
+  void send_address(std::uint8_t address) { tx_queue_.push_back({address, true}); }
+  /// …then data frames (9th bit clear) only the selected node receives.
+  void send_data(std::uint8_t byte) { tx_queue_.push_back({byte, false}); }
+  void send_data(const std::vector<std::uint8_t>& bytes) {
+    for (auto b : bytes) send_data(b);
+  }
+
+  /// Deliver the next queued frame to every node (a frame is consumed only
+  /// when every listening node could accept it). Call once per node machine
+  /// cycle (or simulation slice): a real frame occupies ~10 bit times on the
+  /// wire, so deliveries are paced `frame_gap()` calls apart — without the
+  /// gap, a data frame could land before the addressed node's firmware has
+  /// had time to drop SM2.
+  bool pump();
+
+  int frame_gap() const { return frame_gap_; }
+  void set_frame_gap(int calls) { frame_gap_ = calls; }
+
+  /// Everything the nodes transmitted, in arrival order.
+  struct NodeByte {
+    std::size_t node;
+    std::uint8_t byte;
+    bool bit9;
+  };
+  const std::vector<NodeByte>& master_log() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+  bool idle() const { return tx_queue_.empty(); }
+
+ private:
+  struct Frame {
+    std::uint8_t byte;
+    bool bit9;
+  };
+
+  std::vector<Core8051*> nodes_;
+  std::deque<Frame> tx_queue_;
+  std::vector<NodeByte> log_;
+  int frame_gap_ = 320;  ///< ~one 9-bit frame at the fastest baud
+  int cooldown_ = 0;
+};
+
+}  // namespace ascp::mcu

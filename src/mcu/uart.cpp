@@ -1,0 +1,40 @@
+#include "mcu/uart.hpp"
+
+namespace ascp::mcu {
+
+void HostLink::attach(Core8051& core) {
+  core.set_on_tx([this](std::uint8_t byte) { from_mcu_.push_back(byte); });
+}
+
+std::string HostLink::received_text() const {
+  return std::string(from_mcu_.begin(), from_mcu_.end());
+}
+
+void HostLink::send(const std::vector<std::uint8_t>& bytes) {
+  for (std::uint8_t b : bytes) to_mcu_.push_back(b);
+}
+
+void HostLink::send_text(const std::string& text) {
+  for (char c : text) to_mcu_.push_back(static_cast<std::uint8_t>(c));
+}
+
+void HostLink::send_download(const std::vector<std::uint8_t>& program) {
+  to_mcu_.push_back(0xA5);
+  to_mcu_.push_back(static_cast<std::uint8_t>(program.size() >> 8));
+  to_mcu_.push_back(static_cast<std::uint8_t>(program.size() & 0xFF));
+  std::uint8_t checksum = 0;
+  for (std::uint8_t b : program) {
+    to_mcu_.push_back(b);
+    checksum = static_cast<std::uint8_t>(checksum + b);
+  }
+  to_mcu_.push_back(checksum);
+}
+
+bool HostLink::pump(Core8051& core) {
+  if (to_mcu_.empty()) return false;
+  if (!core.inject_rx(to_mcu_.front())) return false;  // RI busy or REN off
+  to_mcu_.pop_front();
+  return true;
+}
+
+}  // namespace ascp::mcu

@@ -1,0 +1,51 @@
+// uart.hpp — host-side serial link (the "PC" of the prototyping setup).
+//
+// Paper §4.2: "during prototyping phase, the system can be linked to a PC
+// and … all intermediate data of the chain can be accessed", and software
+// download happens over the UART. HostLink is the PC end of the wire: it
+// captures everything the 8051 transmits and queues bytes for the 8051 to
+// receive, including the framed download protocol used by the boot ROM.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "mcu/core8051.hpp"
+
+namespace ascp::mcu {
+
+class HostLink {
+ public:
+  /// Wire this link to a core: installs the TX callback. Call pump() to move
+  /// queued host->MCU bytes into the core as it drains them.
+  void attach(Core8051& core);
+
+  /// Bytes the MCU has sent to the host.
+  const std::vector<std::uint8_t>& received() const { return from_mcu_; }
+  /// Received bytes rendered as text (for firmware that prints messages).
+  std::string received_text() const;
+  void clear_received() { from_mcu_.clear(); }
+
+  /// Queue bytes for the MCU.
+  void send(std::uint8_t byte) { to_mcu_.push_back(byte); }
+  void send(const std::vector<std::uint8_t>& bytes);
+  void send_text(const std::string& text);
+
+  /// Frame a program image with the boot-ROM download protocol:
+  ///   0xA5  len_hi len_lo  payload…  checksum (mod-256 sum of payload)
+  void send_download(const std::vector<std::uint8_t>& program);
+
+  /// Try to deliver the next queued byte (respects RI/REN flow control).
+  /// Returns true if a byte was consumed. Call once per simulation slice.
+  bool pump(Core8051& core);
+
+  bool idle() const { return to_mcu_.empty(); }
+
+ private:
+  std::vector<std::uint8_t> from_mcu_;
+  std::deque<std::uint8_t> to_mcu_;
+};
+
+}  // namespace ascp::mcu

@@ -1,0 +1,45 @@
+#include "mcu/watchdog.hpp"
+
+namespace ascp::mcu {
+
+Watchdog::Watchdog(std::function<void()> on_bite) : on_bite_(std::move(on_bite)) {}
+
+std::uint16_t Watchdog::read_reg(std::uint16_t reg) {
+  switch (reg) {
+    case 1: return static_cast<std::uint16_t>(period_);
+    case 2: return enabled_ ? 1 : 0;
+    case 3: return bitten_ ? 1 : 0;
+    default: return 0;
+  }
+}
+
+void Watchdog::write_reg(std::uint16_t reg, std::uint16_t value) {
+  switch (reg) {
+    case 0:
+      if (value == kKickWord) remaining_ = period_;
+      break;
+    case 1:
+      period_ = value;
+      remaining_ = period_;
+      bitten_ = false;
+      break;
+    case 2:
+      enabled_ = value & 1;
+      if (enabled_) remaining_ = period_;
+      break;
+    default:
+      break;
+  }
+}
+
+void Watchdog::tick(long cycles) {
+  if (!enabled_ || bitten_) return;
+  remaining_ -= cycles;
+  if (remaining_ <= 0) {
+    bitten_ = true;
+    enabled_ = false;
+    if (on_bite_) on_bite_();
+  }
+}
+
+}  // namespace ascp::mcu

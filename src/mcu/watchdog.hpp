@@ -1,0 +1,45 @@
+// watchdog.hpp — watchdog peripheral on the bridge bus (paper Fig. 4).
+//
+// Automotive-grade conditioning chips must recover from firmware hangs: the
+// watchdog counts machine cycles and, unless kicked with the magic word,
+// signals a system reset. Register map (word registers):
+//   0 KICK    — write 0x5A5A to restart the countdown
+//   1 PERIOD  — countdown length in machine cycles (write restarts)
+//   2 CTRL    — bit0 enable
+//   3 STATUS  — bit0 bite occurred (sticky until PERIOD rewrite)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mcu/bus.hpp"
+
+namespace ascp::mcu {
+
+class Watchdog : public BridgeDevice {
+ public:
+  static constexpr std::uint16_t kKickWord = 0x5A5A;
+
+  /// `on_bite` fires once when the countdown expires (typically wired to
+  /// Core8051::reset).
+  explicit Watchdog(std::function<void()> on_bite = {});
+
+  std::uint16_t read_reg(std::uint16_t reg) override;
+  void write_reg(std::uint16_t reg, std::uint16_t value) override;
+
+  /// Advance by machine cycles.
+  void tick(long cycles);
+
+  bool enabled() const { return enabled_; }
+  bool bitten() const { return bitten_; }
+  long remaining() const { return remaining_; }
+
+ private:
+  std::function<void()> on_bite_;
+  long period_ = 20000;
+  long remaining_ = 20000;
+  bool enabled_ = false;
+  bool bitten_ = false;
+};
+
+}  // namespace ascp::mcu

@@ -1,0 +1,114 @@
+#include "platform/area_model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ascp::platform {
+
+const std::map<std::string, IpCost>& ip_portfolio() {
+  // kgates / analog mm² / mW. Digital figures are 0.35 µm estimates chosen
+  // so the gyro customization totals ≈200 Kgates (paper §4.3); analog
+  // figures sum to ≈12 mm² with pad ring and routing included.
+  static const std::map<std::string, IpCost> portfolio = {
+      // --- programmable digital ---
+      {"cpu8051", {12.0, 0.0, 6.0}},
+      {"rom16k", {2.0, 0.0, 0.8}},
+      {"ram_ctrl", {2.0, 0.0, 0.6}},
+      {"cache_ctrl", {8.0, 0.0, 2.0}},
+      {"uart", {3.0, 0.0, 0.5}},
+      {"spi", {2.5, 0.0, 0.4}},
+      {"timer16", {1.5, 0.0, 0.2}},
+      {"watchdog", {1.0, 0.0, 0.1}},
+      {"bridge16", {2.0, 0.0, 0.3}},
+      {"sram_ctrl", {4.0, 0.0, 1.0}},
+      {"jtag_tap", {1.5, 0.0, 0.2}},
+      {"regfile", {5.0, 0.0, 0.5}},
+      // --- hardwired DSP ---
+      {"nco", {6.0, 0.0, 1.5}},
+      {"pll_loop", {14.0, 0.0, 3.0}},
+      {"agc_loop", {8.0, 0.0, 1.5}},
+      {"iq_demod", {12.0, 0.0, 2.5}},
+      {"iq_mod", {8.0, 0.0, 1.5}},
+      {"cic_decim", {9.0, 0.0, 1.2}},
+      {"fir", {25.0, 0.0, 4.0}},
+      {"biquad_bank", {10.0, 0.0, 1.5}},
+      {"compensation", {12.0, 0.0, 1.8}},
+      {"chain_ctrl", {24.0, 0.0, 3.0}},
+      // --- DSP blocks only other sensor classes need ---
+      {"sigma_delta_dsp", {18.0, 0.0, 2.5}},
+      {"bridge_readout_dsp", {15.0, 0.0, 2.0}},
+      {"lvdt_demod_dsp", {14.0, 0.0, 2.0}},
+      {"cap_cdc_dsp", {16.0, 0.0, 2.2}},
+      // --- analog cells ---
+      {"sar_adc12", {0.5, 0.8, 5.0}},
+      {"dac12", {0.3, 0.5, 4.0}},
+      {"pga", {0.1, 0.3, 2.0}},
+      {"charge_amp", {0.1, 0.4, 3.0}},
+      {"vref", {0.0, 0.2, 1.0}},
+      {"osc", {0.1, 0.3, 2.0}},
+      {"temp_sensor", {0.1, 0.15, 0.5}},
+      {"wheatstone_exc", {0.0, 0.25, 1.5}},
+      {"lvdt_driver", {0.0, 0.35, 2.5}},
+      {"pad_ring", {0.0, 5.5, 3.0}},
+  };
+  return portfolio;
+}
+
+void AreaModel::instantiate(const std::string& ip_name, int count) {
+  if (!ip_portfolio().contains(ip_name))
+    throw std::invalid_argument("unknown IP '" + ip_name + "'");
+  instances_[ip_name] += count;
+}
+
+double AreaModel::total_kgates() const {
+  double sum = 0.0;
+  for (const auto& [name, count] : instances_) sum += ip_portfolio().at(name).kgates * count;
+  return sum;
+}
+
+double AreaModel::total_analog_mm2() const {
+  double sum = 0.0;
+  for (const auto& [name, count] : instances_) sum += ip_portfolio().at(name).analog_mm2 * count;
+  return sum;
+}
+
+double AreaModel::total_power_mw() const {
+  double sum = 0.0;
+  for (const auto& [name, count] : instances_) sum += ip_portfolio().at(name).power_mw * count;
+  return sum;
+}
+
+std::string AreaModel::report(const std::string& title) const {
+  std::ostringstream out;
+  out << title << "\n";
+  out << "  IP                    x  Kgates  analog mm2  power mW\n";
+  for (const auto& [name, count] : instances_) {
+    const IpCost& c = ip_portfolio().at(name);
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-20s %2d  %6.1f  %10.2f  %8.2f\n", name.c_str(), count,
+                  c.kgates * count, c.analog_mm2 * count, c.power_mw * count);
+    out << line;
+  }
+  char totals[128];
+  std::snprintf(totals, sizeof(totals), "  TOTAL                   %6.1f  %10.2f  %8.2f\n",
+                total_kgates(), total_analog_mm2(), total_power_mw());
+  out << totals;
+  return out.str();
+}
+
+AreaModel AreaModel::universal() {
+  // The universal chip must cover the worst-case demand of every sensor
+  // class simultaneously: the multi-channel analog complement plus the
+  // duplicated DSP blocks the gyro chain needs.
+  static const std::map<std::string, int> multi = {
+      {"sar_adc12", 4}, {"dac12", 4}, {"pga", 4}, {"charge_amp", 2},
+      {"iq_demod", 2},  {"cic_decim", 2}, {"jtag_tap", 2}};
+  AreaModel m;
+  for (const auto& [name, cost] : ip_portfolio()) {
+    const auto it = multi.find(name);
+    m.instantiate(name, it == multi.end() ? 1 : it->second);
+  }
+  return m;
+}
+
+}  // namespace ascp::platform

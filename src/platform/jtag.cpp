@@ -1,0 +1,222 @@
+#include "platform/jtag.hpp"
+
+#include <cassert>
+
+namespace ascp::platform {
+
+TapState tap_next(TapState s, bool tms) {
+  switch (s) {
+    case TapState::TestLogicReset: return tms ? TapState::TestLogicReset : TapState::RunTestIdle;
+    case TapState::RunTestIdle:    return tms ? TapState::SelectDrScan : TapState::RunTestIdle;
+    case TapState::SelectDrScan:   return tms ? TapState::SelectIrScan : TapState::CaptureDr;
+    case TapState::CaptureDr:      return tms ? TapState::Exit1Dr : TapState::ShiftDr;
+    case TapState::ShiftDr:        return tms ? TapState::Exit1Dr : TapState::ShiftDr;
+    case TapState::Exit1Dr:        return tms ? TapState::UpdateDr : TapState::PauseDr;
+    case TapState::PauseDr:        return tms ? TapState::Exit2Dr : TapState::PauseDr;
+    case TapState::Exit2Dr:        return tms ? TapState::UpdateDr : TapState::ShiftDr;
+    case TapState::UpdateDr:       return tms ? TapState::SelectDrScan : TapState::RunTestIdle;
+    case TapState::SelectIrScan:   return tms ? TapState::TestLogicReset : TapState::CaptureIr;
+    case TapState::CaptureIr:      return tms ? TapState::Exit1Ir : TapState::ShiftIr;
+    case TapState::ShiftIr:        return tms ? TapState::Exit1Ir : TapState::ShiftIr;
+    case TapState::Exit1Ir:        return tms ? TapState::UpdateIr : TapState::PauseIr;
+    case TapState::PauseIr:        return tms ? TapState::Exit2Ir : TapState::PauseIr;
+    case TapState::Exit2Ir:        return tms ? TapState::UpdateIr : TapState::ShiftIr;
+    case TapState::UpdateIr:       return tms ? TapState::SelectDrScan : TapState::RunTestIdle;
+  }
+  return TapState::TestLogicReset;
+}
+
+JtagDevice::JtagDevice(std::uint32_t idcode, RegisterFile* regs)
+    : idcode_(idcode), regs_(regs) {}
+
+int JtagDevice::dr_length() const {
+  switch (ir_) {
+    case jtag_ir::kIdcode: return 32;
+    case jtag_ir::kAddr: return 16;
+    case jtag_ir::kDataWr:
+    case jtag_ir::kDataRd: return 16;
+    default: return 1;  // BYPASS and unknown instructions
+  }
+}
+
+std::uint64_t JtagDevice::dr_capture_value() const {
+  switch (ir_) {
+    case jtag_ir::kIdcode: return idcode_;
+    case jtag_ir::kAddr: return reg_addr_;
+    case jtag_ir::kDataWr:
+    case jtag_ir::kDataRd: return regs_ ? regs_->read_reg(reg_addr_) : 0;
+    default: return 0;
+  }
+}
+
+void JtagDevice::dr_update(std::uint64_t value) {
+  switch (ir_) {
+    case jtag_ir::kAddr:
+      reg_addr_ = static_cast<std::uint16_t>(value);
+      break;
+    case jtag_ir::kDataWr:
+      if (regs_) regs_->write_reg(reg_addr_, static_cast<std::uint16_t>(value));
+      break;
+    default:
+      break;
+  }
+}
+
+bool JtagDevice::clock(bool tms, bool tdi) {
+  bool tdo = false;
+  // Actions happen on entry to the new state (rising-edge semantics).
+  const TapState next = tap_next(state_, tms);
+
+  // TDO reflects the bit leaving the shift register while in a shift state.
+  if (state_ == TapState::ShiftIr) {
+    tdo = ir_shift_ & 1;
+    ir_shift_ = static_cast<std::uint8_t>((ir_shift_ >> 1) | (tdi ? (1u << (kIrBits - 1)) : 0));
+  } else if (state_ == TapState::ShiftDr) {
+    tdo = dr_shift_ & 1;
+    const int len = dr_length();
+    dr_shift_ = (dr_shift_ >> 1) | (tdi ? (std::uint64_t{1} << (len - 1)) : 0);
+  }
+
+  switch (next) {
+    case TapState::TestLogicReset:
+      ir_ = jtag_ir::kIdcode;
+      break;
+    case TapState::CaptureIr:
+      ir_shift_ = 0x1;  // IEEE: capture 0b...01 for fault isolation
+      break;
+    case TapState::UpdateIr:
+      ir_ = static_cast<std::uint8_t>(ir_shift_ & ((1u << kIrBits) - 1));
+      break;
+    case TapState::CaptureDr:
+      dr_shift_ = dr_capture_value();
+      break;
+    case TapState::UpdateDr:
+      dr_update(dr_shift_);
+      break;
+    default:
+      break;
+  }
+  state_ = next;
+  return tdo;
+}
+
+bool JtagChain::clock(bool tms, bool tdi) {
+  bool bit = tdi;
+  for (JtagDevice* dev : devices_) bit = dev->clock(tms, bit);
+  return bit;
+}
+
+void JtagHost::reset() {
+  for (int i = 0; i < 5; ++i) chain_.clock(true, false);
+  chain_.clock(false, false);  // -> Run-Test/Idle
+}
+
+void JtagHost::goto_shift_ir() {
+  // Idle -> SelectDR -> SelectIR -> CaptureIR -> ShiftIR
+  chain_.clock(true, false);
+  chain_.clock(true, false);
+  chain_.clock(false, false);
+  chain_.clock(false, false);
+}
+
+void JtagHost::goto_shift_dr() {
+  // Idle -> SelectDR -> CaptureDR -> ShiftDR
+  chain_.clock(true, false);
+  chain_.clock(false, false);
+  chain_.clock(false, false);
+}
+
+void JtagHost::exit_to_idle() {
+  // Exit1 -> Update -> Idle (last shift clock already raised TMS).
+  chain_.clock(true, false);
+  chain_.clock(false, false);
+}
+
+void JtagHost::shift_ir(const std::vector<std::uint8_t>& instructions) {
+  assert(instructions.size() == chain_.size());
+  goto_shift_ir();
+  // Device farthest from TDI (highest index) receives its bits first.
+  const int total = static_cast<int>(chain_.size()) * JtagDevice::kIrBits;
+  int sent = 0;
+  for (std::size_t d = chain_.size(); d-- > 0;) {
+    for (int b = 0; b < JtagDevice::kIrBits; ++b) {
+      const bool bit = (instructions[d] >> b) & 1;
+      ++sent;
+      chain_.clock(/*tms=*/sent == total, bit);  // last bit exits ShiftIR
+    }
+  }
+  exit_to_idle();
+}
+
+std::vector<std::uint64_t> JtagHost::shift_dr(const std::vector<std::uint64_t>& values,
+                                              const std::vector<int>& bits_per_device) {
+  assert(values.size() == chain_.size() && bits_per_device.size() == chain_.size());
+  goto_shift_dr();
+  int total = 0;
+  for (int b : bits_per_device) total += b;
+
+  std::vector<std::uint64_t> captured(chain_.size(), 0);
+  int sent = 0;
+  // Input: device N-1's value first; output: device N-1's capture first.
+  std::size_t out_dev = chain_.size() - 1;
+  int out_bit = 0;
+  for (std::size_t d = chain_.size(); d-- > 0;) {
+    for (int b = 0; b < bits_per_device[d]; ++b) {
+      const bool bit_in = (values[d] >> b) & 1;
+      ++sent;
+      const bool bit_out = chain_.clock(/*tms=*/sent == total, bit_in);
+      if (bit_out) captured[out_dev] |= std::uint64_t{1} << out_bit;
+      if (++out_bit == bits_per_device[out_dev] && out_dev > 0) {
+        out_bit = 0;
+        --out_dev;
+      }
+    }
+  }
+  exit_to_idle();
+  return captured;
+}
+
+std::vector<std::uint8_t> JtagHost::all_bypass_except(std::size_t idx,
+                                                      std::uint8_t instruction) const {
+  std::vector<std::uint8_t> ir(chain_.size(), jtag_ir::kBypass);
+  ir.at(idx) = instruction;
+  return ir;
+}
+
+namespace {
+std::vector<int> dr_bits(const JtagChain& chain, std::size_t idx, int bits) {
+  std::vector<int> out(chain.size(), 1);  // bypassed devices: 1-bit DR
+  out.at(idx) = bits;
+  return out;
+}
+}  // namespace
+
+std::uint32_t JtagHost::read_idcode(std::size_t device_index) {
+  shift_ir(all_bypass_except(device_index, jtag_ir::kIdcode));
+  const auto captured = shift_dr(std::vector<std::uint64_t>(chain_.size(), 0),
+                                 dr_bits(chain_, device_index, 32));
+  return static_cast<std::uint32_t>(captured[device_index]);
+}
+
+void JtagHost::write_register(std::size_t device_index, std::uint16_t addr, std::uint16_t value) {
+  shift_ir(all_bypass_except(device_index, jtag_ir::kAddr));
+  std::vector<std::uint64_t> v(chain_.size(), 0);
+  v[device_index] = addr;
+  shift_dr(v, dr_bits(chain_, device_index, 16));
+  shift_ir(all_bypass_except(device_index, jtag_ir::kDataWr));
+  v[device_index] = value;
+  shift_dr(v, dr_bits(chain_, device_index, 16));
+}
+
+std::uint16_t JtagHost::read_register(std::size_t device_index, std::uint16_t addr) {
+  shift_ir(all_bypass_except(device_index, jtag_ir::kAddr));
+  std::vector<std::uint64_t> v(chain_.size(), 0);
+  v[device_index] = addr;
+  shift_dr(v, dr_bits(chain_, device_index, 16));
+  shift_ir(all_bypass_except(device_index, jtag_ir::kDataRd));
+  v[device_index] = 0;
+  const auto captured = shift_dr(v, dr_bits(chain_, device_index, 16));
+  return static_cast<std::uint16_t>(captured[device_index]);
+}
+
+}  // namespace ascp::platform

@@ -1,0 +1,117 @@
+// jtag.hpp — IEEE 1149.1 TAP controller, device chain, and host driver.
+//
+// Paper §4.2 selects JTAG as the analog/digital configuration interface for
+// four reasons: proven protocol, asynchronous (clock-skew tolerant), only
+// four wires per chain, and full read-back capability. This module models
+// the digital reality of that choice: each configurable block carries a TAP
+// with a 4-bit IR (IDCODE / BYPASS / ADDR / DATA); chains of TAPs share
+// TMS/TCK with TDI→TDO daisy-chaining; and JtagHost drives the state machine
+// the way the platform's firmware (or the external test PC) would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/registers.hpp"
+
+namespace ascp::platform {
+
+/// The 16 TAP controller states.
+enum class TapState {
+  TestLogicReset, RunTestIdle,
+  SelectDrScan, CaptureDr, ShiftDr, Exit1Dr, PauseDr, Exit2Dr, UpdateDr,
+  SelectIrScan, CaptureIr, ShiftIr, Exit1Ir, PauseIr, Exit2Ir, UpdateIr,
+};
+
+/// IEEE 1149.1 state transition function.
+TapState tap_next(TapState state, bool tms);
+
+/// Instruction codes (4-bit IR).
+namespace jtag_ir {
+constexpr std::uint8_t kIdcode = 0x2;
+constexpr std::uint8_t kAddr = 0x8;    ///< select register address
+constexpr std::uint8_t kDataWr = 0x9;  ///< write register at address on Update-DR
+constexpr std::uint8_t kDataRd = 0xA;  ///< capture register at address; Update-DR inert
+constexpr std::uint8_t kBypass = 0xF;
+}  // namespace jtag_ir
+
+/// One TAP-equipped device giving bit-serial access to a RegisterFile.
+class JtagDevice {
+ public:
+  static constexpr int kIrBits = 4;
+
+  /// `idcode` identifies the die (read via IDCODE), `regs` is the register
+  /// file this TAP fronts (may be shared with a bridge window — same
+  /// registers, two access paths, exactly like the paper's platform).
+  JtagDevice(std::uint32_t idcode, RegisterFile* regs);
+
+  /// Advance one TCK cycle. Returns TDO.
+  bool clock(bool tms, bool tdi);
+
+  TapState state() const { return state_; }
+  std::uint8_t instruction() const { return ir_; }
+  std::uint32_t idcode() const { return idcode_; }
+
+ private:
+  int dr_length() const;
+  std::uint64_t dr_capture_value() const;
+  void dr_update(std::uint64_t value);
+
+  std::uint32_t idcode_;
+  RegisterFile* regs_;
+  TapState state_ = TapState::TestLogicReset;
+  std::uint8_t ir_ = jtag_ir::kIdcode;
+  std::uint8_t ir_shift_ = 0;
+  std::uint64_t dr_shift_ = 0;
+  int shift_count_ = 0;
+  std::uint16_t reg_addr_ = 0;
+};
+
+/// A scan chain: shared TMS/TCK, TDI of the chain feeds device 0, whose TDO
+/// feeds device 1, and so on.
+class JtagChain {
+ public:
+  void add(JtagDevice* dev) { devices_.push_back(dev); }
+  std::size_t size() const { return devices_.size(); }
+  JtagDevice& device(std::size_t i) { return *devices_.at(i); }
+
+  /// One TCK for the whole chain; returns chain TDO.
+  bool clock(bool tms, bool tdi);
+
+ private:
+  std::vector<JtagDevice*> devices_;
+};
+
+/// Host-side driver: navigates TAP states and performs whole-chain scans.
+class JtagHost {
+ public:
+  explicit JtagHost(JtagChain& chain) : chain_(chain) {}
+
+  /// Five TMS=1 clocks: every TAP lands in Test-Logic-Reset, then idle.
+  void reset();
+
+  /// Load one instruction per device (index 0 first in the vector).
+  void shift_ir(const std::vector<std::uint8_t>& instructions);
+
+  /// Shift a data vector through every device's DR. `bits_per_device[i]`
+  /// bits are shifted for device i (caller must match each device's current
+  /// DR length); returns the captured values shifted out.
+  std::vector<std::uint64_t> shift_dr(const std::vector<std::uint64_t>& values,
+                                      const std::vector<int>& bits_per_device);
+
+  // ---- register-level conveniences (single-target, others in BYPASS) ----
+  std::uint32_t read_idcode(std::size_t device_index);
+  void write_register(std::size_t device_index, std::uint16_t addr, std::uint16_t value);
+  std::uint16_t read_register(std::size_t device_index, std::uint16_t addr);
+
+ private:
+  void goto_shift_dr();
+  void goto_shift_ir();
+  void exit_to_idle();
+  std::vector<std::uint8_t> all_bypass_except(std::size_t idx, std::uint8_t instruction) const;
+
+  JtagChain& chain_;
+};
+
+}  // namespace ascp::platform

@@ -1,0 +1,72 @@
+#include "platform/platform.hpp"
+
+namespace ascp::platform {
+
+McuSubsystem::McuSubsystem(const PlatformConfig& cfg)
+    : cfg_(cfg),
+      bus_(cfg.xdata_ram),
+      jtag_dev_(0x1A5CD001, &regs_),  // platform digital die IDCODE
+      jtag_host_(jtag_chain_) {
+  cpu_.set_xdata_bus(&bus_);
+  host_.attach(cpu_);
+
+  area_.instantiate("cpu8051");
+  area_.instantiate("rom16k");
+  area_.instantiate("ram_ctrl");
+  area_.instantiate("uart");
+  area_.instantiate("bridge16");
+  area_.instantiate("regfile");
+  area_.instantiate("jtag_tap");
+
+  bus_.map(&regs_, cfg.map.regfile, 256, "regfile");
+
+  if (cfg.with_spi) {
+    spi_ = std::make_unique<mcu::SpiMaster>();
+    eeprom_ = std::make_unique<mcu::SpiEeprom>(8192);
+    spi_->connect(eeprom_.get());
+    bus_.map(spi_.get(), cfg.map.spi, 3, "spi");
+    area_.instantiate("spi");
+  }
+  if (cfg.with_timer) {
+    timer_ = std::make_unique<mcu::Timer16>();
+    bus_.map(timer_.get(), cfg.map.timer, 4, "timer");
+    area_.instantiate("timer16");
+  }
+  if (cfg.with_watchdog) {
+    watchdog_ = std::make_unique<mcu::Watchdog>([this] { cpu_.reset(); });
+    bus_.map(watchdog_.get(), cfg.map.watchdog, 4, "watchdog");
+    area_.instantiate("watchdog");
+  }
+  if (cfg.with_sram_trace) {
+    sram_ = std::make_unique<mcu::SramController>();
+    bus_.map(sram_.get(), cfg.map.sram, 7, "sram");
+    area_.instantiate("sram_ctrl");
+  }
+  if (cfg.with_program_ram) {
+    bus_.map_program_ram(cfg.map.prog_ram, cfg.map.prog_size, &cpu_);
+    // The cache fronts the big external RAM over the 2-wire link (Fig. 4).
+    cache_ = std::make_unique<mcu::CacheController>();
+    cpu_.attach_sfr_device(cache_.get());
+    area_.instantiate("cache_ctrl");
+  }
+
+  jtag_chain_.add(&jtag_dev_);
+}
+
+long McuSubsystem::cycles_per_sample(double dsp_fs) const {
+  // 12 clocks per machine cycle.
+  return static_cast<long>(static_cast<double>(cfg_.cpu_clock_hz) / 12.0 / dsp_fs + 0.5);
+}
+
+void McuSubsystem::run_cpu(long machine_cycles) {
+  long used = 0;
+  while (used < machine_cycles) {
+    const int c = cpu_.step();
+    used += c;
+    if (timer_) timer_->tick(c);
+    if (watchdog_) watchdog_->tick(c);
+    host_.pump(cpu_);
+  }
+}
+
+}  // namespace ascp::platform

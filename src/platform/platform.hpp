@@ -1,0 +1,111 @@
+// platform.hpp — the generic platform assembly (paper Fig. 2 / Fig. 4).
+//
+// McuSubsystem wires the programmable-digital side exactly as Fig. 4 draws
+// it: the 8051 core with its SFR bus, the 16-bit bridge carrying SPI, timer,
+// watchdog and SRAM controller, program RAM for the prototype boot flow, a
+// DSP register window, and the UART host link. PlatformConfig selects which
+// blocks exist — only instantiated blocks appear in the area model, which is
+// the platform-vs-universal story of the paper.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "mcu/bootrom.hpp"
+#include "mcu/bus.hpp"
+#include "mcu/cache_ctrl.hpp"
+#include "mcu/core8051.hpp"
+#include "mcu/spi.hpp"
+#include "mcu/sram_ctrl.hpp"
+#include "mcu/timer16.hpp"
+#include "mcu/uart.hpp"
+#include "mcu/watchdog.hpp"
+#include "platform/area_model.hpp"
+#include "platform/jtag.hpp"
+#include "platform/registers.hpp"
+
+namespace ascp::platform {
+
+/// Bridge memory map (byte addresses in XDATA space).
+struct BridgeMap {
+  std::uint16_t regfile = 0x4000;   ///< DSP/AFE register window (256 regs)
+  std::uint16_t spi = 0xFF00;       ///< SPI master (3 regs)
+  std::uint16_t timer = 0xFF10;     ///< 16-bit timer (4 regs)
+  std::uint16_t watchdog = 0xFF20;  ///< watchdog (4 regs)
+  std::uint16_t sram = 0xFF30;      ///< SRAM trace controller (7 regs)
+  std::uint16_t prog_ram = 0x8000;  ///< program RAM base
+  std::uint32_t prog_size = 0x7F00; ///< program RAM bytes
+};
+
+struct PlatformConfig {
+  bool with_spi = true;
+  bool with_timer = true;
+  bool with_watchdog = true;
+  bool with_sram_trace = true;
+  bool with_program_ram = true;  ///< 'prototype' version; false = 'ASIC' ROM-only
+  std::size_t xdata_ram = 4096;
+  BridgeMap map{};
+  long cpu_clock_hz = 20'000'000;  ///< paper §4.3: 20 MHz
+};
+
+/// The programmable-digital subsystem plus the platform's register fabric
+/// and JTAG chain.
+class McuSubsystem {
+ public:
+  explicit McuSubsystem(const PlatformConfig& cfg = {});
+
+  // ---- Fig. 4 blocks ------------------------------------------------------
+  mcu::Core8051& cpu() { return cpu_; }
+  mcu::BridgedBus& bus() { return bus_; }
+  mcu::HostLink& host() { return host_; }
+  mcu::SpiMaster* spi() { return spi_.get(); }
+  mcu::SpiEeprom* eeprom() { return eeprom_.get(); }
+  mcu::Timer16* timer() { return timer_.get(); }
+  mcu::Watchdog* watchdog() { return watchdog_.get(); }
+  mcu::SramController* sram_trace() { return sram_.get(); }
+  /// Cache controller fronting the big external RAM (prototype versions
+  /// with program RAM only — paper Fig. 4 places it on the SFR bus).
+  mcu::CacheController* cache() { return cache_.get(); }
+
+  /// DSP/AFE register fabric — visible to the CPU at map.regfile, to the
+  /// host over JTAG, and to C++ directly.
+  RegisterFile& regs() { return regs_; }
+  JtagChain& jtag_chain() { return jtag_chain_; }
+  JtagHost& jtag() { return jtag_host_; }
+
+  const PlatformConfig& config() const { return cfg_; }
+
+  /// Machine cycles per DSP sample at the configured CPU clock (12 clocks
+  /// per machine cycle) and a given DSP sample rate.
+  long cycles_per_sample(double dsp_fs) const;
+
+  /// Advance the CPU by `machine_cycles` (runs bridge peripherals too) while
+  /// pumping the host link.
+  void run_cpu(long machine_cycles);
+
+  /// Load firmware: ASIC-style straight into ROM at 0, or via the boot path.
+  void load_firmware(const std::vector<std::uint8_t>& image) { cpu_.load_program(image); }
+
+  /// Area bookkeeping for everything this subsystem instantiated.
+  const AreaModel& area() const { return area_; }
+  AreaModel& area() { return area_; }
+
+ private:
+  PlatformConfig cfg_;
+  mcu::Core8051 cpu_;
+  mcu::BridgedBus bus_;
+  mcu::HostLink host_;
+  std::unique_ptr<mcu::SpiMaster> spi_;
+  std::unique_ptr<mcu::SpiEeprom> eeprom_;
+  std::unique_ptr<mcu::Timer16> timer_;
+  std::unique_ptr<mcu::Watchdog> watchdog_;
+  std::unique_ptr<mcu::SramController> sram_;
+  std::unique_ptr<mcu::CacheController> cache_;
+  RegisterFile regs_;
+  JtagDevice jtag_dev_;
+  JtagChain jtag_chain_;
+  JtagHost jtag_host_;
+  AreaModel area_;
+};
+
+}  // namespace ascp::platform

@@ -1,0 +1,80 @@
+#include "platform/registers.hpp"
+
+namespace ascp::platform {
+
+std::uint16_t RegisterFile::define(std::string name, std::uint16_t addr, RegKind kind,
+                                   std::uint16_t reset_value, WriteHook on_write) {
+  if (regs_.contains(addr))
+    throw std::invalid_argument("register address collision at " + std::to_string(addr));
+  if (by_name_.contains(name)) throw std::invalid_argument("duplicate register name " + name);
+  by_name_[name] = addr;
+  regs_[addr] = Reg{std::move(name), kind, reset_value, std::move(on_write)};
+  return addr;
+}
+
+const RegisterFile::Reg& RegisterFile::at(std::uint16_t addr) const {
+  const auto it = regs_.find(addr);
+  if (it == regs_.end())
+    throw std::out_of_range("no register at address " + std::to_string(addr));
+  return it->second;
+}
+
+RegisterFile::Reg& RegisterFile::at(std::uint16_t addr) {
+  return const_cast<Reg&>(static_cast<const RegisterFile*>(this)->at(addr));
+}
+
+std::uint16_t RegisterFile::read(std::uint16_t addr) const { return at(addr).value; }
+
+std::uint16_t RegisterFile::read(std::string_view name) const {
+  return read(address_of(name));
+}
+
+void RegisterFile::write(std::uint16_t addr, std::uint16_t value) {
+  Reg& reg = at(addr);
+  if (reg.kind == RegKind::Status)
+    throw std::logic_error("write to status register " + reg.name);
+  reg.value = value;
+  if (reg.on_write) reg.on_write(value);
+}
+
+void RegisterFile::write(std::string_view name, std::uint16_t value) {
+  write(address_of(name), value);
+}
+
+void RegisterFile::post_status(std::uint16_t addr, std::uint16_t value) {
+  at(addr).value = value;
+}
+
+void RegisterFile::post_status(std::string_view name, std::uint16_t value) {
+  post_status(address_of(name), value);
+}
+
+std::uint16_t RegisterFile::address_of(std::string_view name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end())
+    throw std::out_of_range("no register named " + std::string(name));
+  return it->second;
+}
+
+std::vector<RegisterFile::Entry> RegisterFile::dump() const {
+  std::vector<Entry> out;
+  out.reserve(regs_.size());
+  for (const auto& [addr, reg] : regs_)
+    out.push_back(Entry{reg.name, addr, reg.kind, reg.value});
+  return out;
+}
+
+std::uint16_t RegisterFile::read_reg(std::uint16_t reg) {
+  // The CPU may probe unpopulated addresses during read-back scans.
+  const auto it = regs_.find(reg);
+  return it == regs_.end() ? 0xFFFF : it->second.value;
+}
+
+void RegisterFile::write_reg(std::uint16_t reg, std::uint16_t value) {
+  const auto it = regs_.find(reg);
+  if (it == regs_.end() || it->second.kind == RegKind::Status) return;  // ignored, like hardware
+  it->second.value = value;
+  if (it->second.on_write) it->second.on_write(value);
+}
+
+}  // namespace ascp::platform

@@ -1,0 +1,80 @@
+// registers.hpp — memory-mapped configuration/status register fabric.
+//
+// Paper §4.2: "a routine constantly checks the system status by accessing
+// the several readable registers spread along the processing chain", and
+// §3: analog cell parameters are programmed "through the digital part".
+// RegisterFile is that fabric: named 16-bit registers, declared as CONFIG
+// (writable, with change callbacks into the owning block) or STATUS
+// (read-only, refreshed by the owning block), addressable from C++, from
+// the 8051 via a bridge window, and bit-serially via JTAG — with full
+// read-back of everything, the property the paper's self-tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mcu/bus.hpp"
+
+namespace ascp::platform {
+
+enum class RegKind { Config, Status };
+
+class RegisterFile : public mcu::BridgeDevice {
+ public:
+  using WriteHook = std::function<void(std::uint16_t)>;
+
+  /// Declare a register. `addr` is the word index inside the file. Returns
+  /// addr for convenience. Throws on duplicate name/address.
+  std::uint16_t define(std::string name, std::uint16_t addr, RegKind kind,
+                       std::uint16_t reset_value = 0, WriteHook on_write = {});
+
+  // ---- C++-side access ---------------------------------------------------
+  std::uint16_t read(std::uint16_t addr) const;
+  std::uint16_t read(std::string_view name) const;
+  /// Write a CONFIG register (fires the hook). Throws on STATUS registers —
+  /// those belong to the hardware side.
+  void write(std::uint16_t addr, std::uint16_t value);
+  void write(std::string_view name, std::uint16_t value);
+
+  /// Hardware-side update of a STATUS register (no hook, always allowed).
+  void post_status(std::uint16_t addr, std::uint16_t value);
+  void post_status(std::string_view name, std::uint16_t value);
+
+  std::uint16_t address_of(std::string_view name) const;
+  bool contains(std::string_view name) const { return by_name_.contains(std::string(name)); }
+  std::size_t size() const { return regs_.size(); }
+
+  /// All registers in address order (read-back / dump support).
+  struct Entry {
+    std::string name;
+    std::uint16_t addr;
+    RegKind kind;
+    std::uint16_t value;
+  };
+  std::vector<Entry> dump() const;
+
+  // ---- BridgeDevice (8051 MOVX window) ------------------------------------
+  std::uint16_t read_reg(std::uint16_t reg) override;
+  void write_reg(std::uint16_t reg, std::uint16_t value) override;
+
+ private:
+  struct Reg {
+    std::string name;
+    RegKind kind;
+    std::uint16_t value;
+    WriteHook on_write;
+  };
+
+  const Reg& at(std::uint16_t addr) const;
+  Reg& at(std::uint16_t addr);
+
+  std::map<std::uint16_t, Reg> regs_;
+  std::map<std::string, std::uint16_t, std::less<>> by_name_;
+};
+
+}  // namespace ascp::platform

@@ -1,0 +1,26 @@
+#include "platform/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace ascp::platform {
+
+void Scheduler::every(long divider, Task task, std::string name) {
+  if (divider < 1) throw std::invalid_argument("scheduler divider must be >= 1");
+  entries_.push_back(Entry{divider, std::move(task), std::move(name)});
+}
+
+void Scheduler::tick() {
+  for (Entry& e : entries_)
+    if (ticks_ % e.divider == 0) e.task();
+  ++ticks_;
+}
+
+void Scheduler::run_ticks(long n) {
+  for (long i = 0; i < n; ++i) tick();
+}
+
+void Scheduler::run_seconds(double seconds) {
+  run_ticks(static_cast<long>(seconds * base_rate_ + 0.5));
+}
+
+}  // namespace ascp::platform

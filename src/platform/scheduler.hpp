@@ -1,0 +1,55 @@
+// scheduler.hpp — deterministic multi-rate simulation kernel.
+//
+// The platform is a multi-rate system: the MEMS/analog models integrate at
+// ~1.92 MHz, the DSP chain runs at the 240 kHz ADC rate, decimated outputs
+// at ~1.9 kHz, and the 8051 executes a slice of instructions per DSP sample
+// (20 MHz clock, paper §4.3). The scheduler advances a base tick and fires
+// registered tasks at integer divisions of it, in registration order within
+// a tick — fully deterministic, so every experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ascp::platform {
+
+class Scheduler {
+ public:
+  using Task = std::function<void()>;
+
+  /// `base_rate_hz` is the fastest rate in the system (tick rate).
+  explicit Scheduler(double base_rate_hz) : base_rate_(base_rate_hz) {}
+
+  /// Run `task` every `divider` base ticks (divider >= 1), starting at the
+  /// first tick. Tasks registered earlier run first within a tick.
+  void every(long divider, Task task, std::string name = {});
+
+  /// Advance one base tick.
+  void tick();
+
+  /// Advance `n` base ticks.
+  void run_ticks(long n);
+
+  /// Advance by wall-clock simulation time.
+  void run_seconds(double seconds);
+
+  double base_rate() const { return base_rate_; }
+  double dt() const { return 1.0 / base_rate_; }
+  long ticks() const { return ticks_; }
+  double now() const { return static_cast<double>(ticks_) / base_rate_; }
+
+ private:
+  struct Entry {
+    long divider;
+    Task task;
+    std::string name;
+  };
+
+  double base_rate_;
+  long ticks_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ascp::platform

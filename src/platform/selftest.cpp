@@ -1,0 +1,95 @@
+#include "platform/selftest.hpp"
+
+#include <sstream>
+
+namespace ascp::platform {
+
+namespace {
+
+void add(SelfTestResult& r, std::string name, bool passed, std::string detail = {}) {
+  r.checks.push_back(SelfTestResult::Check{std::move(name), passed, std::move(detail)});
+}
+
+}  // namespace
+
+std::string SelfTestResult::report() const {
+  std::ostringstream out;
+  for (const auto& c : checks) {
+    out << "  [" << (c.passed ? "PASS" : "FAIL") << "] " << c.name;
+    if (!c.detail.empty()) out << " — " << c.detail;
+    out << "\n";
+  }
+  out << (all_passed() ? "  self-test PASSED" : "  self-test FAILED") << "\n";
+  return out.str();
+}
+
+SelfTestResult run_self_test(McuSubsystem& sys) {
+  SelfTestResult result;
+  auto& jtag = sys.jtag();
+  jtag.reset();
+
+  // --- [1] JTAG chain alive: IDCODE is sane -------------------------------
+  const std::uint32_t id = jtag.read_idcode(0);
+  add(result, "jtag idcode", id != 0 && id != 0xFFFFFFFF,
+      "read 0x" + [&] { char b[16]; std::snprintf(b, 16, "%08X", id); return std::string(b); }());
+
+  // --- [2] config-register walking bits over JTAG, read back via bridge ----
+  bool walk_ok = true;
+  std::string walk_detail;
+  for (const auto& e : sys.regs().dump()) {
+    if (e.kind != RegKind::Config) continue;
+    const std::uint16_t saved = e.value;
+    for (std::uint16_t pattern : {std::uint16_t{0x0001}, std::uint16_t{0x8000},
+                                  std::uint16_t{0x5555}, std::uint16_t{0xAAAA}}) {
+      jtag.write_register(0, e.addr, pattern);
+      const std::uint16_t via_jtag = jtag.read_register(0, e.addr);
+      const std::uint16_t via_bridge =
+          sys.bus().read_word(static_cast<std::uint16_t>(sys.config().map.regfile + 2 * e.addr));
+      if (via_jtag != pattern || via_bridge != pattern) {
+        walk_ok = false;
+        walk_detail = "register '" + e.name + "' failed pattern";
+      }
+    }
+    jtag.write_register(0, e.addr, saved);  // restore
+  }
+  add(result, "config register walking bits (jtag+bridge)", walk_ok, walk_detail);
+
+  // --- [3] status registers reject writes ----------------------------------
+  bool status_ok = true;
+  for (const auto& e : sys.regs().dump()) {
+    if (e.kind != RegKind::Status) continue;
+    const std::uint16_t before = sys.regs().read(e.addr);
+    jtag.write_register(0, e.addr, static_cast<std::uint16_t>(~before));
+    if (sys.regs().read(e.addr) != before) status_ok = false;
+  }
+  add(result, "status register write protection", status_ok);
+
+  // --- [4] bridge write path: CPU-visible word access ------------------------
+  bool bridge_ok = true;
+  if (auto* timer = sys.timer()) {
+    const std::uint16_t base = sys.config().map.timer;
+    sys.bus().write_word(base, 0xBEAD);
+    bridge_ok = sys.bus().read_word(base) == 0xBEAD && timer->read_reg(0) == 0xBEAD;
+    sys.bus().write_word(base, 0);
+  }
+  add(result, "bridge 16-bit write/read coherence", bridge_ok);
+
+  // --- [5] SRAM trace memory test ---------------------------------------------
+  bool sram_ok = true;
+  if (auto* sram = sys.sram_trace()) {
+    sram->write_reg(1, 0);  // node 0
+    sram->write_reg(2, 1);
+    sram->write_reg(0, 3);  // reset + arm
+    for (std::uint16_t i = 0; i < 256; ++i)
+      sram->push(0, static_cast<std::uint16_t>(i * 257 + 1));  // distinct pattern
+    sram->write_reg(0, 0);  // disarm
+    sram->write_reg(4, 0);  // rewind
+    for (std::uint16_t i = 0; i < 256 && sram_ok; ++i)
+      sram_ok = sram->read_reg(5) == static_cast<std::uint16_t>(i * 257 + 1);
+  }
+  add(result, "sram trace pattern test", sram_ok);
+
+  return result;
+}
+
+}  // namespace ascp::platform

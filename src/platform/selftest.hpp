@@ -1,0 +1,41 @@
+// selftest.hpp — platform self-checking (paper §2).
+//
+// "FPGA and analog front end not only have to satisfy functional
+// specification for the targeted sensor, but also have to pass strict
+// self-checking tests concerning full hardware read-back capability."
+//
+// The suite exercises every access path of the configuration fabric:
+// JTAG IDCODE, JTAG write → bridge read coherence, bridge write → JTAG
+// read, walking-bit patterns through every config register (restoring the
+// original values), status-register write protection, and an SRAM trace
+// memory test. Each check yields a named pass/fail record.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace ascp::platform {
+
+struct SelfTestResult {
+  struct Check {
+    std::string name;
+    bool passed;
+    std::string detail;
+  };
+
+  std::vector<Check> checks;
+  bool all_passed() const {
+    for (const auto& c : checks)
+      if (!c.passed) return false;
+    return true;
+  }
+  std::string report() const;
+};
+
+/// Run the full self-check on an assembled MCU subsystem. Non-destructive:
+/// every config register is restored to its pre-test value.
+SelfTestResult run_self_test(McuSubsystem& sys);
+
+}  // namespace ascp::platform

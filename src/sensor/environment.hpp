@@ -1,0 +1,41 @@
+// environment.hpp — stimulus profiles for experiments.
+//
+// The metrology benches exercise the conditioned sensor with the stimuli an
+// evaluation lab would use: rate steps (turn-on / step response), rate sines
+// (bandwidth), rate staircases (sensitivity/linearity), temperature ramps
+// and soaks (over-temperature rows of Table 1).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ascp::sensor {
+
+/// Time-dependent scalar profile (rate in °/s or temperature in °C).
+class Profile {
+ public:
+  using Fn = std::function<double(double /*t_seconds*/)>;
+
+  Profile() : fn_([](double) { return 0.0; }) {}
+  explicit Profile(Fn fn) : fn_(std::move(fn)) {}
+
+  double at(double t) const { return fn_(t); }
+
+  static Profile constant(double value);
+  /// 0 before t0, `value` after.
+  static Profile step(double value, double t0);
+  /// amplitude·sin(2π f (t − t0)) after t0, 0 before.
+  static Profile sine(double amplitude, double freq_hz, double t0 = 0.0);
+  /// Linear sweep from v0 at t0 to v1 at t1 (clamped outside).
+  static Profile ramp(double v0, double v1, double t0, double t1);
+  /// Piecewise-constant staircase: `levels[i]` held for `dwell` seconds each.
+  static Profile staircase(std::vector<double> levels, double dwell);
+  /// Linear-frequency chirp: amplitude·sin(phase(t)), f0→f1 over [t0, t1].
+  static Profile chirp(double amplitude, double f0, double f1, double t0, double t1);
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace ascp::sensor

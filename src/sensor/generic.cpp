@@ -1,0 +1,39 @@
+#include "sensor/generic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ascp::sensor {
+
+double CapacitivePressureSensor::capacitance(double pressure_kpa, double temp_c) {
+  const double p = std::clamp(pressure_kpa, 0.0, cfg_.p_collapse_kpa * 0.95);
+  const double deflection = cfg_.sensitivity * p / (1.0 - p / cfg_.p_collapse_kpa);
+  const double c = cfg_.c0_farads * (1.0 + deflection) *
+                   (1.0 + cfg_.tempco * (temp_c - 25.0));
+  return c + rng_.gaussian(cfg_.noise_farads);
+}
+
+ResistiveBridgeSensor::ResistiveBridgeSensor(const Config& cfg, ascp::Rng rng)
+    : cfg_(cfg), offset_draw_(rng.gaussian(cfg.offset_fraction)), rng_(rng) {}
+
+double ResistiveBridgeSensor::output(double load, double v_excitation, double temp_c) {
+  const double dt = temp_c - 25.0;
+  const double strain = std::clamp(load, -1.0, 1.0) * cfg_.full_scale_strain;
+  const double dr_r = cfg_.gauge_factor * strain * (1.0 + cfg_.gain_tempco * dt);
+  const double offset = (offset_draw_ + cfg_.offset_tempco * dt) * v_excitation;
+  // Full bridge: Vout = Vexc·ΔR/R (small-signal; second order term kept for
+  // realism at full scale).
+  const double v = v_excitation * dr_r / (1.0 + dr_r / 2.0) + offset;
+  return v + rng_.gaussian(cfg_.noise_density * v_excitation * 100.0 * 1e-3);
+}
+
+double LvdtSensor::output(double v_exc, double v_exc_q, double position_mm) {
+  const double x = std::clamp(position_mm / cfg_.stroke_mm, -1.0, 1.0);
+  // Slight cubic droop at stroke ends (core leaving the linear region).
+  const double coupling = cfg_.transfer_gain * x * (1.0 - 0.05 * x * x);
+  const double in_phase = coupling * std::cos(cfg_.phase_rad) + cfg_.null_fraction;
+  const double quad = coupling * std::sin(cfg_.phase_rad) + cfg_.null_fraction;
+  return in_phase * v_exc + quad * v_exc_q;
+}
+
+}  // namespace ascp::sensor

@@ -1,0 +1,88 @@
+// generic.hpp — the other sensor classes the generic platform targets.
+//
+// Paper §1/§3: the platform must "interface several kinds of sensors"
+// (capacitive, resistive, inductive, …). These behavioural models back the
+// generic-sensor-interface example and the platform-vs-universal ablation:
+// each produces an electrode-level signal that one of the AFE channel types
+// can acquire.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace ascp::sensor {
+
+/// Capacitive absolute-pressure sensor: diaphragm deflection changes the
+/// sense capacitance. C(P) = C0·(1 + s·P/(1 − P/P_collapse)) — soft upward
+/// nonlinearity typical of touch-mode-free designs.
+class CapacitivePressureSensor {
+ public:
+  struct Config {
+    double c0_farads = 10e-12;     ///< rest capacitance
+    double sensitivity = 2e-3;     ///< fractional ΔC per kPa at low pressure
+    double p_collapse_kpa = 800.0; ///< nonlinearity knee
+    double tempco = 150e-6;        ///< ΔC/C per °C
+    double noise_farads = 5e-18;   ///< kTC-style capacitance noise, 1σ per sample
+  };
+
+  CapacitivePressureSensor(const Config& cfg, ascp::Rng rng) : cfg_(cfg), rng_(rng) {}
+
+  /// Capacitance at pressure [kPa] and temperature [°C].
+  double capacitance(double pressure_kpa, double temp_c = 25.0);
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  ascp::Rng rng_;
+};
+
+/// Resistive Wheatstone full-bridge (piezoresistive strain / pressure):
+/// differential output for excitation Vexc is Vexc·(ΔR/R), with bridge
+/// offset mismatch and strong tempco of both gain and offset — the classic
+/// conditioning problem for resistive automotive sensors.
+class ResistiveBridgeSensor {
+ public:
+  struct Config {
+    double gauge_factor = 2.0;       ///< ΔR/R per unit strain
+    double full_scale_strain = 1e-3; ///< strain at full-scale load
+    double offset_fraction = 2e-3;   ///< bridge imbalance 1σ draw
+    double gain_tempco = -300e-6;    ///< span drift per °C
+    double offset_tempco = 5e-6;     ///< offset drift per °C (fraction of Vexc)
+    double noise_density = 30e-9;    ///< output noise [V/√Hz·Vexc⁻¹] equivalent
+  };
+
+  ResistiveBridgeSensor(const Config& cfg, ascp::Rng rng);
+
+  /// Differential bridge output [V] for `load` in [−1, 1] of full scale.
+  double output(double load, double v_excitation, double temp_c = 25.0);
+
+ private:
+  Config cfg_;
+  double offset_draw_;
+  ascp::Rng rng_;
+};
+
+/// Inductive LVDT-style position sensor: secondary voltage is the excitation
+/// carrier amplitude-modulated by core position — exercising the platform's
+/// carrier-based (modulator/demodulator) conditioning path like the gyro.
+class LvdtSensor {
+ public:
+  struct Config {
+    double transfer_gain = 0.8;   ///< secondary/primary ratio at full stroke
+    double stroke_mm = 5.0;       ///< mechanical full scale
+    double phase_rad = 0.05;      ///< residual carrier phase shift
+    double null_fraction = 1e-3;  ///< residual null voltage fraction
+  };
+
+  LvdtSensor(const Config& cfg, ascp::Rng rng) : cfg_(cfg), rng_(rng) {}
+
+  /// Secondary output for primary excitation `v_exc` (instantaneous carrier
+  /// sample) and quadrature sample `v_exc_q`, at core position [mm].
+  double output(double v_exc, double v_exc_q, double position_mm);
+
+ private:
+  Config cfg_;
+  ascp::Rng rng_;
+};
+
+}  // namespace ascp::sensor

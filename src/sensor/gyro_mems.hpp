@@ -1,0 +1,110 @@
+// gyro_mems.hpp — vibrating-ring MEMS gyroscope behavioral model.
+//
+// Paper §4.1 ([7],[8]): a circular ring with drive, sense and control
+// electrodes. The ring's two degenerate flexural modes are modelled as a
+// pair of damped second-order oscillators (per unit mass):
+//
+//   ẍ + (ω0d/Qd)·ẋ + ω0d²·x = f_drive + 2κΩ·ẏ          (primary / drive)
+//   ÿ + (ω0s/Qs)·ẏ + ω0s²·y = f_ctrl − 2κΩ·ẋ − kq·x + n (secondary / sense)
+//
+// κ is the ring's angular gain (~0.37), Ω the yaw rate, kq the quadrature
+// stiffness coupling, n the Brownian force noise. Electrostatic drive
+// converts electrode volts to force; capacitive pickoff converts modal
+// displacement to ΔC with electrode-gap nonlinearity. Resonance frequency
+// and Q drift with temperature — the effects the conditioning chain's PLL
+// and compensation stages exist to fight.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace ascp::sensor {
+
+struct GyroMemsConfig {
+  // Mechanics (per unit mass).
+  double f0_hz = 15e3;      ///< drive-mode resonance at 25 °C (paper: ~15 kHz)
+  double mode_split_hz = 0; ///< f0_sense − f0_drive (0 = mode-matched ring)
+  double q_drive = 5000.0;  ///< drive-mode quality factor at 25 °C
+  double q_sense = 5000.0;  ///< sense-mode quality factor at 25 °C
+  double angular_gain = 0.37;  ///< κ, Coriolis coupling of the ring
+
+  // Transduction.
+  double force_per_volt = 1.0;      ///< electrostatic drive [m/s² per V]
+  double cap_per_meter = 1e-7;      ///< pickoff ΔC/Δx [F/m]
+  double electrode_gap_m = 2e-6;    ///< gap for pickoff nonlinearity
+  double quad_stiffness = 6.0e4;    ///< kq [1/s²] (≈50 °/s equivalent)
+
+  // Temperature coefficients.
+  double f0_tempco = -20e-6;        ///< Δf0/f0 per °C
+  double q_tempco = -2e-3;          ///< ΔQ/Q per °C (Q drops when hot)
+  double force_tempco = -150e-6;    ///< drive-force gain per °C
+  double cap_tempco = 80e-6;        ///< pickoff gain per °C
+  double quad_tempco = 2e-3;        ///< quadrature coupling per °C
+
+  // Noise.
+  /// Brownian force noise per unit mass at 25 °C [(m/s²)/√Hz]. Scaled in
+  /// operation by √(T/T₀ · Q₀/Q(T)) — fluctuation-dissipation: hotter and
+  /// more damped means noisier.
+  double brownian_accel_density = 6.5e-5;
+
+  double sim_fs = 1.92e6;  ///< integration rate [Hz]
+};
+
+/// Electrode interface sampled once per integration step.
+struct GyroInputs {
+  double v_drive = 0.0;    ///< primary drive electrode voltage [V]
+  double v_control = 0.0;  ///< secondary control (force-feedback) voltage [V]
+  double rate_dps = 0.0;   ///< yaw rate Ω [°/s]
+  double temp_c = 25.0;    ///< die temperature [°C]
+};
+
+struct GyroOutputs {
+  double dc_primary = 0.0;  ///< drive pickoff ΔC [F]
+  double dc_sense = 0.0;    ///< sense pickoff ΔC [F]
+};
+
+/// RK4-integrated two-mode ring model.
+class GyroMems {
+ public:
+  GyroMems(const GyroMemsConfig& cfg, ascp::Rng rng);
+
+  /// Advance one integration step (1/sim_fs seconds).
+  GyroOutputs step(const GyroInputs& in);
+
+  /// Modal state access for tests/analysis.
+  double x() const { return s_.x; }
+  double y() const { return s_.y; }
+  double vx() const { return s_.vx; }
+  double vy() const { return s_.vy; }
+
+  /// Drive resonance frequency at a given temperature [Hz].
+  double f0_at(double temp_c) const;
+  /// Drive-mode Q at a given temperature.
+  double q_at(double temp_c) const;
+  /// Mechanical rate sensitivity ∂(sense amplitude)/∂Ω for matched modes at
+  /// drive amplitude `x_amp` [m per °/s] — used by tests as ground truth.
+  double mechanical_sensitivity(double x_amp, double temp_c = 25.0) const;
+
+  const GyroMemsConfig& config() const { return cfg_; }
+
+  void reset();
+
+ private:
+  struct State {
+    double x = 0.0, vx = 0.0, y = 0.0, vy = 0.0;
+  };
+  struct Params {  ///< temperature-resolved coefficients for one step
+    double w0d2, w0s2, dd, ds, fpv, kq, kappa_omega;
+  };
+
+  static State derivative(const State& s, const Params& p, double fd, double fc, double noise);
+  Params resolve(const GyroInputs& in) const;
+  double pickoff_cap(double displacement, double temp_c) const;
+
+  GyroMemsConfig cfg_;
+  State s_;
+  ascp::Rng rng_;
+  double noise_sigma_;
+  double dt_;
+};
+
+}  // namespace ascp::sensor

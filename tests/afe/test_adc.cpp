@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "afe/adc.hpp"
+#include "common/math.hpp"
+#include "common/spectrum.hpp"
+
+namespace ascp::afe {
+namespace {
+
+AdcConfig quiet_config(int bits = 12) {
+  // Noise-free, linear configuration for deterministic transfer tests.
+  AdcConfig cfg;
+  cfg.bits = bits;
+  cfg.noise_density = 0.0;
+  cfg.inl_lsb = 0.0;
+  cfg.dnl_sigma_lsb = 0.0;
+  cfg.offset_drift = 0.0;
+  cfg.gain_drift = 0.0;
+  return cfg;
+}
+
+TEST(SarAdc, LsbMatchesResolution) {
+  SarAdc adc(quiet_config(12), ascp::Rng(1));
+  EXPECT_DOUBLE_EQ(adc.lsb(), 2.5 / 2048.0);
+}
+
+TEST(SarAdc, MidScaleConvertsNearZero) {
+  SarAdc adc(quiet_config(), ascp::Rng(1));
+  // Residual offset is only the sub-LSB mismatch draw.
+  EXPECT_NEAR(adc.convert_volts(0.0), 0.0, adc.lsb());
+}
+
+TEST(SarAdc, TransferIsMonotone) {
+  // DNL mismatch enabled — monotonicity must still hold (SAR arrays with
+  // bounded DNL are monotone by construction in this model).
+  AdcConfig cfg = quiet_config();
+  cfg.dnl_sigma_lsb = 0.2;
+  cfg.inl_lsb = 0.5;
+  SarAdc adc(cfg, ascp::Rng(99));
+  std::int32_t prev = adc.convert(-2.5);
+  for (double v = -2.5; v <= 2.5; v += 0.002) {
+    const auto c = adc.convert(v);
+    EXPECT_GE(c, prev - 1) << v;  // allow ±1 code chatter from INL steps
+    prev = std::max(prev, c);
+  }
+}
+
+TEST(SarAdc, SaturatesAtRails) {
+  SarAdc adc(quiet_config(10), ascp::Rng(1));
+  EXPECT_EQ(adc.convert(10.0), 511);
+  EXPECT_EQ(adc.convert(-10.0), -512);
+}
+
+TEST(SarAdc, GainIsUnityWithinTolerance) {
+  SarAdc adc(quiet_config(), ascp::Rng(5));
+  std::vector<double> x, y;
+  for (double v = -2.0; v <= 2.0; v += 0.05) {
+    x.push_back(v);
+    y.push_back(adc.convert_volts(v));
+  }
+  const auto fit = ascp::fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 2e-3);
+}
+
+TEST(SarAdc, NoiseProducesCodeSpread) {
+  AdcConfig cfg = quiet_config();
+  cfg.noise_density = 5e-6;  // strong noise: several LSB rms
+  SarAdc adc(cfg, ascp::Rng(7));
+  std::vector<double> codes;
+  for (int i = 0; i < 2000; ++i) codes.push_back(static_cast<double>(adc.convert(0.5)));
+  EXPECT_GT(ascp::stddev(codes), 0.5);
+}
+
+TEST(SarAdc, QuantizationNoiseFloorMatchesTheory) {
+  // ENOB check: ideal quantizer SNR for a full-scale sine is 6.02·N+1.76 dB.
+  AdcConfig cfg = quiet_config(10);
+  cfg.fs = 240e3;
+  SarAdc adc(cfg, ascp::Rng(11));
+  // Integer number of cycles in the record so the tone fit has no leakage.
+  const double fs = 240e3, f0 = 137.0 * fs / (1 << 15);
+  const double amp = 2.5 * 0.95;
+  std::vector<double> out(1 << 15);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = adc.convert_volts(amp * std::sin(kTwoPi * f0 * i / fs));
+  // Remove the static offset draw: offset is a DC error, not noise.
+  const double dc = mean(out);
+  for (auto& v : out) v -= dc;
+  const auto tone = estimate_tone(out, fs, f0);
+  double residual_power = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double fit = tone.amplitude * std::cos(kTwoPi * f0 * i / fs + tone.phase);
+    residual_power += (out[i] - fit) * (out[i] - fit);
+  }
+  residual_power /= static_cast<double>(out.size());
+  const double snr_db = db10(tone.amplitude * tone.amplitude / 2.0 / residual_power);
+  EXPECT_GT(snr_db, 6.02 * 10 + 1.76 - 3.0);
+  EXPECT_LT(snr_db, 6.02 * 10 + 1.76 + 3.0);
+}
+
+TEST(SarAdc, OffsetDriftsWithTemperature) {
+  AdcConfig cfg = quiet_config();
+  cfg.offset_drift = 100e-6;  // 100 µV/°C, exaggerated for visibility
+  SarAdc adc(cfg, ascp::Rng(13));
+  const double cold = adc.convert_volts(0.0, -40.0);
+  const double hot = adc.convert_volts(0.0, 125.0);
+  EXPECT_NEAR(hot - cold, 100e-6 * 165.0, 3 * adc.lsb());
+}
+
+TEST(SarAdc, InlReadbackBounded) {
+  AdcConfig cfg = quiet_config();
+  cfg.inl_lsb = 0.5;
+  cfg.dnl_sigma_lsb = 0.1;
+  SarAdc adc(cfg, ascp::Rng(17));
+  double worst = 0.0;
+  for (std::int32_t c = -2048; c < 2048; c += 16) worst = std::max(worst, std::abs(adc.inl_at(c)));
+  EXPECT_GT(worst, 0.01);  // nonlinearity exists...
+  EXPECT_LT(worst, 4.0);   // ...but stays within a few LSB
+}
+
+TEST(SarAdc, EndpointInlIsZero) {
+  AdcConfig cfg = quiet_config();
+  cfg.inl_lsb = 1.0;
+  SarAdc adc(cfg, ascp::Rng(19));
+  EXPECT_NEAR(adc.inl_at(-2048), 0.0, 1e-9);
+  EXPECT_NEAR(adc.inl_at(2047), 0.0, 1e-9);
+}
+
+TEST(SarAdc, SeedsGiveDifferentMismatch) {
+  AdcConfig cfg = quiet_config();
+  cfg.inl_lsb = 0.5;
+  SarAdc a(cfg, ascp::Rng(1)), b(cfg, ascp::Rng(2));
+  bool differ = false;
+  for (std::int32_t c = -2000; c < 2000 && !differ; c += 64)
+    differ = std::abs(a.inl_at(c) - b.inl_at(c)) > 1e-6;
+  EXPECT_TRUE(differ);
+}
+
+// Resolution sweep: programmability knob of the platform (paper §3,
+// "number of ADC bits").
+class AdcBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdcBits, RoundTripErrorBoundedByLsbPlusMismatch) {
+  SarAdc adc(quiet_config(GetParam()), ascp::Rng(23));
+  for (double v = -2.0; v <= 2.0; v += 0.0137) {
+    // Budget: ±1.5 LSB quantization/offset plus the ~1e-4 gain-mismatch draw
+    // (which dominates at fine resolutions).
+    EXPECT_LE(std::abs(adc.convert_volts(v) - v), adc.lsb() * 1.5 + std::abs(v) * 4e-4) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, AdcBits, ::testing::Values(8, 10, 12, 14, 16));
+
+}  // namespace
+}  // namespace ascp::afe

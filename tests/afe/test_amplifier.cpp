@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "afe/amplifier.hpp"
+#include "common/math.hpp"
+
+namespace ascp::afe {
+namespace {
+
+AmplifierConfig quiet_config() {
+  AmplifierConfig cfg;
+  cfg.offset_volts = 0.0;
+  cfg.offset_drift = 0.0;
+  cfg.noise = NoiseSpec{0.0, 0.0};
+  return cfg;
+}
+
+TEST(Amplifier, DcGainApplies) {
+  AmplifierConfig cfg = quiet_config();
+  cfg.gain = 10.0;
+  Amplifier amp(cfg, ascp::Rng(1));
+  double y = 0.0;
+  for (int i = 0; i < 100000; ++i) y = amp.step(0.1);
+  EXPECT_NEAR(y, 1.0, 1e-6);
+}
+
+TEST(Amplifier, SaturatesAtRails) {
+  AmplifierConfig cfg = quiet_config();
+  cfg.gain = 100.0;
+  cfg.vsat = 2.5;
+  Amplifier amp(cfg, ascp::Rng(1));
+  double y = 0.0;
+  for (int i = 0; i < 100000; ++i) y = amp.step(1.0);
+  EXPECT_DOUBLE_EQ(y, 2.5);
+}
+
+TEST(Amplifier, BandwidthAttenuatesHighFrequency) {
+  AmplifierConfig cfg = quiet_config();
+  cfg.gain = 1.0;
+  cfg.bandwidth_hz = 10e3;
+  cfg.fs = 1.92e6;
+  Amplifier amp(cfg, ascp::Rng(1));
+  // Drive at 10× the corner: one-pole gives ~×0.1.
+  const double f = 100e3;
+  double peak = 0.0;
+  for (int i = 0; i < 400000; ++i) {
+    const double y = amp.step(std::sin(kTwoPi * f * i / cfg.fs));
+    if (i > 200000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_NEAR(peak, 0.0995, 0.01);
+}
+
+TEST(Amplifier, Minus3DbAtCorner) {
+  AmplifierConfig cfg = quiet_config();
+  cfg.bandwidth_hz = 50e3;
+  cfg.fs = 1.92e6;
+  Amplifier amp(cfg, ascp::Rng(1));
+  double peak = 0.0;
+  for (int i = 0; i < 800000; ++i) {
+    const double y = amp.step(std::sin(kTwoPi * 50e3 * i / cfg.fs));
+    if (i > 400000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_NEAR(peak, 1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST(Amplifier, ProgrammableGainTakesEffect) {
+  Amplifier amp(quiet_config(), ascp::Rng(1));
+  amp.set_gain(4.0);
+  double y = 0.0;
+  for (int i = 0; i < 100000; ++i) y = amp.step(0.25);
+  EXPECT_NEAR(y, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(amp.gain(), 4.0);
+}
+
+TEST(Amplifier, ProgrammableBandwidthTakesEffect) {
+  AmplifierConfig cfg = quiet_config();
+  cfg.fs = 1.92e6;
+  Amplifier amp(cfg, ascp::Rng(1));
+  amp.set_bandwidth(1e3);
+  const double f = 20e3;
+  double peak = 0.0;
+  for (int i = 0; i < 800000; ++i) {
+    const double y = amp.step(std::sin(kTwoPi * f * i / cfg.fs));
+    if (i > 400000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_LT(peak, 0.08);  // 20× past the new corner
+}
+
+TEST(Amplifier, OffsetIsAmplified) {
+  AmplifierConfig cfg = quiet_config();
+  cfg.gain = 100.0;
+  cfg.offset_volts = 1e-3;  // 1σ of the draw
+  Amplifier amp(cfg, ascp::Rng(42));
+  double y = 0.0;
+  for (int i = 0; i < 100000; ++i) y = amp.step(0.0);
+  EXPECT_GT(std::abs(y), 1e-3);  // some amplified offset is visible
+  EXPECT_LT(std::abs(y), 0.5);
+}
+
+TEST(Amplifier, NoiseAppearsAtOutput) {
+  AmplifierConfig cfg = quiet_config();
+  cfg.gain = 1.0;
+  cfg.noise = NoiseSpec{1e-6, 0.0};
+  Amplifier amp(cfg, ascp::Rng(3));
+  std::vector<double> v(20000);
+  for (auto& x : v) x = amp.step(0.0);
+  EXPECT_GT(ascp::stddev(v), 1e-5);
+}
+
+TEST(Amplifier, ResetClearsState) {
+  // Narrow bandwidth so the internal pole state is observable.
+  AmplifierConfig cfg = quiet_config();
+  cfg.bandwidth_hz = 1e3;
+  cfg.fs = 1.92e6;
+  Amplifier amp(cfg, ascp::Rng(1));
+  for (int i = 0; i < 4000000; ++i) amp.step(1.0);
+  amp.reset();
+  // First output after reset is a small fraction of the settled value.
+  EXPECT_LT(std::abs(amp.step(1.0)), 0.1);
+}
+
+}  // namespace
+}  // namespace ascp::afe

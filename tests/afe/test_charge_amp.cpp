@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "afe/charge_amp.hpp"
+#include "common/math.hpp"
+
+namespace ascp::afe {
+namespace {
+
+ChargeAmpConfig quiet_config() {
+  ChargeAmpConfig cfg;
+  cfg.noise = NoiseSpec{0.0, 0.0};
+  return cfg;
+}
+
+TEST(ChargeAmp, GainIsVbiasOverCf) {
+  ChargeAmpConfig cfg = quiet_config();
+  cfg.v_bias = 5.0;
+  cfg.c_feedback_farads = 1e-12;
+  ChargeAmp ca(cfg, ascp::Rng(1));
+  EXPECT_DOUBLE_EQ(ca.gain(), 5e12);
+}
+
+TEST(ChargeAmp, CarrierPassesAtFullGain) {
+  // 15 kHz capacitance modulation (the gyro carrier) sits far above the
+  // high-pass corner and far below the bandwidth limit.
+  ChargeAmpConfig cfg = quiet_config();
+  ChargeAmp ca(cfg, ascp::Rng(1));
+  const double fs = cfg.fs, f0 = 15e3;
+  const double dc_amp = 0.1e-12;  // 0.1 pF swing
+  double peak = 0.0;
+  for (int i = 0; i < 800000; ++i) {
+    const double y = ca.step(dc_amp * std::sin(kTwoPi * f0 * i / fs));
+    if (i > 400000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_NEAR(peak, dc_amp * ca.gain(), 0.02 * dc_amp * ca.gain());
+}
+
+TEST(ChargeAmp, DcIsServoedOut) {
+  // A static capacitance offset (electrode bias drift) is removed by the
+  // DC servo high-pass.
+  ChargeAmp ca(quiet_config(), ascp::Rng(1));
+  double y = 0.0;
+  for (int i = 0; i < 4000000; ++i) y = ca.step(0.2e-12);
+  EXPECT_NEAR(y, 0.0, 1e-3);
+}
+
+TEST(ChargeAmp, SaturatesAtRails) {
+  ChargeAmpConfig cfg = quiet_config();
+  cfg.vsat = 2.5;
+  ChargeAmp ca(cfg, ascp::Rng(1));
+  const double fs = cfg.fs;
+  double peak = 0.0;
+  for (int i = 0; i < 400000; ++i) {
+    const double y = ca.step(10e-12 * std::sin(kTwoPi * 15e3 * i / fs));
+    peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_LE(peak, 2.5 + 1e-12);
+  EXPECT_NEAR(peak, 2.5, 1e-6);
+}
+
+TEST(ChargeAmp, BandwidthLimitsFastEdges) {
+  ChargeAmpConfig cfg = quiet_config();
+  cfg.bandwidth_hz = 100e3;
+  ChargeAmp ca(cfg, ascp::Rng(1));
+  // A step in capacitance does not appear instantaneously.
+  const double y0 = ca.step(0.1e-12);
+  EXPECT_LT(y0, 0.1e-12 * ca.gain() * 0.5);
+}
+
+TEST(ChargeAmp, NoiseFloorsOutput) {
+  ChargeAmpConfig cfg = quiet_config();
+  cfg.noise = NoiseSpec{100e-9, 0.0};
+  ChargeAmp ca(cfg, ascp::Rng(5));
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double y = ca.step(0.0);
+    sum_sq += y * y;
+  }
+  EXPECT_GT(std::sqrt(sum_sq / n), 1e-5);
+}
+
+TEST(ChargeAmp, ResetClearsState) {
+  ChargeAmp ca(quiet_config(), ascp::Rng(1));
+  for (int i = 0; i < 100000; ++i) ca.step(0.5e-12);
+  ca.reset();
+  EXPECT_LT(std::abs(ca.step(0.0)), 1e-9);
+}
+
+}  // namespace
+}  // namespace ascp::afe

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "afe/frontend.hpp"
+#include "common/math.hpp"
+#include "common/spectrum.hpp"
+
+namespace ascp::afe {
+namespace {
+
+FrontendConfig quiet_config() {
+  FrontendConfig cfg;
+  cfg.amp.offset_volts = 0.0;
+  cfg.amp.offset_drift = 0.0;
+  cfg.amp.noise = NoiseSpec{0.0, 0.0};
+  cfg.adc.noise_density = 0.0;
+  cfg.adc.inl_lsb = 0.0;
+  cfg.adc.dnl_sigma_lsb = 0.0;
+  cfg.adc.offset_drift = 0.0;
+  cfg.adc.gain_drift = 0.0;
+  return cfg;
+}
+
+TEST(Frontend, SampleRateIsAnalogOverDecimation) {
+  AcquisitionChannel ch(quiet_config(), ascp::Rng(1));
+  EXPECT_DOUBLE_EQ(ch.sample_rate(), 1.92e6 / 8.0);
+}
+
+TEST(Frontend, ProducesOneSamplePerDecimation) {
+  AcquisitionChannel ch(quiet_config(), ascp::Rng(1));
+  int count = 0;
+  for (int i = 0; i < 800; ++i)
+    if (ch.step(0.0)) ++count;
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Frontend, DcPassesThroughChannel) {
+  AcquisitionChannel ch(quiet_config(), ascp::Rng(2));
+  double last = 0.0;
+  for (int i = 0; i < 100000; ++i)
+    if (auto y = ch.step(0.8)) last = *y;
+  EXPECT_NEAR(last, 0.8, 0.01);
+}
+
+TEST(Frontend, GainAppliesBeforeAdc) {
+  FrontendConfig cfg = quiet_config();
+  cfg.amp.gain = 2.0;
+  AcquisitionChannel ch(cfg, ascp::Rng(3));
+  double last = 0.0;
+  for (int i = 0; i < 100000; ++i)
+    if (auto y = ch.step(0.5)) last = *y;
+  EXPECT_NEAR(last, 1.0, 0.01);
+}
+
+TEST(Frontend, CarrierSurvivesAcquisition) {
+  // The 15 kHz gyro carrier must pass the AA filter (corner 60 kHz) and be
+  // represented faithfully at the 240 kHz ADC rate.
+  FrontendConfig cfg = quiet_config();
+  AcquisitionChannel ch(cfg, ascp::Rng(5));
+  const double fs_analog = cfg.analog_fs;
+  std::vector<double> out;
+  for (int i = 0; i < 1920000; ++i) {
+    if (auto y = ch.step(0.5 * std::sin(kTwoPi * 15e3 * i / fs_analog))) out.push_back(*y);
+  }
+  const auto tone = estimate_tone(std::span(out).subspan(out.size() / 2), ch.sample_rate(), 15e3);
+  EXPECT_NEAR(tone.amplitude, 0.5, 0.05);
+}
+
+TEST(Frontend, AliasBandIsSuppressed) {
+  // Signal above ADC Nyquist (120 kHz) must be attenuated by the AA filter
+  // before folding — not appear at full amplitude.
+  FrontendConfig cfg = quiet_config();
+  cfg.aa_corner_hz = 30e3;
+  AcquisitionChannel ch(cfg, ascp::Rng(7));
+  const double f_alias = 230e3;  // folds to 10 kHz
+  std::vector<double> out;
+  for (int i = 0; i < 1920000; ++i) {
+    if (auto y = ch.step(1.0 * std::sin(kTwoPi * f_alias * i / cfg.analog_fs))) out.push_back(*y);
+  }
+  const auto tone = estimate_tone(std::span(out).subspan(out.size() / 2), ch.sample_rate(), 10e3);
+  EXPECT_LT(tone.amplitude, 0.2);
+}
+
+TEST(Frontend, AccessorsExposeSubBlocks) {
+  AcquisitionChannel ch(quiet_config(), ascp::Rng(9));
+  ch.amplifier().set_gain(3.0);
+  EXPECT_DOUBLE_EQ(ch.amplifier().gain(), 3.0);
+  EXPECT_EQ(ch.adc().bits(), 12);
+}
+
+TEST(Frontend, ResetClearsFilters) {
+  AcquisitionChannel ch(quiet_config(), ascp::Rng(11));
+  for (int i = 0; i < 10000; ++i) ch.step(1.0);
+  ch.reset();
+  double first = 1.0;
+  for (int i = 0; i < 8; ++i)
+    if (auto y = ch.step(0.0)) first = *y;
+  EXPECT_NEAR(first, 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace ascp::afe

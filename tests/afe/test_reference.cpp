@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "afe/reference.hpp"
+#include "common/math.hpp"
+
+namespace ascp::afe {
+namespace {
+
+TEST(VoltageReference, NominalAt25C) {
+  VoltageReference ref(2.5, 0.0, 0.0, ascp::Rng(1));
+  std::vector<double> v(1000);
+  for (auto& x : v) x = ref.value(25.0);
+  EXPECT_NEAR(ascp::mean(v), 2.5, 2.5 * 500e-6);  // within trim accuracy
+}
+
+TEST(VoltageReference, LinearTempcoApplies) {
+  VoltageReference ref(2.5, 40.0, 0.0, ascp::Rng(2));  // 40 ppm/°C
+  const double at25 = ref.value(25.0);
+  const double at125 = ref.value(125.0);
+  EXPECT_NEAR((at125 - at25) / at25, 40e-6 * 100.0, 5e-5);
+}
+
+TEST(VoltageReference, CurvatureBendsTheCurve) {
+  VoltageReference ref(2.5, 0.0, 100.0, ascp::Rng(3));
+  const double mid = ref.value(25.0);
+  const double cold = ref.value(-40.0);
+  const double hot = ref.value(85.0);
+  // Quadratic term: both extremes deviate in the same direction.
+  EXPECT_GT((cold - mid) * (hot - mid), 0.0);
+}
+
+TEST(Oscillator, NominalFrequency) {
+  Oscillator osc(20e6, 0.0, 0.0, ascp::Rng(1));
+  EXPECT_NEAR(osc.frequency(25.0), 20e6, 1.0);
+}
+
+TEST(Oscillator, TempcoShiftsFrequency) {
+  Oscillator osc(20e6, -30.0, 0.0, ascp::Rng(1));
+  EXPECT_NEAR(osc.frequency(125.0), 20e6 * (1.0 - 30e-6 * 100.0), 10.0);
+}
+
+TEST(Oscillator, JitterSpreadsSamples) {
+  Oscillator osc(20e6, 0.0, 50.0, ascp::Rng(5));
+  std::vector<double> f(10000);
+  for (auto& x : f) x = osc.frequency(25.0);
+  EXPECT_NEAR(ascp::stddev(f) / 20e6, 50e-6, 10e-6);
+}
+
+TEST(TempSensor, TracksTrueTemperature) {
+  TempSensor ts(0.0, 0.0, ascp::Rng(1));
+  std::vector<double> err(1000);
+  for (auto& e : err) e = ts.read(60.0) - 60.0;
+  EXPECT_NEAR(ascp::mean(err), 0.0, 0.05);
+}
+
+TEST(TempSensor, GainErrorGrowsWithKelvin) {
+  // 1 % PTAT gain error ⇒ ~3.3 °C error at 60 °C but anchored to kelvin.
+  TempSensor ts(1.0, 0.0, ascp::Rng(42));
+  std::vector<double> at_hot(500), at_cold(500);
+  for (auto& x : at_hot) x = ts.read(85.0) - 85.0;
+  for (auto& x : at_cold) x = ts.read(-40.0) - (-40.0);
+  // Error magnitudes differ because the PTAT error scales with T_abs.
+  EXPECT_NE(std::abs(ascp::mean(at_hot)), std::abs(ascp::mean(at_cold)));
+}
+
+TEST(TempSensor, NoiseIsSmall) {
+  TempSensor ts(0.0, 0.0, ascp::Rng(7));
+  std::vector<double> v(2000);
+  for (auto& x : v) x = ts.read(25.0);
+  EXPECT_LT(ascp::stddev(v), 0.2);
+}
+
+}  // namespace
+}  // namespace ascp::afe

@@ -1,0 +1,148 @@
+// Tests for fx::Fixed — the bit-true arithmetic every hardwired DSP block
+// relies on. Saturation, rounding and format-conversion behaviour must match
+// what a synthesized datapath does.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/fixed.hpp"
+
+namespace ascp::fx {
+namespace {
+
+TEST(Fixed, DefaultIsZero) {
+  Q1_14 a;
+  EXPECT_EQ(a.raw(), 0);
+  EXPECT_DOUBLE_EQ(a.to_double(), 0.0);
+}
+
+TEST(Fixed, RoundTripExactValues) {
+  // Values on the LSB grid survive the double round trip exactly.
+  for (double v : {0.0, 0.5, -0.5, 1.0, -1.0, 0.25, 1.25, -1.75}) {
+    EXPECT_DOUBLE_EQ(Q1_14(v).to_double(), v) << v;
+  }
+}
+
+TEST(Fixed, QuantizationErrorBoundedByHalfLsb) {
+  for (double v = -1.9; v < 1.9; v += 0.01713) {
+    const double err = std::abs(Q1_14(v).to_double() - v);
+    EXPECT_LE(err, Q1_14::kLsb / 2.0 + 1e-15) << v;
+  }
+}
+
+TEST(Fixed, SaturatesAtPositiveRail) {
+  const Q1_14 big(100.0);
+  EXPECT_EQ(big.raw(), Q1_14::kRawMax);
+  EXPECT_NEAR(big.to_double(), 2.0, 2 * Q1_14::kLsb);
+}
+
+TEST(Fixed, SaturatesAtNegativeRail) {
+  const Q1_14 big(-100.0);
+  EXPECT_EQ(big.raw(), Q1_14::kRawMin);
+  EXPECT_DOUBLE_EQ(big.to_double(), -2.0);
+}
+
+TEST(Fixed, AdditionSaturates) {
+  const auto sum = Q1_14(1.5) + Q1_14(1.5);
+  EXPECT_EQ(sum.raw(), Q1_14::kRawMax);
+}
+
+TEST(Fixed, SubtractionSaturates) {
+  const auto diff = Q1_14(-1.5) - Q1_14(1.5);
+  EXPECT_EQ(diff.raw(), Q1_14::kRawMin);
+}
+
+TEST(Fixed, NegationOfMinSaturates) {
+  // -(-2.0) = +2.0 is not representable; two's complement hardware with
+  // saturation clamps to kRawMax instead of wrapping back to the min.
+  const auto neg = -Q1_14::min();
+  EXPECT_EQ(neg.raw(), Q1_14::kRawMax);
+}
+
+TEST(Fixed, MultiplicationBasic) {
+  const auto p = Q1_14(0.5) * Q1_14(0.5);
+  EXPECT_NEAR(p.to_double(), 0.25, Q1_14::kLsb);
+}
+
+TEST(Fixed, MultiplicationSign) {
+  const auto p = Q1_14(-0.5) * Q1_14(1.5);
+  EXPECT_NEAR(p.to_double(), -0.75, Q1_14::kLsb);
+}
+
+TEST(Fixed, MultiplicationSaturates) {
+  const auto p = Q1_14(1.9) * Q1_14(1.9);
+  EXPECT_EQ(p.raw(), Q1_14::kRawMax);
+}
+
+TEST(Fixed, WrapOverflowWrapsExactly) {
+  using Wrap = Fixed<1, 14, Round::Nearest, Overflow::Wrap>;
+  // kRawMax + 1 wraps to kRawMin in modular arithmetic.
+  const auto wrapped = Wrap::from_raw(Wrap::kRawMax + 1);
+  EXPECT_EQ(wrapped.raw(), Wrap::kRawMin);
+}
+
+TEST(Fixed, ConversionWideningPreservesValue) {
+  const Q1_14 a(0.7371);
+  const auto b = a.convert<1, 22>();
+  EXPECT_DOUBLE_EQ(b.to_double(), a.to_double());
+}
+
+TEST(Fixed, ConversionNarrowingRounds) {
+  const Q1_22 a(0.5 + Q1_22::kLsb * 3);  // just above 0.5 on the fine grid
+  const auto b = a.convert<1, 14>();
+  EXPECT_NEAR(b.to_double(), 0.5, Q1_14::kLsb);
+}
+
+TEST(Fixed, TruncateRoundingBiasesDown) {
+  using Trunc = Fixed<1, 4, Round::Truncate>;
+  // 0.99 in Q1.4 truncates to 0.9375 (15/16), never rounds up to 1.0.
+  EXPECT_DOUBLE_EQ(Trunc(0.99).to_double(), 0.9375);
+}
+
+TEST(Fixed, NearestRoundingRoundsHalfUp) {
+  using Near = Fixed<1, 4>;
+  // 0.96875 = 15.5/16 rounds to 16/16 = 1.0.
+  EXPECT_DOUBLE_EQ(Near(0.96875).to_double(), 1.0);
+}
+
+TEST(Fixed, OrderingFollowsValue) {
+  EXPECT_LT(Q1_14(-0.5), Q1_14(0.25));
+  EXPECT_GT(Q1_14(1.0), Q1_14(0.9999));
+  EXPECT_EQ(Q1_14(0.5), Q1_14(0.5));
+}
+
+TEST(Fixed, LsbMatchesFormat) {
+  EXPECT_DOUBLE_EQ(Q1_14::kLsb, std::pow(2.0, -14));
+  EXPECT_DOUBLE_EQ(Q4_18::kLsb, std::pow(2.0, -18));
+}
+
+TEST(Fixed, AccumulationStaysExactOnGrid) {
+  // Sums of grid values are exact until saturation — key property for
+  // integrators in the loop filters.
+  Q4_18 acc;
+  for (int i = 0; i < 1000; ++i) acc += Q4_18(0.001953125);  // 2^-9, on grid
+  EXPECT_DOUBLE_EQ(acc.to_double(), 1000 * 0.001953125);
+}
+
+// Property sweep: (a+b) saturating addition never exceeds rails and is exact
+// when in range.
+class FixedAddProperty : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(FixedAddProperty, SaturatingAddIsClampOfExactSum) {
+  const auto [av, bv] = GetParam();
+  const Q1_14 a(av), b(bv);
+  const double exact = a.to_double() + b.to_double();
+  const double expect = std::clamp(exact, Q1_14::min().to_double(), Q1_14::max().to_double());
+  EXPECT_NEAR((a + b).to_double(), expect, Q1_14::kLsb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, FixedAddProperty,
+                         ::testing::Values(std::pair{0.1, 0.2}, std::pair{1.5, 1.5},
+                                           std::pair{-1.5, -1.5}, std::pair{1.999, 0.001},
+                                           std::pair{-2.0, 2.0}, std::pair{0.33333, -0.66666},
+                                           std::pair{1.0, -1.0}, std::pair{1.9999, 1.9999}));
+
+}  // namespace
+}  // namespace ascp::fx

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/quantizer.hpp"
+
+namespace ascp {
+namespace {
+
+TEST(Quantizer, LsbMatchesDefinition) {
+  const Quantizer q(12, 2.5);
+  EXPECT_DOUBLE_EQ(q.lsb(), 2.5 / 2048.0);
+}
+
+TEST(Quantizer, ZeroMapsToZero) {
+  const Quantizer q(12, 2.5);
+  EXPECT_EQ(q.to_code(0.0), 0);
+  EXPECT_DOUBLE_EQ(q.quantize(0.0), 0.0);
+}
+
+TEST(Quantizer, RoundTripErrorBounded) {
+  const Quantizer q(10, 1.0);
+  for (double v = -0.99; v < 0.99; v += 0.00719) {
+    EXPECT_LE(std::abs(q.quantize(v) - v), q.lsb() / 2.0 + 1e-12) << v;
+  }
+}
+
+TEST(Quantizer, SaturatesSymmetrically) {
+  const Quantizer q(8, 1.0);
+  EXPECT_EQ(q.to_code(10.0), 127);
+  EXPECT_EQ(q.to_code(-10.0), -128);
+}
+
+TEST(Quantizer, CodesAreMonotone) {
+  const Quantizer q(6, 1.0);
+  std::int64_t prev = q.to_code(-1.1);
+  for (double v = -1.1; v <= 1.1; v += 0.003) {
+    const auto c = q.to_code(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Quantizer, BitsClampedToSaneRange) {
+  const Quantizer q(1, 1.0);  // silently promoted to 2 bits
+  EXPECT_EQ(q.bits(), 2);
+}
+
+// Parametrized: quantization noise power ≈ LSB²/12 for a full-range ramp.
+class QuantNoise : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantNoise, NoisePowerMatchesLsbSquaredOver12) {
+  const int bits = GetParam();
+  const Quantizer q(bits, 1.0);
+  double sum_sq = 0.0;
+  int n = 0;
+  for (double v = -0.95; v < 0.95; v += 1e-4, ++n) {
+    const double e = q.quantize(v) - v;
+    sum_sq += e * e;
+  }
+  const double measured = sum_sq / n;
+  const double expected = q.lsb() * q.lsb() / 12.0;
+  EXPECT_NEAR(measured / expected, 1.0, 0.1) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantNoise, ::testing::Values(8, 10, 12, 14));
+
+}  // namespace
+}  // namespace ascp

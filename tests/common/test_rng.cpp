@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/spectrum.hpp"
+
+namespace ascp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  std::vector<double> v(100000);
+  for (auto& x : v) x = r.uniform();
+  EXPECT_NEAR(mean(v), 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng r(13);
+  std::vector<double> v(200000);
+  for (auto& x : v) x = r.gaussian();
+  EXPECT_NEAR(mean(v), 0.0, 0.02);
+  EXPECT_NEAR(stddev(v), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianSigmaScales) {
+  Rng r(17);
+  std::vector<double> v(100000);
+  for (auto& x : v) x = r.gaussian(3.5);
+  EXPECT_NEAR(stddev(v), 3.5, 0.1);
+}
+
+TEST(Rng, GaussianTailsPresent) {
+  // A correct normal source produces |x| > 3 about 0.27 % of the time.
+  Rng r(19);
+  int tail = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    if (std::abs(r.gaussian()) > 3.0) ++tail;
+  const double frac = static_cast<double>(tail) / n;
+  EXPECT_NEAR(frac, 0.0027, 0.001);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(23);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  // Correlation between forked streams should be negligible.
+  double acc = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) acc += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+  EXPECT_LT(std::abs(acc / n), 1e-3);
+}
+
+TEST(FlickerNoise, RmsApproximatesRequested) {
+  Rng r(29);
+  FlickerNoise f(r, 2.0, 16);
+  std::vector<double> v(1 << 18);
+  for (auto& x : v) x = f.next();
+  EXPECT_NEAR(rms(v), 2.0, 0.5);
+}
+
+TEST(FlickerNoise, SpectrumFallsWithFrequency) {
+  // The defining property: PSD at low frequency well above PSD at high
+  // frequency, roughly 10 dB per decade (1/f).
+  Rng r(31);
+  FlickerNoise f(r, 1.0, 16);
+  std::vector<double> v(1 << 18);
+  for (auto& x : v) x = f.next();
+  const auto psd = welch_psd(v, 1.0, 1 << 12);
+  const double low = psd.band_mean(0.001, 0.004);
+  const double high = psd.band_mean(0.1, 0.4);
+  EXPECT_GT(low, high * 8.0);  // ≥ ~9 dB over two decades
+}
+
+}  // namespace
+}  // namespace ascp

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/spectrum.hpp"
+
+namespace ascp {
+namespace {
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+  std::vector<std::complex<double>> d(16, 0.0);
+  d[0] = 1.0;
+  fft(d);
+  for (const auto& v : d) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInCorrectBin) {
+  const std::size_t n = 256;
+  std::vector<std::complex<double>> d(n);
+  const int k = 37;
+  for (std::size_t i = 0; i < n; ++i)
+    d[i] = std::cos(kTwoPi * k * static_cast<double>(i) / n);
+  fft(d);
+  EXPECT_NEAR(std::abs(d[k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(d[n - k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(d[k + 5]), 0.0, 1e-9);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng r(3);
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> d(n), orig(n);
+  for (auto& v : d) v = {r.gaussian(), r.gaussian()};
+  orig = d;
+  fft(d);
+  fft(d, /*inverse=*/true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(d[i].real() / n, orig[i].real(), 1e-10);
+    EXPECT_NEAR(d[i].imag() / n, orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  Rng r(5);
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = r.gaussian();
+    b[i] = r.gaussian();
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 0.0, 1e-9);
+}
+
+TEST(Welch, WhiteNoisePsdIsFlatAtCorrectLevel) {
+  // White noise with sigma² = 4 sampled at fs has one-sided density
+  // 2·sigma²/fs; Welch should recover it within a few percent.
+  Rng r(7);
+  const double fs = 1000.0;
+  const double sigma = 2.0;
+  std::vector<double> x(1 << 16);
+  for (auto& v : x) v = r.gaussian(sigma);
+  const auto psd = welch_psd(x, fs, 1 << 10);
+  const double density = psd.band_mean(50.0, 450.0);
+  EXPECT_NEAR(density, 2.0 * sigma * sigma / fs, 0.05 * 2.0 * sigma * sigma / fs);
+}
+
+TEST(Welch, ParsevalVarianceMatches) {
+  Rng r(9);
+  std::vector<double> x(1 << 15);
+  for (auto& v : x) v = r.gaussian(1.5);
+  const auto psd = welch_psd(x, 100.0, 1 << 9);
+  // Integral of PSD over frequency ≈ variance.
+  double integral = 0.0;
+  const double df = psd.freq[1] - psd.freq[0];
+  for (double p : psd.power) integral += p * df;
+  EXPECT_NEAR(integral, 1.5 * 1.5, 0.15);
+}
+
+TEST(Welch, TonePeaksAtToneFrequency) {
+  const double fs = 1000.0, f0 = 123.0;
+  std::vector<double> x(1 << 14);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(kTwoPi * f0 * i / fs);
+  const auto psd = welch_psd(x, fs, 1 << 10);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < psd.power.size(); ++i)
+    if (psd.power[i] > psd.power[peak]) peak = i;
+  EXPECT_NEAR(psd.freq[peak], f0, fs / (1 << 10) * 1.5);
+}
+
+TEST(Welch, TooShortSignalGivesEmpty) {
+  std::vector<double> x(10, 1.0);
+  const auto psd = welch_psd(x, 100.0, 64);
+  EXPECT_TRUE(psd.freq.empty());
+}
+
+TEST(ToneEstimate, RecoversAmplitudeAndPhase) {
+  const double fs = 2000.0, f0 = 100.0, amp = 0.75, ph = 0.6;
+  std::vector<double> x(4000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = amp * std::cos(kTwoPi * f0 * i / fs + ph);
+  const auto est = estimate_tone(x, fs, f0);
+  EXPECT_NEAR(est.amplitude, amp, 0.01);
+  EXPECT_NEAR(est.phase, ph, 0.01);
+}
+
+TEST(ToneEstimate, RejectsOtherFrequencies) {
+  const double fs = 2000.0;
+  std::vector<double> x(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(kTwoPi * 400.0 * i / fs);
+  const auto est = estimate_tone(x, fs, 100.0);
+  EXPECT_NEAR(est.amplitude, 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace ascp

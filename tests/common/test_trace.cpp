@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/trace.hpp"
+
+namespace ascp {
+namespace {
+
+TEST(Trace, OpenPushRead) {
+  TraceRecorder rec;
+  rec.open("sig", 0.001);
+  rec.push("sig", 1.0);
+  rec.push("sig", 2.0);
+  const auto& ch = rec.channel("sig");
+  ASSERT_EQ(ch.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(ch.samples[0], 1.0);
+  EXPECT_DOUBLE_EQ(ch.samples[1], 2.0);
+  EXPECT_DOUBLE_EQ(ch.dt, 0.001);
+}
+
+TEST(Trace, DecimationKeepsEveryNth) {
+  TraceRecorder rec;
+  rec.open("d", 0.5, 4);
+  for (int i = 0; i < 16; ++i) rec.push("d", i);
+  const auto& ch = rec.channel("d");
+  ASSERT_EQ(ch.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(ch.samples[0], 0.0);
+  EXPECT_DOUBLE_EQ(ch.samples[1], 4.0);
+  EXPECT_DOUBLE_EQ(ch.dt, 2.0);  // 0.5 · 4
+}
+
+TEST(Trace, PushToUnknownChannelThrows) {
+  TraceRecorder rec;
+  EXPECT_THROW(rec.push("nope", 1.0), std::out_of_range);
+}
+
+TEST(Trace, ReadUnknownChannelThrows) {
+  TraceRecorder rec;
+  EXPECT_THROW(rec.channel("nope"), std::out_of_range);
+}
+
+TEST(Trace, ReopenDoesNotResetChannel) {
+  TraceRecorder rec;
+  rec.open("s", 1.0);
+  rec.push("s", 5.0);
+  rec.open("s", 2.0);  // second open is a no-op
+  EXPECT_EQ(rec.channel("s").samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.channel("s").dt, 1.0);
+}
+
+TEST(Trace, NamesSortedAndComplete) {
+  TraceRecorder rec;
+  rec.open("b", 1.0);
+  rec.open("a", 1.0);
+  const auto names = rec.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(Trace, CsvWritesAllChannels) {
+  TraceRecorder rec;
+  rec.open("x", 0.1);
+  rec.push("x", 3.25);
+  const std::string path = ::testing::TempDir() + "/ascp_trace_test.csv";
+  rec.write_csv(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string body = ss.str();
+  EXPECT_NE(body.find("# channel: x"), std::string::npos);
+  EXPECT_NE(body.find("3.25"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, AsciiRenderContainsHeaderAndStars) {
+  TraceRecorder rec;
+  rec.open("w", 0.01);
+  for (int i = 0; i < 100; ++i) rec.push("w", std::sin(0.1 * i));
+  const auto art = rec.render_ascii("w", 40, 8);
+  EXPECT_NE(art.find("w  ["), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+}
+
+TEST(Trace, ClearRemovesEverything) {
+  TraceRecorder rec;
+  rec.open("x", 1.0);
+  rec.clear();
+  EXPECT_FALSE(rec.has("x"));
+}
+
+}  // namespace
+}  // namespace ascp

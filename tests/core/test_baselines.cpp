@@ -1,0 +1,101 @@
+// Baseline comparator models: Table 2/3 shape checks, kept short (one
+// device, coarse assertions); the full campaign lives in the benches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "core/baselines.hpp"
+#include "core/metrics.hpp"
+
+namespace ascp::core {
+namespace {
+
+TEST(Baselines, AdxrsLocksAndMeasuresRate) {
+  AnalogGyroBaseline dut(adxrs300_like());
+  dut.power_on(1);
+  dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.4, nullptr);
+  EXPECT_TRUE(dut.locked());
+  const auto s = measure_sensitivity(dut, 25.0, 5, 0.15);
+  // Trim tolerance ±8 %: slope within [4.4, 5.6] mV/°/s.
+  EXPECT_GT(std::abs(s.mv_per_dps), 4.2);
+  EXPECT_LT(std::abs(s.mv_per_dps), 5.8);
+}
+
+TEST(Baselines, AdxrsTurnOnIsFast) {
+  // Low-Q element: turn-on well under 150 ms — an order of magnitude faster
+  // than the high-Q platform (the Table 1 vs Table 2 contrast).
+  AnalogGyroBaseline dut(adxrs300_like());
+  // 10 mV tolerance (2 °/s): the broadband 0.1 °/s/√Hz floor makes tighter
+  // windows flicker. Still 3–10× faster than the high-Q platform.
+  EXPECT_LT(measure_turn_on(dut, 1, 25.0, 10e-3, 1.0), 0.2);
+}
+
+TEST(Baselines, AdxrsNullWithinTable2Window) {
+  AnalogGyroBaseline dut(adxrs300_like());
+  dut.power_on(2);
+  dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.4, nullptr);
+  const double null = measure_null(dut, 25.0, 0.2, 0.3);
+  EXPECT_GT(null, 2.2);
+  EXPECT_LT(null, 2.8);
+}
+
+TEST(Baselines, AdxrsNullDriftsWithTemperature) {
+  // No digital compensation: the null moves measurably over temperature.
+  AnalogGyroBaseline dut(adxrs300_like());
+  dut.power_on(1);
+  dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.4, nullptr);
+  const double at25 = measure_null(dut, 25.0, 0.1, 0.2);
+  const double at85 = measure_null(dut, 85.0, 0.3, 0.2);
+  EXPECT_GT(std::abs(at85 - at25), 0.02);  // ≥ 20 mV ≈ 4 °/s of drift
+}
+
+TEST(Baselines, GyrostarSensitivityIsSubMillivolt) {
+  AnalogGyroBaseline dut(gyrostar_like());
+  dut.power_on(1);
+  dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.6, nullptr);
+  const auto s = measure_sensitivity(dut, 25.0, 5, 0.2);
+  EXPECT_GT(std::abs(s.mv_per_dps), 0.4);
+  EXPECT_LT(std::abs(s.mv_per_dps), 1.0);  // Table 3: 0.54–0.80
+}
+
+TEST(Baselines, GyrostarNullNear1V35) {
+  AnalogGyroBaseline dut(gyrostar_like());
+  dut.power_on(3);
+  dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.6, nullptr);
+  const double null = measure_null(dut, 25.0, 0.2, 0.3);
+  EXPECT_NEAR(null, 1.35, 0.2);
+}
+
+TEST(Baselines, DevicesVaryAcrossSeeds) {
+  std::vector<double> sens;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    AnalogGyroBaseline dut(adxrs300_like());
+    dut.power_on(seed);
+    dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.4, nullptr);
+    std::vector<double> pos, neg;
+    dut.run(sensor::Profile::constant(150.0), sensor::Profile::constant(25.0), 0.2, &pos);
+    dut.run(sensor::Profile::constant(-150.0), sensor::Profile::constant(25.0), 0.2, &neg);
+    sens.push_back((mean(std::span(pos).subspan(pos.size() / 2)) -
+                    mean(std::span(neg).subspan(neg.size() / 2))) /
+                   300.0);
+  }
+  EXPECT_GT(stddev(sens), 1e-5);  // trim spread visible
+}
+
+TEST(Baselines, RespondsWithCorrectPolarityConsistency) {
+  // Positive and negative rates move the output in opposite directions.
+  AnalogGyroBaseline dut(adxrs300_like());
+  dut.power_on(1);
+  dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.4, nullptr);
+  std::vector<double> pos, neg;
+  dut.run(sensor::Profile::constant(200.0), sensor::Profile::constant(25.0), 0.2, &pos);
+  dut.run(sensor::Profile::constant(-200.0), sensor::Profile::constant(25.0), 0.2, &neg);
+  const double zero = dut.nominal_null();
+  const double dp = mean(std::span(pos).subspan(pos.size() / 2)) - zero;
+  const double dn = mean(std::span(neg).subspan(neg.size() / 2)) - zero;
+  EXPECT_LT(dp * dn, 0.0);
+}
+
+}  // namespace
+}  // namespace ascp::core

@@ -1,0 +1,98 @@
+// Calibration-flow tests on the Ideal-fidelity system (fast) — the paper's
+// per-device trim procedure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "core/calibration.hpp"
+#include "core/gyro_system.hpp"
+
+namespace ascp::core {
+namespace {
+
+double tail(const std::vector<double>& v) {
+  return mean(std::span(v).subspan(v.size() / 2));
+}
+
+double measured_sens(GyroSystem& sys, double temp) {
+  std::vector<double> pos, neg;
+  sys.run(sensor::Profile::constant(100.0), sensor::Profile::constant(temp), 0.25, &pos);
+  sys.run(sensor::Profile::constant(-100.0), sensor::Profile::constant(temp), 0.25, &neg);
+  return (tail(pos) - tail(neg)) / 200.0;
+}
+
+TEST(Calibration, SinglePointSetsScaleAt25C) {
+  GyroSystem sys(default_gyro_system(Fidelity::Ideal));
+  sys.power_on(5);
+  CalibrationConfig cal;
+  cal.temps = {25.0};
+  cal.warmup_s = 1.0;
+  const auto comp = run_calibration(sys, cal);
+  sys.set_compensation(comp);
+  EXPECT_NEAR(measured_sens(sys, 25.0), 5e-3, 1.5e-4);
+}
+
+TEST(Calibration, ThreePointFlattensTemperature) {
+  GyroSystem sys(default_gyro_system(Fidelity::Ideal));
+  sys.power_on(5);
+  CalibrationConfig cal;
+  cal.warmup_s = 1.0;
+  const auto comp = run_calibration(sys, cal);
+  sys.set_compensation(comp);
+  for (double t : {-40.0, 25.0, 85.0}) {
+    sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(t), 0.6, nullptr);
+    EXPECT_NEAR(std::abs(measured_sens(sys, t)), 5e-3, 2.5e-4) << t;
+  }
+}
+
+TEST(Calibration, NullCenteredAfterCalibration) {
+  GyroSystem sys(default_gyro_system(Fidelity::Ideal));
+  sys.power_on(9);
+  CalibrationConfig cal;
+  cal.warmup_s = 1.0;
+  sys.set_compensation(run_calibration(sys, cal));
+  std::vector<double> o;
+  sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.6, &o);
+  EXPECT_NEAR(tail(o), 2.5, 0.02);
+}
+
+TEST(Calibration, LeavesDeviceCompensationUntouched) {
+  // run_calibration restores whatever coefficients were loaded before.
+  GyroSystem sys(default_gyro_system(Fidelity::Ideal));
+  sys.power_on(5);
+  dsp::CompensationCoeffs pre;
+  pre.s0 = 1.23;
+  sys.set_compensation(pre);
+  CalibrationConfig cal;
+  cal.temps = {25.0};
+  cal.warmup_s = 0.8;
+  (void)run_calibration(sys, cal);
+  EXPECT_DOUBLE_EQ(sys.sense().compensation().coeffs().s0, 1.23);
+}
+
+TEST(Calibration, FactoryCalibrateIsSelfContained) {
+  GyroSystem sys(default_gyro_system(Fidelity::Ideal));
+  sys.power_on(11);
+  sys.factory_calibrate();
+  // After calibrate the device restarts cold: warm it, then check scale.
+  sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 1.0, nullptr);
+  EXPECT_NEAR(std::abs(measured_sens(sys, 25.0)), 5e-3, 2.5e-4);
+}
+
+TEST(Calibration, CompensationSurvivesPowerCycle) {
+  // The coefficients live in config (the paper's EEPROM/ROM storage): a
+  // power cycle of the same die keeps the calibration valid.
+  GyroSystem sys(default_gyro_system(Fidelity::Ideal));
+  sys.power_on(5);
+  CalibrationConfig cal;
+  cal.temps = {25.0};
+  cal.warmup_s = 1.0;
+  sys.set_compensation(run_calibration(sys, cal));
+  sys.power_on(5);  // same die, cold boot
+  sys.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 1.0, nullptr);
+  EXPECT_NEAR(std::abs(measured_sens(sys, 25.0)), 5e-3, 2e-4);
+}
+
+}  // namespace
+}  // namespace ascp::core

@@ -1,0 +1,124 @@
+// Datasheet aggregation/formatting, driven by a cheap analytic sensor so the
+// characterization campaign itself is validated without long simulations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/datasheet.hpp"
+
+namespace ascp::core {
+namespace {
+
+/// Minimal deterministic sensor with seed-dependent scale/null and a small
+/// temperature drift — enough structure to exercise every datasheet row.
+class TinySensor : public RateSensor {
+ public:
+  void power_on(std::uint64_t seed) override {
+    ascp::Rng rng(seed);
+    sens_ = 5e-3 * (1.0 + rng.gaussian(0.02));
+    null_ = 2.5 + rng.gaussian(0.01);
+    t_on_ = 0.0;
+  }
+
+  double output_rate_hz() const override { return 1000.0; }
+
+  void run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
+           std::vector<double>* out) override {
+    const long n = static_cast<long>(seconds * 1000.0);
+    for (long i = 0; i < n; ++i) {
+      const double t = i / 1000.0;
+      t_on_ += 1e-3;
+      const double dtc = temp.at(t) - 25.0;
+      const double transient = 0.2 * std::exp(-t_on_ / 0.03);
+      if (out)
+        out->push_back(null_ + 1e-4 * dtc + sens_ * (1.0 + 1e-4 * dtc) * rate.at(t) + transient +
+                       rng_.gaussian(1e-5));
+    }
+  }
+
+  double nominal_sensitivity() const override { return 5e-3; }
+  double nominal_null() const override { return 2.5; }
+  double full_scale_dps() const override { return 300.0; }
+
+ private:
+  double sens_ = 5e-3, null_ = 2.5, t_on_ = 0.0;
+  ascp::Rng rng_{99};
+};
+
+CharacterizationConfig quick_config() {
+  CharacterizationConfig cfg;
+  cfg.seeds = {1, 2, 3};
+  cfg.warmup_s = 0.2;
+  cfg.noise_seconds = 2.0;
+  cfg.measure_bandwidth_flag = false;
+  return cfg;
+}
+
+TEST(Datasheet, MinTypMaxOrdered) {
+  TinySensor dut;
+  const auto ds = characterize(dut, "tiny", quick_config());
+  ASSERT_TRUE(ds.sensitivity_initial.min && ds.sensitivity_initial.typ &&
+              ds.sensitivity_initial.max);
+  EXPECT_LE(*ds.sensitivity_initial.min, *ds.sensitivity_initial.typ);
+  EXPECT_LE(*ds.sensitivity_initial.typ, *ds.sensitivity_initial.max);
+}
+
+TEST(Datasheet, SensitivityNearNominal) {
+  TinySensor dut;
+  const auto ds = characterize(dut, "tiny", quick_config());
+  EXPECT_NEAR(*ds.sensitivity_initial.typ, 5.0, 0.4);
+}
+
+TEST(Datasheet, OverTemperatureSpreadsAtLeastAsWide) {
+  TinySensor dut;
+  const auto ds = characterize(dut, "tiny", quick_config());
+  EXPECT_LE(*ds.sensitivity_over_t.min, *ds.sensitivity_initial.min + 1e-12);
+  EXPECT_GE(*ds.sensitivity_over_t.max, *ds.sensitivity_initial.max - 1e-12);
+}
+
+TEST(Datasheet, TurnOnDetected) {
+  TinySensor dut;
+  const auto ds = characterize(dut, "tiny", quick_config());
+  // transient 0.2·exp(−t/30 ms) crosses 5 mV at ≈ 110 ms.
+  EXPECT_NEAR(*ds.turn_on_ms.typ, 110.0, 60.0);
+}
+
+TEST(Datasheet, SpecRowsFilled) {
+  TinySensor dut;
+  const auto ds = characterize(dut, "tiny", quick_config());
+  EXPECT_DOUBLE_EQ(*ds.dynamic_range.max, 300.0);
+  EXPECT_DOUBLE_EQ(*ds.temp_range.min, -40.0);
+  EXPECT_DOUBLE_EQ(*ds.temp_range.max, 85.0);
+}
+
+TEST(Datasheet, FormatContainsAllSections) {
+  TinySensor dut;
+  const auto ds = characterize(dut, "TinyCorp TS-1", quick_config());
+  const auto text = ds.format();
+  for (const char* needle :
+       {"TinyCorp TS-1", "Sensitivity", "Dynamic Range", "Non Linearity", "Null",
+        "Turn On Time", "Rate Noise Dens.", "3 dB Bandwidth", "Operating Temp."}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Datasheet, EmptyCellsRenderBlank) {
+  Datasheet ds;
+  ds.device_name = "x";
+  const auto text = ds.format();
+  EXPECT_NE(text.find("Parameter"), std::string::npos);
+}
+
+TEST(Datasheet, BandwidthRowWhenEnabled) {
+  TinySensor dut;
+  auto cfg = quick_config();
+  cfg.measure_bandwidth_flag = true;
+  const auto ds = characterize(dut, "tiny", cfg);
+  ASSERT_TRUE(ds.bandwidth_hz.typ);
+  EXPECT_GT(*ds.bandwidth_hz.typ, 10.0);
+}
+
+}  // namespace
+}  // namespace ascp::core

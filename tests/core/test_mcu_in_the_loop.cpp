@@ -1,0 +1,93 @@
+// MCU-in-the-loop integration: the 8051 runs real monitoring firmware while
+// the conditioning chain operates — the paper's partitioning of "processing
+// in hardwired DSP, monitoring/communication in software" exercised end to
+// end at test granularity.
+#include <gtest/gtest.h>
+
+#include "core/gyro_system.hpp"
+#include "mcu/assembler.hpp"
+#include "mcu/monitor_rom.hpp"
+
+namespace ascp::core {
+namespace {
+
+GyroSystemConfig mcu_config() {
+  auto cfg = default_gyro_system(Fidelity::Ideal);
+  cfg.with_mcu = true;
+  return cfg;
+}
+
+TEST(McuInTheLoop, FirmwareObservesLockTransition) {
+  GyroSystem gyro(mcu_config());
+  mcu::Assembler as;
+  as.define("LOCKREG",
+            static_cast<std::uint16_t>(gyro.platform().config().map.regfile + 2 * reg::kLock));
+  // Firmware latches the first lock status it sees into 0x30, then keeps
+  // updating 0x31 with the live value.
+  gyro.platform().load_firmware(as.assemble(R"(
+        MOV DPTR,#LOCKREG
+        MOVX A,@DPTR
+        MOV 30h,A
+loop:   MOVX A,@DPTR
+        MOV 31h,A
+        SJMP loop
+  )").image);
+  gyro.power_on(1);
+  gyro.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 1.0, nullptr);
+  EXPECT_EQ(gyro.platform().cpu().iram(0x30) & 3, 0);  // cold at boot
+  EXPECT_EQ(gyro.platform().cpu().iram(0x31) & 3, 3);  // locked at the end
+}
+
+TEST(McuInTheLoop, MonitorRomServesHostWhileChainRuns) {
+  GyroSystem gyro(mcu_config());
+  gyro.platform().load_firmware(mcu::MonitorRom::image());
+  gyro.power_on(1);
+  gyro.run(sensor::Profile::constant(50.0), sensor::Profile::constant(25.0), 1.0, nullptr);
+
+  // The host polls the rate register through the monitor protocol. The CPU
+  // only advances while the chain runs, so interleave protocol pumping with
+  // short chain slices.
+  auto& mcu_sys = gyro.platform();
+  const std::uint16_t rate_addr =
+      static_cast<std::uint16_t>(mcu_sys.config().map.regfile + 2 * reg::kRateOut);
+  mcu_sys.host().send({'R', static_cast<std::uint8_t>(rate_addr >> 8),
+                       static_cast<std::uint8_t>(rate_addr & 0xFF)});
+  for (int i = 0; i < 400 && mcu_sys.host().received().size() < 2; ++i)
+    gyro.run(sensor::Profile::constant(50.0), sensor::Profile::constant(25.0), 0.002, nullptr);
+  ASSERT_GE(mcu_sys.host().received().size(), 2u);
+  EXPECT_EQ(mcu_sys.host().received()[0], 'r');
+  // Uncalibrated raw gain ≈ 1.2 mV/°/s: 50 °/s ≈ 2560 mV total.
+  const int mv = mcu_sys.host().received()[1];  // low byte only — sanity
+  (void)mv;
+  // Decode via a coherent word read instead.
+  mcu_sys.host().clear_received();
+  mcu::MonitorHost host(mcu_sys.cpu(), mcu_sys.host());
+  // MonitorHost::transact steps the CPU directly; the chain is paused — the
+  // register holds its last posted value, which is what we check.
+  const auto word = host.read_word(rate_addr);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_NEAR(*word, 2500.0 + 50.0 * 1.2, 80.0);  // mV
+}
+
+TEST(McuInTheLoop, CpuLoadDoesNotPerturbTheChain) {
+  // Same die with and without the MCU slice: the rate output must be
+  // identical (the CPU only observes; it does not sit in the signal path).
+  auto cfg_a = mcu_config();
+  GyroSystem with_mcu(cfg_a);
+  mcu::Assembler as;
+  with_mcu.platform().load_firmware(as.assemble("loop: SJMP loop").image);
+  auto cfg_b = default_gyro_system(Fidelity::Ideal);
+  cfg_b.with_mcu = false;
+  GyroSystem without_mcu(cfg_b);
+
+  with_mcu.power_on(5);
+  without_mcu.power_on(5);
+  std::vector<double> oa, ob;
+  with_mcu.run(sensor::Profile::constant(75.0), sensor::Profile::constant(25.0), 0.5, &oa);
+  without_mcu.run(sensor::Profile::constant(75.0), sensor::Profile::constant(25.0), 0.5, &ob);
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) EXPECT_DOUBLE_EQ(oa[i], ob[i]) << i;
+}
+
+}  // namespace
+}  // namespace ascp::core

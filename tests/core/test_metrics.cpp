@@ -1,0 +1,162 @@
+// Metrology verified against an analytic fake sensor whose datasheet is
+// known exactly — so sensitivity fits, turn-on detection, PSD-based noise
+// and bandwidth interpolation are each checked for correctness, fast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/metrics.hpp"
+
+namespace ascp::core {
+namespace {
+
+/// First-order analytic rate sensor: out = null + sens·rate_filtered with a
+/// one-pole bandwidth, exponential warm-up transient, white output noise
+/// and optional cubic nonlinearity.
+class FakeSensor : public RateSensor {
+ public:
+  struct Config {
+    double sens = 5e-3;
+    double null = 2.5;
+    double bw_hz = 50.0;
+    double fs_out = 2000.0;
+    double warmup_tau = 0.05;
+    double warmup_amp = 0.5;
+    double noise_density = 0.0;  // V/√Hz
+    double cubic = 0.0;          // fraction of FS³ term
+    double fs_dps = 300.0;
+  };
+
+  explicit FakeSensor(const Config& cfg) : cfg_(cfg) { power_on(1); }
+
+  void power_on(std::uint64_t seed) override {
+    rng_ = ascp::Rng(seed);
+    state_ = 0.0;
+    t_since_on_ = 0.0;
+    alpha_ = 1.0 - std::exp(-kTwoPi * cfg_.bw_hz / cfg_.fs_out);
+    noise_sigma_ = cfg_.noise_density * std::sqrt(cfg_.fs_out / 2.0);
+  }
+
+  double output_rate_hz() const override { return cfg_.fs_out; }
+
+  void run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
+           std::vector<double>* out) override {
+    (void)temp;
+    const long n = static_cast<long>(seconds * cfg_.fs_out + 0.5);
+    for (long i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / cfg_.fs_out;
+      const double r = rate.at(t);
+      const double x = r / cfg_.fs_dps;
+      const double nonlin = cfg_.cubic * x * x * x * cfg_.fs_dps;
+      state_ += alpha_ * (cfg_.sens * (r + nonlin) - state_);
+      t_since_on_ += 1.0 / cfg_.fs_out;
+      const double transient = cfg_.warmup_amp * std::exp(-t_since_on_ / cfg_.warmup_tau);
+      if (out) out->push_back(cfg_.null + state_ + transient + rng_.gaussian(noise_sigma_));
+    }
+  }
+
+  double nominal_sensitivity() const override { return cfg_.sens; }
+  double nominal_null() const override { return cfg_.null; }
+  double full_scale_dps() const override { return cfg_.fs_dps; }
+
+ private:
+  Config cfg_;
+  ascp::Rng rng_{1};
+  double state_ = 0.0, t_since_on_ = 0.0, alpha_ = 0.0, noise_sigma_ = 0.0;
+};
+
+TEST(Metrics, SensitivityRecoversExactSlope) {
+  FakeSensor dut({});
+  dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.5, nullptr);
+  const auto r = measure_sensitivity(dut, 25.0);
+  EXPECT_NEAR(r.mv_per_dps, 5.0, 0.01);
+  EXPECT_NEAR(r.null_v, 2.5, 1e-3);
+  EXPECT_LT(r.nonlinearity_pct_fs, 0.02);
+}
+
+TEST(Metrics, SensitivityDetectsCubicNonlinearity) {
+  FakeSensor::Config cfg;
+  cfg.cubic = 0.02;  // 2 % of FS cubic droop
+  FakeSensor dut(cfg);
+  dut.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0), 0.5, nullptr);
+  const auto r = measure_sensitivity(dut, 25.0, /*points=*/11);
+  EXPECT_GT(r.nonlinearity_pct_fs, 0.3);
+  EXPECT_LT(r.nonlinearity_pct_fs, 2.0);
+}
+
+TEST(Metrics, NullMeasurement) {
+  FakeSensor::Config cfg;
+  cfg.null = 2.61;
+  FakeSensor dut(cfg);
+  EXPECT_NEAR(measure_null(dut, 25.0), 2.61, 1e-3);
+}
+
+TEST(Metrics, TurnOnTimeMatchesTransientDecay) {
+  // transient = 0.5·exp(−t/50 ms) falls below 5 mV at t = 50 ms·ln(100) ≈ 230 ms.
+  FakeSensor dut({});
+  const double t_on = measure_turn_on(dut, 1, 25.0, 5e-3, 2.0);
+  EXPECT_NEAR(t_on, 0.05 * std::log(0.5 / 5e-3), 0.06);
+}
+
+TEST(Metrics, TurnOnFastForCleanDevice) {
+  // Only the 50 Hz response pole delays validity: settle in ≲2 windows.
+  FakeSensor::Config cfg;
+  cfg.warmup_amp = 0.0;
+  FakeSensor dut(cfg);
+  EXPECT_LE(measure_turn_on(dut, 1, 25.0, 5e-3, 1.0), 0.08);
+}
+
+TEST(Metrics, NoiseDensityMatchesInjectedNoise) {
+  FakeSensor::Config cfg;
+  cfg.noise_density = 5e-4;  // V/√Hz → 0.1 °/s/√Hz at 5 mV/°/s
+  cfg.warmup_amp = 0.0;
+  FakeSensor dut(cfg);
+  const double nd = measure_noise_density(dut, 25.0, 8.0);
+  EXPECT_NEAR(nd, 0.1, 0.015);
+}
+
+TEST(Metrics, NoiseZeroForNoiselessDevice) {
+  FakeSensor::Config cfg;
+  cfg.noise_density = 0.0;
+  cfg.warmup_amp = 0.0;
+  FakeSensor dut(cfg);
+  EXPECT_LT(measure_noise_density(dut, 25.0, 4.0), 1e-6);
+}
+
+TEST(Metrics, BandwidthFindsOnePoleCorner) {
+  FakeSensor::Config cfg;
+  cfg.bw_hz = 50.0;
+  cfg.warmup_amp = 0.0;
+  FakeSensor dut(cfg);
+  const double bw = measure_bandwidth(dut, 25.0);
+  EXPECT_NEAR(bw, 50.0, 7.0);
+}
+
+TEST(Metrics, BandwidthScalesWithDevice) {
+  FakeSensor::Config cfg;
+  cfg.warmup_amp = 0.0;
+  cfg.bw_hz = 25.0;
+  FakeSensor narrow(cfg);
+  cfg.bw_hz = 100.0;
+  FakeSensor wide(cfg);
+  EXPECT_LT(measure_bandwidth(narrow, 25.0), measure_bandwidth(wide, 25.0) * 0.5);
+}
+
+// Sweep: the sensitivity fit tracks the device's true scale factor.
+class MetricsSens : public ::testing::TestWithParam<double> {};
+
+TEST_P(MetricsSens, FitsTrueScale) {
+  FakeSensor::Config cfg;
+  cfg.sens = GetParam();
+  cfg.warmup_amp = 0.0;
+  FakeSensor dut(cfg);
+  const auto r = measure_sensitivity(dut, 25.0);
+  EXPECT_NEAR(r.mv_per_dps, GetParam() * 1e3, GetParam() * 1e3 * 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MetricsSens, ::testing::Values(0.67e-3, 2e-3, 5e-3, 10e-3));
+
+}  // namespace
+}  // namespace ascp::core

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/agc.hpp"
+
+namespace ascp::dsp {
+namespace {
+
+AgcConfig test_config() {
+  AgcConfig cfg;
+  cfg.fs = 240e3;
+  cfg.target = 1.0;
+  return cfg;
+}
+
+/// First-order plant: measured amplitude follows gain with time constant tau
+/// and plant gain k — a crude stand-in for the resonator envelope dynamics.
+class EnvelopePlant {
+ public:
+  EnvelopePlant(double k, double tau, double fs) : k_(k), alpha_(1.0 / (tau * fs)) {}
+  double step(double gain) {
+    amp_ += alpha_ * (k_ * gain - amp_);
+    return amp_;
+  }
+  double amplitude() const { return amp_; }
+
+ private:
+  double k_;
+  double alpha_;
+  double amp_ = 0.0;
+};
+
+TEST(Agc, ConvergesToTarget) {
+  Agc agc(test_config());
+  EnvelopePlant plant(0.5, 0.01, 240e3);
+  double amp = 0.0;
+  for (int i = 0; i < 100000; ++i) amp = plant.step(agc.step(amp));
+  EXPECT_NEAR(amp, 1.0, 0.02);
+  EXPECT_TRUE(agc.settled());
+}
+
+TEST(Agc, SteadyStateGainInvertsPlant) {
+  Agc agc(test_config());
+  EnvelopePlant plant(0.25, 0.01, 240e3);
+  double amp = 0.0;
+  for (int i = 0; i < 200000; ++i) amp = plant.step(agc.step(amp));
+  // amplitude = k·gain at steady state ⇒ gain = target/k = 4.
+  EXPECT_NEAR(agc.gain(), 4.0, 0.1);
+}
+
+TEST(Agc, ErrorSignalGoesToZero) {
+  Agc agc(test_config());
+  EnvelopePlant plant(0.5, 0.005, 240e3);
+  double amp = 0.0;
+  for (int i = 0; i < 150000; ++i) amp = plant.step(agc.step(amp));
+  EXPECT_NEAR(agc.error(), 0.0, 0.02);
+}
+
+TEST(Agc, GainClampsAtUpperRail) {
+  AgcConfig cfg = test_config();
+  cfg.gain_max = 2.0;
+  Agc agc(cfg);
+  // Weak plant: target unreachable, gain must pin at the rail, not wind up.
+  EnvelopePlant plant(0.1, 0.01, 240e3);
+  double amp = 0.0;
+  for (int i = 0; i < 200000; ++i) amp = plant.step(agc.step(amp));
+  EXPECT_NEAR(agc.gain(), 2.0, 1e-6);
+  EXPECT_FALSE(agc.settled());
+}
+
+TEST(Agc, RecoversFromDisturbance) {
+  // Anti-windup: after a long unreachable stretch, recovery is prompt.
+  Agc agc(test_config());
+  EnvelopePlant weak(0.05, 0.01, 240e3);
+  double amp = 0.0;
+  for (int i = 0; i < 100000; ++i) amp = weak.step(agc.step(amp));
+  EnvelopePlant strong(0.5, 0.01, 240e3);
+  int settle_steps = 0;
+  for (int i = 0; i < 200000; ++i) {
+    amp = strong.step(agc.step(amp));
+    if (agc.settled()) {
+      settle_steps = i;
+      break;
+    }
+  }
+  EXPECT_GT(settle_steps, 0);
+  EXPECT_LT(settle_steps, 150000);  // < 0.6 s at 240 kHz
+}
+
+TEST(Agc, ResetRestoresInitialState) {
+  Agc agc(test_config());
+  EnvelopePlant plant(0.5, 0.01, 240e3);
+  double amp = 0.0;
+  for (int i = 0; i < 50000; ++i) amp = plant.step(agc.step(amp));
+  agc.reset();
+  EXPECT_DOUBLE_EQ(agc.gain(), 0.0);
+  EXPECT_FALSE(agc.settled());
+}
+
+TEST(Agc, SettledFlagRequiresPersistence) {
+  Agc agc(test_config());
+  // One in-tolerance sample must not set the flag.
+  agc.step(1.0);
+  EXPECT_FALSE(agc.settled());
+}
+
+// Sweep: loop converges for a range of plant gains (AGC robustness across
+// drive-mode transduction spread).
+class AgcPlantGain : public ::testing::TestWithParam<double> {};
+
+TEST_P(AgcPlantGain, Converges) {
+  Agc agc(test_config());
+  EnvelopePlant plant(GetParam(), 0.01, 240e3);
+  double amp = 0.0;
+  for (int i = 0; i < 400000; ++i) amp = plant.step(agc.step(amp));
+  EXPECT_NEAR(amp, 1.0, 0.03) << "k=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PlantGains, AgcPlantGain, ::testing::Values(0.2, 0.5, 1.0, 3.0));
+
+}  // namespace
+}  // namespace ascp::dsp

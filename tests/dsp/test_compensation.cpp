@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dsp/compensation.hpp"
+
+namespace ascp::dsp {
+namespace {
+
+TEST(Compensation, IdentityByDefault) {
+  Compensation comp;
+  EXPECT_DOUBLE_EQ(comp.apply(1.234, 25.0), 1.234);
+  EXPECT_DOUBLE_EQ(comp.apply(1.234, 85.0), 1.234);
+}
+
+TEST(Compensation, StaticOffsetRemoved) {
+  CompensationCoeffs c;
+  c.offset = {0.5, 0.0, 0.0};
+  Compensation comp(c);
+  EXPECT_DOUBLE_EQ(comp.apply(0.5, 25.0), 0.0);
+  EXPECT_DOUBLE_EQ(comp.apply(1.5, 25.0), 1.0);
+}
+
+TEST(Compensation, TemperatureDependentOffset) {
+  CompensationCoeffs c;
+  c.offset = {0.1, 0.002, 0.0};  // drifts 2 m-units/°C
+  Compensation comp(c);
+  EXPECT_NEAR(comp.offset_at(85.0), 0.1 + 0.002 * 60.0, 1e-12);
+  EXPECT_NEAR(comp.apply(0.22, 85.0), 0.0, 1e-12);
+}
+
+TEST(Compensation, ScalePolynomial) {
+  CompensationCoeffs c;
+  c.s0 = 2.0;
+  c.s1 = 0.001;
+  Compensation comp(c);
+  EXPECT_DOUBLE_EQ(comp.scale_at(25.0), 2.0);
+  EXPECT_NEAR(comp.scale_at(125.0), 2.0 * 1.1, 1e-12);
+}
+
+TEST(FitCompensation, RecoversQuadraticOffsetDrift) {
+  // Synthesize a chain whose raw null drifts quadratically and whose gain
+  // droops linearly; the fit must invert both.
+  const std::vector<double> temps{-40.0, -10.0, 25.0, 60.0, 85.0};
+  std::vector<double> offsets, gains;
+  for (double t : temps) {
+    const double dt = t - 25.0;
+    offsets.push_back(0.05 + 1e-3 * dt + 2e-6 * dt * dt);
+    gains.push_back(1.0 - 4e-4 * dt);  // raw units per °/s
+  }
+  const auto c = fit_compensation(temps, offsets, gains, 5.0e-3);  // 5 mV/°/s target
+  Compensation comp(c);
+  for (double t : temps) {
+    const double dt = t - 25.0;
+    const double raw_null = 0.05 + 1e-3 * dt + 2e-6 * dt * dt;
+    const double raw_gain = 1.0 - 4e-4 * dt;
+    // Null after compensation ≈ 0.
+    EXPECT_NEAR(comp.apply(raw_null, t), 0.0, 1e-9) << t;
+    // Sensitivity after compensation ≈ target.
+    const double y100 = comp.apply(raw_null + raw_gain * 100.0, t);
+    EXPECT_NEAR(y100 / 100.0, 5.0e-3, 5e-6) << t;
+  }
+}
+
+TEST(FitCompensation, PerfectChainNeedsNoCorrection) {
+  const std::vector<double> temps{-40.0, 25.0, 85.0};
+  const std::vector<double> offsets{0.0, 0.0, 0.0};
+  const std::vector<double> gains{1.0, 1.0, 1.0};
+  const auto c = fit_compensation(temps, offsets, gains, 1.0);
+  EXPECT_NEAR(c.offset[0], 0.0, 1e-12);
+  EXPECT_NEAR(c.offset[1], 0.0, 1e-12);
+  EXPECT_NEAR(c.s0, 1.0, 1e-12);
+  EXPECT_NEAR(c.s1, 0.0, 1e-12);
+}
+
+TEST(FitCompensation, InterpolatesBetweenCalPoints) {
+  // Calibrate at 3 points; check residual at an uncalibrated temperature
+  // stays small for smooth drift (the over-temperature spec mechanism).
+  const std::vector<double> temps{-40.0, 25.0, 85.0};
+  std::vector<double> offsets, gains;
+  for (double t : temps) {
+    const double dt = t - 25.0;
+    offsets.push_back(2e-4 * dt);
+    gains.push_back(1.0 + 3e-4 * dt);
+  }
+  const auto c = fit_compensation(temps, offsets, gains, 1.0);
+  Compensation comp(c);
+  const double t_check = 60.0;
+  const double dt = t_check - 25.0;
+  const double raw = 2e-4 * dt + (1.0 + 3e-4 * dt) * 50.0;  // 50 °/s
+  EXPECT_NEAR(comp.apply(raw, t_check), 50.0, 0.05);
+}
+
+TEST(Compensation, ApplyOrderSubtractThenScale) {
+  CompensationCoeffs c;
+  c.offset = {1.0, 0.0, 0.0};
+  c.s0 = 3.0;
+  Compensation comp(c);
+  EXPECT_DOUBLE_EQ(comp.apply(2.0, 25.0), 3.0);  // (2−1)·3, not 2·3−1
+}
+
+}  // namespace
+}  // namespace ascp::dsp

@@ -1,0 +1,162 @@
+// PLL closed-loop tests against a discrete-time resonator with a known
+// resonance — the sample-domain equivalent of the MEMS drive mode. The
+// impulse-invariant two-pole resonator has exactly −90° phase at its pole
+// frequency in the high-Q limit, matching the mechanical displacement
+// response the PLL is designed to lock onto.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "dsp/pll.hpp"
+
+namespace ascp::dsp {
+namespace {
+
+/// Impulse-invariant resonator: poles at r·e^{±jΩ0}.
+class TestResonator {
+ public:
+  TestResonator(double f0, double q, double fs) { retune(f0, q, fs); }
+
+  void retune(double f0, double q, double fs) {
+    const double w0 = kTwoPi * f0;
+    const double r = std::exp(-w0 / (2.0 * q) / fs);
+    const double omega = w0 / fs;
+    a1_ = 2.0 * r * std::cos(omega);
+    a2_ = -r * r;
+    // Normalize steady-state gain at resonance to ~1 for unit drive:
+    // |H(e^{jΩ0})| = 1 / ((1−r)·|1−r·e^{-j2Ω0}|) for the z^{-1} numerator.
+    gain_ = (1.0 - r) * std::sqrt(1.0 + r * r - 2.0 * r * std::cos(2 * omega));
+  }
+
+  double step(double x) {
+    const double y = a1_ * y1_ + a2_ * y2_ + gain_ * x1_;
+    y2_ = y1_;
+    y1_ = y;
+    x1_ = x;
+    return y;
+  }
+
+ private:
+  double a1_ = 0.0, a2_ = 0.0, gain_ = 1.0;
+  double y1_ = 0.0, y2_ = 0.0, x1_ = 0.0;
+};
+
+PllConfig test_config() {
+  PllConfig cfg;
+  cfg.fs = 240e3;
+  cfg.f_center = 15e3;
+  return cfg;
+}
+
+/// Run the closed loop for `seconds`, returns final PLL state.
+void run_loop(Pll& pll, TestResonator& res, double seconds, double fs = 240e3) {
+  const int n = static_cast<int>(seconds * fs);
+  double pickoff = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double drive = pll.step(pickoff);
+    pickoff = res.step(drive);
+  }
+}
+
+TEST(Pll, LocksToResonatorAtCentre) {
+  Pll pll(test_config());
+  TestResonator res(15e3, 1000.0, 240e3);
+  run_loop(pll, res, 0.3);
+  EXPECT_TRUE(pll.locked());
+  EXPECT_NEAR(pll.frequency(), 15e3, 10.0);
+  EXPECT_LT(std::abs(pll.phase_error()), 0.05);
+}
+
+TEST(Pll, LocksToOffsetResonance) {
+  // Resonance 400 Hz above the NCO start — the PLL must pull in.
+  Pll pll(test_config());
+  TestResonator res(15.4e3, 1000.0, 240e3);
+  run_loop(pll, res, 0.6);
+  EXPECT_TRUE(pll.locked());
+  EXPECT_NEAR(pll.frequency(), 15.4e3, 15.0);
+}
+
+TEST(Pll, LocksBelowCentre) {
+  Pll pll(test_config());
+  TestResonator res(14.7e3, 1000.0, 240e3);
+  run_loop(pll, res, 0.6);
+  EXPECT_TRUE(pll.locked());
+  EXPECT_NEAR(pll.frequency(), 14.7e3, 15.0);
+}
+
+TEST(Pll, TracksResonanceDrift) {
+  // Lock, then shift the resonance (temperature drift) — the PLL re-tracks.
+  Pll pll(test_config());
+  TestResonator res(15e3, 1000.0, 240e3);
+  run_loop(pll, res, 0.4);
+  ASSERT_TRUE(pll.locked());
+  res.retune(15.1e3, 1000.0, 240e3);
+  run_loop(pll, res, 0.4);
+  EXPECT_TRUE(pll.locked());
+  EXPECT_NEAR(pll.frequency(), 15.1e3, 15.0);
+}
+
+TEST(Pll, NoLockWithoutSignal) {
+  Pll pll(test_config());
+  for (int i = 0; i < 100000; ++i) pll.step(0.0);
+  EXPECT_FALSE(pll.locked());
+  // Frequency must not run away with zero input.
+  EXPECT_NEAR(pll.frequency(), 15e3, 50.0);
+}
+
+TEST(Pll, VcoControlConvergesToFrequencyOffset) {
+  Pll pll(test_config());
+  TestResonator res(15.3e3, 1000.0, 240e3);
+  run_loop(pll, res, 0.8);
+  ASSERT_TRUE(pll.locked());
+  // Integrator carries the full offset once the proportional term ≈ 0.
+  EXPECT_NEAR(pll.vco_control(), 300.0, 20.0);
+}
+
+TEST(Pll, FrequencyStaysWithinRails) {
+  PllConfig cfg = test_config();
+  cfg.f_min = 14e3;
+  cfg.f_max = 16e3;
+  Pll pll(cfg);
+  // Resonance outside the rails: loop saturates at the rail, never beyond.
+  TestResonator res(18e3, 500.0, 240e3);
+  run_loop(pll, res, 0.5);
+  EXPECT_LE(pll.frequency(), 16e3 + 1.0);
+  EXPECT_GE(pll.frequency(), 14e3 - 1.0);
+}
+
+TEST(Pll, ResetRestoresInitialState) {
+  Pll pll(test_config());
+  TestResonator res(15.2e3, 1000.0, 240e3);
+  run_loop(pll, res, 0.4);
+  pll.reset();
+  EXPECT_FALSE(pll.locked());
+  EXPECT_NEAR(pll.frequency(), 15e3, 1.0);
+  EXPECT_DOUBLE_EQ(pll.vco_control(), 0.0);
+}
+
+TEST(Pll, AmplitudeEstimateMatchesPickoff) {
+  Pll pll(test_config());
+  TestResonator res(15e3, 1000.0, 240e3);
+  run_loop(pll, res, 0.5);
+  // Resonator normalized to ~unit gain; drive is a unit sine ⇒ pickoff ≈ 1.
+  EXPECT_NEAR(pll.amplitude(), 1.0, 0.15);
+}
+
+// Sweep over resonator Q: lock must succeed from low-Q (wide, easy) to
+// high-Q (narrow, slow ring-up) mechanics.
+class PllQSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PllQSweep, LocksAcrossQRange) {
+  Pll pll(test_config());
+  TestResonator res(15.15e3, GetParam(), 240e3);
+  run_loop(pll, res, 1.0);
+  EXPECT_TRUE(pll.locked()) << "Q=" << GetParam();
+  EXPECT_NEAR(pll.frequency(), 15.15e3, 20.0) << "Q=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, PllQSweep, ::testing::Values(200.0, 1000.0, 5000.0, 20000.0));
+
+}  // namespace
+}  // namespace ascp::dsp

@@ -1,0 +1,142 @@
+// Property tests: the ISS ALU against a C++ oracle across operand sweeps —
+// every combination of carry-in and a grid of operand pairs for ADD/ADDC/
+// SUBB flag semantics, and a BCD sweep for DA A.
+#include <gtest/gtest.h>
+
+#include "mcu/assembler.hpp"
+#include "mcu/core8051.hpp"
+
+namespace ascp::mcu {
+namespace {
+
+struct AluResult {
+  std::uint8_t a;
+  bool cy, ac, ov;
+};
+
+/// Execute one ALU instruction on the ISS with given A, operand and carry.
+AluResult run_iss(const std::string& mnemonic, std::uint8_t a, std::uint8_t b, bool carry_in) {
+  Core8051 core;
+  Assembler as;
+  as.define("OPA", a);
+  as.define("OPB", b);
+  const std::string src = std::string(carry_in ? "SETB C\n" : "CLR C\n") +
+                          "MOV A,#OPA\n" + mnemonic + " A,#OPB\n" + "done: SJMP done\n";
+  core.load_program(as.assemble(src).image);
+  while (!core.halted()) core.step();
+  const std::uint8_t psw = core.psw();
+  return AluResult{core.acc(), (psw & 0x80) != 0, (psw & 0x40) != 0, (psw & 0x04) != 0};
+}
+
+AluResult oracle_add(std::uint8_t a, std::uint8_t b, bool cin) {
+  const int c = cin ? 1 : 0;
+  AluResult r{};
+  const int sum = a + b + c;
+  r.a = static_cast<std::uint8_t>(sum);
+  r.cy = sum > 0xFF;
+  r.ac = (a & 0xF) + (b & 0xF) + c > 0xF;
+  const int ss = static_cast<std::int8_t>(a) + static_cast<std::int8_t>(b) + c;
+  r.ov = ss < -128 || ss > 127;
+  return r;
+}
+
+AluResult oracle_subb(std::uint8_t a, std::uint8_t b, bool cin) {
+  const int c = cin ? 1 : 0;
+  AluResult r{};
+  const int diff = a - b - c;
+  r.a = static_cast<std::uint8_t>(diff & 0xFF);
+  r.cy = diff < 0;
+  r.ac = (a & 0xF) - (b & 0xF) - c < 0;
+  const int sd = static_cast<std::int8_t>(a) - static_cast<std::int8_t>(b) - c;
+  r.ov = sd < -128 || sd > 127;
+  return r;
+}
+
+// Operand grid: boundary-rich values crossed with both carry states.
+const std::uint8_t kGrid[] = {0x00, 0x01, 0x0F, 0x10, 0x7F, 0x80, 0x81, 0xF0, 0xFE, 0xFF, 0x55};
+
+class AluSweep : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(AluSweep, AddMatchesOracle) {
+  const auto [ia, ib, cin] = GetParam();
+  const std::uint8_t a = kGrid[ia], b = kGrid[ib];
+  const auto iss = run_iss("ADD", a, b, cin);  // ADD ignores carry-in
+  const auto ref = oracle_add(a, b, false);
+  EXPECT_EQ(iss.a, ref.a);
+  EXPECT_EQ(iss.cy, ref.cy);
+  EXPECT_EQ(iss.ac, ref.ac);
+  EXPECT_EQ(iss.ov, ref.ov);
+}
+
+TEST_P(AluSweep, AddcMatchesOracle) {
+  const auto [ia, ib, cin] = GetParam();
+  const std::uint8_t a = kGrid[ia], b = kGrid[ib];
+  const auto iss = run_iss("ADDC", a, b, cin);
+  const auto ref = oracle_add(a, b, cin);
+  EXPECT_EQ(iss.a, ref.a);
+  EXPECT_EQ(iss.cy, ref.cy);
+  EXPECT_EQ(iss.ac, ref.ac);
+  EXPECT_EQ(iss.ov, ref.ov);
+}
+
+TEST_P(AluSweep, SubbMatchesOracle) {
+  const auto [ia, ib, cin] = GetParam();
+  const std::uint8_t a = kGrid[ia], b = kGrid[ib];
+  const auto iss = run_iss("SUBB", a, b, cin);
+  const auto ref = oracle_subb(a, b, cin);
+  EXPECT_EQ(iss.a, ref.a);
+  EXPECT_EQ(iss.cy, ref.cy);
+  EXPECT_EQ(iss.ac, ref.ac);
+  EXPECT_EQ(iss.ov, ref.ov);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AluSweep,
+                         ::testing::Combine(::testing::Range(0, 11), ::testing::Range(0, 11),
+                                            ::testing::Bool()));
+
+TEST(AluDa, BcdAdditionSweep) {
+  // For all BCD pairs (0..99 sampled), ADD then DA A yields the BCD sum.
+  for (int x = 0; x < 100; x += 7) {
+    for (int y = 0; y < 100; y += 9) {
+      const std::uint8_t a = static_cast<std::uint8_t>((x / 10) << 4 | (x % 10));
+      const std::uint8_t b = static_cast<std::uint8_t>((y / 10) << 4 | (y % 10));
+      Core8051 core;
+      Assembler as;
+      as.define("OPA", a);
+      as.define("OPB", b);
+      core.load_program(as.assemble(
+          "CLR C\nMOV A,#OPA\nADD A,#OPB\nDA A\ndone: SJMP done\n").image);
+      while (!core.halted()) core.step();
+      const int sum = x + y;
+      const std::uint8_t expect =
+          static_cast<std::uint8_t>(((sum / 10) % 10) << 4 | (sum % 10));
+      EXPECT_EQ(core.acc(), expect) << x << "+" << y;
+      EXPECT_EQ(core.carry(), sum > 99) << x << "+" << y;
+    }
+  }
+}
+
+TEST(AluMulDiv, ExhaustiveSampledSweep) {
+  for (int a = 0; a < 256; a += 23) {
+    for (int b = 0; b < 256; b += 31) {
+      Core8051 core;
+      Assembler as;
+      as.define("OPA", static_cast<std::uint16_t>(a));
+      as.define("OPB", static_cast<std::uint16_t>(b));
+      core.load_program(as.assemble(
+          "MOV A,#OPA\nMOV B,#OPB\nMUL AB\nMOV 30h,A\nMOV 31h,B\n"
+          "MOV A,#OPA\nMOV B,#OPB\nDIV AB\nMOV 32h,A\nMOV 33h,B\ndone: SJMP done\n").image);
+      while (!core.halted()) core.step();
+      const unsigned prod = static_cast<unsigned>(a) * static_cast<unsigned>(b);
+      EXPECT_EQ(core.iram(0x30), prod & 0xFF) << a << "*" << b;
+      EXPECT_EQ(core.iram(0x31), prod >> 8) << a << "*" << b;
+      if (b != 0) {
+        EXPECT_EQ(core.iram(0x32), a / b) << a << "/" << b;
+        EXPECT_EQ(core.iram(0x33), a % b) << a << "/" << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ascp::mcu

@@ -1,0 +1,158 @@
+// Boot-flow integration: boot ROM + UART download + EEPROM boot, end to end
+// on the ISS — the paper's §4.2 software download/update story.
+#include <gtest/gtest.h>
+
+#include "mcu/assembler.hpp"
+#include "mcu/bootrom.hpp"
+#include "mcu/bus.hpp"
+#include "mcu/core8051.hpp"
+#include "mcu/spi.hpp"
+#include "mcu/uart.hpp"
+
+namespace ascp::mcu {
+namespace {
+
+/// Full prototype-version MCU: boot ROM, program RAM, SPI master + EEPROM,
+/// UART host link.
+struct PrototypeMcu {
+  PrototypeMcu() : bus(4096) {
+    bus.map(&spi, cfg.spi_base, 3, "spi");
+    // Program RAM fills the upper half minus the peripheral page at 0xFF00.
+    bus.map_program_ram(cfg.prog_base, 0x7F00, &core);
+    spi.connect(&eeprom);
+    core.set_xdata_bus(&bus);
+    host.attach(core);
+    core.load_program(BootRom::image(cfg));
+  }
+
+  /// Run the system, pumping the UART, until the core halts or the budget
+  /// is exhausted.
+  bool run(long max_cycles) {
+    long used = 0;
+    while (used < max_cycles) {
+      used += core.step();
+      host.pump(core);
+      if (core.halted()) return true;
+    }
+    return core.halted();
+  }
+
+  BootRomConfig cfg;
+  Core8051 core;
+  BridgedBus bus;
+  SpiMaster spi;
+  SpiEeprom eeprom{8192};
+  HostLink host;
+};
+
+/// A tiny application that writes a signature and parks.
+std::vector<std::uint8_t> signature_app(std::uint16_t org) {
+  Assembler as;
+  return as.assemble(R"(
+    ORG )" + std::to_string(org) + R"(
+    MOV 60h,#0C3h
+    MOV 61h,#5Ah
+    done: SJMP done
+  )").image;
+}
+
+/// Strip the leading zeros an ORG>0 image carries.
+std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& image, std::uint16_t org) {
+  return std::vector<std::uint8_t>(image.begin() + org, image.end());
+}
+
+TEST(BootRom, ImageFitsInOneKilobyte) {
+  // Paper: "the boot placed in a small 1 Kb ROM".
+  EXPECT_LE(BootRom::image().size(), 1024u);
+}
+
+TEST(BootRom, UartDownloadRunsProgram) {
+  PrototypeMcu mcu;
+  const auto app = payload_of(signature_app(mcu.cfg.prog_base), mcu.cfg.prog_base);
+  mcu.host.send_download(app);
+  ASSERT_TRUE(mcu.run(3000000));
+  EXPECT_EQ(mcu.core.iram(0x60), 0xC3);
+  EXPECT_EQ(mcu.core.iram(0x61), 0x5A);
+  // Host saw the ACK.
+  ASSERT_FALSE(mcu.host.received().empty());
+  EXPECT_EQ(mcu.host.received().back(), BootRom::kAck);
+}
+
+TEST(BootRom, CorruptDownloadNaksAndRetries) {
+  PrototypeMcu mcu;
+  const auto app = payload_of(signature_app(mcu.cfg.prog_base), mcu.cfg.prog_base);
+  // First download with a corrupted checksum, then a good one.
+  std::vector<std::uint8_t> frame;
+  frame.push_back(BootRom::kMagic);
+  frame.push_back(static_cast<std::uint8_t>(app.size() >> 8));
+  frame.push_back(static_cast<std::uint8_t>(app.size() & 0xFF));
+  for (auto b : app) frame.push_back(b);
+  frame.push_back(0xEE);  // wrong checksum
+  mcu.host.send(frame);
+  mcu.host.send_download(app);
+  ASSERT_TRUE(mcu.run(6000000));
+  EXPECT_EQ(mcu.core.iram(0x60), 0xC3);
+  // NAK followed (eventually) by ACK.
+  const auto& rx = mcu.host.received();
+  ASSERT_GE(rx.size(), 2u);
+  EXPECT_EQ(rx.front(), BootRom::kNak);
+  EXPECT_EQ(rx.back(), BootRom::kAck);
+}
+
+TEST(BootRom, EepromBootRunsProgramWithoutHost) {
+  PrototypeMcu mcu;
+  const auto app = payload_of(signature_app(mcu.cfg.prog_base), mcu.cfg.prog_base);
+  mcu.eeprom.program(0, BootRom::eeprom_image(app));
+  ASSERT_TRUE(mcu.run(3000000));
+  EXPECT_EQ(mcu.core.iram(0x60), 0xC3);
+  EXPECT_EQ(mcu.core.iram(0x61), 0x5A);
+}
+
+TEST(BootRom, CorruptEepromFallsBackToUart) {
+  PrototypeMcu mcu;
+  const auto app = payload_of(signature_app(mcu.cfg.prog_base), mcu.cfg.prog_base);
+  auto bad = BootRom::eeprom_image(app);
+  bad.back() ^= 0xFF;  // break the checksum
+  mcu.eeprom.program(0, bad);
+  mcu.host.send_download(app);
+  ASSERT_TRUE(mcu.run(6000000));
+  EXPECT_EQ(mcu.core.iram(0x60), 0xC3);
+  EXPECT_EQ(mcu.host.received().back(), BootRom::kAck);
+}
+
+TEST(BootRom, DownloadedCodeLandsInProgramRam) {
+  PrototypeMcu mcu;
+  const auto app = payload_of(signature_app(mcu.cfg.prog_base), mcu.cfg.prog_base);
+  mcu.host.send_download(app);
+  ASSERT_TRUE(mcu.run(3000000));
+  // Program RAM (XDATA view) and code view agree.
+  for (std::size_t i = 0; i < app.size(); ++i) {
+    EXPECT_EQ(mcu.bus.read(static_cast<std::uint16_t>(mcu.cfg.prog_base + i)), app[i]) << i;
+    EXPECT_EQ(mcu.core.code_byte(static_cast<std::uint16_t>(mcu.cfg.prog_base + i)), app[i]) << i;
+  }
+}
+
+TEST(BootRom, RebootFromEepromAfterStore) {
+  // The paper's full loop: download over UART, store into EEPROM via SPI,
+  // then reset and boot straight from EEPROM. Host-side orchestration, with
+  // the store done through the MCU-visible SPI master by the host program.
+  PrototypeMcu mcu;
+  const auto app = payload_of(signature_app(mcu.cfg.prog_base), mcu.cfg.prog_base);
+
+  // Phase 1: UART download and run.
+  mcu.host.send_download(app);
+  ASSERT_TRUE(mcu.run(3000000));
+  ASSERT_EQ(mcu.core.iram(0x60), 0xC3);
+
+  // Phase 2: store to EEPROM (factory programming path).
+  mcu.eeprom.program(0, BootRom::eeprom_image(app));
+
+  // Phase 3: reset; no host connected this time.
+  mcu.core.reset();
+  mcu.core.load_program(BootRom::image(mcu.cfg));
+  ASSERT_TRUE(mcu.run(3000000));
+  EXPECT_EQ(mcu.core.iram(0x60), 0xC3);
+}
+
+}  // namespace
+}  // namespace ascp::mcu

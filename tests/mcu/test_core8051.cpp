@@ -1,0 +1,507 @@
+// ISA tests for the 8051 core. Programs are assembled from source so these
+// tests exercise assembler and ISS together; targeted byte-level programs
+// are used where encoding corner cases matter.
+#include <gtest/gtest.h>
+
+#include "mcu/assembler.hpp"
+#include "mcu/core8051.hpp"
+
+namespace ascp::mcu {
+namespace {
+
+/// Assemble, load, run until the firmware parks on `SJMP $` (or budget runs
+/// out), return the core for inspection.
+class CoreRunner {
+ public:
+  explicit CoreRunner(const std::string& source, long max_cycles = 100000) {
+    Assembler as;
+    const auto result = as.assemble(source);
+    core.load_program(result.image);
+    symbols = result.symbols;
+    long used = 0;
+    while (!core.halted() && used < max_cycles) used += core.step();
+    EXPECT_TRUE(core.halted()) << "program did not reach its end marker";
+  }
+
+  Core8051 core;
+  std::map<std::string, std::uint16_t> symbols;
+};
+
+TEST(Core8051, ResetState) {
+  Core8051 core;
+  EXPECT_EQ(core.pc(), 0);
+  EXPECT_EQ(core.acc(), 0);
+  EXPECT_EQ(core.read_sfr(sfr::SP), 0x07);
+  EXPECT_EQ(core.read_sfr(sfr::P1), 0xFF);
+}
+
+TEST(Core8051, MovImmediateAndRegisters) {
+  CoreRunner run(R"(
+    MOV A,#3Ch
+    MOV R0,#11h
+    MOV R7,A
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.acc(), 0x3C);
+  EXPECT_EQ(run.core.reg(0), 0x11);
+  EXPECT_EQ(run.core.reg(7), 0x3C);
+}
+
+TEST(Core8051, MovDirectAndIndirect) {
+  CoreRunner run(R"(
+    MOV 30h,#55h
+    MOV R0,#30h
+    MOV A,@R0
+    MOV 31h,A
+    MOV R1,#32h
+    MOV @R1,#77h
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0x55);
+  EXPECT_EQ(run.core.iram(0x31), 0x55);
+  EXPECT_EQ(run.core.iram(0x32), 0x77);
+}
+
+TEST(Core8051, MovDirectToDirectUsesSourceFirstEncoding) {
+  // MOV 31h,30h must copy 30h -> 31h (source byte first in the encoding).
+  CoreRunner run(R"(
+    MOV 30h,#0ABh
+    MOV 31h,30h
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x31), 0xAB);
+}
+
+TEST(Core8051, AddSetsCarryAndOverflow) {
+  CoreRunner run(R"(
+    MOV A,#0F0h
+    ADD A,#20h      ; 0xF0+0x20 = 0x110: CY=1
+    MOV 30h,PSW
+    MOV A,#70h
+    ADD A,#70h      ; 0x70+0x70 = 0xE0: OV=1 (signed overflow), CY=0
+    MOV 31h,PSW
+    done: SJMP done
+  )");
+  EXPECT_TRUE(run.core.iram(0x30) & 0x80);   // CY
+  EXPECT_FALSE(run.core.iram(0x31) & 0x80);  // no CY
+  EXPECT_TRUE(run.core.iram(0x31) & 0x04);   // OV
+}
+
+TEST(Core8051, AddAuxCarryFromLowNibble) {
+  CoreRunner run(R"(
+    MOV A,#0Fh
+    ADD A,#01h
+    MOV 30h,PSW
+    done: SJMP done
+  )");
+  EXPECT_TRUE(run.core.iram(0x30) & 0x40);  // AC
+}
+
+TEST(Core8051, AddcPropagatesCarry) {
+  CoreRunner run(R"(
+    MOV A,#0FFh
+    ADD A,#1        ; CY=1, A=0
+    MOV A,#10h
+    ADDC A,#10h     ; 0x10+0x10+1 = 0x21
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.acc(), 0x21);
+}
+
+TEST(Core8051, SubbBorrowChain) {
+  CoreRunner run(R"(
+    CLR C
+    MOV A,#05h
+    SUBB A,#07h     ; 5-7 = 0xFE, CY=1
+    MOV 30h,A
+    MOV A,#10h
+    SUBB A,#01h     ; 0x10-1-1(borrow) = 0x0E
+    MOV 31h,A
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0xFE);
+  EXPECT_EQ(run.core.iram(0x31), 0x0E);
+}
+
+TEST(Core8051, MulAb) {
+  CoreRunner run(R"(
+    MOV A,#12
+    MOV B,#34
+    MUL AB          ; 408 = 0x198
+    MOV 30h,A
+    MOV 31h,B
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0x98);
+  EXPECT_EQ(run.core.iram(0x31), 0x01);
+}
+
+TEST(Core8051, DivAb) {
+  CoreRunner run(R"(
+    MOV A,#251
+    MOV B,#18
+    DIV AB          ; 251/18 = 13 rem 17
+    MOV 30h,A
+    MOV 31h,B
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 13);
+  EXPECT_EQ(run.core.iram(0x31), 17);
+}
+
+TEST(Core8051, DivByZeroSetsOv) {
+  CoreRunner run(R"(
+    MOV A,#5
+    MOV B,#0
+    DIV AB
+    MOV 30h,PSW
+    done: SJMP done
+  )");
+  EXPECT_TRUE(run.core.iram(0x30) & 0x04);
+}
+
+TEST(Core8051, IncDecWrapAround) {
+  CoreRunner run(R"(
+    MOV A,#0FFh
+    INC A           ; wraps to 0
+    MOV 30h,A
+    MOV R2,#0
+    DEC R2          ; wraps to 0xFF
+    MOV A,R2
+    MOV 31h,A
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0x00);
+  EXPECT_EQ(run.core.iram(0x31), 0xFF);
+}
+
+TEST(Core8051, IncDptr16Bit) {
+  CoreRunner run(R"(
+    MOV DPTR,#00FFh
+    INC DPTR
+    MOV 30h,DPH
+    MOV 31h,DPL
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0x01);
+  EXPECT_EQ(run.core.iram(0x31), 0x00);
+}
+
+TEST(Core8051, LogicOps) {
+  CoreRunner run(R"(
+    MOV A,#0F0h
+    ORL A,#0Fh
+    MOV 30h,A       ; 0xFF
+    MOV A,#0F0h
+    ANL A,#33h
+    MOV 31h,A       ; 0x30
+    MOV A,#0FFh
+    XRL A,#0F0h
+    MOV 32h,A       ; 0x0F
+    MOV A,#55h
+    CPL A
+    MOV 33h,A       ; 0xAA
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0xFF);
+  EXPECT_EQ(run.core.iram(0x31), 0x30);
+  EXPECT_EQ(run.core.iram(0x32), 0x0F);
+  EXPECT_EQ(run.core.iram(0x33), 0xAA);
+}
+
+TEST(Core8051, LogicOnDirectDestination) {
+  CoreRunner run(R"(
+    MOV 40h,#0F0h
+    ORL 40h,#0Ah
+    MOV 41h,#0FFh
+    MOV A,#0Fh
+    ANL 41h,A
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x40), 0xFA);
+  EXPECT_EQ(run.core.iram(0x41), 0x0F);
+}
+
+TEST(Core8051, RotatesThroughCarry) {
+  CoreRunner run(R"(
+    CLR C
+    MOV A,#81h
+    RRC A           ; A=0x40, CY=1
+    MOV 30h,A
+    MOV 31h,PSW
+    MOV A,#81h
+    SETB C
+    RLC A           ; A=0x03, CY=1
+    MOV 32h,A
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0x40);
+  EXPECT_TRUE(run.core.iram(0x31) & 0x80);
+  EXPECT_EQ(run.core.iram(0x32), 0x03);
+}
+
+TEST(Core8051, RotatesWithoutCarry) {
+  CoreRunner run(R"(
+    MOV A,#81h
+    RR A
+    MOV 30h,A       ; 0xC0
+    MOV A,#81h
+    RL A
+    MOV 31h,A       ; 0x03
+    MOV A,#0ABh
+    SWAP A
+    MOV 32h,A       ; 0xBA
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0xC0);
+  EXPECT_EQ(run.core.iram(0x31), 0x03);
+  EXPECT_EQ(run.core.iram(0x32), 0xBA);
+}
+
+TEST(Core8051, DaAdjustsBcd) {
+  CoreRunner run(R"(
+    MOV A,#19h      ; BCD 19
+    ADD A,#28h      ; BCD 28 -> binary 0x41
+    DA A            ; BCD 47
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.acc(), 0x47);
+}
+
+TEST(Core8051, StackPushPop) {
+  CoreRunner run(R"(
+    MOV A,#77h
+    PUSH ACC
+    MOV A,#0
+    POP 30h
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0x77);
+  EXPECT_EQ(run.core.read_sfr(sfr::SP), 0x07);  // balanced
+}
+
+TEST(Core8051, CallAndReturn) {
+  CoreRunner run(R"(
+    LCALL sub
+    MOV 31h,#1
+    done: SJMP done
+sub:
+    MOV 30h,#2
+    RET
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 2);
+  EXPECT_EQ(run.core.iram(0x31), 1);
+}
+
+TEST(Core8051, AcallWithinPage) {
+  CoreRunner run(R"(
+    ACALL sub
+    MOV 31h,#1
+    done: SJMP done
+sub:
+    MOV 30h,#2
+    RET
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 2);
+  EXPECT_EQ(run.core.iram(0x31), 1);
+}
+
+TEST(Core8051, ConditionalJumps) {
+  CoreRunner run(R"(
+    MOV A,#0
+    JZ iszero
+    MOV 30h,#0BAh   ; must be skipped
+iszero:
+    MOV 31h,#1
+    MOV A,#5
+    JNZ notzero
+    MOV 32h,#0BAh   ; must be skipped
+notzero:
+    MOV 33h,#1
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0);
+  EXPECT_EQ(run.core.iram(0x31), 1);
+  EXPECT_EQ(run.core.iram(0x32), 0);
+  EXPECT_EQ(run.core.iram(0x33), 1);
+}
+
+TEST(Core8051, CjneBranchesAndSetsCarry) {
+  CoreRunner run(R"(
+    MOV A,#5
+    CJNE A,#9,ne
+    MOV 30h,#0FFh
+ne: MOV 31h,PSW     ; CY set because 5 < 9
+    CJNE A,#5,done
+    MOV 32h,#1      ; equal: fall through
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0);
+  EXPECT_TRUE(run.core.iram(0x31) & 0x80);
+  EXPECT_EQ(run.core.iram(0x32), 1);
+}
+
+TEST(Core8051, DjnzCountsLoops) {
+  CoreRunner run(R"(
+    MOV R2,#10
+    MOV A,#0
+loop:
+    INC A
+    DJNZ R2,loop
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.acc(), 10);
+}
+
+TEST(Core8051, DjnzDirect) {
+  CoreRunner run(R"(
+    MOV 40h,#3
+    MOV A,#0
+loop:
+    ADD A,#5
+    DJNZ 40h,loop
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.acc(), 15);
+}
+
+TEST(Core8051, BitOperations) {
+  CoreRunner run(R"(
+    SETB 20h.0
+    SETB 20h.7
+    CLR 20h.7
+    CPL 20h.1
+    MOV C,20h.0
+    MOV 2Fh.0,C
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x20), 0x03);  // bits 0 and 1
+  EXPECT_EQ(run.core.iram(0x2F) & 1, 1);
+}
+
+TEST(Core8051, BooleanCarryLogic) {
+  CoreRunner run(R"(
+    SETB 20h.0
+    CLR 20h.1
+    CLR C
+    ORL C,20h.0     ; C = 1
+    ANL C,20h.1     ; C = 0
+    ORL C,/20h.1    ; C = 1 (complemented bit)
+    MOV 2Fh.0,C
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x2F) & 1, 1);
+}
+
+TEST(Core8051, JbJnbJbc) {
+  CoreRunner run(R"(
+    SETB 20h.3
+    JB 20h.3,took
+    MOV 30h,#0FFh
+took:
+    JBC 20h.3,cleared   ; jumps and clears the bit
+    MOV 31h,#0FFh
+cleared:
+    JNB 20h.3,ok        ; bit is now clear
+    MOV 32h,#0FFh
+ok: done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0);
+  EXPECT_EQ(run.core.iram(0x31), 0);
+  EXPECT_EQ(run.core.iram(0x32), 0);
+}
+
+TEST(Core8051, XchAndXchd) {
+  CoreRunner run(R"(
+    MOV A,#12h
+    MOV 40h,#34h
+    XCH A,40h
+    MOV 30h,A       ; 0x34
+    MOV R0,#41h
+    MOV 41h,#0ABh
+    MOV A,#0CDh
+    XCHD A,@R0      ; A=0xCB, 41h=0xAD
+    MOV 31h,A
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 0x34);
+  EXPECT_EQ(run.core.iram(0x40), 0x12);
+  EXPECT_EQ(run.core.iram(0x31), 0xCB);
+  EXPECT_EQ(run.core.iram(0x41), 0xAD);
+}
+
+TEST(Core8051, MovcReadsCodeTable) {
+  CoreRunner run(R"(
+    MOV DPTR,#table
+    MOV A,#2
+    MOVC A,@A+DPTR
+    done: SJMP done
+table:
+    DB 10h,20h,30h,40h
+  )");
+  EXPECT_EQ(run.core.acc(), 0x30);
+}
+
+TEST(Core8051, RegisterBankSwitching) {
+  CoreRunner run(R"(
+    MOV R0,#11h     ; bank 0 R0 (iram 0x00)
+    SETB RS0        ; select bank 1
+    MOV R0,#22h     ; bank 1 R0 (iram 0x08)
+    CLR RS0
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x00), 0x11);
+  EXPECT_EQ(run.core.iram(0x08), 0x22);
+}
+
+TEST(Core8051, ParityFlagTracksAccumulator) {
+  CoreRunner run(R"(
+    MOV A,#3        ; two ones -> even parity, P=0
+    MOV 30h,PSW
+    MOV A,#7        ; three ones -> P=1
+    MOV 31h,PSW
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30) & 1, 0);
+  EXPECT_EQ(run.core.iram(0x31) & 1, 1);
+}
+
+TEST(Core8051, JmpIndirectViaDptr) {
+  CoreRunner run(R"(
+    MOV DPTR,#targets
+    MOV A,#0
+    JMP @A+DPTR
+targets:
+    LJMP t0
+t0: MOV 30h,#9
+    done: SJMP done
+  )");
+  EXPECT_EQ(run.core.iram(0x30), 9);
+}
+
+TEST(Core8051, HaltDetectsSjmpSelf) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble("here: SJMP here").image);
+  core.step();
+  EXPECT_TRUE(core.halted());
+}
+
+TEST(Core8051, CycleCountingRoughly12ClockMachineCycles) {
+  // MUL = 4 cycles, MOV A,#n = 1 cycle, SJMP = 2.
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+    MOV A,#3
+    MOV B,#3
+    MUL AB
+    done: SJMP done
+  )").image);
+  core.step();  // MOV A (B is SFR write: MOV dir,#imm = 2)
+  core.step();
+  core.step();  // MUL
+  EXPECT_EQ(core.cycle_count(), 1 + 2 + 4);
+}
+
+}  // namespace
+}  // namespace ascp::mcu

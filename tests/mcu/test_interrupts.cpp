@@ -1,0 +1,291 @@
+// Interrupt-system and on-chip peripheral (timer/serial) tests.
+#include <gtest/gtest.h>
+
+#include "mcu/assembler.hpp"
+#include "mcu/core8051.hpp"
+#include "mcu/uart.hpp"
+
+namespace ascp::mcu {
+namespace {
+
+TEST(Interrupts, Timer0OverflowVectors) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 0Bh          ; timer-0 vector
+        INC 30h
+        RETI
+main:   MOV TMOD,#01h    ; timer 0 mode 1 (16-bit)
+        MOV TH0,#0FFh
+        MOV TL0,#0F0h    ; overflow after ~16 cycles
+        MOV IE,#82h      ; EA + ET0
+        SETB TR0
+wait:   SJMP wait
+  )").image);
+  core.run_cycles(400);
+  EXPECT_GE(core.iram(0x30), 1);
+}
+
+TEST(Interrupts, Timer0AutoReloadFiresRepeatedly) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 0Bh
+        INC 30h
+        RETI
+main:   MOV TMOD,#02h    ; timer 0 mode 2 (8-bit auto-reload)
+        MOV TH0,#0CEh    ; reload 0xCE -> overflow every 50 cycles
+        MOV TL0,#0CEh
+        MOV IE,#82h
+        SETB TR0
+wait:   SJMP wait
+  )").image);
+  core.run_cycles(2000);
+  EXPECT_GE(core.iram(0x30), 30);
+}
+
+TEST(Interrupts, DisabledWhenEaClear) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 0Bh
+        INC 30h
+        RETI
+main:   MOV TMOD,#02h
+        MOV TH0,#0CEh
+        MOV TL0,#0CEh
+        MOV IE,#02h      ; ET0 set but EA clear
+        SETB TR0
+wait:   SJMP wait
+  )").image);
+  core.run_cycles(2000);
+  EXPECT_EQ(core.iram(0x30), 0);
+}
+
+TEST(Interrupts, ExternalEdgeTriggered) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 03h          ; INT0 vector
+        INC 30h
+        RETI
+main:   SETB IT0         ; edge mode
+        MOV IE,#81h      ; EA + EX0
+wait:   SJMP wait
+  )").image);
+  core.run_cycles(50);
+  EXPECT_EQ(core.iram(0x30), 0);
+  core.set_int0(true);   // assert: edge detected
+  core.run_cycles(50);
+  EXPECT_EQ(core.iram(0x30), 1);
+  core.run_cycles(200);  // still asserted: no second edge
+  EXPECT_EQ(core.iram(0x30), 1);
+  core.set_int0(false);
+  core.run_cycles(20);
+  core.set_int0(true);   // second edge
+  core.run_cycles(50);
+  EXPECT_EQ(core.iram(0x30), 2);
+}
+
+TEST(Interrupts, HighPriorityPreemptsLow) {
+  // Timer0 ISR (low priority) spins until INT0 (high priority) preempts it
+  // and sets the release flag — only possible with working nesting.
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 03h          ; INT0 (high priority)
+        MOV 31h,#1
+        RETI
+        ORG 0Bh          ; timer 0 (low priority)
+        MOV 30h,#1
+spin:   MOV A,31h
+        JZ spin          ; wait for the high-priority ISR
+        MOV 32h,#1
+        RETI
+main:   SETB IT0
+        MOV IP,#01h      ; INT0 high priority
+        MOV TMOD,#02h
+        MOV TH0,#0CEh
+        MOV TL0,#0CEh
+        MOV IE,#83h      ; EA + ET0 + EX0
+        SETB TR0
+wait:   SJMP wait
+  )").image);
+  core.run_cycles(200);           // enter the timer ISR and start spinning
+  EXPECT_EQ(core.iram(0x30), 1);  // in timer ISR
+  EXPECT_EQ(core.iram(0x32), 0);  // still spinning
+  core.set_int0(true);
+  core.run_cycles(300);
+  EXPECT_EQ(core.iram(0x31), 1);  // high-priority ISR ran
+  EXPECT_EQ(core.iram(0x32), 1);  // spin released
+}
+
+TEST(Interrupts, LowCannotPreemptLow) {
+  // While inside the timer-0 ISR (low priority), a serial interrupt (same
+  // priority) must wait for RETI. The timer ISR is one-shot (clears TR0) so
+  // it cannot starve the serial source after returning.
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 0Bh
+        CLR TR0          ; one-shot
+        INC 30h          ; timer ISR entered
+        MOV R2,#100
+busy:   DJNZ R2,busy     ; ~200-cycle ISR body
+        RETI
+        ORG 23h
+        INC 31h
+        CLR RI
+        RETI
+main:   MOV SCON,#50h
+        MOV TMOD,#02h
+        MOV TH0,#0B0h
+        MOV TL0,#0B0h
+        MOV IE,#92h      ; EA + ES + ET0
+        SETB TR0
+wait:   SJMP wait
+  )").image);
+  // Step until the timer ISR has been entered.
+  long guard = 0;
+  while (core.iram(0x30) == 0 && guard++ < 10000) core.step();
+  ASSERT_EQ(core.iram(0x30), 1);
+  // Deliver a serial byte while the ISR body is still spinning.
+  ASSERT_TRUE(core.inject_rx(0x42));
+  core.run_cycles(20);
+  EXPECT_EQ(core.iram(0x31), 0);  // not serviced inside the timer ISR
+  core.run_cycles(2000);
+  EXPECT_GE(core.iram(0x31), 1);  // serviced after RETI
+}
+
+TEST(Serial, TransmitSetsTiAndDeliversByte) {
+  Core8051 core;
+  HostLink host;
+  host.attach(core);
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        MOV SCON,#40h    ; mode 1
+        MOV TMOD,#20h
+        MOV TH1,#0FFh    ; fastest baud (32 cycles/bit)
+        SETB TR1
+        MOV SBUF,#48h    ; 'H'
+w1:     JNB TI,w1
+        CLR TI
+        MOV SBUF,#69h    ; 'i'
+w2:     JNB TI,w2
+        CLR TI
+        done: SJMP done
+  )").image);
+  long used = 0;
+  while (!core.halted() && used < 100000) used += core.step();
+  EXPECT_EQ(host.received_text(), "Hi");
+}
+
+TEST(Serial, ReceiveTriggersInterrupt) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 23h
+        JNB RI,notrx
+        CLR RI
+        MOV 30h,SBUF
+notrx:  RETI
+main:   MOV SCON,#50h
+        MOV IE,#90h      ; EA + ES
+wait:   SJMP wait
+  )").image);
+  core.run_cycles(50);
+  ASSERT_TRUE(core.inject_rx(0x5A));
+  core.run_cycles(100);
+  EXPECT_EQ(core.iram(0x30), 0x5A);
+}
+
+TEST(Serial, RxRefusedUntilRiCleared) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble("MOV SCON,#50h \n done: SJMP done").image);
+  while (!core.halted()) core.step();
+  EXPECT_TRUE(core.inject_rx(0x01));
+  EXPECT_FALSE(core.inject_rx(0x02));  // RI still set: refuse (overrun)
+}
+
+TEST(Serial, RxRefusedWithoutRen) {
+  Core8051 core;
+  EXPECT_FALSE(core.inject_rx(0x55));
+}
+
+TEST(PowerModes, IdleStopsExecutionUntilInterrupt) {
+  // PCON.0 (IDL): the CPU stops fetching but timers keep counting; a timer
+  // interrupt wakes it and execution continues after the idle instruction.
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 0Bh
+        INC 30h
+        RETI
+main:   MOV TMOD,#01h
+        MOV TH0,#0FCh    ; ~1000 cycles to overflow
+        MOV TL0,#18h
+        MOV IE,#82h
+        SETB TR0
+        ORL PCON,#1      ; enter idle
+        MOV 31h,#1       ; executed only after wake-up
+        done: SJMP done
+  )").image);
+  core.run_cycles(500);
+  EXPECT_EQ(core.iram(0x31), 0);  // still idle: post-idle code not reached
+  core.run_cycles(2000);
+  EXPECT_EQ(core.iram(0x30), 1);  // ISR ran
+  EXPECT_EQ(core.iram(0x31), 1);  // woke and continued
+}
+
+TEST(PowerModes, IdleWithoutInterruptsSleepsForever) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORL PCON,#1
+        MOV 30h,#1
+        done: SJMP done
+  )").image);
+  core.run_cycles(5000);
+  EXPECT_EQ(core.iram(0x30), 0);
+  EXPECT_FALSE(core.halted());
+}
+
+TEST(Interrupts, InterruptWakesHaltedCore) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 0Bh
+        INC 30h
+        RETI
+main:   MOV TMOD,#02h
+        MOV TH0,#00h
+        MOV TL0,#00h
+        MOV IE,#82h
+        SETB TR0
+        done: SJMP done   ; park; timer keeps running
+  )").image);
+  core.run_cycles(1000);
+  EXPECT_GE(core.iram(0x30), 1);  // ISR executed out of the parked loop
+}
+
+}  // namespace
+}  // namespace ascp::mcu

@@ -1,0 +1,219 @@
+// ISA corner cases: page-crossing control flow, stack behaviour, register
+// bank aliasing, PC-relative code reads — the encodings that break naive
+// 8051 implementations.
+#include <gtest/gtest.h>
+
+#include "mcu/assembler.hpp"
+#include "mcu/core8051.hpp"
+
+namespace ascp::mcu {
+namespace {
+
+Core8051 run(const std::string& src, long max_cycles = 100000) {
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(src).image);
+  long used = 0;
+  while (!core.halted() && used < max_cycles) used += core.step();
+  EXPECT_TRUE(core.halted());
+  return core;
+}
+
+TEST(IsaCorners, AjmpUsesPageOfNextInstruction) {
+  // An AJMP placed so its *own* address is in page 0 but the following
+  // instruction is in page 1 must jump within page 1.
+  Core8051 core;
+  Assembler as;
+  // Place the AJMP at 0x7FE: instruction ends at 0x800 (page 1); target in
+  // page 1 is legal even though the AJMP itself starts in page 0.
+  const auto img = as.assemble(R"(
+        ORG 0
+        LJMP 7FEh
+        ORG 7FEh
+        AJMP target
+        ORG 810h
+target: MOV 30h,#7
+        done: SJMP done
+  )").image;
+  core.load_program(img);
+  long used = 0;
+  while (!core.halted() && used < 1000) used += core.step();
+  EXPECT_EQ(core.iram(0x30), 7);
+}
+
+TEST(IsaCorners, MovcPcRelativeReadsAfterInstruction) {
+  // MOVC A,@A+PC uses the PC *after* the MOVC: A = 1 skips exactly the
+  // 1-byte RET and reads the first table byte; A = 2 reads the second.
+  auto first = run(R"(
+        LCALL get
+        MOV 30h,A
+        done: SJMP done
+get:    MOV A,#1
+        MOVC A,@A+PC
+        RET
+        DB 0AAh,0BBh
+  )");
+  EXPECT_EQ(first.iram(0x30), 0xAA);
+  auto second = run(R"(
+        LCALL get
+        MOV 30h,A
+        done: SJMP done
+get:    MOV A,#2
+        MOVC A,@A+PC
+        RET
+        DB 0AAh,0BBh
+  )");
+  EXPECT_EQ(second.iram(0x30), 0xBB);
+}
+
+TEST(IsaCorners, StackGrowsUpAndAliasesIram) {
+  // SP starts at 7: the first PUSH lands at iram[8] — which is bank 1 R0.
+  auto core = run(R"(
+        MOV A,#0EEh
+        PUSH ACC
+        done: SJMP done
+  )");
+  EXPECT_EQ(core.iram(0x08), 0xEE);
+  EXPECT_EQ(core.read_sfr(sfr::SP), 0x08);
+}
+
+TEST(IsaCorners, RegisterBanksAliasLowIram) {
+  // Writing R3 in bank 2 is writing iram[0x13] — and vice versa.
+  auto core = run(R"(
+        MOV PSW,#10h     ; RS1=1 RS0=0: bank 2
+        MOV R3,#5Ah
+        MOV PSW,#0       ; back to bank 0
+        MOV A,13h        ; direct access to bank-2 R3
+        MOV 30h,A
+        done: SJMP done
+  )");
+  EXPECT_EQ(core.iram(0x30), 0x5A);
+}
+
+TEST(IsaCorners, IndirectReachesUpper128) {
+  // iram 0x80..0xFF is reachable only via @Ri — direct 0x80+ hits SFRs.
+  auto core = run(R"(
+        MOV R0,#0C5h
+        MOV @R0,#77h     ; upper-RAM byte, NOT an SFR
+        MOV A,@R0
+        MOV 30h,A
+        done: SJMP done
+  )");
+  EXPECT_EQ(core.iram(0x30), 0x77);
+  EXPECT_EQ(core.iram(0xC5), 0x77);
+}
+
+TEST(IsaCorners, DirectAbove80hIsSfrNotIram) {
+  // MOV 90h,#x writes P1 (the SFR), leaving iram[0x90] untouched.
+  auto core = run(R"(
+        MOV 90h,#33h
+        done: SJMP done
+  )");
+  EXPECT_EQ(core.read_sfr(0x90), 0x33);
+  EXPECT_EQ(core.iram(0x90), 0x00);
+}
+
+TEST(IsaCorners, CjneIndirectForm) {
+  auto core = run(R"(
+        MOV R0,#40h
+        MOV 40h,#9
+        CJNE @R0,#9,bad
+        MOV 30h,#1
+        done: SJMP done
+bad:    MOV 30h,#2
+        SJMP done
+  )");
+  EXPECT_EQ(core.iram(0x30), 1);
+}
+
+TEST(IsaCorners, JmpADptrComputedDispatch) {
+  // Classic jump table: JMP @A+DPTR with A = 2·index into AJMPs.
+  auto core = run(R"(
+        MOV DPTR,#table
+        MOV A,#2         ; entry 1 (2 bytes per AJMP)
+        JMP @A+DPTR
+table:  AJMP case0
+        AJMP case1
+case0:  MOV 30h,#10
+        SJMP fin
+case1:  MOV 30h,#20
+fin:    done: SJMP done
+  )");
+  EXPECT_EQ(core.iram(0x30), 20);
+}
+
+TEST(IsaCorners, RetiBalancesNestedCalls) {
+  // LCALL inside an ISR: RET/RETI pairing must restore the original flow.
+  Core8051 core;
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        ORG 0
+        LJMP main
+        ORG 0Bh
+        LCALL helper
+        RETI
+helper: INC 30h
+        RET
+main:   MOV TMOD,#02h
+        MOV TH0,#00h
+        MOV TL0,#00h
+        MOV IE,#82h
+        SETB TR0
+        MOV 31h,#1
+wait:   SJMP wait
+  )").image);
+  core.run_cycles(2000);
+  EXPECT_GE(core.iram(0x30), 1);
+  EXPECT_EQ(core.iram(0x31), 1);  // main path intact after ISRs
+}
+
+TEST(IsaCorners, XchWithSfr) {
+  auto core = run(R"(
+        MOV B,#0CDh
+        MOV A,#12h
+        XCH A,B
+        MOV 30h,A
+        MOV 31h,B
+        done: SJMP done
+  )");
+  EXPECT_EQ(core.iram(0x30), 0xCD);
+  EXPECT_EQ(core.iram(0x31), 0x12);
+}
+
+TEST(IsaCorners, DptrWrapsAt64K) {
+  auto core = run(R"(
+        MOV DPTR,#0FFFFh
+        INC DPTR
+        MOV 30h,DPH
+        MOV 31h,DPL
+        done: SJMP done
+  )");
+  EXPECT_EQ(core.iram(0x30), 0);
+  EXPECT_EQ(core.iram(0x31), 0);
+}
+
+TEST(IsaCorners, MovxRiUsesP2Page) {
+  Core8051 core;
+  struct Probe : XdataBus {
+    std::uint16_t last_addr = 0;
+    std::uint8_t read(std::uint16_t addr) override {
+      last_addr = addr;
+      return 0x42;
+    }
+    void write(std::uint16_t addr, std::uint8_t) override { last_addr = addr; }
+  } probe;
+  core.set_xdata_bus(&probe);
+  Assembler as;
+  core.load_program(as.assemble(R"(
+        MOV P2,#12h
+        MOV R1,#34h
+        MOVX A,@R1
+        done: SJMP done
+  )").image);
+  while (!core.halted()) core.step();
+  EXPECT_EQ(probe.last_addr, 0x1234);
+  EXPECT_EQ(core.acc(), 0x42);
+}
+
+}  // namespace
+}  // namespace ascp::mcu

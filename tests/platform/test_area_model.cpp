@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "platform/area_model.hpp"
+
+namespace ascp::platform {
+namespace {
+
+TEST(AreaModel, EmptyIsZero) {
+  AreaModel m;
+  EXPECT_DOUBLE_EQ(m.total_kgates(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_analog_mm2(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_power_mw(), 0.0);
+}
+
+TEST(AreaModel, InstantiateAccumulates) {
+  AreaModel m;
+  m.instantiate("cpu8051");
+  const double one = m.total_kgates();
+  m.instantiate("cpu8051");
+  EXPECT_DOUBLE_EQ(m.total_kgates(), 2 * one);
+}
+
+TEST(AreaModel, UnknownIpThrows) {
+  AreaModel m;
+  EXPECT_THROW(m.instantiate("flux_capacitor"), std::invalid_argument);
+}
+
+TEST(AreaModel, PortfolioHasAnalogAndDigital) {
+  const auto& p = ip_portfolio();
+  EXPECT_GT(p.at("fir").kgates, 0.0);
+  EXPECT_DOUBLE_EQ(p.at("fir").analog_mm2, 0.0);
+  EXPECT_GT(p.at("sar_adc12").analog_mm2, 0.0);
+}
+
+TEST(AreaModel, UniversalContainsWholePortfolio) {
+  const auto u = AreaModel::universal();
+  EXPECT_EQ(u.instances().size(), ip_portfolio().size());
+}
+
+TEST(AreaModel, UniversalCostsMoreThanAnySubset) {
+  AreaModel subset;
+  subset.instantiate("cpu8051");
+  subset.instantiate("fir");
+  subset.instantiate("sar_adc12");
+  const auto u = AreaModel::universal();
+  EXPECT_GT(u.total_kgates(), subset.total_kgates());
+  EXPECT_GT(u.total_analog_mm2(), subset.total_analog_mm2());
+  EXPECT_GT(u.total_power_mw(), subset.total_power_mw());
+}
+
+TEST(AreaModel, ReportMentionsEveryInstance) {
+  AreaModel m;
+  m.instantiate("uart");
+  m.instantiate("nco", 2);
+  const auto text = m.report("test");
+  EXPECT_NE(text.find("uart"), std::string::npos);
+  EXPECT_NE(text.find("nco"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ascp::platform

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "platform/jtag.hpp"
+
+namespace ascp::platform {
+namespace {
+
+TEST(TapFsm, ResetFromAnywhereInFiveOnes) {
+  // From every state, five TMS=1 clocks land in Test-Logic-Reset.
+  for (int s = 0; s < 16; ++s) {
+    TapState state = static_cast<TapState>(s);
+    for (int i = 0; i < 5; ++i) state = tap_next(state, true);
+    EXPECT_EQ(state, TapState::TestLogicReset) << s;
+  }
+}
+
+TEST(TapFsm, CanonicalDrPath) {
+  TapState s = TapState::RunTestIdle;
+  s = tap_next(s, true);   // SelectDR
+  EXPECT_EQ(s, TapState::SelectDrScan);
+  s = tap_next(s, false);  // CaptureDR
+  EXPECT_EQ(s, TapState::CaptureDr);
+  s = tap_next(s, false);  // ShiftDR
+  EXPECT_EQ(s, TapState::ShiftDr);
+  s = tap_next(s, false);  // stays
+  EXPECT_EQ(s, TapState::ShiftDr);
+  s = tap_next(s, true);   // Exit1
+  s = tap_next(s, true);   // Update
+  s = tap_next(s, false);  // Idle
+  EXPECT_EQ(s, TapState::RunTestIdle);
+}
+
+TEST(TapFsm, PauseAndResumePath) {
+  TapState s = TapState::ShiftIr;
+  s = tap_next(s, true);   // Exit1IR
+  s = tap_next(s, false);  // PauseIR
+  EXPECT_EQ(s, TapState::PauseIr);
+  s = tap_next(s, true);   // Exit2IR
+  s = tap_next(s, false);  // back to ShiftIR
+  EXPECT_EQ(s, TapState::ShiftIr);
+}
+
+class JtagFixture : public ::testing::Test {
+ protected:
+  JtagFixture() : dev0(0xDEADBEEF, &regs0), dev1(0x1A5CD001, &regs1), host(chain) {
+    regs0.define("gain", 0, RegKind::Config, 0x0010);
+    regs0.define("status", 1, RegKind::Status, 0x0001);
+    regs1.define("mode", 0, RegKind::Config, 0x0002);
+    chain.add(&dev0);
+    chain.add(&dev1);
+    host.reset();
+  }
+
+  RegisterFile regs0, regs1;
+  JtagDevice dev0, dev1;
+  JtagChain chain;
+  JtagHost host;
+};
+
+TEST_F(JtagFixture, IdcodeReadPerDevice) {
+  EXPECT_EQ(host.read_idcode(0), 0xDEADBEEFu);
+  EXPECT_EQ(host.read_idcode(1), 0x1A5CD001u);
+}
+
+TEST_F(JtagFixture, ResetSelectsIdcodeInstruction) {
+  EXPECT_EQ(dev0.instruction(), jtag_ir::kIdcode);
+  EXPECT_EQ(dev1.instruction(), jtag_ir::kIdcode);
+}
+
+TEST_F(JtagFixture, WriteRegisterThroughChain) {
+  host.write_register(0, 0, 0x1234);
+  EXPECT_EQ(regs0.read("gain"), 0x1234);
+  // Device 1 untouched.
+  EXPECT_EQ(regs1.read("mode"), 0x0002);
+}
+
+TEST_F(JtagFixture, ReadRegisterThroughChain) {
+  regs1.write("mode", 0x0BEB);
+  EXPECT_EQ(host.read_register(1, 0), 0x0BEB);
+}
+
+TEST_F(JtagFixture, ReadDoesNotDisturbRegister) {
+  // kDataRd must not write back the shifted-in zeros.
+  regs0.write("gain", 0x7777);
+  (void)host.read_register(0, 0);
+  EXPECT_EQ(regs0.read("gain"), 0x7777);
+}
+
+TEST_F(JtagFixture, StatusRegisterReadback) {
+  regs0.post_status("status", 0xA5A5);
+  EXPECT_EQ(host.read_register(0, 1), 0xA5A5);
+}
+
+TEST_F(JtagFixture, StatusRegisterWriteIgnored) {
+  host.write_register(0, 1, 0x1111);
+  EXPECT_EQ(regs0.read("status"), 0x0001);
+}
+
+TEST_F(JtagFixture, FullReadbackOfEveryRegister) {
+  // Paper §4.2 reason (iv): full read-back capability. Write every config
+  // register over JTAG, then read every register back and compare.
+  host.write_register(0, 0, 0xCAFE);
+  regs0.post_status("status", 0x0042);
+  host.write_register(1, 0, 0x0007);
+  EXPECT_EQ(host.read_register(0, 0), 0xCAFE);
+  EXPECT_EQ(host.read_register(0, 1), 0x0042);
+  EXPECT_EQ(host.read_register(1, 0), 0x0007);
+}
+
+TEST_F(JtagFixture, BypassIsOneBit) {
+  // With dev0 in BYPASS and dev1 in IDCODE, a 33-bit shift returns dev1's
+  // IDCODE delayed by exactly one bit.
+  host.shift_ir({jtag_ir::kBypass, jtag_ir::kIdcode});
+  const auto captured = host.shift_dr({0, 0}, {1, 32});
+  EXPECT_EQ(static_cast<std::uint32_t>(captured[1]), 0x1A5CD001u);
+}
+
+TEST_F(JtagFixture, SimultaneousWritesToBothDevices) {
+  host.shift_ir({jtag_ir::kAddr, jtag_ir::kAddr});
+  host.shift_dr({0, 0}, {16, 16});
+  host.shift_ir({jtag_ir::kDataWr, jtag_ir::kDataWr});
+  host.shift_dr({0x1111, 0x2222}, {16, 16});
+  EXPECT_EQ(regs0.read("gain"), 0x1111);
+  EXPECT_EQ(regs1.read("mode"), 0x2222);
+}
+
+TEST(JtagSingle, DeviceAloneInChain) {
+  RegisterFile regs;
+  regs.define("r0", 0, RegKind::Config, 0xAB);
+  JtagDevice dev(0x12345678, &regs);
+  JtagChain chain;
+  chain.add(&dev);
+  JtagHost host(chain);
+  host.reset();
+  EXPECT_EQ(host.read_idcode(0), 0x12345678u);
+  host.write_register(0, 0, 0x55AA);
+  EXPECT_EQ(regs.read("r0"), 0x55AA);
+  EXPECT_EQ(host.read_register(0, 0), 0x55AA);
+}
+
+}  // namespace
+}  // namespace ascp::platform

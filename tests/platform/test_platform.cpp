@@ -1,0 +1,205 @@
+// McuSubsystem integration: CPU ↔ register fabric ↔ JTAG ↔ peripherals.
+#include <gtest/gtest.h>
+
+#include "mcu/assembler.hpp"
+#include "platform/platform.hpp"
+
+namespace ascp::platform {
+namespace {
+
+TEST(McuSubsystem, DefaultBlocksPresent) {
+  McuSubsystem sys;
+  EXPECT_NE(sys.spi(), nullptr);
+  EXPECT_NE(sys.timer(), nullptr);
+  EXPECT_NE(sys.watchdog(), nullptr);
+  EXPECT_NE(sys.sram_trace(), nullptr);
+}
+
+TEST(McuSubsystem, OptionalBlocksCanBeOmitted) {
+  PlatformConfig cfg;
+  cfg.with_spi = false;
+  cfg.with_sram_trace = false;
+  McuSubsystem sys(cfg);
+  EXPECT_EQ(sys.spi(), nullptr);
+  EXPECT_EQ(sys.sram_trace(), nullptr);
+  // Omitted blocks cost no area (the platform-vs-universal mechanism).
+  McuSubsystem full;
+  EXPECT_LT(sys.area().total_kgates(), full.area().total_kgates());
+}
+
+TEST(McuSubsystem, CyclesPerSampleAt20Mhz) {
+  McuSubsystem sys;
+  // 20 MHz / 12 = 1.667 M machine cycles/s; at 240 kHz DSP rate ≈ 7.
+  EXPECT_EQ(sys.cycles_per_sample(240e3), 7);
+  // At the 1.875 kHz decimated rate ≈ 889.
+  EXPECT_NEAR(sys.cycles_per_sample(1875.0), 889, 1);
+}
+
+TEST(McuSubsystem, CpuReadsRegisterFileThroughBridge) {
+  McuSubsystem sys;
+  sys.regs().define("status", 5, RegKind::Status, 0);
+  sys.regs().post_status("status", 0xC3A5);
+  // Firmware reads word register 5 at regfile window (byte addr base+10).
+  mcu::Assembler as;
+  as.define("REGLO", static_cast<std::uint16_t>(sys.config().map.regfile + 10));
+  as.define("REGHI", static_cast<std::uint16_t>(sys.config().map.regfile + 11));
+  sys.load_firmware(as.assemble(R"(
+    MOV DPTR,#REGLO
+    MOVX A,@DPTR
+    MOV 30h,A
+    MOV DPTR,#REGHI
+    MOVX A,@DPTR
+    MOV 31h,A
+    done: SJMP done
+  )").image);
+  sys.run_cpu(100);
+  EXPECT_EQ(sys.cpu().iram(0x30), 0xA5);
+  EXPECT_EQ(sys.cpu().iram(0x31), 0xC3);
+}
+
+TEST(McuSubsystem, CpuWritesConfigRegisterFiresHook) {
+  McuSubsystem sys;
+  std::uint16_t seen = 0;
+  sys.regs().define("gain", 2, RegKind::Config, 0, [&](std::uint16_t v) { seen = v; });
+  mcu::Assembler as;
+  as.define("REGLO", static_cast<std::uint16_t>(sys.config().map.regfile + 4));
+  sys.load_firmware(as.assemble(R"(
+    MOV DPTR,#REGLO
+    MOV A,#34h
+    MOVX @DPTR,A
+    INC DPTR
+    MOV A,#12h
+    MOVX @DPTR,A
+    done: SJMP done
+  )").image);
+  sys.run_cpu(100);
+  EXPECT_EQ(seen, 0x1234);
+}
+
+TEST(McuSubsystem, JtagAndCpuSeeTheSameRegisters) {
+  McuSubsystem sys;
+  sys.regs().define("trim", 7, RegKind::Config, 0);
+  sys.jtag().reset();
+  sys.jtag().write_register(0, 7, 0x0FAB);
+  EXPECT_EQ(sys.regs().read("trim"), 0x0FAB);
+  EXPECT_EQ(sys.jtag().read_register(0, 7), 0x0FAB);
+}
+
+TEST(McuSubsystem, WatchdogResetsHungCpu) {
+  McuSubsystem sys;
+  // Firmware counts its boots in XDATA (survives a CPU reset), enables the
+  // watchdog, then hangs without kicking: every period the dog bites, the
+  // CPU reboots, and the boot counter climbs.
+  mcu::Assembler as;
+  const auto wd = sys.config().map.watchdog;
+  as.define("WDPERLO", static_cast<std::uint16_t>(wd + 2));
+  as.define("WDCTLLO", static_cast<std::uint16_t>(wd + 4));
+  sys.load_firmware(as.assemble(R"(
+    MOV DPTR,#0      ; boot counter in XDATA RAM
+    MOVX A,@DPTR
+    INC A
+    MOVX @DPTR,A
+    MOV DPTR,#WDPERLO
+    MOV A,#0E8h      ; period 1000
+    MOVX @DPTR,A
+    INC DPTR
+    MOV A,#3
+    MOVX @DPTR,A
+    MOV DPTR,#WDCTLLO
+    MOV A,#1         ; enable
+    MOVX @DPTR,A
+    INC DPTR
+    CLR A
+    MOVX @DPTR,A
+    hang: SJMP hang
+  )").image);
+  sys.run_cpu(5200);
+  // ~5 periods elapsed: at least three watchdog-induced reboots.
+  EXPECT_GE(sys.bus().read(0), 4);
+}
+
+TEST(McuSubsystem, FirmwareCanReadSramTrace) {
+  McuSubsystem sys;
+  // DSP side captures three samples on node 0.
+  sys.sram_trace()->write_reg(0, 3);  // reset + arm
+  sys.sram_trace()->push(0, 0x1111);
+  sys.sram_trace()->push(0, 0x2222);
+  // CPU reads COUNT (reg 3) via the bridge window.
+  mcu::Assembler as;
+  as.define("CNTLO", static_cast<std::uint16_t>(sys.config().map.sram + 6));
+  sys.load_firmware(as.assemble(R"(
+    MOV DPTR,#CNTLO
+    MOVX A,@DPTR
+    MOV 30h,A
+    done: SJMP done
+  )").image);
+  sys.run_cpu(100);
+  EXPECT_EQ(sys.cpu().iram(0x30), 2);
+}
+
+TEST(McuSubsystem, HostLinkRoundTrip) {
+  McuSubsystem sys;
+  mcu::Assembler as;
+  sys.load_firmware(as.assemble(R"(
+    MOV SCON,#50h
+    MOV TMOD,#20h
+    MOV TH1,#0FFh
+    SETB TR1
+wait:
+    JNB RI,wait
+    MOV A,SBUF
+    CLR RI
+    ADD A,#1        ; echo incremented
+    MOV SBUF,A
+w2: JNB TI,w2
+    CLR TI
+    done: SJMP done
+  )").image);
+  sys.host().send(0x41);
+  sys.run_cpu(2000);
+  ASSERT_EQ(sys.host().received().size(), 1u);
+  EXPECT_EQ(sys.host().received()[0], 0x42);
+}
+
+TEST(McuSubsystem, CachePresentInPrototypeConfig) {
+  McuSubsystem proto;
+  ASSERT_NE(proto.cache(), nullptr);
+  PlatformConfig asic;
+  asic.with_program_ram = false;  // 'ASIC' version: big ROM, no cache
+  McuSubsystem rom_only(asic);
+  EXPECT_EQ(rom_only.cache(), nullptr);
+}
+
+TEST(McuSubsystem, CpuReachesExternalRamThroughCache) {
+  McuSubsystem sys;
+  sys.cache()->load(0x2000, {0x42});
+  mcu::Assembler as;
+  sys.load_firmware(as.assemble(R"(
+    MOV 0A1h,#0      ; CBANK
+    MOV 0A2h,#20h    ; CAHI
+    MOV 0A3h,#0      ; CALO
+    MOV 30h,0A4h     ; CDATA -> iram
+    done: SJMP done
+  )").image);
+  sys.run_cpu(100);
+  EXPECT_EQ(sys.cpu().iram(0x30), 0x42);
+  EXPECT_EQ(sys.cache()->misses(), 1);
+}
+
+TEST(McuSubsystem, AreaNearPaperComplexity) {
+  // §4.3: "digital part of roughly 200 Kgates" — the full gyro
+  // customization (subsystem + DSP IPs) must land in that region. The MCU
+  // subsystem alone is a fraction of it.
+  McuSubsystem sys;
+  AreaModel m = sys.area();
+  for (const char* ip : {"nco", "pll_loop", "agc_loop", "iq_mod", "compensation",
+                         "biquad_bank", "chain_ctrl", "fir"})
+    m.instantiate(ip);
+  m.instantiate("iq_demod", 2);
+  m.instantiate("cic_decim", 2);
+  m.instantiate("jtag_tap", 1);  // second TAP: analog die
+  EXPECT_NEAR(m.total_kgates(), 200.0, 30.0);
+}
+
+}  // namespace
+}  // namespace ascp::platform

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "platform/registers.hpp"
+
+namespace ascp::platform {
+namespace {
+
+TEST(RegisterFile, DefineAndReadBack) {
+  RegisterFile rf;
+  rf.define("gain", 0, RegKind::Config, 0x10);
+  EXPECT_EQ(rf.read("gain"), 0x10);
+  EXPECT_EQ(rf.read(0), 0x10);
+}
+
+TEST(RegisterFile, WriteFiresHook) {
+  RegisterFile rf;
+  std::uint16_t seen = 0;
+  rf.define("gain", 0, RegKind::Config, 0, [&](std::uint16_t v) { seen = v; });
+  rf.write("gain", 0x55);
+  EXPECT_EQ(seen, 0x55);
+  EXPECT_EQ(rf.read("gain"), 0x55);
+}
+
+TEST(RegisterFile, StatusWriteFromSoftwareThrows) {
+  RegisterFile rf;
+  rf.define("lock", 1, RegKind::Status);
+  EXPECT_THROW(rf.write("lock", 1), std::logic_error);
+}
+
+TEST(RegisterFile, PostStatusUpdatesValue) {
+  RegisterFile rf;
+  rf.define("lock", 1, RegKind::Status);
+  rf.post_status("lock", 1);
+  EXPECT_EQ(rf.read("lock"), 1);
+}
+
+TEST(RegisterFile, DuplicateAddressRejected) {
+  RegisterFile rf;
+  rf.define("a", 0, RegKind::Config);
+  EXPECT_THROW(rf.define("b", 0, RegKind::Config), std::invalid_argument);
+}
+
+TEST(RegisterFile, DuplicateNameRejected) {
+  RegisterFile rf;
+  rf.define("a", 0, RegKind::Config);
+  EXPECT_THROW(rf.define("a", 1, RegKind::Config), std::invalid_argument);
+}
+
+TEST(RegisterFile, UnknownAccessThrows) {
+  RegisterFile rf;
+  EXPECT_THROW(rf.read("ghost"), std::out_of_range);
+  EXPECT_THROW((void)rf.read(42), std::out_of_range);
+}
+
+TEST(RegisterFile, BridgeReadMatchesDirectRead) {
+  RegisterFile rf;
+  rf.define("cfg", 3, RegKind::Config, 0xBEEF);
+  EXPECT_EQ(rf.read_reg(3), 0xBEEF);
+}
+
+TEST(RegisterFile, BridgeWriteToStatusIgnored) {
+  RegisterFile rf;
+  rf.define("st", 4, RegKind::Status, 0x11);
+  rf.write_reg(4, 0x99);  // like hardware: silently ignored
+  EXPECT_EQ(rf.read(4), 0x11);
+}
+
+TEST(RegisterFile, BridgeReadOfUnpopulatedIsAllOnes) {
+  RegisterFile rf;
+  EXPECT_EQ(rf.read_reg(200), 0xFFFF);
+}
+
+TEST(RegisterFile, DumpListsEverythingInAddressOrder) {
+  RegisterFile rf;
+  rf.define("z", 5, RegKind::Status, 7);
+  rf.define("a", 1, RegKind::Config, 3);
+  const auto d = rf.dump();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].name, "a");
+  EXPECT_EQ(d[0].addr, 1);
+  EXPECT_EQ(d[1].name, "z");
+  EXPECT_EQ(d[1].value, 7);
+}
+
+}  // namespace
+}  // namespace ascp::platform

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "platform/scheduler.hpp"
+
+namespace ascp::platform {
+namespace {
+
+TEST(Scheduler, BaseTaskRunsEveryTick) {
+  Scheduler sched(1000.0);
+  int count = 0;
+  sched.every(1, [&] { ++count; });
+  sched.run_ticks(100);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Scheduler, DividedTaskRunsEveryNth) {
+  Scheduler sched(1000.0);
+  int fast = 0, slow = 0;
+  sched.every(1, [&] { ++fast; });
+  sched.every(8, [&] { ++slow; });
+  sched.run_ticks(64);
+  EXPECT_EQ(fast, 64);
+  EXPECT_EQ(slow, 8);
+}
+
+TEST(Scheduler, OrderWithinTickIsRegistrationOrder) {
+  Scheduler sched(1000.0);
+  std::vector<int> order;
+  sched.every(1, [&] { order.push_back(1); });
+  sched.every(1, [&] { order.push_back(2); });
+  sched.tick();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, RunSecondsConverts) {
+  Scheduler sched(1.92e6);
+  long count = 0;
+  sched.every(1, [&] { ++count; });
+  sched.run_seconds(0.001);
+  EXPECT_EQ(count, 1920);
+  EXPECT_NEAR(sched.now(), 0.001, 1e-9);
+}
+
+TEST(Scheduler, InvalidDividerThrows) {
+  Scheduler sched(1000.0);
+  EXPECT_THROW(sched.every(0, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, FirstTickFiresAllTasks) {
+  Scheduler sched(100.0);
+  int hits = 0;
+  sched.every(50, [&] { ++hits; });
+  sched.tick();
+  EXPECT_EQ(hits, 1);  // tick 0 is a multiple of every divider
+}
+
+TEST(Scheduler, TimeAccountingMatchesTicks) {
+  Scheduler sched(240e3);
+  sched.run_ticks(240);
+  EXPECT_NEAR(sched.now(), 0.001, 1e-12);
+  EXPECT_EQ(sched.ticks(), 240);
+  EXPECT_DOUBLE_EQ(sched.dt(), 1.0 / 240e3);
+}
+
+}  // namespace
+}  // namespace ascp::platform

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "sensor/environment.hpp"
+
+namespace ascp::sensor {
+namespace {
+
+TEST(Profile, DefaultIsZero) {
+  Profile p;
+  EXPECT_DOUBLE_EQ(p.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(100.0), 0.0);
+}
+
+TEST(Profile, ConstantHoldsValue) {
+  const auto p = Profile::constant(42.0);
+  EXPECT_DOUBLE_EQ(p.at(-1.0), 42.0);
+  EXPECT_DOUBLE_EQ(p.at(1e6), 42.0);
+}
+
+TEST(Profile, StepSwitchesAtT0) {
+  const auto p = Profile::step(100.0, 0.5);
+  EXPECT_DOUBLE_EQ(p.at(0.499), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(p.at(2.0), 100.0);
+}
+
+TEST(Profile, SineHasRequestedAmplitudeAndFrequency) {
+  const auto p = Profile::sine(10.0, 2.0);  // 2 Hz
+  EXPECT_DOUBLE_EQ(p.at(0.0), 0.0);
+  EXPECT_NEAR(p.at(0.125), 10.0, 1e-9);  // quarter period of 2 Hz
+  EXPECT_NEAR(p.at(0.25), 0.0, 1e-9);
+}
+
+TEST(Profile, SineSilentBeforeStart) {
+  const auto p = Profile::sine(10.0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.at(0.5), 0.0);
+  EXPECT_NEAR(p.at(1.125), 10.0, 1e-9);
+}
+
+TEST(Profile, RampInterpolatesAndClamps) {
+  const auto p = Profile::ramp(-40.0, 85.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.at(-5.0), -40.0);
+  EXPECT_DOUBLE_EQ(p.at(0.0), -40.0);
+  EXPECT_NEAR(p.at(5.0), 22.5, 1e-9);
+  EXPECT_DOUBLE_EQ(p.at(20.0), 85.0);
+}
+
+TEST(Profile, StaircaseStepsThroughLevels) {
+  const auto p = Profile::staircase({1.0, 2.0, 3.0}, 0.1);
+  EXPECT_DOUBLE_EQ(p.at(0.05), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(0.15), 2.0);
+  EXPECT_DOUBLE_EQ(p.at(0.25), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(5.0), 3.0);  // holds last level
+}
+
+TEST(Profile, StaircaseEmptyIsZero) {
+  const auto p = Profile::staircase({}, 0.1);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 0.0);
+}
+
+TEST(Profile, ChirpSweepsFrequency) {
+  const auto p = Profile::chirp(1.0, 1.0, 10.0, 0.0, 10.0);
+  // Instantaneous frequency at t: f0 + (f1-f0)·t/T. Count zero crossings in
+  // two windows to confirm the sweep.
+  auto crossings = [&](double t0, double t1) {
+    int count = 0;
+    double prev = p.at(t0);
+    for (double t = t0; t <= t1; t += 1e-4) {
+      const double v = p.at(t);
+      if (prev <= 0.0 && v > 0.0) ++count;
+      prev = v;
+    }
+    return count;
+  };
+  EXPECT_LT(crossings(0.0, 1.0), crossings(9.0, 10.0));
+}
+
+TEST(Profile, ChirpSilentBeforeStart) {
+  const auto p = Profile::chirp(1.0, 1.0, 10.0, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(p.at(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace ascp::sensor

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensor/generic.hpp"
+
+namespace ascp::sensor {
+namespace {
+
+TEST(CapPressure, RestCapacitanceAtZeroPressure) {
+  CapacitivePressureSensor::Config cfg;
+  cfg.noise_farads = 0.0;
+  CapacitivePressureSensor s(cfg, ascp::Rng(1));
+  EXPECT_NEAR(s.capacitance(0.0), cfg.c0_farads, 1e-18);
+}
+
+TEST(CapPressure, CapacitanceGrowsWithPressure) {
+  CapacitivePressureSensor::Config cfg;
+  cfg.noise_farads = 0.0;
+  CapacitivePressureSensor s(cfg, ascp::Rng(1));
+  double prev = s.capacitance(0.0);
+  for (double p = 50.0; p <= 500.0; p += 50.0) {
+    const double c = s.capacitance(p);
+    EXPECT_GT(c, prev) << p;
+    prev = c;
+  }
+}
+
+TEST(CapPressure, NonlinearityStrengthensNearCollapse) {
+  CapacitivePressureSensor::Config cfg;
+  cfg.noise_farads = 0.0;
+  CapacitivePressureSensor s(cfg, ascp::Rng(1));
+  const double slope_low = s.capacitance(100.0) - s.capacitance(0.0);
+  const double slope_high = s.capacitance(600.0) - s.capacitance(500.0);
+  EXPECT_GT(slope_high, slope_low * 1.5);
+}
+
+TEST(CapPressure, TempcoShiftsCapacitance) {
+  CapacitivePressureSensor::Config cfg;
+  cfg.noise_farads = 0.0;
+  CapacitivePressureSensor s(cfg, ascp::Rng(1));
+  EXPECT_GT(s.capacitance(100.0, 85.0), s.capacitance(100.0, 25.0));
+}
+
+TEST(ResistiveBridge, ZeroLoadGivesOnlyOffset) {
+  ResistiveBridgeSensor::Config cfg;
+  cfg.noise_density = 0.0;
+  ResistiveBridgeSensor s(cfg, ascp::Rng(5));
+  const double v = s.output(0.0, 5.0);
+  EXPECT_LT(std::abs(v), 5.0 * 0.01);  // bounded by a few × offset draw
+}
+
+TEST(ResistiveBridge, OutputScalesWithExcitation) {
+  ResistiveBridgeSensor::Config cfg;
+  cfg.noise_density = 0.0;
+  cfg.offset_fraction = 0.0;
+  ResistiveBridgeSensor s(cfg, ascp::Rng(1));
+  const double v5 = s.output(0.5, 5.0);
+  const double v10 = s.output(0.5, 10.0);
+  EXPECT_NEAR(v10 / v5, 2.0, 1e-9);
+}
+
+TEST(ResistiveBridge, FullScaleOutputMatchesGaugeMath) {
+  ResistiveBridgeSensor::Config cfg;
+  cfg.noise_density = 0.0;
+  cfg.offset_fraction = 0.0;
+  ResistiveBridgeSensor s(cfg, ascp::Rng(1));
+  // ΔR/R = 2.0·1e-3 = 2e-3; Vout ≈ Vexc·ΔR/R/(1+ΔR/2R).
+  const double expected = 5.0 * 2e-3 / (1.0 + 1e-3);
+  EXPECT_NEAR(s.output(1.0, 5.0), expected, 1e-6);
+}
+
+TEST(ResistiveBridge, SpanDriftsNegativeWithTemperature) {
+  ResistiveBridgeSensor::Config cfg;
+  cfg.noise_density = 0.0;
+  cfg.offset_fraction = 0.0;
+  cfg.offset_tempco = 0.0;  // isolate the span (gain) drift
+  ResistiveBridgeSensor s(cfg, ascp::Rng(1));
+  EXPECT_LT(s.output(1.0, 5.0, 125.0), s.output(1.0, 5.0, 25.0));
+}
+
+TEST(ResistiveBridge, LoadClampsAtFullScale) {
+  ResistiveBridgeSensor::Config cfg;
+  cfg.noise_density = 0.0;
+  cfg.offset_fraction = 0.0;
+  ResistiveBridgeSensor s(cfg, ascp::Rng(1));
+  EXPECT_DOUBLE_EQ(s.output(5.0, 5.0), s.output(1.0, 5.0));
+}
+
+TEST(Lvdt, NullAtCentre) {
+  LvdtSensor::Config cfg;
+  cfg.null_fraction = 0.0;
+  LvdtSensor s(cfg, ascp::Rng(1));
+  EXPECT_NEAR(s.output(1.0, 0.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(Lvdt, SignFollowsDirection) {
+  LvdtSensor::Config cfg;
+  cfg.null_fraction = 0.0;
+  cfg.phase_rad = 0.0;
+  LvdtSensor s(cfg, ascp::Rng(1));
+  EXPECT_GT(s.output(1.0, 0.0, 2.0), 0.0);
+  EXPECT_LT(s.output(1.0, 0.0, -2.0), 0.0);
+}
+
+TEST(Lvdt, AmplitudeModulatesCarrier) {
+  LvdtSensor::Config cfg;
+  cfg.null_fraction = 0.0;
+  cfg.phase_rad = 0.0;
+  LvdtSensor s(cfg, ascp::Rng(1));
+  // Half stroke: coupling ≈ 0.8·0.5·(1−0.05·0.25).
+  const double expected = 0.8 * 0.5 * (1.0 - 0.05 * 0.25);
+  EXPECT_NEAR(s.output(1.0, 0.0, 2.5), expected, 1e-12);
+}
+
+TEST(Lvdt, StrokeClampsAtEnds) {
+  LvdtSensor::Config cfg;
+  cfg.null_fraction = 0.0;
+  LvdtSensor s(cfg, ascp::Rng(1));
+  EXPECT_DOUBLE_EQ(s.output(1.0, 0.0, 50.0), s.output(1.0, 0.0, 5.0));
+}
+
+TEST(Lvdt, PhaseShiftLeaksIntoQuadrature) {
+  LvdtSensor::Config cfg;
+  cfg.null_fraction = 0.0;
+  cfg.phase_rad = 0.3;
+  LvdtSensor s(cfg, ascp::Rng(1));
+  // With pure quadrature excitation sample (v_exc = 0), output is nonzero.
+  EXPECT_GT(std::abs(s.output(0.0, 1.0, 2.0)), 1e-3);
+}
+
+}  // namespace
+}  // namespace ascp::sensor

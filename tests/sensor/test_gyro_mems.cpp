@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/spectrum.hpp"
+#include "sensor/gyro_mems.hpp"
+
+namespace ascp::sensor {
+namespace {
+
+GyroMemsConfig quiet_config() {
+  GyroMemsConfig cfg;
+  cfg.brownian_accel_density = 0.0;
+  cfg.quad_stiffness = 0.0;
+  return cfg;
+}
+
+/// Drive the primary mode at frequency f with voltage amplitude `amp` for
+/// `seconds`; returns the peak |x| over the last 10 % of the run.
+double ring_up(GyroMems& gyro, double f, double amp, double seconds, double rate_dps = 0.0,
+               double temp_c = 25.0) {
+  const double fs = gyro.config().sim_fs;
+  const int n = static_cast<int>(seconds * fs);
+  double peak = 0.0;
+  for (int i = 0; i < n; ++i) {
+    GyroInputs in;
+    in.v_drive = amp * std::sin(kTwoPi * f * i / fs);
+    in.rate_dps = rate_dps;
+    in.temp_c = temp_c;
+    gyro.step(in);
+    if (i > n * 9 / 10) peak = std::max(peak, std::abs(gyro.x()));
+  }
+  return peak;
+}
+
+TEST(GyroMems, AtRestEverythingIsZero) {
+  GyroMems gyro(quiet_config(), ascp::Rng(1));
+  for (int i = 0; i < 1000; ++i) gyro.step(GyroInputs{});
+  EXPECT_DOUBLE_EQ(gyro.x(), 0.0);
+  EXPECT_DOUBLE_EQ(gyro.y(), 0.0);
+}
+
+TEST(GyroMems, ResonantAmplitudeMatchesQTheory) {
+  // Steady state at resonance: |x| = Q·f_d/ω0².
+  GyroMemsConfig cfg = quiet_config();
+  cfg.q_drive = 2000.0;  // moderate Q for fast ring-up
+  GyroMems gyro(cfg, ascp::Rng(1));
+  const double amp_v = 1.0;
+  const double w0 = kTwoPi * cfg.f0_hz;
+  // Ring-up time constant 2Q/ω0 ≈ 42 ms; run 0.4 s.
+  const double peak = ring_up(gyro, cfg.f0_hz, amp_v, 0.4);
+  const double expected = cfg.q_drive * cfg.force_per_volt * amp_v / (w0 * w0);
+  EXPECT_NEAR(peak, expected, 0.05 * expected);
+}
+
+TEST(GyroMems, OffResonanceResponseIsWeak) {
+  GyroMemsConfig cfg = quiet_config();
+  cfg.q_drive = 2000.0;
+  GyroMems gyro(cfg, ascp::Rng(1));
+  const double peak = ring_up(gyro, cfg.f0_hz * 1.05, 1.0, 0.3);
+  GyroMems gyro2(cfg, ascp::Rng(1));
+  const double peak_res = ring_up(gyro2, cfg.f0_hz, 1.0, 0.3);
+  EXPECT_LT(peak, peak_res / 50.0);
+}
+
+TEST(GyroMems, CoriolisTransfersEnergyToSenseMode) {
+  GyroMemsConfig cfg = quiet_config();
+  cfg.q_drive = 2000.0;
+  cfg.q_sense = 2000.0;
+  GyroMems gyro(cfg, ascp::Rng(1));
+  ring_up(gyro, cfg.f0_hz, 1.0, 0.4, /*rate=*/100.0);
+  // Sense amplitude should match mechanical_sensitivity prediction.
+  const double fs = cfg.sim_fs;
+  double y_peak = 0.0, x_peak = 0.0;
+  for (int i = 0; i < static_cast<int>(0.05 * fs); ++i) {
+    GyroInputs in;
+    in.v_drive = std::sin(kTwoPi * cfg.f0_hz * i / fs);  // phase-discontinuous but brief
+    in.rate_dps = 100.0;
+    gyro.step(in);
+    y_peak = std::max(y_peak, std::abs(gyro.y()));
+    x_peak = std::max(x_peak, std::abs(gyro.x()));
+  }
+  const double expected = gyro.mechanical_sensitivity(x_peak) * 100.0;
+  EXPECT_NEAR(y_peak, expected, 0.25 * expected);
+}
+
+TEST(GyroMems, SenseAmplitudeProportionalToRate) {
+  GyroMemsConfig cfg = quiet_config();
+  cfg.q_drive = 1000.0;
+  cfg.q_sense = 1000.0;
+  double y_at[2];
+  int k = 0;
+  for (double rate : {50.0, 150.0}) {
+    GyroMems gyro(cfg, ascp::Rng(1));
+    ring_up(gyro, cfg.f0_hz, 1.0, 0.3, rate);
+    double y_peak = 0.0;
+    const double fs = cfg.sim_fs;
+    for (int i = 0; i < static_cast<int>(0.02 * fs); ++i) {
+      GyroInputs in;
+      in.v_drive = std::sin(kTwoPi * cfg.f0_hz * i / fs);
+      in.rate_dps = rate;
+      gyro.step(in);
+      y_peak = std::max(y_peak, std::abs(gyro.y()));
+    }
+    y_at[k++] = y_peak;
+  }
+  EXPECT_NEAR(y_at[1] / y_at[0], 3.0, 0.3);
+}
+
+TEST(GyroMems, ZeroRateZeroQuadratureGivesNoSenseSignal) {
+  GyroMemsConfig cfg = quiet_config();
+  cfg.q_drive = 1000.0;
+  GyroMems gyro(cfg, ascp::Rng(1));
+  ring_up(gyro, cfg.f0_hz, 1.0, 0.3, 0.0);
+  EXPECT_LT(std::abs(gyro.y()), 1e-12);
+}
+
+TEST(GyroMems, QuadratureCouplingExcitesSenseModeWithoutRate) {
+  GyroMemsConfig cfg = quiet_config();
+  cfg.q_drive = 1000.0;
+  cfg.quad_stiffness = 6e4;
+  GyroMems gyro(cfg, ascp::Rng(1));
+  ring_up(gyro, cfg.f0_hz, 1.0, 0.3, 0.0);
+  double y_peak = 0.0;
+  const double fs = cfg.sim_fs;
+  for (int i = 0; i < static_cast<int>(0.02 * fs); ++i) {
+    GyroInputs in;
+    in.v_drive = std::sin(kTwoPi * cfg.f0_hz * i / fs);
+    gyro.step(in);
+    y_peak = std::max(y_peak, std::abs(gyro.y()));
+  }
+  EXPECT_GT(y_peak, 1e-9);
+}
+
+TEST(GyroMems, ResonanceShiftsWithTemperature) {
+  const GyroMemsConfig cfg = quiet_config();
+  GyroMems gyro(cfg, ascp::Rng(1));
+  EXPECT_NEAR(gyro.f0_at(25.0), 15e3, 1e-9);
+  // Negative tempco: hot ⇒ softer ⇒ lower resonance.
+  EXPECT_LT(gyro.f0_at(85.0), 15e3);
+  EXPECT_GT(gyro.f0_at(-40.0), 15e3);
+  EXPECT_NEAR(gyro.f0_at(85.0), 15e3 * (1.0 - 20e-6 * 60.0), 0.1);
+}
+
+TEST(GyroMems, QDropsWhenHot) {
+  GyroMems gyro(quiet_config(), ascp::Rng(1));
+  EXPECT_LT(gyro.q_at(85.0), gyro.q_at(25.0));
+  EXPECT_GT(gyro.q_at(-40.0), gyro.q_at(25.0));
+}
+
+TEST(GyroMems, BrownianNoiseShakesSenseMode) {
+  GyroMemsConfig cfg = quiet_config();
+  cfg.brownian_accel_density = 1e-3;  // exaggerated
+  GyroMems gyro(cfg, ascp::Rng(3));
+  double y_rms = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    gyro.step(GyroInputs{});
+    y_rms += gyro.y() * gyro.y();
+  }
+  EXPECT_GT(std::sqrt(y_rms / n), 1e-12);
+}
+
+TEST(GyroMems, PickoffNonlinearityGrowsWithDisplacement) {
+  // ΔC/x at large x exceeds ΔC/x at small x (gap nonlinearity is softening
+  // toward the electrode).
+  GyroMemsConfig cfg = quiet_config();
+  GyroMems gyro(cfg, ascp::Rng(1));
+  // Use the model's pickoff indirectly: drive to two amplitudes and compare
+  // ΔC/x ratios through outputs. Direct white-box: capacitance at x and 2x.
+  // Small amplitudes: linear.
+  // (accessible only through step(); drive to different amplitudes)
+  cfg.q_drive = 1000.0;
+  GyroMems small(cfg, ascp::Rng(1)), large(cfg, ascp::Rng(1));
+  ring_up(small, cfg.f0_hz, 0.2, 0.3);
+  ring_up(large, cfg.f0_hz, 2.0, 0.3);
+  const double fs = cfg.sim_fs;
+  double ratio_small = 0.0, ratio_large = 0.0;
+  for (int i = 0; i < static_cast<int>(0.01 * fs); ++i) {
+    GyroInputs in;
+    in.v_drive = 0.2 * std::sin(kTwoPi * cfg.f0_hz * i / fs);
+    const auto o1 = small.step(in);
+    if (std::abs(small.x()) > 1e-9)
+      ratio_small = std::max(ratio_small, std::abs(o1.dc_primary / small.x()));
+    in.v_drive = 2.0 * std::sin(kTwoPi * cfg.f0_hz * i / fs);
+    const auto o2 = large.step(in);
+    if (std::abs(large.x()) > 1e-9)
+      ratio_large = std::max(ratio_large, std::abs(o2.dc_primary / large.x()));
+  }
+  EXPECT_GT(ratio_large, ratio_small * 1.01);
+}
+
+TEST(GyroMems, ControlElectrodeCancelsSenseMotion) {
+  // Closed-loop principle: a control force equal and opposite to the
+  // Coriolis force keeps y ≈ 0. Apply scaled anti-phase control and verify
+  // the sense amplitude drops.
+  GyroMemsConfig cfg = quiet_config();
+  cfg.q_drive = 1000.0;
+  cfg.q_sense = 1000.0;
+  GyroMems open(cfg, ascp::Rng(1)), closed(cfg, ascp::Rng(1));
+  const double fs = cfg.sim_fs;
+  const double rate = 100.0;
+  double y_open = 0.0, y_closed = 0.0;
+  for (int i = 0; i < static_cast<int>(0.5 * fs); ++i) {
+    GyroInputs in;
+    in.v_drive = std::sin(kTwoPi * cfg.f0_hz * i / fs);
+    in.rate_dps = rate;
+    open.step(in);
+    // Ideal feedback: cancel the Coriolis force −2κΩ·ẋ with +2κΩ·ẋ/fpv volts.
+    GyroInputs inc = in;
+    const double omega = rate * kPi / 180.0;
+    inc.v_control = 2.0 * cfg.angular_gain * omega * closed.vx() / cfg.force_per_volt;
+    closed.step(inc);
+    if (i > static_cast<int>(0.4 * fs)) {
+      y_open = std::max(y_open, std::abs(open.y()));
+      y_closed = std::max(y_closed, std::abs(closed.y()));
+    }
+  }
+  EXPECT_LT(y_closed, y_open / 20.0);
+}
+
+TEST(GyroMems, ResetZeroesState) {
+  GyroMems gyro(quiet_config(), ascp::Rng(1));
+  ring_up(gyro, 15e3, 1.0, 0.05);
+  gyro.reset();
+  EXPECT_DOUBLE_EQ(gyro.x(), 0.0);
+  EXPECT_DOUBLE_EQ(gyro.vx(), 0.0);
+  EXPECT_DOUBLE_EQ(gyro.y(), 0.0);
+  EXPECT_DOUBLE_EQ(gyro.vy(), 0.0);
+}
+
+// Rate sweep: mechanical response proportional across the dynamic range.
+class GyroRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GyroRateSweep, SenseScalesLinearly) {
+  const double rate = GetParam();
+  GyroMemsConfig cfg = quiet_config();
+  cfg.q_drive = 1000.0;
+  cfg.q_sense = 1000.0;
+  GyroMems gyro(cfg, ascp::Rng(1));
+  ring_up(gyro, cfg.f0_hz, 1.0, 0.3, rate);
+  double y_peak = 0.0, x_peak = 0.0;
+  const double fs = cfg.sim_fs;
+  for (int i = 0; i < static_cast<int>(0.02 * fs); ++i) {
+    GyroInputs in;
+    in.v_drive = std::sin(kTwoPi * cfg.f0_hz * i / fs);
+    in.rate_dps = rate;
+    gyro.step(in);
+    y_peak = std::max(y_peak, std::abs(gyro.y()));
+    x_peak = std::max(x_peak, std::abs(gyro.x()));
+  }
+  const double expected = gyro.mechanical_sensitivity(x_peak) * rate;
+  EXPECT_NEAR(y_peak, expected, 0.3 * expected) << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, GyroRateSweep, ::testing::Values(25.0, 75.0, 150.0, 300.0));
+
+}  // namespace
+}  // namespace ascp::sensor
