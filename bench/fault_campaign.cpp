@@ -1,0 +1,224 @@
+// Fault campaign — detection latency and recovery time per injected fault.
+//
+// Every fault from the standard catalogue is injected into a freshly built
+// GyroSystem with the safety supervisor riding along: sensor-layer faults on
+// the MEMS element, AFE faults on the converters and amplifiers (Full
+// fidelity — Ideal has no AFE instances), DSP faults on the NCO and the
+// config registers, MCU faults on the 8051 and the boot EEPROM. For each
+// scenario the bench reports which DTCs latched, the detection latency in
+// DSP samples (fault injection → first latch of the expected DTC) and the
+// recovery time (fault injection → return to NOMINAL) where the fault is
+// transient or the recovery path can clear it. Permanent faults legitimately
+// never recover; the sense-ADC-stuck-at-null row is undetectable by design
+// (an actively nulled channel frozen at null is indistinguishable from
+// healthy operation) and is reported as such.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/gyro_system.hpp"
+#include "mcu/assembler.hpp"
+#include "safety/standard_faults.hpp"
+
+using namespace ascp;
+using core::Fidelity;
+using core::GyroSystem;
+using safety::FaultCampaign;
+
+namespace {
+
+struct Scenario {
+  std::string title;
+  Fidelity fidelity = Fidelity::Ideal;
+  bool with_mcu = false;
+  bool store_cal = false;  ///< persist a valid EEPROM record before the run
+  /// Registers exactly one fault at the given DSP-sample index.
+  std::function<void(FaultCampaign&, GyroSystem&, long)> bind;
+};
+
+struct Row {
+  std::string name;
+  const char* layer = "-";
+  std::uint16_t expected = 0;
+  bool detectable = true;
+  std::uint16_t pre_dtcs = 0;   ///< anything latched before injection = false positive
+  std::uint16_t latched = 0;
+  long detect = -1;   ///< samples, injection → expected-DTC latch
+  long recover = -1;  ///< samples, injection → return to NOMINAL
+  const char* final_state = "?";
+  bool armed = false;
+  bool injected = false;
+};
+
+/// Firmware for the MCU scenarios: kick the watchdog forever.
+std::vector<std::uint8_t> kick_firmware(GyroSystem& gyro) {
+  mcu::Assembler as;
+  as.define("WDKICK", gyro.platform().config().map.watchdog);
+  return as.assemble(R"(
+loop:   MOV DPTR,#WDKICK
+        MOV A,#5Ah
+        MOVX @DPTR,A
+        INC DPTR
+        MOVX @DPTR,A
+        SJMP loop
+  )").image;
+}
+
+void run_for(GyroSystem& g, double seconds) {
+  g.run(sensor::Profile::constant(0.0), sensor::Profile::constant(25.0),
+        seconds, nullptr);
+}
+
+Row run_scenario(const Scenario& sc) {
+  auto cfg = core::default_gyro_system(sc.fidelity);
+  cfg.with_safety = true;
+  cfg.with_mcu = sc.with_mcu;
+  GyroSystem gyro(cfg);
+  if (sc.with_mcu) gyro.platform().load_firmware(kick_firmware(gyro));
+  gyro.power_on(1);
+  if (sc.with_mcu) {
+    auto* wd = gyro.platform().watchdog();
+    wd->write_reg(1, 30000);  // 1.5 ms of machine cycles at 20 MHz
+    wd->write_reg(2, 1);
+  }
+  if (sc.store_cal)
+    safety::store_calibration(*gyro.platform().spi(), gyro.config().comp);
+
+  auto* sup = gyro.supervisor();
+  // Warm up until the monitors arm (loop locked + settled, sustained).
+  for (int i = 0; i < 30 && !sup->armed(); ++i) run_for(gyro, 0.1);
+
+  Row row;
+  row.armed = sup->armed();
+  row.pre_dtcs = sup->dtcs();
+  if (!sc.bind) {  // nominal baseline: no fault, just keep running
+    row.name = sc.title;
+    run_for(gyro, 2.0);
+    row.latched = sup->dtcs();
+    row.final_state = safety::state_name(sup->state());
+    return row;
+  }
+
+  FaultCampaign campaign;
+  const long inject_at = gyro.dsp_samples() + 1000;
+  sc.bind(campaign, gyro, inject_at);
+  const auto& spec = campaign.entries()[0].spec;
+  row.name = spec.name;
+  row.layer = safety::fault_layer_name(spec.layer);
+  row.expected = spec.expected_dtc;
+  row.detectable = spec.detectable;
+  row.injected = true;
+
+  gyro.set_fault_campaign(&campaign);
+  run_for(gyro, 2.5);
+
+  row.latched = sup->dtcs();
+  if (row.expected) {
+    const long first = sup->first_latch_fast(row.expected);
+    if (first > inject_at) row.detect = first - inject_at;
+  }
+  if (sup->nominal_return_fast() > inject_at)
+    row.recover = sup->nominal_return_fast() - inject_at;
+  row.final_state = safety::state_name(sup->state());
+  return row;
+}
+
+std::string fmt_samples(long n, double fs) {
+  if (n < 0) return "-";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%ld (%.1f ms)", n, 1e3 * static_cast<double>(n) / fs);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fault campaign: detection latency & recovery ===\n\n");
+  std::printf("Safety supervisor with default thresholds; faults injected after\n");
+  std::printf("arming; latency/recovery counted in DSP samples at 240 kHz.\n\n");
+
+  using safety::FaultCampaign;
+  namespace f = safety::faults;
+  const std::vector<Scenario> scenarios = {
+      {"(nominal baseline)", Fidelity::Ideal, false, false, nullptr},
+      {"drive electrode open", Fidelity::Ideal, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_drive_electrode_open(c, g, at); }},
+      {"drive electrode stuck", Fidelity::Ideal, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_drive_electrode_stuck(c, g, at); }},
+      {"quadrature step", Fidelity::Ideal, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_quadrature_step(c, g, at); }},
+      {"primary ADC stuck code", Fidelity::Full, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_primary_adc_stuck(c, g, at); }},
+      {"sense ADC stuck at null", Fidelity::Full, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_sense_adc_stuck_null(c, g, at); }},
+      {"ADC reference drift", Fidelity::Full, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_reference_drift(c, g, at); }},
+      {"primary PGA gain error", Fidelity::Full, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_pga_gain_error(c, g, at); }},
+      {"primary charge-amp open wire", Fidelity::Full, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_charge_amp_open(c, g, at); }},
+      {"NCO phase jump", Fidelity::Ideal, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_nco_phase_jump(c, g, at); }},
+      {"config register bit flip", Fidelity::Ideal, false, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_register_bit_flip(c, g, at); }},
+      {"firmware hang (watchdog)", Fidelity::Ideal, true, false,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_firmware_hang(c, g, at); }},
+      {"EEPROM calibration corruption", Fidelity::Ideal, false, true,
+       [](FaultCampaign& c, GyroSystem& g, long at) { f::add_eeprom_cal_corruption(c, g, at); }},
+  };
+
+  const double fs = 240e3;
+  std::printf("%-30s %-7s %-15s %-34s %-18s %-18s %s\n", "fault", "layer",
+              "expected DTC", "latched DTCs", "detect [smp]", "recover [smp]",
+              "final");
+  std::printf("%s\n", std::string(138, '-').c_str());
+
+  int undetected = 0, false_positives = 0;
+  for (const auto& sc : scenarios) {
+    const Row row = run_scenario(sc);
+    if (!row.armed) {
+      std::printf("%-30s monitors never armed — scenario invalid\n", row.name.c_str());
+      ++undetected;
+      continue;
+    }
+    if (row.pre_dtcs) ++false_positives;
+
+    std::string expected = row.expected ? safety::dtc_name(row.expected)
+                                        : (row.detectable ? "-" : "(undetectable)");
+    std::string detect;
+    if (!row.detectable) {
+      detect = "by design";
+    } else if (!row.expected) {
+      detect = "-";
+    } else {
+      detect = fmt_samples(row.detect, fs);
+      if (row.detect < 0) {
+        detect = "MISSED";
+        ++undetected;
+      }
+    }
+    const std::string recover = row.recover >= 0
+        ? fmt_samples(row.recover, fs)
+        : (row.injected ? "- (permanent)" : "-");
+    std::printf("%-30s %-7s %-15s %-34s %-18s %-18s %s\n", row.name.c_str(),
+                row.layer, expected.c_str(),
+                safety::describe_dtcs(row.latched).c_str(), detect.c_str(),
+                recover.empty() ? "-" : recover.c_str(), row.final_state);
+  }
+
+  std::printf("\n");
+  std::printf("undetectable by design: 'sense ADC stuck at null' — the closed\n");
+  std::printf("sense loop actively nulls the channel, so a code frozen at null is\n");
+  std::printf("indistinguishable from healthy operation; a rail-stuck sense code\n");
+  std::printf("IS detected (see tests/safety). Critical permanent faults hold\n");
+  std::printf("SAFE_STATE with the output forced to null; transient faults (phase\n");
+  std::printf("jump, register SEU, firmware hang) recover to NOMINAL via\n");
+  std::printf("re-acquisition, scrub repair or the watchdog reset path; gain-class\n");
+  std::printf("faults (reference drift, PGA error) are adapted around — the AGC\n");
+  std::printf("re-trims and the state returns to NOMINAL while the DTC stays\n");
+  std::printf("latched as service history.\n");
+  std::printf("\nsummary: %d detectable fault(s) missed, %d false positive(s)\n",
+              undetected, false_positives);
+  return (undetected || false_positives) ? 1 : 0;
+}

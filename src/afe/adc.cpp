@@ -42,13 +42,16 @@ SarAdc::SarAdc(const AdcConfig& cfg, ascp::Rng rng)
 }
 
 std::int32_t SarAdc::convert(double vin, double temp_c) {
+  if (stuck_) return stuck_code_;
+
   const double dt = temp_c - 25.0;
   double v = vin + offset_ + cfg_.offset_drift * dt;
   v *= gain_ * (1.0 + cfg_.gain_drift * dt);
   v += noise_.sample(temp_c);
 
-  // Ideal quantization first, then displace by the local INL.
-  double code_f = v / lsb_;
+  // Ideal quantization first, then displace by the local INL. A shifted
+  // reference scales the real LSB; the digital side keeps the nominal one.
+  double code_f = v / (lsb_ * (1.0 + ref_shift_));
   const double idx = std::clamp(code_f - static_cast<double>(code_min_), 0.0,
                                 static_cast<double>(inl_.size() - 1));
   code_f += inl_[static_cast<std::size_t>(idx)];

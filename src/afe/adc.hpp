@@ -52,6 +52,20 @@ class SarAdc {
   /// used by the self-test bench).
   double inl_at(std::int32_t code) const;
 
+  // ---- fault injection -----------------------------------------------------
+  /// Comparator/SAR-logic failure: every conversion returns `code`.
+  void inject_stuck_code(std::int32_t code) {
+    stuck_ = true;
+    stuck_code_ = code;
+  }
+  /// Reference drift: the actual full scale becomes vref·(1+frac) while the
+  /// digital side keeps assuming the nominal LSB — codes shrink by 1/(1+frac).
+  void inject_reference_shift(double frac) { ref_shift_ = frac; }
+  void clear_faults() {
+    stuck_ = false;
+    ref_shift_ = 0.0;
+  }
+
  private:
   AdcConfig cfg_;
   double lsb_;
@@ -60,6 +74,9 @@ class SarAdc {
   double gain_;    ///< drawn gain including mismatch
   std::vector<double> inl_;  ///< per-code INL [LSB]
   NoiseSource noise_;
+  bool stuck_ = false;
+  std::int32_t stuck_code_ = 0;
+  double ref_shift_ = 0.0;
 };
 
 }  // namespace ascp::afe

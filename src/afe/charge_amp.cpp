@@ -14,7 +14,7 @@ ChargeAmp::ChargeAmp(const ChargeAmpConfig& cfg, ascp::Rng rng)
       noise_(cfg.noise, cfg.fs, rng.fork(5)) {}
 
 double ChargeAmp::step(double dc_farads, double temp_c) {
-  const double v_ideal = gain() * dc_farads;
+  const double v_ideal = open_wire_ ? 0.0 : gain() * dc_farads;
   // Bandwidth-limited low-pass stage.
   lp_state_ += lp_alpha_ * (v_ideal - lp_state_);
   // DC-servo high-pass: subtract a slow tracking of the output. The gyro

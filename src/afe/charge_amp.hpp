@@ -34,6 +34,10 @@ class ChargeAmp {
   /// Conversion gain [V/F].
   double gain() const { return cfg_.v_bias / cfg_.c_feedback_farads; }
 
+  /// Fault injection: input bond wire open — the amplifier sees no charge
+  /// and its output servos to the baseline (plus noise).
+  void inject_open_wire(bool open) { open_wire_ = open; }
+
   void reset();
 
  private:
@@ -43,6 +47,7 @@ class ChargeAmp {
   double lp_state_ = 0.0;
   double hp_state_ = 0.0;
   NoiseSource noise_;
+  bool open_wire_ = false;
 };
 
 }  // namespace ascp::afe

@@ -44,6 +44,10 @@ class DriveLoop {
   bool locked() const { return pll_.locked() && agc_.settled(); }
   bool pll_locked() const { return pll_.locked(); }
 
+  /// Component access (fault injection / tests).
+  dsp::Pll& pll() { return pll_; }
+  dsp::Agc& agc() { return agc_; }
+
   void reset();
 
  private:

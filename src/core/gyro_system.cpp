@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "core/calibration.hpp"
+#include "platform/selftest.hpp"
+#include "safety/cal_store.hpp"
 
 namespace ascp::core {
 
@@ -46,8 +48,25 @@ GyroSystem::GyroSystem(const GyroSystemConfig& cfg) : cfg_(cfg) {
   for (const char* ip : {"charge_amp", "pga", "sar_adc12"}) area.instantiate(ip, 2);
   area.instantiate("dac12", 4);  // paper: couples of DACs per loop
   for (const char* ip : {"vref", "osc", "temp_sensor", "pad_ring"}) area.instantiate(ip);
+  if (cfg.with_safety) area.instantiate("safety_monitor");
 
   define_registers();
+
+  if (cfg.with_safety) {
+    safety::SupervisorConfig sup;
+    sup.fs = cfg_.analog_fs / cfg_.adc_div;
+    sup.null_v = cfg_.sense.output_offset;
+    sup.adc_vref = cfg_.adc.vref;
+    sup.agc_gain_max = cfg_.drive.agc.gain_max;
+    sup.ctrl_limit_v = cfg_.sense.ctrl_limit;
+    sup.drive_amplitude_target = cfg_.drive.agc.target;
+    supervisor_ = std::make_unique<safety::SafetySupervisor>(sup);
+    supervisor_->attach(&platform_.regs(), reg::kDiag);
+    if (auto* spi = platform_.spi())
+      supervisor_->set_calibration_audit([spi] { return safety::audit_calibration(*spi); });
+  }
+  platform_.set_reset_hook([this] { recover_from_watchdog(); });
+
   build(cfg.seed);
 }
 
@@ -122,6 +141,8 @@ void GyroSystem::build(std::uint64_t seed) {
   drive_v_ = ctrl_v_ = 0.0;
   last_output_ = cfg_.sense.output_offset;
   base_ticks_ = 0;
+  dsp_samples_ = 0;
+  if (supervisor_) supervisor_->reset();
 }
 
 void GyroSystem::power_on(std::uint64_t seed) {
@@ -131,9 +152,41 @@ void GyroSystem::power_on(std::uint64_t seed) {
 
 void GyroSystem::factory_calibrate() {
   set_compensation(run_calibration(*this));
+  // Persist the trim in the boot EEPROM so the recovery path can replay it.
+  if (auto* spi = platform_.spi()) safety::store_calibration(*spi, cfg_.comp);
   // The flow leaves the device soaked at the last calibration temperature;
   // re-arm it cold so characterization starts from a clean power-on.
   build(cfg_.seed);
+}
+
+void GyroSystem::recover_from_watchdog() {
+  if (supervisor_) supervisor_->notify_watchdog_bite();
+
+  // Boot-flow replay, the §4.2 reboot-from-EEPROM story: self-test first,
+  // then calibration coefficients, then drive-loop re-acquisition.
+  const auto st = platform::run_self_test(platform_);
+  if (supervisor_) supervisor_->notify_selftest(st.all_passed());
+
+  if (auto* spi = platform_.spi()) {
+    const auto cal = safety::load_calibration(*spi);
+    if (cal.status == safety::CalRecord::Status::Ok) {
+      set_compensation(cal.coeffs);
+      if (supervisor_) supervisor_->notify_cal_replay(true);
+    } else if (cal.status == safety::CalRecord::Status::Corrupt) {
+      if (supervisor_) supervisor_->notify_cal_replay(false);
+    }
+  }
+
+  // The analog die was never reset; only the loops restart and re-acquire.
+  drive_->reset();
+  sense_->reset();
+
+  // Re-arm the watchdog the way restarted boot firmware would: a PERIOD
+  // rewrite clears the sticky bite flag, then CTRL re-enables.
+  if (auto* wd = platform_.watchdog()) {
+    wd->write_reg(1, wd->read_reg(1));
+    wd->write_reg(2, 1);
+  }
 }
 
 double GyroSystem::output_rate_hz() const {
@@ -209,12 +262,27 @@ void GyroSystem::run(const sensor::Profile& rate, const sensor::Profile& temp, d
     if (!sp) continue;
 
     // ---- DSP sample rate (240 kHz) ----
+    ++dsp_samples_;
+    if (campaign_) campaign_->step(dsp_samples_);
+
     drive_v_ = drive_->step(*sp);
     const auto fast = sense_->step(*ss, drive_->carrier_i(), drive_->carrier_q());
     ctrl_v_ = fast.control_v;
     if (full) {
       dac_drive_->write_volts(drive_v_);
       dac_ctrl_->write_volts(ctrl_v_);
+    }
+
+    if (supervisor_) {
+      safety::FastSample fsmp;
+      fsmp.primary_adc_v = *sp;
+      fsmp.sense_adc_v = ss ? *ss : 0.0;
+      fsmp.pll_locked = drive_->pll_locked();
+      fsmp.loop_settled = drive_->locked();
+      fsmp.agc_gain = drive_->amplitude_control();
+      fsmp.amplitude = drive_->amplitude();
+      fsmp.control_v = ctrl_v_;
+      supervisor_->on_fast(fsmp);
     }
 
     if (trace_) {
@@ -227,10 +295,18 @@ void GyroSystem::run(const sensor::Profile& rate, const sensor::Profile& temp, d
 
     // ---- decimated output rate (1.875 kHz) ----
     const double measured_temp = temp_sensor_ ? temp_sensor_->read(temp_c) : temp_c;
-    if (const auto slow = sense_->slow_output(measured_temp)) {
-      last_output_ = slow->rate;
-      if (out) out->push_back(slow->rate);
-      if (trace_) trace_->push("rate_out", slow->rate);
+    const double comp_temp =
+        supervisor_ ? supervisor_->comp_temp(measured_temp) : measured_temp;
+    if (const auto slow = sense_->slow_output(comp_temp)) {
+      double out_v = slow->rate;
+      if (supervisor_) {
+        const auto decision =
+            supervisor_->on_slow({slow->rate, slow->quad, measured_temp});
+        out_v = decision.output_v;
+      }
+      last_output_ = out_v;
+      if (out) out->push_back(out_v);
+      if (trace_) trace_->push("rate_out", out_v);
       post_status(measured_temp);
       if (cfg_.with_mcu && cpu_cycles_per_slow > 0) platform_.run_cpu(cpu_cycles_per_slow);
       if (auto* sram = platform_.sram_trace()) {

@@ -30,6 +30,8 @@
 #include "core/rate_sensor.hpp"
 #include "core/sense_chain.hpp"
 #include "platform/platform.hpp"
+#include "safety/fault_injection.hpp"
+#include "safety/supervisor.hpp"
 #include "sensor/gyro_mems.hpp"
 
 namespace ascp::core {
@@ -50,6 +52,7 @@ constexpr std::uint16_t kQuad = 4;      ///< quadrature monitor [mV, signed]
 constexpr std::uint16_t kTemp = 5;      ///< measured temperature [°C × 8, signed]
 constexpr std::uint16_t kMode = 16;     ///< config: 0 open loop, 1 closed loop
 constexpr std::uint16_t kSenseGain = 17;///< config: sense PGA gain [×16]
+constexpr std::uint16_t kDiag = 24;     ///< base of the safety DIAG block
 }  // namespace reg
 
 struct GyroSystemConfig {
@@ -67,6 +70,10 @@ struct GyroSystemConfig {
   afe::DacConfig dac{};
 
   bool with_mcu = false;  ///< instantiate the 8051 monitor subsystem
+  /// Instantiate the safety supervisor + DIAG register block. The nominal
+  /// numeric path is bit-identical with or without it (pass-through until a
+  /// monitor trips).
+  bool with_safety = false;
   dsp::CompensationCoeffs comp{};
   std::uint64_t seed = 1;
 };
@@ -101,6 +108,18 @@ class GyroSystem : public RateSensor {
   bool locked() const { return drive_->locked(); }
   double last_output() const { return last_output_; }
 
+  // ---- safety / fault injection -------------------------------------------
+  /// Present only when cfg.with_safety (nullptr otherwise).
+  safety::SafetySupervisor* supervisor() { return supervisor_.get(); }
+  /// Campaign stepped once per DSP sample inside run() (nullptr = none).
+  void set_fault_campaign(safety::FaultCampaign* campaign) { campaign_ = campaign; }
+  /// DSP samples elapsed since power-on — the fault-injection time base.
+  long dsp_samples() const { return dsp_samples_; }
+  afe::AcquisitionChannel* acq_primary() { return acq_primary_.get(); }
+  afe::AcquisitionChannel* acq_sense() { return acq_sense_.get(); }
+  afe::ChargeAmp* champ_primary() { return champ_primary_.get(); }
+  afe::ChargeAmp* champ_sense() { return champ_sense_.get(); }
+
   /// Attach a trace recorder: Fig. 5/6 channels (amplitude_control,
   /// phase_error, amplitude_error, vco_control, pickoff) at fs/`decimate`
   /// plus rate_out at the decimated rate.
@@ -113,6 +132,10 @@ class GyroSystem : public RateSensor {
   void build(std::uint64_t seed);
   void define_registers();
   void post_status(double measured_temp);
+  /// Watchdog-bite recovery: self-test, calibration replay from EEPROM,
+  /// drive re-acquisition, watchdog re-arm. Chained off the platform reset
+  /// hook — fires right after the watchdog has reset the CPU.
+  void recover_from_watchdog();
 
   GyroSystemConfig cfg_;
   platform::McuSubsystem platform_;
@@ -134,6 +157,10 @@ class GyroSystem : public RateSensor {
   double ctrl_v_ = 0.0;
   double last_output_ = 2.5;
   long base_ticks_ = 0;
+  long dsp_samples_ = 0;
+
+  std::unique_ptr<safety::SafetySupervisor> supervisor_;
+  safety::FaultCampaign* campaign_ = nullptr;
 
   TraceRecorder* trace_ = nullptr;
   std::size_t trace_decimate_ = 16;

@@ -63,4 +63,10 @@ double Nco::phase() const {
 
 double Nco::resolution() const { return fs_ / 4294967296.0; }
 
+void Nco::advance_phase(double radians) {
+  const double turns = radians / kTwoPi;
+  acc_ += static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(turns * 4294967296.0));
+}
+
 }  // namespace ascp::dsp

@@ -40,6 +40,10 @@ class Nco {
 
   void reset_phase() { acc_ = 0; }
 
+  /// Fault injection: instantaneous phase jump [radians] — an SEU in the
+  /// phase-accumulator flops. The PLL must re-acquire from the new phase.
+  void advance_phase(double radians);
+
   /// Tuning resolution [Hz]: fs / 2^32.
   double resolution() const;
 

@@ -27,6 +27,7 @@ void Core8051::reset() {
   pc_ = 0;
   cycles_ = 0;
   halted_ = false;
+  jammed_ = false;
   in_isr_low_ = in_isr_high_ = false;
   int0_prev_ = int1_prev_ = false;
   tx_countdown_ = -1;
@@ -326,6 +327,12 @@ bool Core8051::service_interrupts() {
 }
 
 int Core8051::step() {
+  if (jammed_) {
+    // Crashed core: time advances, peripherals tick, nothing executes.
+    cycles_ += 1;
+    tick_peripherals(1);
+    return 1;
+  }
   if (service_interrupts()) {
     sfr_raw_set(sfr::PCON, static_cast<std::uint8_t>(sfr_raw(sfr::PCON) & ~0x01));  // wake
     cycles_ += 2;

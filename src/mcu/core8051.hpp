@@ -115,6 +115,12 @@ class Core8051 {
   /// (SJMP $) — the conventional firmware "done/idle" marker.
   bool halted() const { return halted_; }
 
+  /// Fault injection: crash the core. Time and peripherals keep running but
+  /// no instruction executes (and no watchdog kick happens) until reset() —
+  /// the fault the watchdog exists to catch.
+  void jam() { jammed_ = true; }
+  bool jammed() const { return jammed_; }
+
  private:
   // Memory spaces.
   std::array<std::uint8_t, 65536> code_{};
@@ -128,6 +134,7 @@ class Core8051 {
   std::uint16_t pc_ = 0;
   long cycles_ = 0;
   bool halted_ = false;
+  bool jammed_ = false;
 
   // Interrupt bookkeeping.
   bool in_isr_low_ = false, in_isr_high_ = false;

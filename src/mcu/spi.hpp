@@ -54,6 +54,10 @@ class SpiEeprom : public SpiSlave {
   /// Host-side (factory programming) access.
   void program(std::uint16_t addr, const std::vector<std::uint8_t>& data);
   std::uint8_t peek(std::uint16_t addr) const { return mem_.at(addr % mem_.size()); }
+  /// Fault injection: flip bits of one cell (retention/read corruption).
+  void corrupt(std::uint16_t addr, std::uint8_t xor_mask) {
+    mem_.at(addr % mem_.size()) ^= xor_mask;
+  }
   std::size_t size() const { return mem_.size(); }
 
  private:

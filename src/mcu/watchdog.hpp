@@ -7,6 +7,13 @@
 //   1 PERIOD  — countdown length in machine cycles (write restarts)
 //   2 CTRL    — bit0 enable
 //   3 STATUS  — bit0 bite occurred (sticky until PERIOD rewrite)
+//
+// STATUS stickiness (load-bearing for the recovery flow): once the watchdog
+// has bitten, the flag survives KICK writes and CTRL re-enables — restarted
+// boot firmware must be able to read *why* it is rebooting long after it has
+// resumed kicking. Only an explicit PERIOD rewrite (the deliberate
+// "reconfigure the watchdog" step of the boot sequence) clears it. While
+// bitten, the countdown is frozen so the reset pulse cannot re-fire.
 #pragma once
 
 #include <cstdint>

@@ -21,6 +21,7 @@ const std::map<std::string, IpCost>& ip_portfolio() {
       {"watchdog", {1.0, 0.0, 0.1}},
       {"bridge16", {2.0, 0.0, 0.3}},
       {"sram_ctrl", {4.0, 0.0, 1.0}},
+      {"safety_monitor", {7.0, 0.0, 1.0}},
       {"jtag_tap", {1.5, 0.0, 0.2}},
       {"regfile", {5.0, 0.0, 0.5}},
       // --- hardwired DSP ---

@@ -33,7 +33,10 @@ McuSubsystem::McuSubsystem(const PlatformConfig& cfg)
     area_.instantiate("timer16");
   }
   if (cfg.with_watchdog) {
-    watchdog_ = std::make_unique<mcu::Watchdog>([this] { cpu_.reset(); });
+    watchdog_ = std::make_unique<mcu::Watchdog>([this] {
+      cpu_.reset();
+      if (reset_hook_) reset_hook_();
+    });
     bus_.map(watchdog_.get(), cfg.map.watchdog, 4, "watchdog");
     area_.instantiate("watchdog");
   }

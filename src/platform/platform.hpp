@@ -8,6 +8,7 @@
 // the platform-vs-universal story of the paper.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -86,6 +87,10 @@ class McuSubsystem {
   /// Load firmware: ASIC-style straight into ROM at 0, or via the boot path.
   void load_firmware(const std::vector<std::uint8_t>& image) { cpu_.load_program(image); }
 
+  /// Hook running after the watchdog resets the CPU — the system-level
+  /// recovery path (self-test, calibration replay) chains off this.
+  void set_reset_hook(std::function<void()> hook) { reset_hook_ = std::move(hook); }
+
   /// Area bookkeeping for everything this subsystem instantiated.
   const AreaModel& area() const { return area_; }
   AreaModel& area() { return area_; }
@@ -106,6 +111,7 @@ class McuSubsystem {
   JtagChain jtag_chain_;
   JtagHost jtag_host_;
   AreaModel area_;
+  std::function<void()> reset_hook_;
 };
 
 }  // namespace ascp::platform

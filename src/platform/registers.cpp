@@ -49,6 +49,10 @@ void RegisterFile::post_status(std::string_view name, std::uint16_t value) {
   post_status(address_of(name), value);
 }
 
+void RegisterFile::corrupt(std::uint16_t addr, std::uint16_t xor_mask) {
+  at(addr).value ^= xor_mask;
+}
+
 std::uint16_t RegisterFile::address_of(std::string_view name) const {
   const auto it = by_name_.find(name);
   if (it == by_name_.end())

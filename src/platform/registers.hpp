@@ -45,6 +45,11 @@ class RegisterFile : public mcu::BridgeDevice {
   void post_status(std::uint16_t addr, std::uint16_t value);
   void post_status(std::string_view name, std::uint16_t value);
 
+  /// Fault injection: flip bits in the stored value without firing the
+  /// config hook — models a single-event upset in the register flops, which
+  /// the datapath only notices once something re-reads (or scrubs) the file.
+  void corrupt(std::uint16_t addr, std::uint16_t xor_mask);
+
   std::uint16_t address_of(std::string_view name) const;
   bool contains(std::string_view name) const { return by_name_.contains(std::string(name)); }
   std::size_t size() const { return regs_.size(); }

@@ -14,12 +14,15 @@ void add(SelfTestResult& r, std::string name, bool passed, std::string detail = 
 
 std::string SelfTestResult::report() const {
   std::ostringstream out;
+  std::size_t passed = 0;
   for (const auto& c : checks) {
+    if (c.passed) ++passed;
     out << "  [" << (c.passed ? "PASS" : "FAIL") << "] " << c.name;
     if (!c.detail.empty()) out << " — " << c.detail;
     out << "\n";
   }
-  out << (all_passed() ? "  self-test PASSED" : "  self-test FAILED") << "\n";
+  out << "  " << passed << "/" << checks.size() << " checks passed — self-test "
+      << (all_passed() ? "PASSED" : "FAILED") << "\n";
   return out.str();
 }
 
@@ -65,18 +68,24 @@ SelfTestResult run_self_test(McuSubsystem& sys) {
   add(result, "status register write protection", status_ok);
 
   // --- [4] bridge write path: CPU-visible word access ------------------------
+  // Save/restore the scratch register so a runtime invocation (the watchdog
+  // recovery path re-runs the suite while the chain is live) is idempotent.
   bool bridge_ok = true;
   if (auto* timer = sys.timer()) {
     const std::uint16_t base = sys.config().map.timer;
+    const std::uint16_t saved = sys.bus().read_word(base);
     sys.bus().write_word(base, 0xBEAD);
     bridge_ok = sys.bus().read_word(base) == 0xBEAD && timer->read_reg(0) == 0xBEAD;
-    sys.bus().write_word(base, 0);
+    sys.bus().write_word(base, saved);
   }
   add(result, "bridge 16-bit write/read coherence", bridge_ok);
 
   // --- [5] SRAM trace memory test ---------------------------------------------
   bool sram_ok = true;
   if (auto* sram = sys.sram_trace()) {
+    const bool saved_armed = (sram->read_reg(6) & 2) != 0;
+    const std::uint16_t saved_node = sram->read_reg(1);
+    const std::uint16_t saved_decim = sram->read_reg(2);
     sram->write_reg(1, 0);  // node 0
     sram->write_reg(2, 1);
     sram->write_reg(0, 3);  // reset + arm
@@ -86,6 +95,13 @@ SelfTestResult run_self_test(McuSubsystem& sys) {
     sram->write_reg(4, 0);  // rewind
     for (std::uint16_t i = 0; i < 256 && sram_ok; ++i)
       sram_ok = sram->read_reg(5) == static_cast<std::uint16_t>(i * 257 + 1);
+    // Restore the trace configuration (contents were consumed by the test;
+    // a previously-armed capture restarts fresh, which is what a live chain
+    // wants after its buffer was overwritten).
+    sram->write_reg(1, saved_node);
+    sram->write_reg(2, saved_decim);
+    sram->write_reg(0, saved_armed ? 3 : 0);
+    sram->write_reg(4, 0);
   }
   add(result, "sram trace pattern test", sram_ok);
 

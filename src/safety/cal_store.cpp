@@ -1,0 +1,125 @@
+#include "safety/cal_store.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace ascp::safety {
+
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t len) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+    for (int b = 0; b < 8; ++b)
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+  }
+  return crc;
+}
+
+namespace {
+
+// Every byte crosses the SPI wires through the master's DATA/CTRL registers,
+// the same path the 8051 boot code uses — no host-side peeking.
+std::uint8_t xfer(mcu::SpiMaster& spi, std::uint8_t mosi) {
+  spi.write_reg(mcu::SpiMaster::kRegData, mosi);
+  return static_cast<std::uint8_t>(spi.read_reg(mcu::SpiMaster::kRegData));
+}
+void cs(mcu::SpiMaster& spi, bool asserted) {
+  spi.write_reg(mcu::SpiMaster::kRegCtrl, asserted ? 1 : 0);
+}
+
+void put_u64(std::uint8_t* p, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+}
+
+double get_u64(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::array<std::uint8_t, kCalRecordBytes> serialize(const dsp::CompensationCoeffs& c) {
+  std::array<std::uint8_t, kCalRecordBytes> rec{};
+  rec[0] = static_cast<std::uint8_t>(kCalMagic & 0xFF);
+  rec[1] = static_cast<std::uint8_t>(kCalMagic >> 8);
+  const double fields[6] = {c.offset[0], c.offset[1], c.offset[2], c.s0, c.s1, c.s2};
+  for (int i = 0; i < 6; ++i) put_u64(&rec[2 + 8 * static_cast<std::size_t>(i)], fields[i]);
+  const std::uint16_t crc = crc16_ccitt(rec.data(), kCalRecordBytes - 2);
+  rec[kCalRecordBytes - 2] = static_cast<std::uint8_t>(crc & 0xFF);
+  rec[kCalRecordBytes - 1] = static_cast<std::uint8_t>(crc >> 8);
+  return rec;
+}
+
+std::array<std::uint8_t, kCalRecordBytes> read_record(mcu::SpiMaster& spi) {
+  std::array<std::uint8_t, kCalRecordBytes> rec{};
+  cs(spi, true);
+  xfer(spi, 0x03);  // READ
+  xfer(spi, static_cast<std::uint8_t>(kCalEepromAddr >> 8));
+  xfer(spi, static_cast<std::uint8_t>(kCalEepromAddr & 0xFF));
+  for (auto& byte : rec) byte = xfer(spi, 0x00);
+  cs(spi, false);
+  return rec;
+}
+
+CalRecord::Status record_status(const std::array<std::uint8_t, kCalRecordBytes>& rec) {
+  const std::uint16_t magic =
+      static_cast<std::uint16_t>(rec[0] | (rec[1] << 8));
+  if (magic != kCalMagic) return CalRecord::Status::Missing;
+  const std::uint16_t stored = static_cast<std::uint16_t>(
+      rec[kCalRecordBytes - 2] | (rec[kCalRecordBytes - 1] << 8));
+  if (stored != crc16_ccitt(rec.data(), kCalRecordBytes - 2))
+    return CalRecord::Status::Corrupt;
+  return CalRecord::Status::Ok;
+}
+
+}  // namespace
+
+void store_calibration(mcu::SpiMaster& spi, const dsp::CompensationCoeffs& coeffs) {
+  const auto rec = serialize(coeffs);
+  // 25xx page writes are 32 bytes; the record spans two pages.
+  constexpr std::size_t kPage = 32;
+  std::size_t written = 0;
+  while (written < rec.size()) {
+    const std::uint16_t addr = static_cast<std::uint16_t>(kCalEepromAddr + written);
+    const std::size_t room = kPage - (addr % kPage);
+    const std::size_t n = std::min(room, rec.size() - written);
+
+    cs(spi, true);
+    xfer(spi, 0x06);  // WREN
+    cs(spi, false);
+
+    cs(spi, true);
+    xfer(spi, 0x02);  // WRITE
+    xfer(spi, static_cast<std::uint8_t>(addr >> 8));
+    xfer(spi, static_cast<std::uint8_t>(addr & 0xFF));
+    for (std::size_t i = 0; i < n; ++i) xfer(spi, rec[written + i]);
+    cs(spi, false);
+
+    written += n;
+  }
+}
+
+CalRecord load_calibration(mcu::SpiMaster& spi) {
+  const auto rec = read_record(spi);
+  CalRecord out;
+  out.status = record_status(rec);
+  if (out.status != CalRecord::Status::Ok) return out;
+  out.coeffs.offset[0] = get_u64(&rec[2]);
+  out.coeffs.offset[1] = get_u64(&rec[10]);
+  out.coeffs.offset[2] = get_u64(&rec[18]);
+  out.coeffs.s0 = get_u64(&rec[26]);
+  out.coeffs.s1 = get_u64(&rec[34]);
+  out.coeffs.s2 = get_u64(&rec[42]);
+  return out;
+}
+
+bool audit_calibration(mcu::SpiMaster& spi) {
+  return record_status(read_record(spi)) != CalRecord::Status::Corrupt;
+}
+
+}  // namespace ascp::safety

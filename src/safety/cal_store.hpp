@@ -1,0 +1,48 @@
+// cal_store.hpp — calibration record persisted in the SPI EEPROM.
+//
+// Paper §4.2: the external SPI EEPROM lets the platform "reboot directly
+// from EEPROM instead of downloading each time after reset". Here it holds
+// the factory-trim compensation coefficients so the watchdog recovery path
+// can replay them after a reset: magic + 6 little-endian IEEE-754 doubles +
+// CRC16-CCITT, all moved through the SpiMaster register interface exactly
+// the way the 8051 boot code would.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/compensation.hpp"
+#include "mcu/spi.hpp"
+
+namespace ascp::safety {
+
+/// Fixed EEPROM location of the calibration record (top of the default 8 KiB
+/// part, clear of the firmware image the boot flow stores from address 0).
+constexpr std::uint16_t kCalEepromAddr = 0x1F00;
+constexpr std::uint16_t kCalMagic = 0xCA1B;
+constexpr std::size_t kCalRecordBytes = 2 + 6 * 8 + 2;  ///< magic + coeffs + crc
+
+/// CRC16-CCITT (poly 0x1021, init 0xFFFF) over `len` bytes.
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t len);
+
+struct CalRecord {
+  enum class Status {
+    Ok,       ///< magic + CRC valid, coeffs usable
+    Missing,  ///< no magic — fresh EEPROM, not a fault
+    Corrupt,  ///< magic present but CRC mismatch — latchable fault
+  };
+  Status status = Status::Missing;
+  dsp::CompensationCoeffs coeffs;
+};
+
+/// Serialize `coeffs` and write the record at kCalEepromAddr through the
+/// SPI master (WREN + page WRITEs).
+void store_calibration(mcu::SpiMaster& spi, const dsp::CompensationCoeffs& coeffs);
+
+/// Read back and validate the record through the SPI master.
+CalRecord load_calibration(mcu::SpiMaster& spi);
+
+/// CRC-only audit (no deserialization) — cheap enough for a periodic
+/// runtime check. Returns false only on a Corrupt record.
+bool audit_calibration(mcu::SpiMaster& spi);
+
+}  // namespace ascp::safety

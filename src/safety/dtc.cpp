@@ -1,0 +1,45 @@
+#include "safety/dtc.hpp"
+
+namespace ascp::safety {
+
+const char* dtc_name(std::uint16_t bit) {
+  switch (bit & static_cast<std::uint16_t>(-static_cast<std::int32_t>(bit))) {  // lowest set bit
+    case kDtcPllUnlock: return "PLL_UNLOCK";
+    case kDtcAgcRail: return "AGC_RAIL";
+    case kDtcAdcStuck: return "ADC_STUCK";
+    case kDtcRateRange: return "RATE_RANGE";
+    case kDtcDriveCollapse: return "DRIVE_COLLAPSE";
+    case kDtcTempRange: return "TEMP_RANGE";
+    case kDtcCtrlRail: return "CTRL_RAIL";
+    case kDtcGainAnomaly: return "GAIN_ANOMALY";
+    case kDtcQuadRange: return "QUAD_RANGE";
+    case kDtcCfgCorrupt: return "CFG_CORRUPT";
+    case kDtcWatchdogBite: return "WATCHDOG_BITE";
+    case kDtcCalCrc: return "CAL_CRC";
+    case kDtcSelfTest: return "SELF_TEST";
+    default: return "?";
+  }
+}
+
+std::string describe_dtcs(std::uint16_t mask) {
+  if (!mask) return "-";
+  std::string out;
+  for (int b = 0; b < 16; ++b) {
+    const std::uint16_t bit = static_cast<std::uint16_t>(1u << b);
+    if (!(mask & bit)) continue;
+    if (!out.empty()) out += "|";
+    out += dtc_name(bit);
+  }
+  return out;
+}
+
+const char* state_name(SafetyState s) {
+  switch (s) {
+    case SafetyState::Nominal: return "NOMINAL";
+    case SafetyState::Degraded: return "DEGRADED";
+    case SafetyState::SafeState: return "SAFE_STATE";
+  }
+  return "?";
+}
+
+}  // namespace ascp::safety

@@ -1,0 +1,54 @@
+// dtc.hpp — diagnostic trouble codes and the degradation state machine
+// vocabulary shared by the safety supervisor, the fault campaign and the
+// firmware-visible DIAG register block.
+//
+// Automotive conditioning chips must not only "pass strict self-checking
+// tests" at power-on (paper §2) — they must detect field faults at runtime,
+// latch a machine-readable trouble code for the service tool, and degrade
+// predictably instead of emitting plausible-but-wrong rate data. Each DTC is
+// one bit of a 16-bit mask so the whole fault picture fits in a single
+// bridge/JTAG register read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ascp::safety {
+
+/// Degradation state machine (paper-era ASIL thinking, simplified):
+///   NOMINAL   — all plausibility monitors quiet, output is live.
+///   DEGRADED  — a fault was detected; output still live but flagged, and
+///               compensation inputs may be frozen at last-plausible values.
+///   SAFE_STATE — an unrecoverable/critical fault persists; the output is
+///               forced to the null voltage with the fault flag raised so a
+///               downstream ECU can never mistake it for a real rate.
+enum class SafetyState : std::uint16_t { Nominal = 0, Degraded = 1, SafeState = 2 };
+
+/// DTC bit assignments (register `diag_dtc`). Latched on detection, held
+/// until the service-tool clear write — surviving the fault itself clearing.
+enum Dtc : std::uint16_t {
+  kDtcPllUnlock = 1u << 0,      ///< PLL lock lost after having locked
+  kDtcAgcRail = 1u << 1,        ///< AGC actuator pinned at its rail
+  kDtcAdcStuck = 1u << 2,       ///< ADC code stuck (no dither across N samples)
+  kDtcRateRange = 1u << 3,      ///< rate output outside the plausible span
+  kDtcDriveCollapse = 1u << 4,  ///< drive-pickoff amplitude collapsed
+  kDtcTempRange = 1u << 5,      ///< measured die temperature implausible
+  kDtcCtrlRail = 1u << 6,       ///< force-feedback control pinned at its rail
+  kDtcGainAnomaly = 1u << 7,    ///< loop gain far from the locked baseline
+                                ///< (reference drift / PGA gain fault)
+  kDtcQuadRange = 1u << 8,      ///< quadrature monitor outside plausible span
+  kDtcCfgCorrupt = 1u << 9,     ///< config register differs from its shadow (SEU)
+  kDtcWatchdogBite = 1u << 10,  ///< firmware hang — watchdog reset taken
+  kDtcCalCrc = 1u << 11,        ///< EEPROM calibration record failed its CRC
+  kDtcSelfTest = 1u << 12,      ///< post-reset self-test reported a failure
+};
+
+/// Short mnemonic for one DTC bit (the lowest set bit of `bit`).
+const char* dtc_name(std::uint16_t bit);
+
+/// "PLL_UNLOCK|AGC_RAIL"-style rendering of a latched mask ("-" when empty).
+std::string describe_dtcs(std::uint16_t mask);
+
+const char* state_name(SafetyState s);
+
+}  // namespace ascp::safety

@@ -1,0 +1,15 @@
+#include "safety/fault_injection.hpp"
+
+namespace ascp::safety {
+
+const char* fault_layer_name(FaultLayer layer) {
+  switch (layer) {
+    case FaultLayer::Sensor: return "sensor";
+    case FaultLayer::Afe: return "afe";
+    case FaultLayer::Dsp: return "dsp";
+    case FaultLayer::Mcu: return "mcu";
+  }
+  return "?";
+}
+
+}  // namespace ascp::safety

@@ -1,0 +1,83 @@
+// fault_injection.hpp — sample-indexed fault campaign registry.
+//
+// A FaultCampaign holds a list of named faults, each bound to an inject
+// callback (and optionally a clear callback) that reaches into whatever
+// layer the fault lives at — MEMS transducer, AFE, DSP registers, MCU.
+// The campaign is stepped once per DSP sample by the system under test and
+// fires each fault exactly at its requested sample index, so detection
+// latency can be measured in samples rather than "sometime after".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ascp::safety {
+
+enum class FaultLayer { Sensor, Afe, Dsp, Mcu };
+
+const char* fault_layer_name(FaultLayer layer);
+
+struct FaultSpec {
+  std::string name;
+  FaultLayer layer = FaultLayer::Sensor;
+  long inject_at = 0;    ///< DSP-sample index at which the fault appears
+  long clear_after = -1; ///< samples until auto-clear (−1 = permanent)
+  bool detectable = true;  ///< false = documented undetectable-by-design
+  std::uint16_t expected_dtc = 0;  ///< DTC bit the monitors should latch
+};
+
+class FaultCampaign {
+ public:
+  using Action = std::function<void()>;
+
+  struct Entry {
+    FaultSpec spec;
+    Action inject;
+    Action clear;     ///< may be empty when clear_after < 0
+    bool injected = false;
+    bool cleared = false;
+  };
+
+  /// Register a fault. `clear` is invoked `spec.clear_after` samples after
+  /// injection when that is ≥ 0 (transient faults).
+  void add(FaultSpec spec, Action inject, Action clear = {}) {
+    entries_.push_back({std::move(spec), std::move(inject), std::move(clear)});
+  }
+
+  /// Advance to DSP-sample `sample`, firing any due injections/clears.
+  /// Called from inside the system's run loop.
+  void step(long sample) {
+    for (auto& e : entries_) {
+      if (!e.injected && sample >= e.spec.inject_at) {
+        e.inject();
+        e.injected = true;
+      }
+      if (e.injected && !e.cleared && e.spec.clear_after >= 0 &&
+          sample >= e.spec.inject_at + e.spec.clear_after) {
+        if (e.clear) e.clear();
+        e.cleared = true;
+      }
+    }
+  }
+
+  /// Forget firing state so the same campaign can be replayed on a fresh
+  /// system (does not undo injected faults — rebuild the system for that).
+  void rearm() {
+    for (auto& e : entries_) {
+      e.injected = false;
+      e.cleared = false;
+    }
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::vector<Entry>& entries() { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ascp::safety

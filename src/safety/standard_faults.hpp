@@ -1,0 +1,130 @@
+// standard_faults.hpp — canonical fault bindings for a GyroSystem.
+//
+// Header-only glue between the generic FaultCampaign and the concrete
+// conditioning chain: each builder registers one parameterized fault with
+// its inject/clear callbacks reaching into the right layer. Lives outside
+// the ascp_safety library so safety/ never depends on core/ — the bench,
+// tests and examples that own a GyroSystem compile these inline.
+#pragma once
+
+#include "core/gyro_system.hpp"
+#include "safety/cal_store.hpp"
+#include "safety/dtc.hpp"
+#include "safety/fault_injection.hpp"
+
+namespace ascp::safety::faults {
+
+// ---- sensor layer ----------------------------------------------------------
+
+inline void add_drive_electrode_open(FaultCampaign& c, core::GyroSystem& g, long at) {
+  c.add({"drive electrode open", FaultLayer::Sensor, at, -1, true, kDtcDriveCollapse},
+        [&g] { g.mems().inject_drive_fault(sensor::DriveElectrodeFault::Open); },
+        [&g] { g.mems().clear_faults(); });
+}
+
+inline void add_drive_electrode_stuck(FaultCampaign& c, core::GyroSystem& g, long at,
+                                      double stuck_v = 1.2) {
+  c.add({"drive electrode stuck", FaultLayer::Sensor, at, -1, true, kDtcDriveCollapse},
+        [&g, stuck_v] {
+          g.mems().inject_drive_fault(sensor::DriveElectrodeFault::Stuck, stuck_v);
+        },
+        [&g] { g.mems().clear_faults(); });
+}
+
+/// Default Δkq is 50× the nominal quadrature stiffness: large enough to
+/// saturate the quadrature-null servo (which silently absorbs small steps)
+/// so the residual shows up on the quad monitor.
+inline void add_quadrature_step(FaultCampaign& c, core::GyroSystem& g, long at,
+                                double delta_kq = 3.0e6) {
+  c.add({"quadrature step", FaultLayer::Sensor, at, -1, true, kDtcQuadRange},
+        [&g, delta_kq] { g.mems().inject_quadrature_step(delta_kq); },
+        [&g] { g.mems().clear_faults(); });
+}
+
+// ---- AFE layer (Full fidelity only — Ideal has no AFE instances) -----------
+
+inline void add_primary_adc_stuck(FaultCampaign& c, core::GyroSystem& g, long at,
+                                  std::int32_t code = 1234, long clear_after = -1) {
+  c.add({"primary ADC stuck code", FaultLayer::Afe, at, clear_after, true, kDtcAdcStuck},
+        [&g, code] { g.acq_primary()->adc().inject_stuck_code(code); },
+        [&g] { g.acq_primary()->adc().clear_faults(); });
+}
+
+/// Sense ADC stuck at a mid-scale code: indistinguishable from the healthy
+/// actively-nulled channel — the campaign's documented undetectable row.
+inline void add_sense_adc_stuck_null(FaultCampaign& c, core::GyroSystem& g, long at) {
+  c.add({"sense ADC stuck at null", FaultLayer::Afe, at, -1, false, 0},
+        [&g] { g.acq_sense()->adc().inject_stuck_code(0); },
+        [&g] { g.acq_sense()->adc().clear_faults(); });
+}
+
+/// Default drift is −45%: the AGC re-normalizes the apparent amplitude by
+/// moving its gain the same fraction, which clears the 35% gain-anomaly
+/// threshold (a −30% drift would hide inside the monitor's dead band).
+inline void add_reference_drift(FaultCampaign& c, core::GyroSystem& g, long at,
+                                double frac = -0.45) {
+  c.add({"ADC reference drift", FaultLayer::Afe, at, -1, true, kDtcGainAnomaly},
+        [&g, frac] {
+          g.acq_primary()->adc().inject_reference_shift(frac);
+          g.acq_sense()->adc().inject_reference_shift(frac);
+        },
+        [&g] {
+          g.acq_primary()->adc().clear_faults();
+          g.acq_sense()->adc().clear_faults();
+        });
+}
+
+/// Default factor 2.0 (gain-setting bit stuck high): the AGC halves its own
+/// gain to compensate, a clean GAIN_ANOMALY. A gain *loss* instead drives
+/// the AGC into its rail, which clamps the excursion below the anomaly
+/// threshold — that failure mode latches AGC_RAIL rather than GAIN_ANOMALY.
+inline void add_pga_gain_error(FaultCampaign& c, core::GyroSystem& g, long at,
+                               double factor = 2.0) {
+  c.add({"primary PGA gain error", FaultLayer::Afe, at, -1, true, kDtcGainAnomaly},
+        [&g, factor] {
+          auto& amp = g.acq_primary()->amplifier();
+          amp.set_gain(amp.gain() * factor);
+        },
+        [&g, factor] {
+          auto& amp = g.acq_primary()->amplifier();
+          amp.set_gain(amp.gain() / factor);
+        });
+}
+
+inline void add_charge_amp_open(FaultCampaign& c, core::GyroSystem& g, long at) {
+  c.add({"primary charge-amp open wire", FaultLayer::Afe, at, -1, true, kDtcDriveCollapse},
+        [&g] { g.champ_primary()->inject_open_wire(true); },
+        [&g] { g.champ_primary()->inject_open_wire(false); });
+}
+
+// ---- DSP layer -------------------------------------------------------------
+
+inline void add_nco_phase_jump(FaultCampaign& c, core::GyroSystem& g, long at,
+                               double radians = 1.5707963267948966) {
+  c.add({"NCO phase jump", FaultLayer::Dsp, at, -1, true, kDtcPllUnlock},
+        [&g, radians] { g.drive().pll().nco().advance_phase(radians); });
+}
+
+inline void add_register_bit_flip(FaultCampaign& c, core::GyroSystem& g, long at,
+                                  std::uint16_t addr = core::reg::kSenseGain,
+                                  std::uint16_t mask = 0x80) {
+  c.add({"config register bit flip", FaultLayer::Dsp, at, -1, true, kDtcCfgCorrupt},
+        [&g, addr, mask] { g.regs().corrupt(addr, mask); });
+}
+
+// ---- MCU layer -------------------------------------------------------------
+
+inline void add_firmware_hang(FaultCampaign& c, core::GyroSystem& g, long at) {
+  c.add({"firmware hang (watchdog)", FaultLayer::Mcu, at, -1, true, kDtcWatchdogBite},
+        [&g] { g.platform().cpu().jam(); });
+}
+
+inline void add_eeprom_cal_corruption(FaultCampaign& c, core::GyroSystem& g, long at) {
+  c.add({"EEPROM calibration corruption", FaultLayer::Mcu, at, -1, true, kDtcCalCrc},
+        [&g] {
+          if (auto* ee = g.platform().eeprom())
+            ee->corrupt(static_cast<std::uint16_t>(kCalEepromAddr + 10), 0x40);
+        });
+}
+
+}  // namespace ascp::safety::faults

@@ -43,7 +43,7 @@ GyroMems::Params GyroMems::resolve(const GyroInputs& in) const {
   p.dd = w0d / qd;
   p.ds = w0s / qs;
   p.fpv = cfg_.force_per_volt * (1.0 + cfg_.force_tempco * dtc);
-  p.kq = cfg_.quad_stiffness * (1.0 + cfg_.quad_tempco * dtc);
+  p.kq = cfg_.quad_stiffness * (1.0 + cfg_.quad_tempco * dtc) + quad_step_;
   p.kappa_omega = cfg_.angular_gain * in.rate_dps * kPi / 180.0;
   return p;
 }
@@ -73,7 +73,10 @@ double GyroMems::pickoff_cap(double displacement, double temp_c) const {
 GyroOutputs GyroMems::step(const GyroInputs& in) {
   const Params p = resolve(in);
 
-  const double fd = p.fpv * in.v_drive;
+  double v_drive = in.v_drive;
+  if (drive_fault_ == DriveElectrodeFault::Open) v_drive = 0.0;
+  else if (drive_fault_ == DriveElectrodeFault::Stuck) v_drive = stuck_v_;
+  const double fd = p.fpv * v_drive;
   const double fc = p.fpv * in.v_control;
   // Fluctuation-dissipation scaling of the Brownian force.
   const double t_scale = std::sqrt((in.temp_c + 273.15) / 298.15 * cfg_.q_drive /

@@ -62,6 +62,13 @@ struct GyroOutputs {
   double dc_sense = 0.0;    ///< sense pickoff ΔC [F]
 };
 
+/// Drive-electrode interconnect faults (bond-wire / metallization failures).
+enum class DriveElectrodeFault {
+  None,
+  Open,   ///< electrode floating: no drive force reaches the ring
+  Stuck,  ///< electrode shorted to a DC level: constant force, no AC drive
+};
+
 /// RK4-integrated two-mode ring model.
 class GyroMems {
  public:
@@ -69,6 +76,20 @@ class GyroMems {
 
   /// Advance one integration step (1/sim_fs seconds).
   GyroOutputs step(const GyroInputs& in);
+
+  // ---- fault injection -----------------------------------------------------
+  void inject_drive_fault(DriveElectrodeFault fault, double stuck_v = 0.0) {
+    drive_fault_ = fault;
+    stuck_v_ = stuck_v;
+  }
+  /// Additive quadrature-stiffness step Δkq [1/s²] — a crack or particle
+  /// suddenly skewing the ring's stiffness axes.
+  void inject_quadrature_step(double delta_kq) { quad_step_ = delta_kq; }
+  void clear_faults() {
+    drive_fault_ = DriveElectrodeFault::None;
+    stuck_v_ = 0.0;
+    quad_step_ = 0.0;
+  }
 
   /// Modal state access for tests/analysis.
   double x() const { return s_.x; }
@@ -105,6 +126,9 @@ class GyroMems {
   ascp::Rng rng_;
   double noise_sigma_;
   double dt_;
+  DriveElectrodeFault drive_fault_ = DriveElectrodeFault::None;
+  double stuck_v_ = 0.0;
+  double quad_step_ = 0.0;
 };
 
 }  // namespace ascp::sensor

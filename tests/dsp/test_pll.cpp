@@ -144,6 +144,45 @@ TEST(Pll, AmplitudeEstimateMatchesPickoff) {
   EXPECT_NEAR(pll.amplitude(), 1.0, 0.15);
 }
 
+TEST(Pll, LockLossAndRelock) {
+  // Drop the pickoff mid-run (drive interconnect failure): the lock
+  // indicator must deassert within a bounded number of samples, and relock
+  // within a bounded time once the resonator is reconnected.
+  Pll pll(test_config());
+  TestResonator res(15e3, 1000.0, 240e3);
+  run_loop(pll, res, 0.4);
+  ASSERT_TRUE(pll.locked());
+
+  // Open the pickoff: the PLL sees silence. The amplitude qualifier in the
+  // lock detector must drop lock once the 400 Hz detector LPF decays.
+  int unlock_at = -1;
+  for (int i = 0; i < 10000; ++i) {
+    pll.step(0.0);
+    if (!pll.locked()) {
+      unlock_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(unlock_at, 0) << "lock never deasserted on a dead pickoff";
+  EXPECT_LE(unlock_at, 5000);  // ≈20 ms at 240 kHz
+
+  // Reconnect: relock within a bounded reacquisition time. The resonator
+  // kept ringing down meanwhile, so this is a genuine re-acquisition.
+  int relock_at = -1;
+  double pickoff = 0.0;
+  for (int i = 0; i < 250000; ++i) {
+    const double drive = pll.step(pickoff);
+    pickoff = res.step(drive);
+    if (pll.locked()) {
+      relock_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(relock_at, 0) << "PLL never relocked after reconnect";
+  EXPECT_LE(relock_at, 200000);  // < ~0.84 s at 240 kHz
+  EXPECT_NEAR(pll.frequency(), 15e3, 20.0);
+}
+
 // Sweep over resonator Q: lock must succeed from low-Q (wide, easy) to
 // high-Q (narrow, slow ring-up) mechanics.
 class PllQSweep : public ::testing::TestWithParam<double> {};

@@ -137,6 +137,45 @@ TEST(Watchdog, DisabledDoesNotBite) {
   EXPECT_EQ(bites, 0);
 }
 
+TEST(Watchdog, StatusStickyAcrossKick) {
+  // Restarted firmware must still be able to read *why* it rebooted: the
+  // bite flag survives KICK writes and only a PERIOD rewrite clears it.
+  Watchdog wd;
+  wd.write_reg(1, 100);
+  wd.write_reg(2, 1);
+  wd.tick(101);
+  ASSERT_TRUE(wd.bitten());
+  ASSERT_EQ(wd.read_reg(3), 1);
+
+  wd.write_reg(0, Watchdog::kKickWord);  // kick after the bite
+  EXPECT_EQ(wd.read_reg(3), 1) << "bite flag must survive KICK";
+  wd.write_reg(2, 1);  // re-enable without reconfiguring
+  EXPECT_EQ(wd.read_reg(3), 1) << "bite flag must survive CTRL re-enable";
+
+  wd.write_reg(1, 100);  // the deliberate reconfigure step
+  EXPECT_EQ(wd.read_reg(3), 0);
+  EXPECT_FALSE(wd.bitten());
+}
+
+TEST(Watchdog, CountdownFrozenWhileBitten) {
+  int bites = 0;
+  Watchdog wd([&] { ++bites; });
+  wd.write_reg(1, 50);
+  wd.write_reg(2, 1);
+  wd.tick(51);
+  ASSERT_EQ(bites, 1);
+  // Even re-enabled, a bitten watchdog must not fire a second reset pulse
+  // until the PERIOD rewrite acknowledges the first.
+  wd.write_reg(2, 1);
+  wd.tick(1000);
+  EXPECT_EQ(bites, 1);
+
+  wd.write_reg(1, 50);
+  wd.write_reg(2, 1);
+  wd.tick(51);
+  EXPECT_EQ(bites, 2);  // armed again after the acknowledge
+}
+
 TEST(SpiMaster, TransferExchangesByte) {
   struct Loopback : SpiSlave {
     void select(bool) override {}

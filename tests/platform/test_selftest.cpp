@@ -53,6 +53,57 @@ TEST(SelfTest, ReportNamesEveryCheck) {
   EXPECT_NE(text.find("PASSED"), std::string::npos);
 }
 
+TEST(SelfTest, ReportHasSummaryLine) {
+  auto sys = make_sys();
+  const auto text = run_self_test(sys).report();
+  EXPECT_NE(text.find("5/5 checks passed"), std::string::npos) << text;
+  EXPECT_NE(text.find("self-test PASSED"), std::string::npos) << text;
+}
+
+TEST(SelfTest, FailedReportCountsFailures) {
+  McuSubsystem sys;
+  sys.regs().define("stuck0", 3, RegKind::Config, 0, [&sys](std::uint16_t v) {
+    sys.regs().post_status(3, v & 0xFFFE);
+  });
+  const auto text = run_self_test(sys).report();
+  EXPECT_NE(text.find("4/5 checks passed"), std::string::npos) << text;
+  EXPECT_NE(text.find("self-test FAILED"), std::string::npos) << text;
+}
+
+TEST(SelfTest, RuntimeIdempotent) {
+  // The watchdog-recovery path re-runs the suite on a live platform, so a
+  // second back-to-back invocation must leave every register (including the
+  // timer scratch word and the SRAM trace configuration) exactly as the
+  // first run left it.
+  auto sys = make_sys();
+  // Dirty the peripherals the suite exercises, as a live chain would.
+  sys.bus().write_word(sys.config().map.timer, 0x1357);
+  sys.sram_trace()->write_reg(1, 2);  // trace node 2
+  sys.sram_trace()->write_reg(2, 8);  // decimate by 8
+  sys.sram_trace()->write_reg(0, 3);  // armed capture in flight
+
+  const auto first = run_self_test(sys);
+  ASSERT_TRUE(first.all_passed()) << first.report();
+  auto snap_regs = sys.regs().dump();
+  const auto snap_timer = sys.bus().read_word(sys.config().map.timer);
+  const std::uint16_t snap_node = sys.sram_trace()->read_reg(1);
+  const std::uint16_t snap_decim = sys.sram_trace()->read_reg(2);
+  const std::uint16_t snap_status = sys.sram_trace()->read_reg(6);
+
+  const auto second = run_self_test(sys);
+  EXPECT_TRUE(second.all_passed()) << second.report();
+  const auto regs_after = sys.regs().dump();
+  ASSERT_EQ(regs_after.size(), snap_regs.size());
+  for (std::size_t i = 0; i < regs_after.size(); ++i) {
+    EXPECT_EQ(regs_after[i].value, snap_regs[i].value)
+        << "register '" << regs_after[i].name << "' drifted between runs";
+  }
+  EXPECT_EQ(sys.bus().read_word(sys.config().map.timer), snap_timer);
+  EXPECT_EQ(sys.sram_trace()->read_reg(1), snap_node);
+  EXPECT_EQ(sys.sram_trace()->read_reg(2), snap_decim);
+  EXPECT_EQ(sys.sram_trace()->read_reg(6), snap_status);
+}
+
 TEST(SelfTest, DetectsStuckRegisterBit) {
   // Fault injection: the write hook rewrites the stored value with bit 0
   // tied to ground — the walking-bit pattern must catch it.

@@ -1,0 +1,88 @@
+// EEPROM calibration record: CRC primitives, store/load roundtrip through
+// the SPI master register interface, corruption detection.
+#include <gtest/gtest.h>
+
+#include "mcu/spi.hpp"
+#include "safety/cal_store.hpp"
+
+namespace ascp::safety {
+namespace {
+
+dsp::CompensationCoeffs sample_coeffs() {
+  dsp::CompensationCoeffs c;
+  c.offset[0] = 2.5;
+  c.offset[1] = -1.25e-3;
+  c.offset[2] = 4.0e-6;
+  c.s0 = 0.8;
+  c.s1 = 1.5e-4;
+  c.s2 = -2.0e-7;
+  return c;
+}
+
+TEST(CalStore, Crc16CcittKnownVector) {
+  // The classic check value: CRC16-CCITT-FALSE("123456789") = 0x29B1.
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(msg, sizeof msg), 0x29B1);
+}
+
+TEST(CalStore, FreshEepromReportsMissing) {
+  mcu::SpiEeprom ee;
+  mcu::SpiMaster spi;
+  spi.connect(&ee);
+  const auto rec = load_calibration(spi);
+  EXPECT_EQ(rec.status, CalRecord::Status::Missing);
+  EXPECT_TRUE(audit_calibration(spi)) << "a blank part is not a fault";
+}
+
+TEST(CalStore, StoreLoadRoundtrip) {
+  mcu::SpiEeprom ee;
+  mcu::SpiMaster spi;
+  spi.connect(&ee);
+  const auto c = sample_coeffs();
+  store_calibration(spi, c);
+
+  const auto rec = load_calibration(spi);
+  ASSERT_EQ(rec.status, CalRecord::Status::Ok);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(rec.coeffs.offset[i], c.offset[i]) << "offset[" << i << "]";
+  EXPECT_DOUBLE_EQ(rec.coeffs.s0, c.s0);
+  EXPECT_DOUBLE_EQ(rec.coeffs.s1, c.s1);
+  EXPECT_DOUBLE_EQ(rec.coeffs.s2, c.s2);
+  EXPECT_TRUE(audit_calibration(spi));
+}
+
+TEST(CalStore, RewriteReplacesRecord) {
+  mcu::SpiEeprom ee;
+  mcu::SpiMaster spi;
+  spi.connect(&ee);
+  store_calibration(spi, sample_coeffs());
+  auto c2 = sample_coeffs();
+  c2.offset[0] = 2.501;
+  store_calibration(spi, c2);
+  const auto rec = load_calibration(spi);
+  ASSERT_EQ(rec.status, CalRecord::Status::Ok);
+  EXPECT_DOUBLE_EQ(rec.coeffs.offset[0], 2.501);
+}
+
+TEST(CalStore, CorruptionDetectedByCrc) {
+  mcu::SpiEeprom ee;
+  mcu::SpiMaster spi;
+  spi.connect(&ee);
+  store_calibration(spi, sample_coeffs());
+  ee.corrupt(kCalEepromAddr + 10, 0x40);  // single bit flip in a coefficient
+  const auto rec = load_calibration(spi);
+  EXPECT_EQ(rec.status, CalRecord::Status::Corrupt);
+  EXPECT_FALSE(audit_calibration(spi));
+}
+
+TEST(CalStore, CorruptedMagicReadsAsMissing) {
+  mcu::SpiEeprom ee;
+  mcu::SpiMaster spi;
+  spi.connect(&ee);
+  store_calibration(spi, sample_coeffs());
+  ee.corrupt(kCalEepromAddr, 0xFF);
+  EXPECT_EQ(load_calibration(spi).status, CalRecord::Status::Missing);
+}
+
+}  // namespace
+}  // namespace ascp::safety

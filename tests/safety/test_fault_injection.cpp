@@ -1,0 +1,83 @@
+// FaultCampaign unit tests: exact-sample firing, transient auto-clear,
+// replay rearming.
+#include <gtest/gtest.h>
+
+#include "safety/fault_injection.hpp"
+
+namespace ascp::safety {
+namespace {
+
+TEST(FaultCampaign, FiresExactlyAtRequestedSample) {
+  FaultCampaign fc;
+  long fired_at = -1;
+  long now = 0;
+  fc.add({"f", FaultLayer::Afe, 100}, [&] { fired_at = now; });
+  for (now = 1; now <= 200; ++now) fc.step(now);
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(FaultCampaign, FiresOnlyOnce) {
+  FaultCampaign fc;
+  int count = 0;
+  fc.add({"f", FaultLayer::Sensor, 10}, [&] { ++count; });
+  for (long i = 1; i <= 50; ++i) fc.step(i);
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(fc.entries()[0].injected);
+}
+
+TEST(FaultCampaign, LateStartStillFires) {
+  // The campaign keys on "sample ≥ inject_at", so a coarse-stepped caller
+  // that skips the exact index still fires the fault.
+  FaultCampaign fc;
+  int count = 0;
+  fc.add({"f", FaultLayer::Dsp, 100}, [&] { ++count; });
+  fc.step(97);
+  EXPECT_EQ(count, 0);
+  fc.step(103);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(FaultCampaign, TransientFaultAutoClears) {
+  FaultCampaign fc;
+  bool active = false;
+  FaultSpec spec{"t", FaultLayer::Afe, 50};
+  spec.clear_after = 20;
+  fc.add(spec, [&] { active = true; }, [&] { active = false; });
+  for (long i = 1; i <= 69; ++i) fc.step(i);
+  EXPECT_TRUE(active);
+  fc.step(70);  // inject_at + clear_after
+  EXPECT_FALSE(active);
+  EXPECT_TRUE(fc.entries()[0].cleared);
+}
+
+TEST(FaultCampaign, PermanentFaultNeverClears) {
+  FaultCampaign fc;
+  bool active = false;
+  fc.add({"p", FaultLayer::Mcu, 5}, [&] { active = true; },
+         [&] { active = false; });
+  for (long i = 1; i <= 100000; ++i) fc.step(i);
+  EXPECT_TRUE(active);
+  EXPECT_FALSE(fc.entries()[0].cleared);
+}
+
+TEST(FaultCampaign, RearmAllowsReplay) {
+  FaultCampaign fc;
+  int count = 0;
+  fc.add({"f", FaultLayer::Sensor, 10}, [&] { ++count; });
+  for (long i = 1; i <= 20; ++i) fc.step(i);
+  ASSERT_EQ(count, 1);
+  fc.rearm();
+  EXPECT_FALSE(fc.entries()[0].injected);
+  for (long i = 1; i <= 20; ++i) fc.step(i);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(FaultCampaign, LayerNames) {
+  EXPECT_STREQ(fault_layer_name(FaultLayer::Sensor), "sensor");
+  EXPECT_STREQ(fault_layer_name(FaultLayer::Afe), "afe");
+  EXPECT_STREQ(fault_layer_name(FaultLayer::Dsp), "dsp");
+  EXPECT_STREQ(fault_layer_name(FaultLayer::Mcu), "mcu");
+}
+
+}  // namespace
+}  // namespace ascp::safety
