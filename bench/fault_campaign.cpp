@@ -17,8 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/firmware_corpus.hpp"
 #include "core/gyro_system.hpp"
-#include "mcu/assembler.hpp"
 #include "safety/standard_faults.hpp"
 
 using namespace ascp;
@@ -51,18 +51,10 @@ struct Row {
   bool injected = false;
 };
 
-/// Firmware for the MCU scenarios: kick the watchdog forever.
+/// Firmware for the MCU scenarios: the corpus watchdog kicker.
 std::vector<std::uint8_t> kick_firmware(GyroSystem& gyro) {
-  mcu::Assembler as;
-  as.define("WDKICK", gyro.platform().config().map.watchdog);
-  return as.assemble(R"(
-loop:   MOV DPTR,#WDKICK
-        MOV A,#5Ah
-        MOVX @DPTR,A
-        INC DPTR
-        MOVX @DPTR,A
-        SJMP loop
-  )").image;
+  return analysis::corpus::assemble_watchdog_kicker(gyro.platform().config().map)
+      .image;
 }
 
 void run_for(GyroSystem& g, double seconds) {

@@ -14,77 +14,13 @@
 // service tool.
 #include <cstdio>
 
+#include "analysis/firmware_corpus.hpp"
 #include "core/gyro_system.hpp"
-#include "mcu/assembler.hpp"
 #include "safety/standard_faults.hpp"
 #include "safety/supervisor.hpp"
 
 using namespace ascp;
 using namespace ascp::core;
-
-namespace {
-
-/// Poll the DIAG block; on any change of (DTC mask, state) send
-/// 'D' dtc_hi dtc_lo state over the UART. Kick the watchdog every round.
-constexpr const char* kDiagMonitorSource = R"(
-        ORG 0
-start:  MOV SP,#40h
-        MOV SCON,#50h        ; UART mode 1
-        MOV TMOD,#20h
-        MOV TH1,#0FFh        ; fastest baud
-        SETB TR1
-        MOV R6,#0            ; last reported DTC low byte
-        MOV R7,#0            ; last reported DTC high byte
-        MOV R5,#0FFh         ; last reported state (invalid: force 1st frame)
-
-poll:   MOV DPTR,#WDKICK     ; feed the watchdog: magic 5A5Ah
-        MOV A,#5Ah
-        MOVX @DPTR,A
-        INC DPTR
-        MOVX @DPTR,A
-        MOV DPTR,#DTCLO      ; low-byte read latches the 16-bit DTC word
-        MOVX A,@DPTR
-        MOV R2,A
-        INC DPTR
-        MOVX A,@DPTR         ; latched high byte
-        MOV R3,A
-        MOV DPTR,#STATE
-        MOVX A,@DPTR
-        MOV R4,A
-        MOV A,R2             ; anything new since the last frame?
-        XRL A,R6
-        JNZ report
-        MOV A,R3
-        XRL A,R7
-        JNZ report
-        MOV A,R4
-        XRL A,R5
-        JNZ report
-        SJMP poll
-
-report: MOV A,R2
-        MOV R6,A
-        MOV A,R3
-        MOV R7,A
-        MOV A,R4
-        MOV R5,A
-        MOV A,#'D'           ; frame: 'D' dtc_hi dtc_lo state
-        LCALL tx
-        MOV A,R7
-        LCALL tx
-        MOV A,R6
-        LCALL tx
-        MOV A,R5
-        LCALL tx
-        SJMP poll
-
-tx:     MOV SBUF,A
-txw:    JNB TI,txw
-        CLR TI
-        RET
-)";
-
-}  // namespace
 
 int main() {
   std::printf("=== Fault demo: DTC timeline through the 8051's eyes ===\n\n");
@@ -94,14 +30,10 @@ int main() {
   cfg.with_safety = true;
   GyroSystem gyro(cfg);
 
-  const auto& map = gyro.platform().config().map;
-  mcu::Assembler as;
-  as.define("DTCLO", static_cast<std::uint16_t>(
-                         map.regfile + 2 * (reg::kDiag + safety::diag::kDtcReg)));
-  as.define("STATE", static_cast<std::uint16_t>(
-                         map.regfile + 2 * (reg::kDiag + safety::diag::kState)));
-  as.define("WDKICK", map.watchdog);
-  const auto fw = as.assemble(kDiagMonitorSource);
+  // DIAG monitor firmware from the shipped corpus: polls the DTC mask and
+  // safety state, streams a 'D' frame on any change, kicks the watchdog.
+  const auto fw =
+      analysis::corpus::assemble_diag_monitor(gyro.platform().config().map);
   std::printf("DIAG monitor firmware: %zu bytes of 8051 code\n", fw.image.size());
   gyro.platform().load_firmware(fw.image);
   gyro.power_on(1);

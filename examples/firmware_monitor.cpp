@@ -11,63 +11,12 @@
 // decodes the telemetry the firmware streams over the UART to the "PC".
 #include <cstdio>
 
+#include "analysis/firmware_corpus.hpp"
 #include "core/calibration.hpp"
 #include "core/gyro_system.hpp"
-#include "mcu/assembler.hpp"
 
 using namespace ascp;
 using namespace ascp::core;
-
-namespace {
-
-/// Monitor firmware: wait for lock, send 'L', then stream the rate register
-/// (big-endian mV) forever, kicking the watchdog each round.
-constexpr const char* kMonitorSource = R"(
-        ORG 0
-start:  MOV SP,#40h
-        MOV SCON,#50h        ; UART mode 1
-        MOV TMOD,#20h
-        MOV TH1,#0FFh        ; fastest baud
-        SETB TR1
-
-waitlk: MOV DPTR,#WDKICKLO   ; keep the dog fed while waiting for lock
-        MOV A,#5Ah
-        MOVX @DPTR,A
-        INC DPTR
-        MOVX @DPTR,A
-        MOV DPTR,#LOCKREG
-        MOVX A,@DPTR
-        ANL A,#3             ; bit0 PLL, bit1 AGC
-        CJNE A,#3,waitlk
-        MOV A,#'L'
-        LCALL tx
-
-loop:   MOV DPTR,#RATELO     ; low-byte read latches the word coherently
-        MOVX A,@DPTR
-        MOV R2,A
-        INC DPTR
-        MOVX A,@DPTR         ; latched high byte
-        LCALL tx             ; stream big-endian
-        MOV A,R2
-        LCALL tx
-        MOV DPTR,#WDKICKLO   ; feed the watchdog: magic 5A5Ah
-        MOV A,#5Ah
-        MOVX @DPTR,A
-        INC DPTR
-        MOVX @DPTR,A
-        MOV R3,#60           ; pace the stream
-d1:     MOV R4,#250
-d2:     DJNZ R4,d2
-        DJNZ R3,d1
-        SJMP loop
-
-tx:     MOV SBUF,A
-txw:    JNB TI,txw
-        CLR TI
-        RET
-)";
-
-}  // namespace
 
 int main() {
   std::printf("=== 8051 monitor firmware on the live platform ===\n\n");
@@ -76,14 +25,11 @@ int main() {
   cfg.with_mcu = true;
   GyroSystem gyro(cfg);
 
-  // Assemble the monitor against the platform's register map.
-  const auto& map = gyro.platform().config().map;
-  mcu::Assembler as;
-  as.define("LOCKREG", static_cast<std::uint16_t>(map.regfile + 2 * reg::kLock));
-  as.define("RATELO", static_cast<std::uint16_t>(map.regfile + 2 * reg::kRateOut));
-  as.define("RATEHI", static_cast<std::uint16_t>(map.regfile + 2 * reg::kRateOut + 1));
-  as.define("WDKICKLO", map.watchdog);
-  const auto fw = as.assemble(kMonitorSource);
+  // Monitor firmware from the shipped corpus, assembled against the
+  // platform's register map: wait for lock, send 'L', then stream the rate
+  // register (big-endian mV) forever, kicking the watchdog each round.
+  const auto fw = analysis::corpus::assemble_telemetry_monitor(
+      gyro.platform().config().map);
   std::printf("monitor firmware: %zu bytes of 8051 code\n", fw.image.size());
   gyro.platform().load_firmware(fw.image);
 

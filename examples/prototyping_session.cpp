@@ -5,9 +5,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "analysis/firmware_corpus.hpp"
 #include "common/math.hpp"
 #include "core/gyro_system.hpp"
-#include "mcu/assembler.hpp"
 #include "mcu/bootrom.hpp"
 #include "platform/selftest.hpp"
 
@@ -29,23 +29,8 @@ int main() {
   boot_cfg.prog_base = mcu.config().map.prog_ram;
   mcu.load_firmware(mcu::BootRom::image(boot_cfg));
 
-  mcu::Assembler as;
-  const auto app = as.assemble(R"(
-        ORG 8000h
-        MOV SCON,#50h
-        MOV TMOD,#20h
-        MOV TH1,#0FFh
-        SETB TR1
-        MOV A,#'H'
-        LCALL tx
-        MOV A,#'I'
-        LCALL tx
-        done: SJMP done
-tx:     MOV SBUF,A
-txw:    JNB TI,txw
-        CLR TI
-        RET
-  )").image;
+  // The greeting application from the shipped firmware corpus (ORG 8000h).
+  const auto app = analysis::corpus::assemble_greeting_app().image;
   const std::vector<std::uint8_t> payload(app.begin() + 0x8000, app.end());
   std::printf("    application: %zu bytes, framed for download\n", payload.size());
   mcu.host().send_download(payload);

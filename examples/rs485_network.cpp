@@ -8,7 +8,7 @@
 // register — the ECU-side polling loop of a real vehicle network.
 #include <cstdio>
 
-#include "mcu/assembler.hpp"
+#include "analysis/firmware_corpus.hpp"
 #include "mcu/rs485.hpp"
 #include "platform/platform.hpp"
 
@@ -17,50 +17,15 @@ using namespace ascp::mcu;
 
 namespace {
 
-/// Node firmware: 9-bit multiprocessor mode; on its address frame it drops
-/// SM2, takes one command byte, replies with the two bytes of the rate
-/// register (word-coherent via the bridge read latch), then re-arms SM2.
-std::vector<std::uint8_t> node_firmware(std::uint8_t address, std::uint16_t rate_reg_addr) {
-  Assembler as;
-  as.define("MYADDR", address);
-  as.define("RATELO", rate_reg_addr);
-  return as.assemble(R"(
-        MOV SCON,#0F0h       ; mode 3, SM2, REN
-        MOV TMOD,#20h
-        MOV TH1,#0FFh
-        SETB TR1
-wait:   JNB RI,wait
-        MOV A,SBUF
-        CLR RI
-        CJNE A,#MYADDR,wait
-        CLR SCON.5           ; selected: accept data frames
-cmd:    JNB RI,cmd
-        MOV A,SBUF
-        CLR RI
-        SETB SCON.5          ; single-command protocol: re-arm immediately
-        CJNE A,#'Q',wait     ; only 'Q'uery is implemented
-        MOV DPTR,#RATELO
-        MOVX A,@DPTR         ; low byte (latches the word)
-        MOV R2,A
-        INC DPTR
-        MOVX A,@DPTR         ; coherent high byte
-        CLR SCON.3           ; replies carry TB8 = 0
-        MOV SBUF,A
-t1:     JNB TI,t1
-        CLR TI
-        MOV A,R2
-        MOV SBUF,A
-t2:     JNB TI,t2
-        CLR TI
-        SJMP wait
-  )").image;
-}
-
+// Node firmware comes from the shipped corpus: 9-bit multiprocessor mode; on
+// its address frame it drops SM2, takes one command byte, replies with the
+// two bytes of the rate register (word-coherent via the bridge read latch),
+// then re-arms SM2.
 struct Node {
   explicit Node(std::uint8_t address) : address_(address) {
     sys.regs().define("rate_mv", 0, platform::RegKind::Status, 2500);
-    sys.load_firmware(node_firmware(
-        address, static_cast<std::uint16_t>(sys.config().map.regfile)));
+    sys.load_firmware(
+        analysis::corpus::assemble_rs485_node(address, sys.config().map).image);
   }
 
   std::uint8_t address_;

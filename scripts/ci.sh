@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# ci.sh — the single CI entry point.
+#
+# Builds every preset, runs the tier-1 test suite on the default and ubsan
+# builds, and runs the static verification driver (platform_lint) over the
+# shipped platform plus both negative fixtures. clang-tidy (the lint preset)
+# runs only when the tool is installed, so the script works in minimal
+# containers too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure + build: default =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+
+echo "== configure + build: ubsan =="
+cmake --preset ubsan >/dev/null
+cmake --build --preset ubsan -j "$jobs"
+
+echo "== configure + build: asan =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$jobs"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== configure + build: lint (clang-tidy) =="
+  cmake --preset lint >/dev/null
+  cmake --build --preset lint -j "$jobs"
+else
+  echo "== lint preset skipped: clang-tidy not installed =="
+fi
+
+echo "== tier-1 tests (default) =="
+ctest --preset default
+
+echo "== tier-1 tests (ubsan) =="
+ctest --preset ubsan
+
+echo "== platform_lint: shipped platform must be error-free =="
+./build/tools/platform_lint
+
+echo "== platform_lint: negative fixtures must be flagged =="
+if ./build/tools/platform_lint --map tests/analysis/fixtures/overlapping_map.regmap; then
+  echo "ERROR: overlapping_map.regmap was not flagged" >&2
+  exit 1
+fi
+if ./build/tools/platform_lint --asm tests/analysis/fixtures/broken_firmware.asm; then
+  echo "ERROR: broken_firmware.asm was not flagged" >&2
+  exit 1
+fi
+
+echo "CI PASSED"

@@ -1,0 +1,243 @@
+#include "analysis/disasm.hpp"
+
+#include <cstdio>
+
+namespace ascp::analysis {
+namespace {
+
+// Instruction length per opcode (standard MCS-51 map; 0xA5 is reserved and
+// treated as a 1-byte NOP-alike so decoding can continue past it).
+constexpr std::uint8_t kLength[256] = {
+    // 0    1  2  3  4  5  6  7  8  9  A  B  C  D  E  F
+    /*0x*/ 1, 2, 3, 1, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*1x*/ 3, 2, 3, 1, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*2x*/ 3, 2, 1, 1, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*3x*/ 3, 2, 1, 1, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*4x*/ 2, 2, 2, 3, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*5x*/ 2, 2, 2, 3, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*6x*/ 2, 2, 2, 3, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*7x*/ 2, 2, 2, 1, 2, 3, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
+    /*8x*/ 2, 2, 2, 1, 1, 3, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
+    /*9x*/ 3, 2, 2, 1, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*Ax*/ 2, 2, 2, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
+    /*Bx*/ 2, 2, 2, 1, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3,
+    /*Cx*/ 2, 2, 2, 1, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*Dx*/ 2, 2, 2, 1, 1, 3, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2,
+    /*Ex*/ 1, 2, 1, 1, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    /*Fx*/ 1, 2, 1, 1, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+};
+
+std::string hex8(std::uint8_t v) {
+  char buf[6];
+  std::snprintf(buf, sizeof(buf), "%02Xh", v);
+  return buf;
+}
+
+std::string hex16(std::uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%04X", v);
+  return buf;
+}
+
+std::string bit_operand(std::uint8_t bit) {
+  // Bit space: 0x00-0x7F index IRAM 0x20-0x2F; 0x80-0xFF index the
+  // bit-addressable SFRs (bit addr & 0xF8 is the SFR).
+  const std::uint8_t base = bit < 0x80 ? static_cast<std::uint8_t>(0x20 + bit / 8)
+                                       : static_cast<std::uint8_t>(bit & 0xF8);
+  return hex8(base) + "." + std::to_string(bit & 7);
+}
+
+}  // namespace
+
+Insn decode(const std::uint8_t* code, std::size_t size, std::uint16_t load_base,
+            std::uint16_t addr) {
+  Insn in;
+  in.addr = addr;
+  const std::size_t off = static_cast<std::size_t>(addr - load_base);
+  in.bytes[0] = code[off];
+  in.length = kLength[in.bytes[0]];
+  for (int i = 1; i < in.length; ++i) {
+    if (off + i >= size) {
+      in.truncated = true;
+      break;
+    }
+    in.bytes[i] = code[off + i];
+  }
+
+  const std::uint8_t op = in.bytes[0];
+  const auto next = static_cast<std::uint16_t>(addr + in.length);
+  const auto rel_target = [&] {
+    return static_cast<std::uint16_t>(next + static_cast<std::int8_t>(in.bytes[in.length - 1]));
+  };
+
+  if ((op & 0x1F) == 0x01) {  // AJMP: target in current 2 KB page
+    in.flow = Flow::Jump;
+    in.target = static_cast<std::uint16_t>((next & 0xF800) | ((op >> 5) << 8) | in.bytes[1]);
+  } else if ((op & 0x1F) == 0x11) {  // ACALL
+    in.flow = Flow::Call;
+    in.target = static_cast<std::uint16_t>((next & 0xF800) | ((op >> 5) << 8) | in.bytes[1]);
+  } else {
+    switch (op) {
+      case 0x02:  // LJMP
+        in.flow = Flow::Jump;
+        in.target = static_cast<std::uint16_t>(in.bytes[1] << 8 | in.bytes[2]);
+        break;
+      case 0x12:  // LCALL
+        in.flow = Flow::Call;
+        in.target = static_cast<std::uint16_t>(in.bytes[1] << 8 | in.bytes[2]);
+        break;
+      case 0x80:  // SJMP
+        in.flow = Flow::Jump;
+        in.target = rel_target();
+        break;
+      case 0x22: in.flow = Flow::Ret; break;
+      case 0x32: in.flow = Flow::Reti; break;
+      case 0x73: in.flow = Flow::IndirectJump; break;
+      case 0x10: case 0x20: case 0x30:  // JBC/JB/JNB bit,rel
+      case 0x40: case 0x50:             // JC/JNC rel
+      case 0x60: case 0x70:             // JZ/JNZ rel
+      case 0xB4: case 0xB5: case 0xB6: case 0xB7:  // CJNE …,rel
+      case 0xB8: case 0xB9: case 0xBA: case 0xBB:
+      case 0xBC: case 0xBD: case 0xBE: case 0xBF:
+      case 0xD5:                                   // DJNZ dir,rel
+      case 0xD8: case 0xD9: case 0xDA: case 0xDB:  // DJNZ Rn,rel
+      case 0xDC: case 0xDD: case 0xDE: case 0xDF:
+        in.flow = Flow::CondJump;
+        in.target = rel_target();
+        break;
+      default: break;
+    }
+  }
+  return in;
+}
+
+std::string Insn::text() const {
+  const std::uint8_t op = bytes[0];
+  const std::uint8_t b1 = bytes[1], b2 = bytes[2];
+  const std::string rn = "R" + std::to_string(op & 7);
+  const std::string ri = "@R" + std::to_string(op & 1);
+  const std::string tgt = hex16(target);
+
+  if ((op & 0x1F) == 0x01) return "AJMP " + tgt;
+  if ((op & 0x1F) == 0x11) return "ACALL " + tgt;
+
+  switch (op & 0xF8) {
+    case 0x08: return "INC " + rn;
+    case 0x18: return "DEC " + rn;
+    case 0x28: return "ADD A," + rn;
+    case 0x38: return "ADDC A," + rn;
+    case 0x48: return "ORL A," + rn;
+    case 0x58: return "ANL A," + rn;
+    case 0x68: return "XRL A," + rn;
+    case 0x78: return "MOV " + rn + ",#" + hex8(b1);
+    case 0x88: return "MOV " + hex8(b1) + "," + rn;
+    case 0x98: return "SUBB A," + rn;
+    case 0xA8: return "MOV " + rn + "," + hex8(b1);
+    case 0xB8: return "CJNE " + rn + ",#" + hex8(b1) + "," + tgt;
+    case 0xC8: return "XCH A," + rn;
+    case 0xD8: return "DJNZ " + rn + "," + tgt;
+    case 0xE8: return "MOV A," + rn;
+    case 0xF8: return "MOV " + rn + ",A";
+    default: break;
+  }
+
+  switch (op) {
+    case 0x00: return "NOP";
+    case 0x02: return "LJMP " + tgt;
+    case 0x03: return "RR A";
+    case 0x04: return "INC A";
+    case 0x05: return "INC " + hex8(b1);
+    case 0x06: case 0x07: return "INC " + ri;
+    case 0x10: return "JBC " + bit_operand(b1) + "," + tgt;
+    case 0x12: return "LCALL " + tgt;
+    case 0x13: return "RRC A";
+    case 0x14: return "DEC A";
+    case 0x15: return "DEC " + hex8(b1);
+    case 0x16: case 0x17: return "DEC " + ri;
+    case 0x20: return "JB " + bit_operand(b1) + "," + tgt;
+    case 0x22: return "RET";
+    case 0x23: return "RL A";
+    case 0x24: return "ADD A,#" + hex8(b1);
+    case 0x25: return "ADD A," + hex8(b1);
+    case 0x26: case 0x27: return "ADD A," + ri;
+    case 0x30: return "JNB " + bit_operand(b1) + "," + tgt;
+    case 0x32: return "RETI";
+    case 0x33: return "RLC A";
+    case 0x34: return "ADDC A,#" + hex8(b1);
+    case 0x35: return "ADDC A," + hex8(b1);
+    case 0x36: case 0x37: return "ADDC A," + ri;
+    case 0x40: return "JC " + tgt;
+    case 0x42: return "ORL " + hex8(b1) + ",A";
+    case 0x43: return "ORL " + hex8(b1) + ",#" + hex8(b2);
+    case 0x44: return "ORL A,#" + hex8(b1);
+    case 0x45: return "ORL A," + hex8(b1);
+    case 0x46: case 0x47: return "ORL A," + ri;
+    case 0x50: return "JNC " + tgt;
+    case 0x52: return "ANL " + hex8(b1) + ",A";
+    case 0x53: return "ANL " + hex8(b1) + ",#" + hex8(b2);
+    case 0x54: return "ANL A,#" + hex8(b1);
+    case 0x55: return "ANL A," + hex8(b1);
+    case 0x56: case 0x57: return "ANL A," + ri;
+    case 0x60: return "JZ " + tgt;
+    case 0x62: return "XRL " + hex8(b1) + ",A";
+    case 0x63: return "XRL " + hex8(b1) + ",#" + hex8(b2);
+    case 0x64: return "XRL A,#" + hex8(b1);
+    case 0x65: return "XRL A," + hex8(b1);
+    case 0x66: case 0x67: return "XRL A," + ri;
+    case 0x70: return "JNZ " + tgt;
+    case 0x72: return "ORL C," + bit_operand(b1);
+    case 0x73: return "JMP @A+DPTR";
+    case 0x74: return "MOV A,#" + hex8(b1);
+    case 0x75: return "MOV " + hex8(b1) + ",#" + hex8(b2);
+    case 0x76: case 0x77: return "MOV " + ri + ",#" + hex8(b1);
+    case 0x80: return "SJMP " + tgt;
+    case 0x82: return "ANL C," + bit_operand(b1);
+    case 0x83: return "MOVC A,@A+PC";
+    case 0x84: return "DIV AB";
+    case 0x85: return "MOV " + hex8(b2) + "," + hex8(b1);  // src encoded first
+    case 0x86: case 0x87: return "MOV " + hex8(b1) + "," + ri;
+    case 0x90: return "MOV DPTR,#" + hex16(static_cast<std::uint16_t>(b1 << 8 | b2));
+    case 0x92: return "MOV " + bit_operand(b1) + ",C";
+    case 0x93: return "MOVC A,@A+DPTR";
+    case 0x94: return "SUBB A,#" + hex8(b1);
+    case 0x95: return "SUBB A," + hex8(b1);
+    case 0x96: case 0x97: return "SUBB A," + ri;
+    case 0xA0: return "ORL C,/" + bit_operand(b1);
+    case 0xA2: return "MOV C," + bit_operand(b1);
+    case 0xA3: return "INC DPTR";
+    case 0xA4: return "MUL AB";
+    case 0xA5: return "DB 0A5h";  // reserved opcode
+    case 0xA6: case 0xA7: return "MOV " + ri + "," + hex8(b1);
+    case 0xB0: return "ANL C,/" + bit_operand(b1);
+    case 0xB2: return "CPL " + bit_operand(b1);
+    case 0xB3: return "CPL C";
+    case 0xB4: return "CJNE A,#" + hex8(b1) + "," + tgt;
+    case 0xB5: return "CJNE A," + hex8(b1) + "," + tgt;
+    case 0xB6: case 0xB7: return "CJNE " + ri + ",#" + hex8(b1) + "," + tgt;
+    case 0xC0: return "PUSH " + hex8(b1);
+    case 0xC2: return "CLR " + bit_operand(b1);
+    case 0xC3: return "CLR C";
+    case 0xC4: return "SWAP A";
+    case 0xC5: return "XCH A," + hex8(b1);
+    case 0xC6: case 0xC7: return "XCH A," + ri;
+    case 0xD0: return "POP " + hex8(b1);
+    case 0xD2: return "SETB " + bit_operand(b1);
+    case 0xD3: return "SETB C";
+    case 0xD4: return "DA A";
+    case 0xD5: return "DJNZ " + hex8(b1) + "," + tgt;
+    case 0xD6: case 0xD7: return "XCHD A," + ri;
+    case 0xE0: return "MOVX A,@DPTR";
+    case 0xE2: case 0xE3: return "MOVX A," + ri;
+    case 0xE4: return "CLR A";
+    case 0xE5: return "MOV A," + hex8(b1);
+    case 0xE6: case 0xE7: return "MOV A," + ri;
+    case 0xF0: return "MOVX @DPTR,A";
+    case 0xF2: case 0xF3: return "MOVX " + ri + ",A";
+    case 0xF4: return "CPL A";
+    case 0xF5: return "MOV " + hex8(b1) + ",A";
+    case 0xF6: case 0xF7: return "MOV " + ri + ",A";
+    default: return "DB " + hex8(op);
+  }
+}
+
+}  // namespace ascp::analysis

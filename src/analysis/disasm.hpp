@@ -1,0 +1,48 @@
+// disasm.hpp — table-driven MCS-51 instruction decoder.
+//
+// The firmware analyzer (firmware_lint) needs to walk assembled images the
+// way the silicon would: instruction lengths to find boundaries, control-flow
+// kind and resolved targets to build the CFG, and raw operand bytes for the
+// constant propagation that resolves MOVX/SFR destinations. This decoder
+// covers the full 256-entry MCS-51 opcode map (one reserved slot, 0xA5), so
+// it is not limited to what the repo's assembler happens to emit — firmware
+// may arrive from the SPI EEPROM or the UART download path too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ascp::analysis {
+
+/// Control-flow effect of one instruction.
+enum class Flow {
+  Seq,           ///< falls through only
+  Jump,          ///< unconditional, resolved target (LJMP/AJMP/SJMP)
+  CondJump,      ///< resolved target + fall-through
+  Call,          ///< resolved target + fall-through (returns)
+  Ret,           ///< RET
+  Reti,          ///< RETI
+  IndirectJump,  ///< JMP @A+DPTR — target not statically resolved
+};
+
+struct Insn {
+  std::uint16_t addr = 0;
+  std::uint8_t bytes[3] = {0, 0, 0};  ///< opcode + operand bytes
+  int length = 1;                     ///< 1..3
+  Flow flow = Flow::Seq;
+  std::uint16_t target = 0;  ///< valid for Jump/CondJump/Call
+  bool truncated = false;    ///< instruction runs past the end of the image
+
+  std::uint8_t opcode() const { return bytes[0]; }
+  /// Human-readable form, e.g. "MOV DPTR,#0x4002" or "JNB 98h.1,0x0012".
+  std::string text() const;
+};
+
+/// Decode the instruction at `addr` (an offset into `code`, which holds
+/// `size` bytes loaded at address `load_base`). Branch targets are returned
+/// as absolute code addresses. `addr` is the absolute address too.
+Insn decode(const std::uint8_t* code, std::size_t size, std::uint16_t load_base,
+            std::uint16_t addr);
+
+}  // namespace ascp::analysis

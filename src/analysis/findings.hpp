@@ -1,0 +1,56 @@
+// findings.hpp — common result vocabulary of the static verification suite.
+//
+// Every analyzer in src/analysis (register-map checker, 8051 firmware
+// analyzer, fixed-point range analyzer) reports through the same structured
+// Finding so the CLI driver (tools/platform_lint), CI and the tier-1 tests
+// can consume one format. A Finding pins the object being checked
+// (block/image/stage), a severity, and an actionable message; a Report is an
+// ordered collection with the error/warning bookkeeping the drivers need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ascp::analysis {
+
+enum class Severity {
+  Info,     ///< proof artifacts and bounds worth surfacing (never fails CI)
+  Warning,  ///< suspicious but possibly intentional (dead bytes, kick-free loop)
+  Error,    ///< a property violation — platform_lint exits non-zero
+};
+
+const char* severity_name(Severity s);
+
+struct Finding {
+  Severity severity = Severity::Error;
+  std::string analyzer;  ///< "regmap" / "firmware" / "range"
+  std::string location;  ///< block/register, image name + address, chain stage
+  std::string message;   ///< what is wrong and where, actionable
+
+  /// "error [regmap] diag: ..." one-line rendering.
+  std::string format() const;
+};
+
+class Report {
+ public:
+  void add(Severity sev, std::string analyzer, std::string location, std::string message);
+  void merge(const Report& other);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  int errors() const { return errors_; }
+  int warnings() const { return warnings_; }
+  bool clean() const { return errors_ == 0; }
+
+  /// True when any finding's message contains `needle` (test convenience).
+  bool mentions(const std::string& needle) const;
+
+  /// Multi-line rendering of every finding plus a summary line.
+  std::string format() const;
+
+ private:
+  std::vector<Finding> findings_;
+  int errors_ = 0;
+  int warnings_ = 0;
+};
+
+}  // namespace ascp::analysis

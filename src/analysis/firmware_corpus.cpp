@@ -1,0 +1,257 @@
+#include "analysis/firmware_corpus.hpp"
+
+#include "core/gyro_system.hpp"
+#include "mcu/bootrom.hpp"
+#include "mcu/monitor_rom.hpp"
+#include "safety/supervisor.hpp"
+
+namespace ascp::analysis::corpus {
+
+std::string diag_monitor_source() {
+  return R"(
+        ORG 0
+start:  MOV SP,#40h
+        MOV SCON,#50h        ; UART mode 1
+        MOV TMOD,#20h
+        MOV TH1,#0FFh        ; fastest baud
+        SETB TR1
+        MOV R6,#0            ; last reported DTC low byte
+        MOV R7,#0            ; last reported DTC high byte
+        MOV R5,#0FFh         ; last reported state (invalid: force 1st frame)
+
+poll:   MOV DPTR,#WDKICK     ; feed the watchdog: magic 5A5Ah
+        MOV A,#5Ah
+        MOVX @DPTR,A
+        INC DPTR
+        MOVX @DPTR,A
+        MOV DPTR,#DTCLO      ; low-byte read latches the 16-bit DTC word
+        MOVX A,@DPTR
+        MOV R2,A
+        INC DPTR
+        MOVX A,@DPTR         ; latched high byte
+        MOV R3,A
+        MOV DPTR,#STATE
+        MOVX A,@DPTR
+        MOV R4,A
+        MOV A,R2             ; anything new since the last frame?
+        XRL A,R6
+        JNZ report
+        MOV A,R3
+        XRL A,R7
+        JNZ report
+        MOV A,R4
+        XRL A,R5
+        JNZ report
+        SJMP poll
+
+report: MOV A,R2
+        MOV R6,A
+        MOV A,R3
+        MOV R7,A
+        MOV A,R4
+        MOV R5,A
+        MOV A,#'D'           ; frame: 'D' dtc_hi dtc_lo state
+        LCALL tx
+        MOV A,R7
+        LCALL tx
+        MOV A,R6
+        LCALL tx
+        MOV A,R5
+        LCALL tx
+        SJMP poll
+
+tx:     MOV SBUF,A
+txw:    JNB TI,txw
+        CLR TI
+        RET
+)";
+}
+
+std::string telemetry_monitor_source() {
+  return R"(
+        ORG 0
+start:  MOV SP,#40h
+        MOV SCON,#50h        ; UART mode 1
+        MOV TMOD,#20h
+        MOV TH1,#0FFh        ; fastest baud
+        SETB TR1
+
+waitlk: MOV DPTR,#WDKICKLO   ; keep the dog fed while waiting for lock
+        MOV A,#5Ah
+        MOVX @DPTR,A
+        INC DPTR
+        MOVX @DPTR,A
+        MOV DPTR,#LOCKREG
+        MOVX A,@DPTR
+        ANL A,#3             ; bit0 PLL, bit1 AGC
+        CJNE A,#3,waitlk
+        MOV A,#'L'
+        LCALL tx
+
+loop:   MOV DPTR,#RATELO     ; low-byte read latches the word coherently
+        MOVX A,@DPTR
+        MOV R2,A
+        INC DPTR
+        MOVX A,@DPTR         ; latched high byte
+        LCALL tx             ; stream big-endian
+        MOV A,R2
+        LCALL tx
+        MOV DPTR,#WDKICKLO   ; feed the watchdog: magic 5A5Ah
+        MOV A,#5Ah
+        MOVX @DPTR,A
+        INC DPTR
+        MOVX @DPTR,A
+        MOV R3,#60           ; pace the stream
+d1:     MOV R4,#250
+d2:     DJNZ R4,d2
+        DJNZ R3,d1
+        SJMP loop
+
+tx:     MOV SBUF,A
+txw:    JNB TI,txw
+        CLR TI
+        RET
+)";
+}
+
+std::string watchdog_kicker_source() {
+  return R"(
+loop:   MOV DPTR,#WDKICK
+        MOV A,#5Ah
+        MOVX @DPTR,A
+        INC DPTR
+        MOVX @DPTR,A
+        SJMP loop
+)";
+}
+
+std::string greeting_app_source() {
+  return R"(
+        ORG 8000h
+        MOV SCON,#50h
+        MOV TMOD,#20h
+        MOV TH1,#0FFh
+        SETB TR1
+        MOV A,#'H'
+        LCALL tx
+        MOV A,#'I'
+        LCALL tx
+        done: SJMP done
+tx:     MOV SBUF,A
+txw:    JNB TI,txw
+        CLR TI
+        RET
+)";
+}
+
+std::string rs485_node_source() {
+  return R"(
+        MOV SCON,#0F0h       ; mode 3, SM2, REN
+        MOV TMOD,#20h
+        MOV TH1,#0FFh
+        SETB TR1
+wait:   JNB RI,wait
+        MOV A,SBUF
+        CLR RI
+        CJNE A,#MYADDR,wait
+        CLR SCON.5           ; selected: accept data frames
+cmd:    JNB RI,cmd
+        MOV A,SBUF
+        CLR RI
+        SETB SCON.5          ; single-command protocol: re-arm immediately
+        CJNE A,#'Q',wait     ; only 'Q'uery is implemented
+        MOV DPTR,#RATELO
+        MOVX A,@DPTR         ; low byte (latches the word)
+        MOV R2,A
+        INC DPTR
+        MOVX A,@DPTR         ; coherent high byte
+        CLR SCON.3           ; replies carry TB8 = 0
+        MOV SBUF,A
+t1:     JNB TI,t1
+        CLR TI
+        MOV A,R2
+        MOV SBUF,A
+t2:     JNB TI,t2
+        CLR TI
+        SJMP wait
+)";
+}
+
+mcu::AsmResult assemble_diag_monitor(const platform::BridgeMap& map) {
+  mcu::Assembler as;
+  as.define("DTCLO", static_cast<std::uint16_t>(
+                         map.regfile +
+                         2 * (core::reg::kDiag + safety::diag::kDtcReg)));
+  as.define("STATE", static_cast<std::uint16_t>(
+                         map.regfile +
+                         2 * (core::reg::kDiag + safety::diag::kState)));
+  as.define("WDKICK", map.watchdog);
+  return as.assemble(diag_monitor_source());
+}
+
+mcu::AsmResult assemble_telemetry_monitor(const platform::BridgeMap& map) {
+  mcu::Assembler as;
+  as.define("LOCKREG",
+            static_cast<std::uint16_t>(map.regfile + 2 * core::reg::kLock));
+  as.define("RATELO",
+            static_cast<std::uint16_t>(map.regfile + 2 * core::reg::kRateOut));
+  as.define("RATEHI", static_cast<std::uint16_t>(map.regfile +
+                                                 2 * core::reg::kRateOut + 1));
+  as.define("WDKICKLO", map.watchdog);
+  return as.assemble(telemetry_monitor_source());
+}
+
+mcu::AsmResult assemble_watchdog_kicker(const platform::BridgeMap& map) {
+  mcu::Assembler as;
+  as.define("WDKICK", map.watchdog);
+  return as.assemble(watchdog_kicker_source());
+}
+
+mcu::AsmResult assemble_greeting_app() {
+  mcu::Assembler as;
+  return as.assemble(greeting_app_source());
+}
+
+mcu::AsmResult assemble_rs485_node(std::uint8_t address,
+                                   const platform::BridgeMap& map) {
+  mcu::Assembler as;
+  as.define("MYADDR", address);
+  as.define("RATELO", map.regfile);
+  return as.assemble(rs485_node_source());
+}
+
+std::vector<FirmwareImage> shipped_firmware(const platform::BridgeMap& map) {
+  std::vector<FirmwareImage> out;
+  auto add = [&out](std::string name, mcu::AsmResult r) {
+    FirmwareImage fw;
+    fw.name = std::move(name);
+    fw.base = r.entry;  // strip the ORG padding: keep only emitted bytes
+    fw.entry = r.entry;
+    fw.image.assign(r.image.begin() + r.entry, r.image.end());
+    out.push_back(std::move(fw));
+  };
+
+  mcu::BootRomConfig boot_cfg;
+  boot_cfg.spi_base = map.spi;
+  boot_cfg.prog_base = map.prog_ram;
+  {
+    // Same symbol bindings BootRom::image() uses.
+    mcu::Assembler as;
+    as.define("PROGRAM", boot_cfg.prog_base);
+    as.define("SPIDATA", boot_cfg.spi_base);
+    as.define("SPICTRL", static_cast<std::uint16_t>(boot_cfg.spi_base + 2));
+    add("bootrom", as.assemble(mcu::BootRom::source(boot_cfg)));
+  }
+  {
+    mcu::Assembler as;
+    add("monitor_rom", as.assemble(mcu::MonitorRom::source()));
+  }
+  add("diag_monitor", assemble_diag_monitor(map));
+  add("telemetry_monitor", assemble_telemetry_monitor(map));
+  add("watchdog_kicker", assemble_watchdog_kicker(map));
+  add("greeting_app", assemble_greeting_app());
+  add("rs485_node", assemble_rs485_node(0x10, map));
+  return out;
+}
+
+}  // namespace ascp::analysis::corpus

@@ -1,0 +1,61 @@
+// firmware_corpus.hpp — every firmware image the platform ships, in one place.
+//
+// The examples and benches used to embed their 8051 sources as local string
+// literals, which meant the static firmware analyzer could not enumerate
+// them. This module is the single home for those sources: the examples
+// assemble from here, and platform_lint / the tier-1 tests analyze exactly
+// the corpus that runs on the simulated silicon — no drift possible.
+//
+// Each `*_source()` returns the raw assembly; the matching `assemble_*()`
+// binds the platform-map symbols the source references and assembles it.
+// `shipped_firmware()` enumerates everything (including the boot ROM and the
+// resident monitor ROM, whose sources live with their protocol drivers in
+// mcu/) as analyzer-ready images.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/firmware_lint.hpp"
+#include "mcu/assembler.hpp"
+#include "platform/platform.hpp"
+
+namespace ascp::analysis::corpus {
+
+/// DIAG-block monitor (fault_demo): polls the DTC mask and safety state,
+/// streams a 'D' frame over the UART on any change, kicks the watchdog
+/// every round. Symbols: DTCLO, STATE, WDKICK.
+std::string diag_monitor_source();
+
+/// Telemetry monitor (firmware_monitor): waits for PLL+AGC lock, sends 'L',
+/// then streams the rate register big-endian forever, kicking the watchdog
+/// each round. Symbols: LOCKREG, RATELO, WDKICKLO.
+std::string telemetry_monitor_source();
+
+/// Minimal liveness firmware (fault_campaign bench): kicks the watchdog in
+/// an eternal loop. Symbol: WDKICK.
+std::string watchdog_kicker_source();
+
+/// UART greeting application (prototyping_session): the payload downloaded
+/// through the boot ROM. ORG 8000h; no platform symbols.
+std::string greeting_app_source();
+
+/// RS485 node (rs485_network): 9-bit multiprocessor slave that answers a
+/// 'Q'uery to its address with the rate register. Symbols: MYADDR, RATELO.
+std::string rs485_node_source();
+
+mcu::AsmResult assemble_diag_monitor(const platform::BridgeMap& map);
+mcu::AsmResult assemble_telemetry_monitor(const platform::BridgeMap& map);
+mcu::AsmResult assemble_watchdog_kicker(const platform::BridgeMap& map);
+mcu::AsmResult assemble_greeting_app();
+mcu::AsmResult assemble_rs485_node(std::uint8_t address,
+                                   const platform::BridgeMap& map);
+
+/// The complete shipped corpus, assembled against the given map: the boot
+/// ROM, the resident monitor ROM, and all five application images above,
+/// packaged for check_firmware(). The greeting app is rebased to its ORG so
+/// the image holds only real bytes.
+std::vector<FirmwareImage> shipped_firmware(const platform::BridgeMap& map = {});
+
+}  // namespace ascp::analysis::corpus

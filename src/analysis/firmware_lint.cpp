@@ -1,0 +1,583 @@
+#include "analysis/firmware_lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "analysis/disasm.hpp"
+
+namespace ascp::analysis {
+namespace {
+
+std::string hex16(std::uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%04X", v);
+  return buf;
+}
+
+std::string hex8(std::uint8_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%02X", v);
+  return buf;
+}
+
+/// SFRs implemented by Core8051 itself (core8051.hpp sfr namespace).
+constexpr std::uint8_t kCoreSfrs[] = {
+    0x80, 0x81, 0x82, 0x83, 0x87,              // P0 SP DPL DPH PCON
+    0x88, 0x89, 0x8A, 0x8B, 0x8C, 0x8D,        // TCON TMOD TL0 TL1 TH0 TH1
+    0x90, 0x98, 0x99, 0xA0, 0xA8, 0xB0, 0xB8,  // P1 SCON SBUF P2 IE P3 IP
+    0xD0, 0xE0, 0xF0,                          // PSW ACC B
+};
+
+/// Direct-address destination of an instruction, if it writes one.
+std::optional<std::uint8_t> direct_write_dest(const Insn& in) {
+  switch (in.opcode()) {
+    case 0x05: case 0x15:  // INC/DEC dir
+    case 0x42: case 0x43:  // ORL dir,…
+    case 0x52: case 0x53:  // ANL dir,…
+    case 0x62: case 0x63:  // XRL dir,…
+    case 0x75:             // MOV dir,#imm
+    case 0xC5:             // XCH A,dir
+    case 0xD0:             // POP dir
+    case 0xD5:             // DJNZ dir,rel
+    case 0xF5:             // MOV dir,A
+      return in.bytes[1];
+    case 0x85:             // MOV dst,src — src is encoded first
+      return in.bytes[2];
+    default:
+      if ((in.opcode() & 0xF8) == 0x88) return in.bytes[1];  // MOV dir,Rn
+      if (in.opcode() == 0x86 || in.opcode() == 0x87) return in.bytes[1];  // MOV dir,@Ri
+      return std::nullopt;
+  }
+}
+
+/// Bit-address destination of an instruction, if it writes one.
+std::optional<std::uint8_t> bit_write_dest(const Insn& in) {
+  switch (in.opcode()) {
+    case 0x10:  // JBC bit,rel (clears the bit)
+    case 0x92:  // MOV bit,C
+    case 0xB2:  // CPL bit
+    case 0xC2:  // CLR bit
+    case 0xD2:  // SETB bit
+      return in.bytes[1];
+    default: return std::nullopt;
+  }
+}
+
+int stack_push_bytes(std::uint8_t op) {
+  if (op == 0xC0) return 1;                              // PUSH
+  if (op == 0xD0) return -1;                             // POP
+  if (op == 0x12 || (op & 0x1F) == 0x11) return 2;       // LCALL/ACALL
+  return 0;
+}
+
+/// Byte-level view of the register map for MOVX store checking.
+struct ByteMap {
+  struct Slot {
+    const BlockSpec* block = nullptr;
+    const RegSpec* reg = nullptr;  ///< nullptr: offset unpopulated in block
+  };
+  std::map<std::uint32_t, Slot> slots;  ///< only window bytes present
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> memories;  ///< [lo, hi)
+  std::set<std::uint16_t> kick_bytes;  ///< byte addresses of watchdog KICK
+
+  explicit ByteMap(const RegMapSpec& map) {
+    for (const MemRegion& m : map.memories) memories.push_back({m.base, m.base + m.bytes});
+    for (const BlockSpec& b : map.blocks) {
+      for (std::uint32_t w = 0; w < b.num_regs; ++w) {
+        const RegSpec* r = map.reg_at(b, static_cast<std::uint16_t>(w));
+        slots[b.base + 2 * w] = Slot{&b, r};
+        slots[b.base + 2 * w + 1] = Slot{&b, r};
+        if (r && r->name.find("KICK") != std::string::npos) {
+          kick_bytes.insert(static_cast<std::uint16_t>(b.base + 2 * w));
+          kick_bytes.insert(static_cast<std::uint16_t>(b.base + 2 * w + 1));
+        }
+      }
+    }
+  }
+
+  bool in_memory(std::uint16_t addr) const {
+    for (const auto& [lo, hi] : memories)
+      if (addr >= lo && addr < hi) return true;
+    return false;
+  }
+};
+
+class FirmwareAnalysis {
+ public:
+  FirmwareAnalysis(const FirmwareImage& fw, const FirmwareLintOptions& opt)
+      : fw_(fw), opt_(opt) {
+    known_sfrs_.insert(std::begin(kCoreSfrs), std::end(kCoreSfrs));
+    known_sfrs_.insert(opt.extra_sfrs.begin(), opt.extra_sfrs.end());
+    if (opt.map) bytemap_.emplace(*opt.map);
+  }
+
+  Report run() {
+    if (fw_.image.empty()) {
+      rep_.add(Severity::Error, "firmware", fw_.name, "empty firmware image");
+      return std::move(rep_);
+    }
+    discover();
+    report_unreachable();
+    analyze_stack();
+    analyze_stores();
+    analyze_liveness();
+    return std::move(rep_);
+  }
+
+ private:
+  bool in_image(std::uint16_t addr) const {
+    return addr >= fw_.base && static_cast<std::size_t>(addr - fw_.base) < fw_.image.size();
+  }
+
+  std::string at(std::uint16_t addr) const { return fw_.name + ":" + hex16(addr); }
+
+  // ---- phase 1: reachable-instruction discovery / CFG ----------------------
+  void discover() {
+    std::deque<std::uint16_t> work{fw_.entry};
+    if (!in_image(fw_.entry)) {
+      rep_.add(Severity::Error, "firmware", fw_.name,
+               "entry point " + hex16(fw_.entry) + " lies outside the image");
+      return;
+    }
+    while (!work.empty()) {
+      const std::uint16_t addr = work.front();
+      work.pop_front();
+      if (insns_.contains(addr)) continue;
+      const Insn in = decode(fw_.image.data(), fw_.image.size(), fw_.base, addr);
+      insns_.emplace(addr, in);
+      if (in.truncated) {
+        rep_.add(Severity::Error, "firmware", at(addr),
+                 "instruction " + in.text() + " runs past the end of the image");
+        continue;
+      }
+      const auto next = static_cast<std::uint16_t>(addr + in.length);
+      const auto follow = [&](std::uint16_t t) {
+        if (in_image(t)) {
+          succ_[addr].push_back(t);
+          work.push_back(t);
+        } else if (external_exits_.insert(t).second) {
+          rep_.add(Severity::Info, "firmware", at(addr),
+                   "control transfers outside the image to " + hex16(t) +
+                       " (external code)");
+        }
+      };
+      const auto fallthrough = [&] {
+        if (!in_image(next)) {
+          rep_.add(Severity::Error, "firmware", at(addr),
+                   "execution can fall off the end of the image after " + in.text());
+        } else {
+          succ_[addr].push_back(next);
+          work.push_back(next);
+        }
+      };
+      switch (in.flow) {
+        case Flow::Seq: fallthrough(); break;
+        case Flow::Jump: follow(in.target); break;
+        case Flow::CondJump:
+          follow(in.target);
+          fallthrough();
+          break;
+        case Flow::Call:
+          call_sites_[addr] = in.target;
+          if (in_image(in.target)) {
+            routine_entries_.insert(in.target);
+            work.push_back(in.target);
+          } else if (external_exits_.insert(in.target).second) {
+            rep_.add(Severity::Info, "firmware", at(addr),
+                     "call to code outside the image at " + hex16(in.target));
+          }
+          fallthrough();
+          break;
+        case Flow::Ret:
+        case Flow::Reti:
+          break;
+        case Flow::IndirectJump:
+          rep_.add(Severity::Warning, "firmware", at(addr),
+                   "computed jump (JMP @A+DPTR) — control flow not statically resolved");
+          break;
+      }
+    }
+  }
+
+  // ---- phase 2: unreachable bytes ------------------------------------------
+  void report_unreachable() {
+    std::vector<bool> covered(fw_.image.size(), false);
+    bool has_movc = false;
+    for (const auto& [addr, in] : insns_) {
+      for (int i = 0; i < in.length; ++i) {
+        const std::size_t off = static_cast<std::size_t>(addr - fw_.base) + i;
+        if (off < covered.size()) covered[off] = true;
+      }
+      if (in.opcode() == 0x83 || in.opcode() == 0x93) has_movc = true;
+    }
+    // Code tables read through MOVC are legitimately unreachable as
+    // instructions, so their presence softens the verdict.
+    const Severity sev = has_movc ? Severity::Info : Severity::Warning;
+    for (std::size_t i = 0; i < covered.size();) {
+      if (covered[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < covered.size() && !covered[j]) ++j;
+      rep_.add(sev, "firmware", at(static_cast<std::uint16_t>(fw_.base + i)),
+               std::to_string(j - i) + " byte(s) unreachable from the entry point" +
+                   (has_movc ? " (image uses MOVC — possibly data)" : ""));
+      i = j;
+    }
+  }
+
+  // ---- phase 3: call/ret discipline + stack-depth bound --------------------
+  struct RoutineResult {
+    int max_extra = 0;    ///< worst-case bytes pushed above entry depth
+    bool recursive = false;
+  };
+
+  int routine_extra(std::uint16_t entry, std::set<std::uint16_t>& on_stack) {
+    if (const auto it = routines_.find(entry); it != routines_.end())
+      return it->second.max_extra;
+    if (on_stack.contains(entry)) {
+      if (recursion_reported_.insert(entry).second)
+        rep_.add(Severity::Warning, "firmware", at(entry),
+                 "recursive call chain — stack bound assumes one activation");
+      return 0;
+    }
+    on_stack.insert(entry);
+
+    std::map<std::uint16_t, int> depth;  // bytes pushed before executing addr
+    std::deque<std::uint16_t> work{entry};
+    depth[entry] = 0;
+    int peak = 0;
+    bool unbounded = false, mismatch = false;
+    const bool top_level = entry == fw_.entry && !routine_entries_.contains(entry);
+
+    while (!work.empty() && !unbounded) {
+      const std::uint16_t addr = work.front();
+      work.pop_front();
+      const auto it = insns_.find(addr);
+      if (it == insns_.end()) continue;
+      const Insn& in = it->second;
+      const int d = depth[addr];
+      int d_out = d;
+
+      if (const int push = stack_push_bytes(in.opcode()); push != 0) {
+        if (in.flow == Flow::Call) {
+          int extra = 2;
+          if (in_image(in.target)) extra += routine_extra(in.target, on_stack);
+          peak = std::max(peak, d + extra);
+        } else {
+          d_out = d + push;
+          peak = std::max(peak, d_out);
+          if (d_out < 0 && stack_warned_.insert(addr).second)
+            rep_.add(Severity::Warning, "firmware", at(addr),
+                     "POP below the routine's entry stack depth");
+        }
+      }
+      if (in.opcode() == 0x75 && in.bytes[1] == 0x81) {  // MOV SP,#imm
+        if (addr == fw_.entry || d == 0)
+          sp_explicit_ = in.bytes[2];
+        else if (stack_warned_.insert(addr).second)
+          rep_.add(Severity::Warning, "firmware", at(addr),
+                   "SP rewritten mid-flow — stack bound unreliable");
+      }
+      if (in.flow == Flow::Ret || in.flow == Flow::Reti) {
+        if (top_level)
+          rep_.add(Severity::Error, "firmware", at(addr),
+                   "RET with empty call stack — return address underflows into "
+                   "register-bank bytes");
+        else if (d != 0 && stack_warned_.insert(addr).second)
+          rep_.add(Severity::Error, "firmware", at(addr),
+                   "RET with unbalanced PUSH/POP (net " + std::to_string(d) +
+                       " byte(s) still pushed) — returns to a data byte");
+        continue;
+      }
+      const auto sit = succ_.find(addr);
+      if (sit == succ_.end()) continue;
+      for (const std::uint16_t s : sit->second) {
+        const auto dit = depth.find(s);
+        if (dit == depth.end()) {
+          depth[s] = d_out;
+          work.push_back(s);
+        } else if (d_out > dit->second) {
+          if (d_out > 256) {
+            rep_.add(Severity::Error, "firmware", at(s),
+                     "stack grows without bound around this loop");
+            unbounded = true;
+            break;
+          }
+          dit->second = d_out;
+          work.push_back(s);
+        } else if (d_out < dit->second && !mismatch) {
+          mismatch = true;
+          rep_.add(Severity::Warning, "firmware", at(s),
+                   "paths reach this instruction with different stack depths (" +
+                       std::to_string(d_out) + " vs " + std::to_string(dit->second) + ")");
+        }
+      }
+    }
+    on_stack.erase(entry);
+    routines_[entry] = RoutineResult{peak, false};
+    return peak;
+  }
+
+  void analyze_stack() {
+    if (insns_.empty()) return;
+    std::set<std::uint16_t> on_stack;
+    const int extra = routine_extra(fw_.entry, on_stack);
+    const int sp_start = sp_explicit_ ? *sp_explicit_ : opt_.sp_reset;
+    const int worst = sp_start + extra;  // PUSH pre-increments; SP points at top
+    if (worst > 0xFF)
+      rep_.add(Severity::Error, "firmware", fw_.name,
+               "worst-case stack depth overflows IDATA: SP start " +
+                   hex8(static_cast<std::uint8_t>(sp_start)) + " + " +
+                   std::to_string(extra) + " byte(s) pushed exceeds 0xFF");
+    else
+      rep_.add(Severity::Info, "firmware", fw_.name,
+               "worst-case stack: SP start " + hex8(static_cast<std::uint8_t>(sp_start)) +
+                   " + " + std::to_string(extra) + " byte(s) = " +
+                   hex8(static_cast<std::uint8_t>(worst)) + " (IDATA ceiling 0xFF)");
+  }
+
+  // ---- phase 4: MOVX / SFR store checking ----------------------------------
+  void analyze_stores() {
+    // Block-local DPTR constant propagation: state survives straight-line
+    // fall-through, resets at branch targets and after calls (the callee may
+    // clobber DPTR).
+    std::set<std::uint16_t> leaders{fw_.entry};
+    for (const auto& [addr, in] : insns_) {
+      if (in.flow == Flow::Jump || in.flow == Flow::CondJump || in.flow == Flow::Call)
+        if (in_image(in.target)) leaders.insert(in.target);
+      if (in.flow != Flow::Seq)
+        leaders.insert(static_cast<std::uint16_t>(addr + in.length));
+    }
+
+    int dpl = -1, dph = -1;  // tracked DPTR halves, -1 = unknown
+    std::uint16_t prev_end = 0;
+    bool first = true;
+    for (const auto& [addr, in] : insns_) {
+      if (first || addr != prev_end || leaders.contains(addr)) dpl = dph = -1;
+      first = false;
+      prev_end = static_cast<std::uint16_t>(addr + in.length);
+
+      // SFR-space direct/bit writes.
+      if (const auto dest = direct_write_dest(in); dest && *dest >= 0x80)
+        check_sfr_write(addr, in, *dest, /*bit=*/false);
+      if (const auto bit = bit_write_dest(in); bit && *bit >= 0x80)
+        check_sfr_write(addr, in, static_cast<std::uint8_t>(*bit & 0xF8), /*bit=*/true);
+
+      // MOVX stores through a tracked DPTR.
+      if (in.opcode() == 0xF0 && dpl >= 0 && dph >= 0)
+        check_movx_store(addr, static_cast<std::uint16_t>(dph << 8 | dpl));
+
+      // DPTR tracking.
+      switch (in.opcode()) {
+        case 0x90:  // MOV DPTR,#imm16
+          dph = in.bytes[1];
+          dpl = in.bytes[2];
+          break;
+        case 0xA3:  // INC DPTR
+          if (dpl >= 0 && dph >= 0) {
+            const auto v = static_cast<std::uint16_t>((dph << 8 | dpl) + 1);
+            dpl = v & 0xFF;
+            dph = v >> 8;
+          }
+          break;
+        case 0x75:  // MOV dir,#imm
+          if (in.bytes[1] == 0x82) dpl = in.bytes[2];
+          if (in.bytes[1] == 0x83) dph = in.bytes[2];
+          break;
+        default:
+          if (const auto dest = direct_write_dest(in)) {
+            if (*dest == 0x82) dpl = -1;
+            if (*dest == 0x83) dph = -1;
+          }
+          break;
+      }
+    }
+  }
+
+  void check_sfr_write(std::uint16_t addr, const Insn& in, std::uint8_t sfr, bool bit) {
+    if (sfr == 0x81) return;  // SP — handled by the stack phase
+    if (!known_sfrs_.contains(sfr))
+      rep_.add(Severity::Warning, "firmware", at(addr),
+               in.text() + " writes unimplemented SFR " + hex8(sfr) +
+                   " — silently absorbed by the core");
+    else if (bit && (sfr & 0x07) != 0)
+      rep_.add(Severity::Error, "firmware", at(addr),
+               in.text() + " bit-addresses SFR " + hex8(sfr) +
+                   ", which is not bit-addressable");
+  }
+
+  void check_movx_store(std::uint16_t addr, std::uint16_t dest) {
+    if (!bytemap_) return;
+    if (bytemap_->kick_bytes.contains(dest)) kick_insns_.insert(addr);
+    const auto it = bytemap_->slots.find(dest);
+    if (it == bytemap_->slots.end()) {
+      if (!bytemap_->in_memory(dest))
+        rep_.add(Severity::Warning, "firmware", at(addr),
+                 "MOVX store to unmapped bus address " + hex16(dest) + " (open bus)");
+      return;
+    }
+    const auto& slot = it->second;
+    if (!slot.reg) {
+      if (!slot.block->regs.empty())
+        rep_.add(Severity::Warning, "firmware", at(addr),
+                 "MOVX store to unpopulated offset in block '" + slot.block->name +
+                     "' at " + hex16(dest) + " — write is dropped");
+      return;
+    }
+    if (!slot.reg->writable)
+      rep_.add(Severity::Error, "firmware", at(addr),
+               "MOVX store to read-only register " + slot.block->name + "." +
+                   slot.reg->name + " at " + hex16(dest) +
+                   " — the bridge drops the write");
+  }
+
+  // ---- phase 5: watchdog liveness over exit-free SCCs ----------------------
+  void analyze_liveness() {
+    if (!opt_.check_watchdog_liveness || !bytemap_ || bytemap_->kick_bytes.empty())
+      return;
+
+    // May-kick per routine, propagated through the call graph to a fixpoint.
+    std::map<std::uint16_t, std::set<std::uint16_t>> routine_body;  // entry -> insns
+    std::set<std::uint16_t> entries = routine_entries_;
+    entries.insert(fw_.entry);
+    for (const std::uint16_t e : entries) {
+      std::set<std::uint16_t>& body = routine_body[e];
+      std::deque<std::uint16_t> work{e};
+      while (!work.empty()) {
+        const std::uint16_t a = work.front();
+        work.pop_front();
+        if (!insns_.contains(a) || !body.insert(a).second) continue;
+        if (const auto s = succ_.find(a); s != succ_.end())
+          for (const std::uint16_t n : s->second) work.push_back(n);
+      }
+    }
+    std::set<std::uint16_t> kicking_routines;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [e, body] : routine_body) {
+        if (kicking_routines.contains(e)) continue;
+        for (const std::uint16_t a : body) {
+          const bool kicks = kick_insns_.contains(a) ||
+                             (call_sites_.contains(a) &&
+                              kicking_routines.contains(call_sites_.at(a)));
+          if (kicks) {
+            kicking_routines.insert(e);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    for (const auto& scc : strongly_connected()) {
+      if (scc.size() == 1) {
+        const std::uint16_t a = *scc.begin();
+        const auto s = succ_.find(a);
+        const bool self_loop =
+            s != succ_.end() && std::count(s->second.begin(), s->second.end(), a) > 0;
+        if (!self_loop) continue;
+      }
+      bool escapes = false, kicks = false;
+      for (const std::uint16_t a : scc) {
+        if (const auto s = succ_.find(a); s != succ_.end())
+          for (const std::uint16_t n : s->second)
+            if (!scc.contains(n)) escapes = true;
+        if (kick_insns_.contains(a)) kicks = true;
+        if (const auto c = call_sites_.find(a); c != call_sites_.end())
+          if (kicking_routines.contains(c->second)) kicks = true;
+      }
+      if (!escapes && !kicks)
+        rep_.add(Severity::Warning, "firmware", at(*scc.begin()),
+                 "exit-free loop never kicks the watchdog — a bite here resets the "
+                 "platform with no recovery");
+    }
+  }
+
+  /// Tarjan's algorithm, iterative, over the reachable-instruction CFG.
+  std::vector<std::set<std::uint16_t>> strongly_connected() {
+    std::vector<std::set<std::uint16_t>> sccs;
+    std::map<std::uint16_t, int> index, low;
+    std::set<std::uint16_t> on_stack;
+    std::vector<std::uint16_t> stack;
+    int counter = 0;
+
+    struct Frame {
+      std::uint16_t node;
+      std::size_t child = 0;
+    };
+    for (const auto& [root, unused] : insns_) {
+      if (index.contains(root)) continue;
+      std::vector<Frame> frames{{root}};
+      index[root] = low[root] = counter++;
+      stack.push_back(root);
+      on_stack.insert(root);
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        const auto s = succ_.find(f.node);
+        const std::size_t nsucc = s == succ_.end() ? 0 : s->second.size();
+        if (f.child < nsucc) {
+          const std::uint16_t w = s->second[f.child++];
+          if (!insns_.contains(w)) continue;
+          if (!index.contains(w)) {
+            index[w] = low[w] = counter++;
+            stack.push_back(w);
+            on_stack.insert(w);
+            frames.push_back({w});
+          } else if (on_stack.contains(w)) {
+            low[f.node] = std::min(low[f.node], index[w]);
+          }
+        } else {
+          if (low[f.node] == index[f.node]) {
+            std::set<std::uint16_t> scc;
+            std::uint16_t w;
+            do {
+              w = stack.back();
+              stack.pop_back();
+              on_stack.erase(w);
+              scc.insert(w);
+            } while (w != f.node);
+            sccs.push_back(std::move(scc));
+          }
+          const std::uint16_t done = f.node;
+          frames.pop_back();
+          if (!frames.empty())
+            low[frames.back().node] = std::min(low[frames.back().node], low[done]);
+        }
+      }
+    }
+    return sccs;
+  }
+
+  const FirmwareImage& fw_;
+  const FirmwareLintOptions& opt_;
+  Report rep_;
+
+  std::map<std::uint16_t, Insn> insns_;                      ///< reachable, by address
+  std::map<std::uint16_t, std::vector<std::uint16_t>> succ_; ///< CFG (calls fall through)
+  std::map<std::uint16_t, std::uint16_t> call_sites_;        ///< call addr -> callee
+  std::set<std::uint16_t> routine_entries_;                  ///< in-image call targets
+  std::set<std::uint16_t> external_exits_;
+  std::set<std::uint8_t> known_sfrs_;
+  std::optional<ByteMap> bytemap_;
+  std::set<std::uint16_t> kick_insns_;  ///< MOVX stores hitting watchdog KICK
+
+  std::map<std::uint16_t, RoutineResult> routines_;
+  std::set<std::uint16_t> recursion_reported_;
+  std::set<std::uint16_t> stack_warned_;
+  std::optional<std::uint8_t> sp_explicit_;
+};
+
+}  // namespace
+
+Report check_firmware(const FirmwareImage& fw, const FirmwareLintOptions& opt) {
+  return FirmwareAnalysis(fw, opt).run();
+}
+
+}  // namespace ascp::analysis

@@ -1,0 +1,64 @@
+// firmware_lint.hpp — static analyzer for assembled 8051 firmware images.
+//
+// The paper's prototype flow downloads firmware into program RAM and lets it
+// drive the whole conditioning platform through MOVX — which means a bad
+// store can silently hit a read-only status register, a missed watchdog kick
+// can reset the chip mid-measurement, and a stack that creeps past IDATA
+// corrupts the register banks. All of that is decidable *before* simulation
+// for the structured firmware this platform runs, and this analyzer decides
+// it:
+//
+//   * CFG construction over the image (full opcode map, resolved branch
+//     targets; out-of-image targets — e.g. the boot ROM's LJMP into program
+//     RAM — are treated as external exits, not errors)
+//   * unreachable code: bytes never reached from the entry point
+//   * CALL/RET discipline: RET at top level (return-address underflow),
+//     RET with unbalanced PUSH/POP inside a routine, recursion
+//   * worst-case stack-depth bound: SP start (reset value or the image's own
+//     MOV SP,#imm) plus the deepest PUSH/CALL chain, checked against the
+//     256-byte IDATA ceiling; loops that grow the stack are unbounded
+//   * MOVX write legality: DPTR constants are propagated through each basic
+//     block so stores land on a known map address — writes to read-only
+//     registers are errors, writes to unmapped bridge space are warnings
+//   * SFR writes: direct/bit stores to SFR space are checked against the
+//     core's implemented SFR set (plus device-claimed addresses)
+//   * watchdog liveness: every exit-free cycle (SCC with no escaping edge)
+//     must reach a kick of the watchdog KICK register, directly or through
+//     a called routine
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/findings.hpp"
+#include "analysis/regmap_lint.hpp"
+
+namespace ascp::analysis {
+
+/// One firmware image to analyze, as produced by the assembler.
+struct FirmwareImage {
+  std::string name;                 ///< used in finding locations
+  std::vector<std::uint8_t> image;  ///< raw bytes
+  std::uint16_t base = 0;           ///< load address of image[0]
+  std::uint16_t entry = 0;          ///< execution entry point (absolute)
+};
+
+struct FirmwareLintOptions {
+  /// Register map the MOVX stores are checked against. When null, only the
+  /// control-flow and SFR checks run.
+  const RegMapSpec* map = nullptr;
+  /// Extra SFR addresses implemented by attached SfrDevices (e.g. the cache
+  /// controller's CBANK..CSTAT block). The core's own set is built in.
+  std::vector<std::uint8_t> extra_sfrs;
+  /// Check that exit-free loops kick the watchdog. Leave on even for images
+  /// that never enable it — the check only fires when a KICK register exists
+  /// in the map.
+  bool check_watchdog_liveness = true;
+  /// SP reset value when the image does not set SP itself.
+  std::uint8_t sp_reset = 0x07;
+};
+
+Report check_firmware(const FirmwareImage& fw, const FirmwareLintOptions& opt = {});
+
+}  // namespace ascp::analysis

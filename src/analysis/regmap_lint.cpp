@@ -1,0 +1,306 @@
+#include "analysis/regmap_lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "platform/platform.hpp"
+
+namespace ascp::analysis {
+namespace {
+
+std::string hex4(std::uint32_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%04X", v & 0xFFFF);
+  return std::string("0x") + buf;
+}
+
+/// Half-open byte range on the XDATA bus, used for overlap checks across
+/// both register windows and plain memories.
+struct Range {
+  std::string what;
+  std::uint32_t lo = 0;  // inclusive
+  std::uint32_t hi = 0;  // exclusive
+};
+
+void check_fields(const BlockSpec& b, const RegSpec& r, Report& rep) {
+  const std::string loc = b.name + "." + r.name;
+  std::uint16_t used = 0;
+  std::set<std::string> names;
+  for (const FieldSpec& f : r.fields) {
+    if (f.width <= 0) {
+      rep.add(Severity::Error, "regmap", loc,
+              "zero-width field '" + f.name + "' declares no bits");
+      continue;
+    }
+    if (f.lsb < 0 || f.lsb + f.width > 16) {
+      rep.add(Severity::Error, "regmap", loc,
+              "field '" + f.name + "' spans bits " + std::to_string(f.lsb) + ".." +
+                  std::to_string(f.lsb + f.width - 1) + ", outside the 16-bit register");
+      continue;
+    }
+    const auto mask = static_cast<std::uint16_t>(((1u << f.width) - 1u) << f.lsb);
+    if (used & mask)
+      rep.add(Severity::Error, "regmap", loc,
+              "field '" + f.name + "' overlaps a previously declared field");
+    used |= mask;
+    if (!names.insert(f.name).second)
+      rep.add(Severity::Error, "regmap", loc, "duplicate field name '" + f.name + "'");
+    if (f.reserved && f.writable)
+      rep.add(Severity::Error, "regmap", loc,
+              "reserved field '" + f.name + "' must not be writable");
+    if (!r.writable && f.writable && !f.reserved)
+      rep.add(Severity::Error, "regmap", loc,
+              "writable field '" + f.name + "' inside read-only register — host writes "
+              "would be silently dropped by the bridge");
+  }
+}
+
+}  // namespace
+
+const BlockSpec* RegMapSpec::block_at(std::uint16_t byte_addr) const {
+  for (const BlockSpec& b : blocks) {
+    const std::uint32_t end = b.base + 2u * b.num_regs;
+    if (byte_addr >= b.base && byte_addr < end) return &b;
+  }
+  return nullptr;
+}
+
+const RegSpec* RegMapSpec::reg_at(const BlockSpec& block, std::uint16_t word_offset) const {
+  for (const RegSpec& r : block.regs)
+    if (r.offset == word_offset) return &r;
+  return nullptr;
+}
+
+Report check_regmap(const RegMapSpec& map) {
+  Report rep;
+
+  // ---- window-level checks -------------------------------------------------
+  std::vector<Range> ranges;
+  std::set<std::string> block_names;
+  for (const MemRegion& m : map.memories) {
+    if (m.bytes == 0) continue;
+    if (m.base + m.bytes > 0x10000u)
+      rep.add(Severity::Error, "regmap", m.name,
+              "memory region " + hex4(m.base) + "+" + std::to_string(m.bytes) +
+                  " wraps past the 16-bit XDATA space");
+    ranges.push_back(Range{"memory '" + m.name + "'", m.base, m.base + m.bytes});
+  }
+  for (const BlockSpec& b : map.blocks) {
+    if (!block_names.insert(b.name).second)
+      rep.add(Severity::Error, "regmap", b.name, "duplicate block name");
+    if (b.num_regs == 0) {
+      rep.add(Severity::Error, "regmap", b.name, "window maps zero registers");
+      continue;
+    }
+    if (b.base & 1)
+      rep.add(Severity::Error, "regmap", b.name,
+              "window base " + hex4(b.base) +
+                  " is odd — 16-bit bridge registers must be word aligned");
+    const std::uint32_t end = b.base + 2u * b.num_regs;
+    if (end > 0x10000u)
+      rep.add(Severity::Error, "regmap", b.name,
+              "window " + hex4(b.base) + "+" + std::to_string(2 * b.num_regs) +
+                  " bytes wraps past the 16-bit XDATA space");
+    for (const Range& other : ranges) {
+      if (b.base < other.hi && other.lo < end)
+        rep.add(Severity::Error, "regmap", b.name,
+                "window [" + hex4(b.base) + ", " + hex4(end) + ") overlaps " + other.what);
+    }
+    ranges.push_back(Range{"block '" + b.name + "'", b.base, end});
+  }
+
+  // ---- register-level checks ----------------------------------------------
+  std::map<std::string, std::string> global_names;  // reg name -> block
+  for (const BlockSpec& b : map.blocks) {
+    std::set<std::uint16_t> offsets;
+    std::set<std::string> names;
+    for (const RegSpec& r : b.regs) {
+      const std::string loc = b.name + "." + r.name;
+      if (r.offset >= b.num_regs)
+        rep.add(Severity::Error, "regmap", loc,
+                "register at word offset " + std::to_string(r.offset) +
+                    " lies outside the " + std::to_string(b.num_regs) + "-register window");
+      if (!offsets.insert(r.offset).second)
+        rep.add(Severity::Error, "regmap", loc,
+                "two registers share word offset " + std::to_string(r.offset));
+      if (!names.insert(r.name).second)
+        rep.add(Severity::Error, "regmap", loc, "duplicate register name in block");
+      const auto [it, fresh] = global_names.try_emplace(r.name, b.name);
+      if (!fresh && it->second != b.name)
+        rep.add(Severity::Warning, "regmap", loc,
+                "register name also used by block '" + it->second +
+                    "' — ambiguous in symbol tables");
+      check_fields(b, r, rep);
+    }
+  }
+  return rep;
+}
+
+RegMapSpec platform_regmap(platform::McuSubsystem& sys) {
+  RegMapSpec map;
+
+  // Memories first: XDATA RAM from 0 and (prototype builds) the program RAM.
+  map.memories.push_back(
+      MemRegion{"xdata_ram", 0, static_cast<std::uint32_t>(sys.bus().ram_size())});
+  if (sys.bus().program_size())
+    map.memories.push_back(
+        MemRegion{"prog_ram", sys.bus().program_base(), sys.bus().program_size()});
+
+  // Fixed peripheral register layouts (the hardware truth, from the block
+  // headers — keep in sync with spi.hpp / timer16.hpp / watchdog.hpp /
+  // sram_ctrl.hpp).
+  const auto rw = [](std::string n, std::uint16_t off,
+                     std::vector<FieldSpec> f = {}) {
+    return RegSpec{std::move(n), off, true, std::move(f)};
+  };
+  const auto ro = [](std::string n, std::uint16_t off,
+                     std::vector<FieldSpec> f = {}) {
+    return RegSpec{std::move(n), off, false, std::move(f)};
+  };
+  const auto status_bit = [](std::string n, int lsb) {
+    return FieldSpec{std::move(n), lsb, 1, false, false};
+  };
+
+  std::map<std::string, std::vector<RegSpec>> peripheral_regs;
+  peripheral_regs["spi"] = {
+      rw("SPI_DATA", 0),
+      rw("SPI_CTRL", 1, {FieldSpec{"CS", 0, 1, true, false}}),
+      ro("SPI_STATUS", 2, {status_bit("DONE", 0)}),
+  };
+  peripheral_regs["timer"] = {
+      rw("TMR_COUNT", 0),
+      rw("TMR_RELOAD", 1),
+      rw("TMR_CTRL", 2,
+         {FieldSpec{"RUN", 0, 1, true, false}, FieldSpec{"CLR_EXPIRED", 1, 1, true, false}}),
+      ro("TMR_STATUS", 3, {status_bit("EXPIRED", 0)}),
+  };
+  peripheral_regs["watchdog"] = {
+      rw("WDT_KICK", 0),
+      rw("WDT_PERIOD", 1),
+      rw("WDT_CTRL", 2, {FieldSpec{"ENABLE", 0, 1, true, false}}),
+      ro("WDT_STATUS", 3, {status_bit("BITTEN", 0)}),
+  };
+  peripheral_regs["sram"] = {
+      rw("TRC_CTRL", 0,
+         {FieldSpec{"ARM", 0, 1, true, false}, FieldSpec{"RST_WPTR", 1, 1, true, false}}),
+      rw("TRC_NODE", 1),
+      rw("TRC_DECIM", 2),
+      ro("TRC_COUNT", 3),
+      rw("TRC_RDPTR", 4),
+      ro("TRC_DATA", 5),
+      ro("TRC_STATUS", 6, {status_bit("FULL", 0), status_bit("ARMED", 1)}),
+  };
+
+  for (const auto& w : sys.bus().mapped_windows()) {
+    BlockSpec block;
+    block.name = w.name;
+    block.base = w.base;
+    block.num_regs = static_cast<std::uint16_t>(w.bytes / 2);
+    if (w.name == "regfile") {
+      // Populate from the live RegisterFile, including declared bit fields.
+      for (const auto& e : sys.regs().dump()) {
+        RegSpec r;
+        r.name = e.name;
+        r.offset = e.addr;
+        r.writable = e.kind == platform::RegKind::Config;
+        if (e.fields)
+          for (const auto& f : *e.fields)
+            r.fields.push_back(FieldSpec{f.name, f.lsb, f.width, f.writable, f.reserved});
+        block.regs.push_back(std::move(r));
+      }
+    } else if (const auto it = peripheral_regs.find(w.name); it != peripheral_regs.end()) {
+      block.regs = it->second;
+    }
+    map.blocks.push_back(std::move(block));
+  }
+  return map;
+}
+
+RegMapSpec parse_regmap(const std::string& text, Report& diags) {
+  RegMapSpec map;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  BlockSpec* block = nullptr;
+  RegSpec* reg = nullptr;
+
+  const auto where = [&] { return "line " + std::to_string(lineno); };
+  const auto parse_num = [&](const std::string& tok, std::uint32_t& out) {
+    try {
+      std::size_t used = 0;
+      out = static_cast<std::uint32_t>(std::stoul(tok, &used, 0));
+      if (used != tok.size()) throw std::invalid_argument(tok);
+      return true;
+    } catch (const std::exception&) {
+      diags.add(Severity::Error, "regmap", where(), "bad number '" + tok + "'");
+      return false;
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+
+    if (kw == "block") {
+      std::string name, base, nregs;
+      std::uint32_t b = 0, n = 0;
+      if (!(ls >> name >> base >> nregs) || !parse_num(base, b) || !parse_num(nregs, n)) {
+        diags.add(Severity::Error, "regmap", where(), "expected: block <name> <base> <num_regs>");
+        continue;
+      }
+      map.blocks.push_back(BlockSpec{name, static_cast<std::uint16_t>(b),
+                                     static_cast<std::uint16_t>(n), {}});
+      block = &map.blocks.back();
+      reg = nullptr;
+    } else if (kw == "mem") {
+      std::string name, base, bytes;
+      std::uint32_t b = 0, n = 0;
+      if (!(ls >> name >> base >> bytes) || !parse_num(base, b) || !parse_num(bytes, n)) {
+        diags.add(Severity::Error, "regmap", where(), "expected: mem <name> <base> <bytes>");
+        continue;
+      }
+      map.memories.push_back(MemRegion{name, b, n});
+    } else if (kw == "reg") {
+      std::string name, off, access;
+      std::uint32_t o = 0;
+      if (!block) {
+        diags.add(Severity::Error, "regmap", where(), "'reg' before any 'block'");
+        continue;
+      }
+      if (!(ls >> name >> off >> access) || !parse_num(off, o) ||
+          (access != "rw" && access != "ro")) {
+        diags.add(Severity::Error, "regmap", where(), "expected: reg <name> <offset> rw|ro");
+        continue;
+      }
+      block->regs.push_back(
+          RegSpec{name, static_cast<std::uint16_t>(o), access == "rw", {}});
+      reg = &block->regs.back();
+    } else if (kw == "field") {
+      std::string name, lsb, width, access;
+      std::uint32_t l = 0, w = 0;
+      if (!reg) {
+        diags.add(Severity::Error, "regmap", where(), "'field' before any 'reg'");
+        continue;
+      }
+      if (!(ls >> name >> lsb >> width >> access) || !parse_num(lsb, l) ||
+          !parse_num(width, w) || (access != "rw" && access != "ro" && access != "rsvd")) {
+        diags.add(Severity::Error, "regmap", where(),
+                  "expected: field <name> <lsb> <width> rw|ro|rsvd");
+        continue;
+      }
+      reg->fields.push_back(FieldSpec{name, static_cast<int>(l), static_cast<int>(w),
+                                      access == "rw", access == "rsvd"});
+    } else {
+      diags.add(Severity::Error, "regmap", where(), "unknown directive '" + kw + "'");
+    }
+  }
+  return map;
+}
+
+}  // namespace ascp::analysis

@@ -1,0 +1,93 @@
+// regmap_lint.hpp — static register-map checker.
+//
+// The paper's platform lives or dies on its register fabric: analog trims,
+// DSP configuration, safety DTCs and the bridge peripherals are all reached
+// through memory-mapped registers, from C++, from the 8051 and over JTAG.
+// A map mistake (two blocks claiming the same bridge addresses, a register
+// declared outside its window, a field wider than its register) is an
+// integration bug the paper's "pre-verified platform" flow is supposed to
+// exclude *before* anything is simulated. This checker makes that claim
+// real: it walks a declarative RegMapSpec — built from the live platform's
+// bridge windows and RegisterFile contents, or parsed from a fixture file —
+// and verifies the whole map without touching a single sample.
+//
+// Checked properties:
+//   * windows: non-empty, word-aligned base, no wrap past the 16-bit XDATA
+//     space, no overlap with each other or with RAM / program-RAM regions
+//   * registers: inside their window, unique offsets and names per block,
+//     globally unique names (warning), access kind consistent with fields
+//   * fields: non-zero width, within 16 bits, non-overlapping, no writable
+//     field inside a read-only (status) register, reserved fields never
+//     writable
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/findings.hpp"
+
+namespace ascp::platform {
+class McuSubsystem;
+}
+
+namespace ascp::analysis {
+
+struct FieldSpec {
+  std::string name;
+  int lsb = 0;
+  int width = 1;
+  bool writable = true;
+  bool reserved = false;
+};
+
+struct RegSpec {
+  std::string name;
+  std::uint16_t offset = 0;  ///< word index inside the block window
+  bool writable = true;      ///< false: STATUS register (hardware-owned)
+  std::vector<FieldSpec> fields;
+};
+
+struct BlockSpec {
+  std::string name;
+  std::uint16_t base = 0;      ///< byte address on the bridged XDATA bus
+  std::uint16_t num_regs = 0;  ///< window size in 16-bit word registers
+  std::vector<RegSpec> regs;
+};
+
+/// Plain memory region (XDATA RAM, program RAM) competing for the same
+/// address space as the register windows.
+struct MemRegion {
+  std::string name;
+  std::uint32_t base = 0;
+  std::uint32_t bytes = 0;
+};
+
+struct RegMapSpec {
+  std::vector<BlockSpec> blocks;
+  std::vector<MemRegion> memories;
+
+  const BlockSpec* block_at(std::uint16_t byte_addr) const;  ///< nullptr when unmapped
+  const RegSpec* reg_at(const BlockSpec& block, std::uint16_t word_offset) const;
+};
+
+/// Snapshot the live platform: every bridge window mapped on the bus, the
+/// RegisterFile contents (with declared fields) for the "regfile" window,
+/// the known peripheral register layouts (SPI/timer/watchdog/SRAM), and the
+/// RAM / program-RAM regions.
+RegMapSpec platform_regmap(platform::McuSubsystem& sys);
+
+/// Run every static check over the map.
+Report check_regmap(const RegMapSpec& map);
+
+/// Parse the fixture format used by tests/analysis/fixtures and the CLI's
+/// --map mode. Line-oriented, '#' comments:
+///   block <name> <base> <num_regs>
+///   reg   <name> <offset> rw|ro
+///   field <name> <lsb> <width> rw|ro|rsvd
+///   mem   <name> <base> <bytes>
+/// reg lines attach to the last block, field lines to the last reg.
+/// Syntax problems are reported into `diags` as errors.
+RegMapSpec parse_regmap(const std::string& text, Report& diags);
+
+}  // namespace ascp::analysis

@@ -74,6 +74,8 @@ void GyroSystem::define_registers() {
   using platform::RegKind;
   auto& rf = platform_.regs();
   rf.define("lock", reg::kLock, RegKind::Status);
+  rf.declare_fields(reg::kLock, {{"pll_locked", 0, 1, /*writable=*/false, false},
+                                 {"agc_settled", 1, 1, /*writable=*/false, false}});
   rf.define("freq", reg::kFreq, RegKind::Status);
   rf.define("agc_gain", reg::kAgcGain, RegKind::Status);
   rf.define("rate_out", reg::kRateOut, RegKind::Status);
@@ -83,6 +85,7 @@ void GyroSystem::define_registers() {
             cfg_.sense.mode == SenseMode::ClosedLoop ? 1 : 0, [this](std::uint16_t v) {
               cfg_.sense.mode = v ? SenseMode::ClosedLoop : SenseMode::OpenLoop;
             });
+  rf.declare_fields(reg::kMode, {{"closed_loop", 0, 1, /*writable=*/true, false}});
   rf.define("sense_gain", reg::kSenseGain, RegKind::Config,
             static_cast<std::uint16_t>(cfg_.sense_pga_gain * 16.0), [this](std::uint16_t v) {
               cfg_.sense_pga_gain = static_cast<double>(v) / 16.0;

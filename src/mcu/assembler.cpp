@@ -164,6 +164,23 @@ std::uint16_t Assembler::eval(const std::string& expr, int line) const {
   int sign = 1;
   bool any = false;
 
+  // Strict literal parse: the whole body must be consumed, so "12Q4" or
+  // "0x12G" is a diagnostic instead of a silently truncated value.
+  auto parse_literal = [&](const std::string& digits, int base,
+                           const std::string& term) -> long {
+    std::size_t used = 0;
+    long v = 0;
+    try {
+      v = std::stol(digits, &used, base);
+    } catch (const std::exception&) {
+      throw AsmError(line, "malformed numeric literal '" + term + "'");
+    }
+    if (used != digits.size())
+      throw AsmError(line, "malformed numeric literal '" + term + "' (stray '" +
+                               digits.substr(used) + "')");
+    return v;
+  };
+
   auto parse_term = [&](std::size_t& idx) -> long {
     std::string term;
     while (idx < expr.size() && expr[idx] != '+' && expr[idx] != '-') term += expr[idx++];
@@ -174,18 +191,18 @@ std::uint16_t Assembler::eval(const std::string& expr, int line) const {
       return static_cast<unsigned char>(term[1]);
     // Dollar = current address is handled by the caller (not supported here).
     // Hex 0x…
-    if (term.size() > 2 && term[0] == '0' && (term[1] == 'X')) {
-      return std::stol(term.substr(2), nullptr, 16);
-    }
+    if (term.size() >= 2 && term[0] == '0' && term[1] == 'X')
+      return parse_literal(term.substr(2), 16, term);
     // Suffix forms: …H hex, …B binary (must start with a digit).
     if (std::isdigit(static_cast<unsigned char>(term[0]))) {
-      if (term.back() == 'H') return std::stol(term.substr(0, term.size() - 1), nullptr, 16);
+      if (term.back() == 'H') return parse_literal(term.substr(0, term.size() - 1), 16, term);
       if (term.back() == 'B' && term.find_first_not_of("01B") == std::string::npos)
-        return std::stol(term.substr(0, term.size() - 1), nullptr, 2);
-      return std::stol(term, nullptr, 10);
+        return parse_literal(term.substr(0, term.size() - 1), 2, term);
+      return parse_literal(term, 10, term);
     }
     const auto it = symbols_.find(term);
-    if (it == symbols_.end()) throw AsmError(line, "undefined symbol '" + term + "'");
+    if (it == symbols_.end())
+      throw AsmError(line, "undefined symbol '" + term + "' (no matching label, EQU or define)");
     return it->second;
   };
 
@@ -219,8 +236,11 @@ std::uint8_t Assembler::eval_bit(const std::string& expr, int line) const {
   const auto dot = expr.rfind('.');
   if (dot != std::string::npos) {
     const std::uint16_t byte = eval(expr.substr(0, dot), line);
-    const int bit = std::stoi(expr.substr(dot + 1));
-    if (bit < 0 || bit > 7) throw AsmError(line, "bit index out of range in '" + expr + "'");
+    const std::string bitstr = expr.substr(dot + 1);
+    if (bitstr.empty() || bitstr.find_first_not_of("0123456789") != std::string::npos)
+      throw AsmError(line, "malformed bit index in '" + expr + "'");
+    const int bit = bitstr.size() == 1 ? bitstr[0] - '0' : 8;  // multi-digit > 7
+    if (bit > 7) throw AsmError(line, "bit index out of range in '" + expr + "'");
     if (byte >= 0x80) {
       if (byte % 8 != 0) throw AsmError(line, "SFR not bit-addressable: '" + expr + "'");
       return static_cast<std::uint8_t>(byte + bit);

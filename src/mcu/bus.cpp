@@ -79,6 +79,13 @@ void BridgedBus::write(std::uint16_t addr, std::uint8_t value) {
   }
 }
 
+std::vector<BridgedBus::WindowInfo> BridgedBus::mapped_windows() const {
+  std::vector<WindowInfo> out;
+  out.reserve(windows_.size());
+  for (const Window& w : windows_) out.push_back(WindowInfo{w.name, w.base, w.size});
+  return out;
+}
+
 std::uint16_t BridgedBus::read_word(std::uint16_t addr) {
   return static_cast<std::uint16_t>(read(addr) | (read(static_cast<std::uint16_t>(addr + 1)) << 8));
 }

@@ -54,6 +54,17 @@ class BridgedBus : public XdataBus {
 
   std::size_t ram_size() const { return ram_.size(); }
 
+  /// Introspection for the static register-map checker: every mapped device
+  /// window (name, byte base, byte size) plus the program-RAM region.
+  struct WindowInfo {
+    std::string name;
+    std::uint16_t base;
+    std::uint16_t bytes;
+  };
+  std::vector<WindowInfo> mapped_windows() const;
+  std::uint16_t program_base() const { return prog_base_; }
+  std::uint32_t program_size() const { return prog_size_; }
+
  private:
   struct Window {
     BridgeDevice* dev;

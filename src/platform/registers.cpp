@@ -8,8 +8,32 @@ std::uint16_t RegisterFile::define(std::string name, std::uint16_t addr, RegKind
     throw std::invalid_argument("register address collision at " + std::to_string(addr));
   if (by_name_.contains(name)) throw std::invalid_argument("duplicate register name " + name);
   by_name_[name] = addr;
-  regs_[addr] = Reg{std::move(name), kind, reset_value, std::move(on_write)};
+  regs_[addr] = Reg{std::move(name), kind, reset_value, std::move(on_write), {}};
   return addr;
+}
+
+void RegisterFile::declare_fields(std::uint16_t addr, std::vector<RegField> fields) {
+  Reg& reg = at(addr);
+  std::uint16_t used = 0;
+  for (const RegField& f : fields) {
+    if (f.width <= 0)
+      throw std::invalid_argument("zero-width field '" + f.name + "' in register " + reg.name);
+    if (f.lsb < 0 || f.lsb + f.width > 16)
+      throw std::invalid_argument("field '" + f.name + "' exceeds 16 bits in register " +
+                                  reg.name);
+    const auto mask =
+        static_cast<std::uint16_t>(((1u << f.width) - 1u) << f.lsb);
+    if (used & mask)
+      throw std::invalid_argument("field '" + f.name + "' overlaps another field in register " +
+                                  reg.name);
+    used |= mask;
+  }
+  reg.fields = std::move(fields);
+}
+
+const std::vector<RegField>* RegisterFile::fields_of(std::uint16_t addr) const {
+  const Reg& reg = at(addr);
+  return reg.fields.empty() ? nullptr : &reg.fields;
 }
 
 const RegisterFile::Reg& RegisterFile::at(std::uint16_t addr) const {
@@ -64,7 +88,8 @@ std::vector<RegisterFile::Entry> RegisterFile::dump() const {
   std::vector<Entry> out;
   out.reserve(regs_.size());
   for (const auto& [addr, reg] : regs_)
-    out.push_back(Entry{reg.name, addr, reg.kind, reg.value});
+    out.push_back(Entry{reg.name, addr, reg.kind, reg.value,
+                        reg.fields.empty() ? nullptr : &reg.fields});
   return out;
 }
 

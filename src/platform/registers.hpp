@@ -24,6 +24,18 @@ namespace ascp::platform {
 
 enum class RegKind { Config, Status };
 
+/// Bit-field annotation of one register, used by the static register-map
+/// checker (src/analysis) and self-documentation dumps. Fields do not change
+/// runtime behaviour — they declare intent: which bits carry meaning, which
+/// are reserved, and which a host/firmware may legally write.
+struct RegField {
+  std::string name;
+  int lsb = 0;
+  int width = 1;
+  bool writable = true;   ///< false: host/firmware writes are illegal
+  bool reserved = false;  ///< declared hole — must read as written / zero
+};
+
 class RegisterFile : public mcu::BridgeDevice {
  public:
   using WriteHook = std::function<void(std::uint16_t)>;
@@ -32,6 +44,14 @@ class RegisterFile : public mcu::BridgeDevice {
   /// addr for convenience. Throws on duplicate name/address.
   std::uint16_t define(std::string name, std::uint16_t addr, RegKind kind,
                        std::uint16_t reset_value = 0, WriteHook on_write = {});
+
+  /// Annotate a defined register with its bit-field layout. Throws on
+  /// unknown address, zero/negative field width, fields past bit 15, or
+  /// overlapping fields — the declaration itself must be well-formed so the
+  /// static checker can rely on it.
+  void declare_fields(std::uint16_t addr, std::vector<RegField> fields);
+  /// Field layout of a register, or nullptr when none was declared.
+  const std::vector<RegField>* fields_of(std::uint16_t addr) const;
 
   // ---- C++-side access ---------------------------------------------------
   std::uint16_t read(std::uint16_t addr) const;
@@ -60,6 +80,7 @@ class RegisterFile : public mcu::BridgeDevice {
     std::uint16_t addr;
     RegKind kind;
     std::uint16_t value;
+    const std::vector<RegField>* fields = nullptr;  ///< nullptr when undeclared
   };
   std::vector<Entry> dump() const;
 
@@ -73,6 +94,7 @@ class RegisterFile : public mcu::BridgeDevice {
     RegKind kind;
     std::uint16_t value;
     WriteHook on_write;
+    std::vector<RegField> fields;  ///< empty until declare_fields()
   };
 
   const Reg& at(std::uint16_t addr) const;

@@ -33,6 +33,15 @@ void SafetySupervisor::attach(platform::RegisterFile* regs, std::uint16_t base) 
                   RegKind::Config, 0, [this](std::uint16_t v) {
                     if (v == diag::kClearMagic) clear_dtcs();
                   });
+    // Field layouts for the static register-map checker.
+    regs_->declare_fields(static_cast<std::uint16_t>(base + diag::kDtcReg),
+                          {{"dtc_mask", 0, 16, /*writable=*/false, false}});
+    regs_->declare_fields(static_cast<std::uint16_t>(base + diag::kState),
+                          {{"state", 0, 2, /*writable=*/false, false}});
+    regs_->declare_fields(static_cast<std::uint16_t>(base + diag::kFlags),
+                          {{"output_nulled", 0, 1, /*writable=*/false, false}});
+    regs_->declare_fields(static_cast<std::uint16_t>(base + diag::kClear),
+                          {{"clear_magic", 0, 16, /*writable=*/true, false}});
     diag_defined_ = true;
   }
   post_diag();

@@ -1,0 +1,15 @@
+; broken_firmware.asm — intentionally defective image for the firmware
+; analyzer tests and the platform_lint --asm negative fixture.
+;
+; Planted defects (all must be flagged):
+;   * MOVX store to the read-only SPI STATUS register at 0xFF04  -> error
+;   * RET at top level (return-address underflow)                -> error
+;   * unreachable code after the RET                             -> warning
+        ORG 0
+start:  MOV DPTR,#0FF04h     ; SPI STATUS — read-only word register
+        MOV A,#1
+        MOVX @DPTR,A         ; write is dropped by the bridge: error
+        RET                  ; top level: pops garbage into PC
+
+dead:   MOV A,#42            ; never reached from the entry point
+        SJMP dead

@@ -1,0 +1,129 @@
+// Static 8051 firmware analyzer: the whole shipped corpus must verify with
+// zero errors against the live register map, and the planted-defect fixture
+// must be flagged (read-only store, top-level RET, unreachable code).
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/firmware_corpus.hpp"
+#include "analysis/firmware_lint.hpp"
+#include "analysis/regmap_lint.hpp"
+#include "core/gyro_system.hpp"
+#include "mcu/assembler.hpp"
+
+using namespace ascp;
+using namespace ascp::analysis;
+
+namespace {
+
+struct Platform {
+  Platform() {
+    auto cfg = core::default_gyro_system(core::Fidelity::Full);
+    cfg.with_mcu = true;
+    cfg.with_safety = true;
+    gyro = std::make_unique<core::GyroSystem>(cfg);
+    spec = platform_regmap(gyro->platform());
+  }
+  std::unique_ptr<core::GyroSystem> gyro;
+  RegMapSpec spec;
+};
+
+Platform& plat() {
+  static Platform p;
+  return p;
+}
+
+FirmwareLintOptions options() {
+  FirmwareLintOptions opt;
+  opt.map = &plat().spec;
+  opt.extra_sfrs = {0xA1, 0xA2, 0xA3, 0xA4, 0xA5};  // cache controller
+  return opt;
+}
+
+FirmwareImage assemble(const std::string& src, const std::string& name) {
+  mcu::Assembler as;
+  const auto r = as.assemble(src);
+  FirmwareImage fw;
+  fw.name = name;
+  fw.base = r.entry;
+  fw.entry = r.entry;
+  fw.image.assign(r.image.begin() + r.entry, r.image.end());
+  return fw;
+}
+
+}  // namespace
+
+TEST(FirmwareLint, ShippedCorpusHasZeroErrors) {
+  const auto images =
+      corpus::shipped_firmware(plat().gyro->platform().config().map);
+  EXPECT_EQ(images.size(), 7u);  // boot, monitor ROM + 5 applications
+  for (const auto& fw : images) {
+    const Report rep = check_firmware(fw, options());
+    EXPECT_EQ(rep.errors(), 0) << fw.name << ":\n" << rep.format();
+  }
+}
+
+TEST(FirmwareLint, KickingMonitorsHaveNoLivenessWarnings) {
+  // The two watchdog-driven monitors kick inside every exit-free loop; the
+  // analyzer must prove it (no liveness warnings), not just not-error.
+  const auto& map = plat().gyro->platform().config().map;
+  for (const auto* name : {"diag_monitor", "telemetry_monitor", "watchdog_kicker"}) {
+    for (const auto& fw : corpus::shipped_firmware(map)) {
+      if (fw.name != name) continue;
+      const Report rep = check_firmware(fw, options());
+      EXPECT_FALSE(rep.mentions("never kicks the watchdog")) << fw.name << ":\n"
+                                                             << rep.format();
+    }
+  }
+}
+
+TEST(FirmwareLint, BrokenFixtureIsFlagged) {
+  std::ifstream in(std::string(ASCP_FIXTURE_DIR) + "/broken_firmware.asm");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const Report rep = check_firmware(assemble(ss.str(), "broken_firmware"), options());
+  EXPECT_GE(rep.errors(), 2) << rep.format();
+  EXPECT_TRUE(rep.mentions("read-only register spi.SPI_STATUS"));
+  EXPECT_TRUE(rep.mentions("RET"));
+  EXPECT_TRUE(rep.mentions("unreachable"));
+}
+
+TEST(FirmwareLint, TopLevelRetIsAnError) {
+  const Report rep = check_firmware(assemble("  MOV A,#1\n  RET\n", "ret"), options());
+  EXPECT_GE(rep.errors(), 1);
+  EXPECT_TRUE(rep.mentions("RET"));
+}
+
+TEST(FirmwareLint, UnboundedStackGrowthIsAnError) {
+  const Report rep = check_firmware(
+      assemble("loop: PUSH ACC\n  SJMP loop\n", "push_loop"), options());
+  EXPECT_GE(rep.errors(), 1);
+  EXPECT_TRUE(rep.mentions("stack")) << rep.format();
+}
+
+TEST(FirmwareLint, StackDepthBoundIsReported) {
+  const Report rep = check_firmware(
+      assemble("  LCALL f\nend: SJMP end\nf: LCALL g\n  RET\ng: RET\n", "calls"),
+      options());
+  EXPECT_EQ(rep.errors(), 0) << rep.format();
+  EXPECT_TRUE(rep.mentions("worst-case stack"));
+  EXPECT_TRUE(rep.mentions("4 byte(s)"));  // two nested LCALLs
+}
+
+TEST(FirmwareLint, WriteToReadOnlyBridgeRegisterIsAnError) {
+  // 0xFF26 = watchdog STATUS (word offset 3): hardware-owned.
+  const Report rep = check_firmware(
+      assemble("  MOV DPTR,#0FF26h\n  MOVX @DPTR,A\nend: SJMP end\n", "wd_status"),
+      options());
+  EXPECT_GE(rep.errors(), 1);
+  EXPECT_TRUE(rep.mentions("read-only register watchdog.WDT_STATUS")) << rep.format();
+}
+
+TEST(FirmwareLint, KickFreeEternalLoopIsAWarning) {
+  const Report rep =
+      check_firmware(assemble("loop: SJMP loop\n", "spin"), options());
+  EXPECT_EQ(rep.errors(), 0);
+  EXPECT_TRUE(rep.mentions("never kicks the watchdog"));
+}

@@ -1,0 +1,91 @@
+// Static fixed-point range analyzer: proves the shipped (Table 1,
+// SensorDynamics) configuration saturation-free over the datasheet input
+// range, and pinpoints the saturating stage when a configuration breaks.
+#include <gtest/gtest.h>
+
+#include "analysis/range_lint.hpp"
+#include "core/gyro_system.hpp"
+
+using namespace ascp;
+using namespace ascp::analysis;
+
+namespace {
+
+const StageRange* find_stage(const std::vector<StageRange>& v, const std::string& s) {
+  for (const auto& r : v)
+    if (r.stage == s) return &r;
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(RangeLint, Table1SenseChainIsProvenSaturationFree) {
+  // The acceptance property: the SensorDynamics configuration the paper's
+  // Table 1 characterizes is statically saturation-free over the datasheet
+  // input range (±rail at the ADC, −40..85 °C).
+  const auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  const auto stages = sense_chain_ranges(cfg.sense, cfg.comp);
+  EXPECT_GE(stages.size(), 10u);
+  for (const auto& s : stages)
+    EXPECT_FALSE(s.saturates()) << s.stage << ": bound " << s.bound << " vs "
+                                << s.format << " limit " << s.limit;
+}
+
+TEST(RangeLint, Table1FullPlatformRangesAreClean) {
+  const auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  const Report rep = check_ranges(cfg.sense, cfg.drive, cfg.comp);
+  EXPECT_TRUE(rep.clean()) << rep.format();
+  EXPECT_TRUE(rep.mentions("headroom"));
+}
+
+TEST(RangeLint, DriveLoopClampsBoundTheActuators) {
+  const auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  const auto stages = drive_loop_ranges(cfg.drive);
+  const auto* gain = find_stage(stages, "drive.agc.gain");
+  ASSERT_NE(gain, nullptr);
+  EXPECT_FALSE(gain->saturates());
+  const auto* integ = find_stage(stages, "drive.pll.integrator");
+  ASSERT_NE(integ, nullptr);
+  EXPECT_FALSE(integ->saturates());
+}
+
+TEST(RangeLint, OutputLpfUsesComposedCascadeBound) {
+  // The Q=1.3 Butterworth section peaks at √2 alone; composed with its
+  // Q=0.54 partner the cascade is flat. The analyzer must bound the cascade
+  // output by the composed peak, or every flat 4th-order filter would be a
+  // false saturation report.
+  const auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  const auto stages = sense_chain_ranges(cfg.sense, cfg.comp);
+  const auto* mid = find_stage(stages, "sense.output_lpf[0]");
+  const auto* out = find_stage(stages, "sense.output_lpf[1]");
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(out, nullptr);
+  EXPECT_LT(out->bound, 1.1 * mid->bound);  // no √2 blow-up across the cascade
+  EXPECT_FALSE(out->saturates());
+}
+
+TEST(RangeLint, SaturatingConfigurationPinpointsTheStage) {
+  auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  cfg.comp.s0 = 3.0;  // ×3 compensation scale drives the output past Q1_22 FS
+  const auto stages = sense_chain_ranges(cfg.sense, cfg.comp);
+  const auto* comp = find_stage(stages, "sense.compensation");
+  ASSERT_NE(comp, nullptr);
+  EXPECT_TRUE(comp->saturates());
+
+  const Report rep = check_ranges(cfg.sense, cfg.drive, cfg.comp);
+  EXPECT_FALSE(rep.clean());
+  bool names_stage = false;
+  for (const auto& f : rep.findings())
+    if (f.severity == Severity::Error && f.location == "sense.compensation")
+      names_stage = true;
+  EXPECT_TRUE(names_stage) << rep.format();
+}
+
+TEST(RangeLint, HeadroomIsPositiveAndFinite) {
+  const auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  for (const auto& s : sense_chain_ranges(cfg.sense, cfg.comp)) {
+    if (s.limit == 0.0) continue;  // informational stages
+    EXPECT_GT(s.headroom_db(), 0.0) << s.stage;
+    EXPECT_LT(s.headroom_db(), 120.0) << s.stage;
+  }
+}

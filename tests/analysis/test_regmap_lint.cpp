@@ -1,0 +1,128 @@
+// Static register-map checker: the shipped platform map must verify clean
+// (including the safety DIAG block), and every planted defect class must be
+// flagged — overlap, out-of-window registers, zero-width fields, writable
+// fields in read-only registers.
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/regmap_lint.hpp"
+#include "core/gyro_system.hpp"
+
+using namespace ascp;
+using namespace ascp::analysis;
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(std::string(ASCP_FIXTURE_DIR) + "/" + name);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+RegMapSpec shipped_map() {
+  auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  cfg.with_mcu = true;
+  cfg.with_safety = true;
+  static core::GyroSystem gyro(cfg);  // one platform build for the suite
+  return platform_regmap(gyro.platform());
+}
+
+}  // namespace
+
+TEST(RegmapLint, ShippedPlatformMapIsClean) {
+  const RegMapSpec spec = shipped_map();
+  EXPECT_GE(spec.blocks.size(), 5u);  // regfile + spi + timer + watchdog + sram
+  EXPECT_GE(spec.memories.size(), 2u);
+  const Report rep = check_regmap(spec);
+  EXPECT_TRUE(rep.clean()) << rep.format();
+}
+
+TEST(RegmapLint, ShippedMapIncludesDiagBlockUnchanged) {
+  // The PR-1 safety DIAG registers live in the regfile window and must pass
+  // the checker exactly as the supervisor declares them.
+  const RegMapSpec spec = shipped_map();
+  const BlockSpec* regfile = nullptr;
+  for (const auto& b : spec.blocks)
+    if (b.name == "regfile") regfile = &b;
+  ASSERT_NE(regfile, nullptr);
+  int diag_regs = 0;
+  for (const auto& r : regfile->regs)
+    if (r.name.rfind("diag_", 0) == 0) {
+      ++diag_regs;
+      if (r.name == "diag_dtc" || r.name == "diag_state") {
+        EXPECT_FALSE(r.writable);
+      }
+      if (r.name == "diag_clear") {
+        EXPECT_TRUE(r.writable);
+      }
+    }
+  EXPECT_EQ(diag_regs, 5);
+  EXPECT_TRUE(check_regmap(spec).clean());
+}
+
+TEST(RegmapLint, AdjacentButNonOverlappingBlocksPass) {
+  RegMapSpec spec;
+  spec.blocks.push_back({"a", 0xFF00, 3, {{"r0", 0, true, {}}}});
+  spec.blocks.push_back({"b", 0xFF06, 4, {{"r0", 0, true, {}}}});  // starts at a's end
+  spec.memories.push_back({"prog", 0x8000, 0x7F00});               // ends at 0xFF00
+  const Report rep = check_regmap(spec);
+  EXPECT_TRUE(rep.clean()) << rep.format();
+}
+
+TEST(RegmapLint, OverlappingBlocksAreErrors) {
+  RegMapSpec spec;
+  spec.blocks.push_back({"a", 0xFF00, 3, {}});
+  spec.blocks.push_back({"b", 0xFF04, 4, {}});  // 0xFF04 is a's last register
+  const Report rep = check_regmap(spec);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_TRUE(rep.mentions("overlaps"));
+}
+
+TEST(RegmapLint, ZeroWidthFieldIsRejected) {
+  RegMapSpec spec;
+  BlockSpec b{"blk", 0x4000, 1, {}};
+  b.regs.push_back({"ctrl", 0, true, {{"dead", 0, 0, true, false}}});
+  spec.blocks.push_back(b);
+  const Report rep = check_regmap(spec);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_TRUE(rep.mentions("zero-width field 'dead'"));
+}
+
+TEST(RegmapLint, RegisterFileRejectsZeroWidthFieldAtDeclaration) {
+  platform::RegisterFile rf;
+  rf.define("ctrl", 0, platform::RegKind::Config);
+  EXPECT_THROW(rf.declare_fields(0, {{"dead", 0, 0, true, false}}),
+               std::invalid_argument);
+}
+
+TEST(RegmapLint, WritableFieldInReadOnlyRegisterIsError) {
+  RegMapSpec spec;
+  BlockSpec b{"blk", 0x4000, 1, {}};
+  b.regs.push_back({"status", 0, /*writable=*/false, {{"flag", 0, 1, true, false}}});
+  spec.blocks.push_back(b);
+  const Report rep = check_regmap(spec);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_TRUE(rep.mentions("writable field 'flag' inside read-only register"));
+}
+
+TEST(RegmapLint, OverlappingMapFixtureIsFlagged) {
+  Report rep;
+  const RegMapSpec spec = parse_regmap(read_fixture("overlapping_map.regmap"), rep);
+  rep.merge(check_regmap(spec));
+  EXPECT_GE(rep.errors(), 4);
+  EXPECT_TRUE(rep.mentions("overlaps"));                   // spi vs timer windows
+  EXPECT_TRUE(rep.mentions("outside the"));                // reg 'ghost'
+  EXPECT_TRUE(rep.mentions("zero-width field 'dead'"));    // field width 0
+  EXPECT_TRUE(rep.mentions("writable field 'done'"));      // rw field in ro reg
+}
+
+TEST(RegmapLint, ParserReportsSyntaxErrorsWithLineNumbers) {
+  Report rep;
+  parse_regmap("block b 0x4000 1\nreg r zz rw\n", rep);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_TRUE(rep.mentions("bad number"));
+}

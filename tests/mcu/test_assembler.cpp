@@ -188,6 +188,50 @@ TEST(Assembler, EquDefinesSymbol) {
   EXPECT_EQ(result.image, (std::vector<std::uint8_t>{0x75, 0x90, 0xFF}));
 }
 
+TEST(Assembler, UndefinedLabelReportsLineAndSymbol) {
+  Assembler as;
+  try {
+    as.assemble("NOP\nNOP\n        LJMP nowhere\n");
+    FAIL() << "undefined label must throw";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'NOWHERE'"), std::string::npos);
+  }
+}
+
+TEST(Assembler, ForwardReferenceToDefinedLabelStillWorks) {
+  Assembler as;
+  const auto r = as.assemble("LJMP later\nNOP\nlater: NOP\n");
+  EXPECT_EQ(r.image[0], 0x02);  // LJMP resolved through pass 2
+  EXPECT_EQ(r.symbols.at("LATER"), 4u);
+}
+
+TEST(Assembler, MalformedLiteralsAreDiagnosedNotTruncated) {
+  // These all used to parse as their numeric prefix (std::stol stops at the
+  // first bad character) or escape as raw std::invalid_argument.
+  for (const char* src : {"MOV A,#12Q4", "MOV A,#0x", "MOV A,#0x12G",
+                          "MOV A,#5XH", "MOV DPTR,#0FFZ0h"}) {
+    Assembler as;
+    try {
+      as.assemble(src);
+      FAIL() << src << " must be rejected";
+    } catch (const AsmError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos) << src;
+      EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos) << src;
+    }
+  }
+}
+
+TEST(Assembler, MalformedBitIndexIsDiagnosed) {
+  Assembler as;
+  EXPECT_THROW(as.assemble("SETB ACC.X"), AsmError);
+  EXPECT_THROW(as.assemble("SETB ACC.9"), AsmError);
+  Assembler ok;
+  EXPECT_EQ(ok.assemble("SETB ACC.7").image,
+            (std::vector<std::uint8_t>{0xD2, 0xE7}));
+}
+
 TEST(Assembler, PushPopXchEncodings) {
   EXPECT_EQ(bytes("PUSH ACC"), (std::vector<std::uint8_t>{0xC0, 0xE0}));
   EXPECT_EQ(bytes("POP PSW"), (std::vector<std::uint8_t>{0xD0, 0xD0}));

@@ -1,0 +1,164 @@
+// platform_lint — static verification driver for the conditioning platform.
+//
+// Runs without simulating a single sample, so it belongs in CI next to the
+// compiler: it proves map/firmware/range properties of the platform exactly
+// as shipped, or of user-supplied artifacts.
+//
+//   platform_lint              lint the shipped platform: the live register
+//                              map, every firmware image in the corpus, and
+//                              the default (Table 1) DSP configuration
+//   platform_lint --map FILE   lint a register-map description file
+//   platform_lint --asm FILE   assemble FILE and lint the resulting image
+//   -v / --verbose             also print info-level findings
+//
+// Exit status: 0 when no error-severity findings, 1 otherwise, 2 on usage
+// or I/O problems.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/findings.hpp"
+#include "analysis/firmware_corpus.hpp"
+#include "analysis/firmware_lint.hpp"
+#include "analysis/range_lint.hpp"
+#include "analysis/regmap_lint.hpp"
+#include "core/gyro_system.hpp"
+#include "mcu/assembler.hpp"
+
+using namespace ascp;
+using namespace ascp::analysis;
+
+namespace {
+
+/// SFR addresses the platform's cache controller claims (CBANK..CSTAT).
+std::vector<std::uint8_t> cache_ctrl_sfrs() { return {0xA1, 0xA2, 0xA3, 0xA4, 0xA5}; }
+
+void print_report(const Report& report, bool verbose) {
+  for (const auto& f : report.findings()) {
+    if (f.severity == Severity::Info && !verbose) continue;
+    std::printf("%s\n", f.format().c_str());
+  }
+}
+
+int finish(const Report& report, bool verbose) {
+  print_report(report, verbose);
+  std::printf("platform_lint: %d error(s), %d warning(s), %zu finding(s)\n",
+              report.errors(), report.warnings(), report.findings().size());
+  return report.clean() ? 0 : 1;
+}
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int lint_map_file(const char* path, bool verbose) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "platform_lint: cannot read %s\n", path);
+    return 2;
+  }
+  Report report;
+  const RegMapSpec spec = parse_regmap(text, report);
+  report.merge(check_regmap(spec));
+  return finish(report, verbose);
+}
+
+int lint_asm_file(const char* path, bool verbose) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "platform_lint: cannot read %s\n", path);
+    return 2;
+  }
+  Report report;
+  mcu::AsmResult assembled;
+  try {
+    mcu::Assembler as;
+    assembled = as.assemble(text);
+  } catch (const mcu::AsmError& e) {
+    report.add(Severity::Error, "asm", path, e.what());
+    return finish(report, verbose);
+  }
+
+  // Check the image against the default platform map, like the corpus run.
+  auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  cfg.with_mcu = true;
+  cfg.with_safety = true;
+  core::GyroSystem gyro(cfg);
+  const RegMapSpec spec = platform_regmap(gyro.platform());
+
+  FirmwareImage fw;
+  fw.name = path;
+  fw.base = assembled.entry;
+  fw.entry = assembled.entry;
+  fw.image.assign(assembled.image.begin() + assembled.entry, assembled.image.end());
+
+  FirmwareLintOptions opt;
+  opt.map = &spec;
+  opt.extra_sfrs = cache_ctrl_sfrs();
+  report.merge(check_firmware(fw, opt));
+  return finish(report, verbose);
+}
+
+int lint_platform(bool verbose) {
+  Report report;
+
+  // [1] The live register map: GyroSystem with the MCU subsystem and the
+  // safety DIAG block instantiated, snapshotted through the bridge.
+  auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  cfg.with_mcu = true;
+  cfg.with_safety = true;
+  core::GyroSystem gyro(cfg);
+  const RegMapSpec spec = platform_regmap(gyro.platform());
+  std::printf("== register map: %zu block(s), %zu memory region(s) ==\n",
+              spec.blocks.size(), spec.memories.size());
+  report.merge(check_regmap(spec));
+
+  // [2] Every shipped firmware image, against that map.
+  const auto& map = gyro.platform().config().map;
+  FirmwareLintOptions opt;
+  opt.map = &spec;
+  opt.extra_sfrs = cache_ctrl_sfrs();
+  for (const auto& fw : corpus::shipped_firmware(map)) {
+    std::printf("== firmware %s: %zu bytes @%04X ==\n", fw.name.c_str(),
+                fw.image.size(), fw.base);
+    report.merge(check_firmware(fw, opt));
+  }
+
+  // [3] Fixed-point ranges of the default (Table 1, SensorDynamics) DSP
+  // configuration: prove every chain node stays inside its fx format.
+  std::printf("== fixed-point ranges (Table 1 configuration) ==\n");
+  report.merge(check_ranges(cfg.sense, cfg.drive, cfg.comp));
+
+  return finish(report, verbose);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  const char* map_file = nullptr;
+  const char* asm_file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-v") || !std::strcmp(argv[i], "--verbose")) {
+      verbose = true;
+    } else if (!std::strcmp(argv[i], "--map") && i + 1 < argc) {
+      map_file = argv[++i];
+    } else if (!std::strcmp(argv[i], "--asm") && i + 1 < argc) {
+      asm_file = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: platform_lint [-v] [--map FILE | --asm FILE]\n");
+      return 2;
+    }
+  }
+  if (map_file) return lint_map_file(map_file, verbose);
+  if (asm_file) return lint_asm_file(asm_file, verbose);
+  return lint_platform(verbose);
+}
