@@ -31,11 +31,21 @@ else
   echo "== lint preset skipped: clang-tidy not installed =="
 fi
 
+echo "== configure + build: tsan (channel-farm engine) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs" --target test_engine
+
+echo "== tsan: channel-farm tests =="
+./build-tsan/tests/test_engine
+
 echo "== tier-1 tests (default) =="
 ctest --preset default
 
 echo "== tier-1 tests (ubsan) =="
 ctest --preset ubsan
+
+echo "== channel-farm smoke (4 channels, 0.1 s) =="
+./build/bench/perf_channel_farm --smoke
 
 echo "== platform_lint: shipped platform must be error-free =="
 ./build/tools/platform_lint

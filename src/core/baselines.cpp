@@ -112,65 +112,87 @@ void AnalogGyroBaseline::build(std::uint64_t seed) {
 
   lpf_state_[0] = lpf_state_[1] = 0.0;
   lpf_alpha_ = 1.0 - std::exp(-kTwoPi * cfg_.output_lpf_hz / loop_fs);
-  adc_phase_ = 0;
-  out_phase_ = 0;
+  v_per_m_ = cfg_.sense_gain_v_per_m / cfg_.mems.cap_per_meter;  // V per farad
   drive_v_ = 0.0;
+
+  // Multi-rate pipeline on a fresh scheduler (a new die powers on with its
+  // decimators at phase zero). The conditioning fires on the last analog
+  // step of each loop_div cycle; the DAQ samples the analog output on the
+  // last conditioning sample of each out_div cycle.
+  const double dt = 1.0 / cfg_.analog_fs;
+  const int out_div = static_cast<int>(loop_fs / cfg_.output_rate_hz + 0.5);
+  const long out_period = static_cast<long>(cfg_.loop_div) * out_div;
+  sched_ = std::make_unique<platform::Scheduler>(cfg_.analog_fs);
+
+  sched_->every(
+      1,
+      [this, dt] {
+        const double t = static_cast<double>(sched_->ticks() - run_origin_) * dt;
+        tick_temp_ = run_temp_->at(t);
+
+        sensor::GyroInputs in;
+        in.v_drive = drive_v_;
+        in.rate_dps = run_rate_->at(t);
+        in.temp_c = tick_temp_;
+        pick_ = mems_->step(in);
+      },
+      "analog");
+
+  sched_->every(
+      cfg_.loop_div, cfg_.loop_div - 1,
+      [this] {
+        // ---- analog conditioning at the loop rate ----
+        const double vp = v_per_m_ * pick_.dc_primary;
+        const double vs = v_per_m_ * pick_.dc_sense;
+        drive_v_ = drive_->step(vp);
+        const auto bb = demod_->step(vs, drive_->carrier_i(), drive_->carrier_q());
+
+        // Fixed analog demodulation phase, built at φH + trim error, drifting
+        // with temperature; residual misalignment leaks quadrature into rate.
+        const double phi =
+            demod_angle_ + phase_err_ + cfg_.demod_phase_tempco * (tick_temp_ - 25.0);
+        const double rate_demod = bb.q * std::sin(phi) - bb.i * std::cos(phi);
+
+        const double dtc = tick_temp_ - 25.0;
+        const double gain = scale_v_per_demod_ * trim_gain_ * (1.0 + cfg_.sens_tempco * dtc);
+        double v = gain * rate_demod + noise_rng_.gaussian(noise_sigma_);
+
+        // Output RC filter.
+        lpf_state_[0] += lpf_alpha_ * (v - lpf_state_[0]);
+        v = lpf_state_[0];
+        if (cfg_.output_lpf_poles >= 2) {
+          lpf_state_[1] += lpf_alpha_ * (v - lpf_state_[1]);
+          v = lpf_state_[1];
+        }
+      },
+      "conditioning");
+
+  sched_->every(
+      out_period, out_period - 1,
+      [this] {
+        if (!run_out_) return;
+        const double v = cfg_.output_lpf_poles >= 2 ? lpf_state_[1] : lpf_state_[0];
+        const double null =
+            cfg_.null_v + null_draw_ + cfg_.null_tempco_v * (tick_temp_ - 25.0);
+        run_out_->push_back(null + v);
+      },
+      "daq_output");
 }
 
 void AnalogGyroBaseline::power_on(std::uint64_t seed) { build(seed); }
 
 void AnalogGyroBaseline::run(const sensor::Profile& rate, const sensor::Profile& temp,
                              double seconds, std::vector<double>* out) {
-  const double dt = 1.0 / cfg_.analog_fs;
-  const long ticks = static_cast<long>(seconds * cfg_.analog_fs + 0.5);
-  const double loop_fs = cfg_.analog_fs / cfg_.loop_div;
-  const int out_div = static_cast<int>(loop_fs / cfg_.output_rate_hz + 0.5);
-  const double v_per_m = cfg_.sense_gain_v_per_m / cfg_.mems.cap_per_meter;  // V per farad
-
-  for (long i = 0; i < ticks; ++i) {
-    const double t = static_cast<double>(i) * dt;
-    const double temp_c = temp.at(t);
-
-    sensor::GyroInputs in;
-    in.v_drive = drive_v_;
-    in.rate_dps = rate.at(t);
-    in.temp_c = temp_c;
-    const auto pick = mems_->step(in);
-
-    if (++adc_phase_ < cfg_.loop_div) continue;
-    adc_phase_ = 0;
-
-    // ---- analog conditioning at the loop rate ----
-    const double vp = v_per_m * pick.dc_primary;
-    const double vs = v_per_m * pick.dc_sense;
-    drive_v_ = drive_->step(vp);
-    const auto bb = demod_->step(vs, drive_->carrier_i(), drive_->carrier_q());
-
-    // Fixed analog demodulation phase, built at φH + trim error, drifting
-    // with temperature; residual misalignment leaks quadrature into rate.
-    const double phi = demod_angle_ + phase_err_ + cfg_.demod_phase_tempco * (temp_c - 25.0);
-    const double rate_demod = bb.q * std::sin(phi) - bb.i * std::cos(phi);
-
-    const double dtc = temp_c - 25.0;
-    const double gain = scale_v_per_demod_ * trim_gain_ * (1.0 + cfg_.sens_tempco * dtc);
-    double v = gain * rate_demod + noise_rng_.gaussian(noise_sigma_);
-
-    // Output RC filter.
-    lpf_state_[0] += lpf_alpha_ * (v - lpf_state_[0]);
-    v = lpf_state_[0];
-    if (cfg_.output_lpf_poles >= 2) {
-      lpf_state_[1] += lpf_alpha_ * (v - lpf_state_[1]);
-      v = lpf_state_[1];
-    }
-
-    if (++out_phase_ >= out_div) {
-      out_phase_ = 0;
-      if (out) {
-        const double null = cfg_.null_v + null_draw_ + cfg_.null_tempco_v * dtc;
-        out->push_back(null + v);
-      }
-    }
-  }
+  // Profiles are evaluated from t = 0 at the start of this call (the
+  // RateSensor contract); the scheduler — and with it the conditioning and
+  // DAQ decimation phase — persists across calls like the hardware would.
+  run_rate_ = &rate;
+  run_temp_ = &temp;
+  run_out_ = out;
+  run_origin_ = sched_->ticks();
+  sched_->run_seconds(seconds);
+  run_rate_ = run_temp_ = nullptr;
+  run_out_ = nullptr;
 }
 
 }  // namespace ascp::core

@@ -22,6 +22,7 @@
 #include "core/drive_loop.hpp"
 #include "core/rate_sensor.hpp"
 #include "dsp/modem.hpp"
+#include "platform/scheduler.hpp"
 #include "sensor/gyro_mems.hpp"
 
 namespace ascp::core {
@@ -79,6 +80,22 @@ class AnalogGyroBaseline : public RateSensor {
   std::unique_ptr<DriveLoop> drive_;
   std::unique_ptr<dsp::IqDemodulator> demod_;
 
+  // Multi-rate kernel: the analog tick, the conditioning rate (analog_fs /
+  // loop_div, phase-aligned with the conditioning electronics settling on
+  // the last analog step of each cycle) and the DAQ output decimation are
+  // scheduler tasks registered at build(). The scheduler persists across
+  // run() calls, so decimation phase carries over exactly as the analog
+  // hardware's would.
+  std::unique_ptr<platform::Scheduler> sched_;
+  const sensor::Profile* run_rate_ = nullptr;
+  const sensor::Profile* run_temp_ = nullptr;
+  std::vector<double>* run_out_ = nullptr;
+  long run_origin_ = 0;  ///< tick count at the current run() call's t = 0
+
+  // Per-tick state flowing between scheduler tasks.
+  double tick_temp_ = 25.0;
+  sensor::GyroOutputs pick_{};
+
   // Device draws.
   double trim_gain_ = 1.0;
   double null_draw_ = 0.0;
@@ -87,12 +104,11 @@ class AnalogGyroBaseline : public RateSensor {
   Rng noise_rng_{1};
   double noise_sigma_ = 0.0;
 
-  // Output RC filter state (up to 2 poles) and decimation phase.
+  // Output RC filter state (up to 2 poles).
   double lpf_state_[2] = {0.0, 0.0};
   double lpf_alpha_ = 0.0;
   double scale_v_per_demod_ = 1.0;  ///< analog gain: demod volts → output volts
-  int adc_phase_ = 0;
-  int out_phase_ = 0;
+  double v_per_m_ = 0.0;            ///< pickoff transduction gain [V per farad]
   double drive_v_ = 0.0;
 };
 

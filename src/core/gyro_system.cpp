@@ -145,6 +145,10 @@ void GyroSystem::build(std::uint64_t seed) {
   last_output_ = cfg_.sense.output_offset;
   base_ticks_ = 0;
   dsp_samples_ = 0;
+  blk_ss_.clear();
+  blk_ci_.clear();
+  blk_cq_.clear();
+  blk_target_ = 0;
   if (supervisor_) supervisor_->reset();
 }
 
@@ -225,107 +229,210 @@ void GyroSystem::post_status(double measured_temp) {
                  static_cast<std::uint16_t>(static_cast<std::int16_t>(measured_temp * 8.0)));
 }
 
-void GyroSystem::run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
-                     std::vector<double>* out) {
+bool GyroSystem::can_batch_sense() {
+  // Closed loop feeds the control effort back into the plant every sample;
+  // a supervisor, fault campaign, trace tap or firmware monitor observes
+  // per-sample state. Any of those forces the sample-serial path.
+  return sense_->config().mode == SenseMode::OpenLoop && !supervisor_ && !campaign_ &&
+         !trace_ && !cfg_.with_mcu;
+}
+
+void GyroSystem::flush_sense_block() {
+  if (blk_ss_.empty()) return;
+  sense_->step_block(blk_ss_, blk_ci_, blk_cq_);
+  blk_ss_.clear();
+  blk_ci_.clear();
+  blk_cq_.clear();
+}
+
+void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
+                                   const sensor::Profile& rate, const sensor::Profile& temp,
+                                   std::vector<double>* out) {
   const bool full = cfg_.fidelity == Fidelity::Full;
   const double dt = 1.0 / cfg_.analog_fs;
-  const long ticks = static_cast<long>(seconds * cfg_.analog_fs + 0.5);
-  const long cpu_cycles_per_slow =
-      cfg_.with_mcu ? platform_.cycles_per_sample(output_rate_hz()) : 0;
+  st.cpu_cycles_per_slow = cfg_.with_mcu ? platform_.cycles_per_sample(output_rate_hz()) : 0;
 
-  int adc_phase = 0;
-  for (long i = 0; i < ticks; ++i, ++base_ticks_) {
-    const double t = static_cast<double>(i) * dt;
-    const double temp_c = temp.at(t);
+  // ---- analog tick (1.92 MHz): environment, MEMS, charge amps, AFE -------
+  sched.every(
+      1,
+      [this, &sched, &st, &rate, &temp, dt, full] {
+        st.sp.reset();
+        st.ss.reset();
+        const double t = static_cast<double>(sched.ticks()) * dt;
+        st.temp_c = temp.at(t);
 
-    sensor::GyroInputs in;
-    in.rate_dps = rate.at(t);
-    in.temp_c = temp_c;
-    if (full) {
-      in.v_drive = dac_drive_->output(dt, temp_c);
-      in.v_control = dac_ctrl_->output(dt, temp_c);
-    } else {
-      in.v_drive = drive_v_;
-      in.v_control = ctrl_v_;
-    }
-    const auto pick = mems_->step(in);
+        sensor::GyroInputs in;
+        in.rate_dps = rate.at(t);
+        in.temp_c = st.temp_c;
+        if (full) {
+          in.v_drive = dac_drive_->output(dt, st.temp_c);
+          in.v_control = dac_ctrl_->output(dt, st.temp_c);
+        } else {
+          in.v_drive = drive_v_;
+          in.v_control = ctrl_v_;
+        }
+        st.pick = mems_->step(in);
 
-    std::optional<double> sp, ss;
-    if (full) {
-      const double vp = champ_primary_->step(pick.dc_primary, temp_c);
-      const double vs = champ_sense_->step(pick.dc_sense, temp_c);
-      sp = acq_primary_->step(vp, temp_c);
-      ss = acq_sense_->step(vs, temp_c);
-    } else if (++adc_phase >= cfg_.adc_div) {
-      adc_phase = 0;
-      sp = ideal_gain_primary_ * pick.dc_primary;
-      ss = ideal_gain_sense_ * pick.dc_sense;
-    }
+        if (full) {
+          // The SAR converters decimate internally: an ADC code pops out of
+          // the acquisition channel every adc_div analog steps.
+          const double vp = champ_primary_->step(st.pick.dc_primary, st.temp_c);
+          const double vs = champ_sense_->step(st.pick.dc_sense, st.temp_c);
+          st.sp = acq_primary_->step(vp, st.temp_c);
+          st.ss = acq_sense_->step(vs, st.temp_c);
+        }
+        ++base_ticks_;
+      },
+      "analog");
 
-    if (!sp) continue;
+  // ---- ideal sampling (240 kHz): the MATLAB level has no AFE, so the
+  // scheduler provides the ADC cadence (phase-aligned with a SAR finishing
+  // its conversion cycle on the adc_div-th clock) -------------------------
+  if (!full)
+    sched.every(
+        cfg_.adc_div, cfg_.adc_div - 1,
+        [this, &st] {
+          st.sp = ideal_gain_primary_ * st.pick.dc_primary;
+          st.ss = ideal_gain_sense_ * st.pick.dc_sense;
+        },
+        "adc_ideal");
 
-    // ---- DSP sample rate (240 kHz) ----
-    ++dsp_samples_;
-    if (campaign_) campaign_->step(dsp_samples_);
+  // ---- fault campaign (per DSP sample): the sample counter is the fault
+  // time base, so it advances here even with no campaign attached ---------
+  sched.every(
+      1,
+      [this, &st] {
+        if (!st.sp) return;
+        ++dsp_samples_;
+        if (campaign_) campaign_->step(dsp_samples_);
+      },
+      "fault_campaign");
 
-    drive_v_ = drive_->step(*sp);
-    const auto fast = sense_->step(*ss, drive_->carrier_i(), drive_->carrier_q());
-    ctrl_v_ = fast.control_v;
-    if (full) {
-      dac_drive_->write_volts(drive_v_);
-      dac_ctrl_->write_volts(ctrl_v_);
-    }
-
-    if (supervisor_) {
-      safety::FastSample fsmp;
-      fsmp.primary_adc_v = *sp;
-      fsmp.sense_adc_v = ss ? *ss : 0.0;
-      fsmp.pll_locked = drive_->pll_locked();
-      fsmp.loop_settled = drive_->locked();
-      fsmp.agc_gain = drive_->amplitude_control();
-      fsmp.amplitude = drive_->amplitude();
-      fsmp.control_v = ctrl_v_;
-      supervisor_->on_fast(fsmp);
-    }
-
-    if (trace_) {
-      trace_->push("amplitude_control", drive_->amplitude_control());
-      trace_->push("phase_error", drive_->phase_error());
-      trace_->push("amplitude_error", drive_->amplitude_error());
-      trace_->push("vco_control", drive_->vco_control());
-      trace_->push("pickoff", *sp);
-    }
-
-    // ---- decimated output rate (1.875 kHz) ----
-    const double measured_temp = temp_sensor_ ? temp_sensor_->read(temp_c) : temp_c;
-    const double comp_temp =
-        supervisor_ ? supervisor_->comp_temp(measured_temp) : measured_temp;
-    if (const auto slow = sense_->slow_output(comp_temp)) {
-      double out_v = slow->rate;
-      if (supervisor_) {
-        const auto decision =
-            supervisor_->on_slow({slow->rate, slow->quad, measured_temp});
-        out_v = decision.output_v;
-      }
-      last_output_ = out_v;
-      if (out) out->push_back(out_v);
-      if (trace_) trace_->push("rate_out", out_v);
-      post_status(measured_temp);
-      if (cfg_.with_mcu && cpu_cycles_per_slow > 0) platform_.run_cpu(cpu_cycles_per_slow);
-      if (auto* sram = platform_.sram_trace()) {
-        // Selectable chain nodes (paper §4.2: "digital data coming from any
-        // node of the DSP chain"), Q3.12 signed format.
-        const auto q312 = [](double v) {
-          return static_cast<std::uint16_t>(static_cast<std::int32_t>(v * 8192.0) & 0xFFFF);
-        };
-        sram->push(0, q312(sense_->raw_rate()));
-        sram->push(1, q312(sense_->raw_quad()));
-        sram->push(2, q312(drive_->amplitude()));
-        sram->push(3, q312(drive_->amplitude_control()));
-        sram->push(4, q312(drive_->vco_control() / 16.0));
-      }
-    }
+  // ---- DSP sample rate (240 kHz): drive servo + sense conditioning ------
+  if (can_batch_sense()) {
+    // Open-loop batched path: the sense chain has no feedback into the
+    // plant, so pickoff/carrier samples accumulate and flush through the
+    // kernels' block variants. Blocks are sized so every flush lands
+    // exactly on a CIC completion — the output stage below then sees slow
+    // samples on the same ticks as the sample-serial path (bit-identical).
+    sched.every(
+        1,
+        [this, &st, full] {
+          if (!st.sp) return;
+          drive_v_ = drive_->step(*st.sp);
+          if (blk_ss_.empty()) blk_target_ = sense_->samples_until_slow();
+          blk_ss_.push_back(*st.ss);
+          blk_ci_.push_back(drive_->carrier_i());
+          blk_cq_.push_back(drive_->carrier_q());
+          ctrl_v_ = 0.0;  // open loop: the force-feedback servo is disengaged
+          if (full) {
+            dac_drive_->write_volts(drive_v_);
+            dac_ctrl_->write_volts(ctrl_v_);
+          }
+          if (static_cast<long>(blk_ss_.size()) == blk_target_) flush_sense_block();
+        },
+        "dsp_batched");
+  } else {
+    sched.every(
+        1,
+        [this, &st, full] {
+          if (!st.sp) return;
+          drive_v_ = drive_->step(*st.sp);
+          const auto fast = sense_->step(*st.ss, drive_->carrier_i(), drive_->carrier_q());
+          ctrl_v_ = fast.control_v;
+          if (full) {
+            dac_drive_->write_volts(drive_v_);
+            dac_ctrl_->write_volts(ctrl_v_);
+          }
+        },
+        "dsp");
   }
+
+  // ---- safety supervisor (per DSP sample) -------------------------------
+  if (supervisor_)
+    sched.every(
+        1,
+        [this, &st] {
+          if (!st.sp) return;
+          safety::FastSample fsmp;
+          fsmp.primary_adc_v = *st.sp;
+          fsmp.sense_adc_v = st.ss ? *st.ss : 0.0;
+          fsmp.pll_locked = drive_->pll_locked();
+          fsmp.loop_settled = drive_->locked();
+          fsmp.agc_gain = drive_->amplitude_control();
+          fsmp.amplitude = drive_->amplitude();
+          fsmp.control_v = ctrl_v_;
+          supervisor_->on_fast(fsmp);
+        },
+        "supervisor");
+
+  // ---- trace tap (per DSP sample) ---------------------------------------
+  if (trace_)
+    sched.every(
+        1,
+        [this, &st] {
+          if (!st.sp) return;
+          trace_->push("amplitude_control", drive_->amplitude_control());
+          trace_->push("phase_error", drive_->phase_error());
+          trace_->push("amplitude_error", drive_->amplitude_error());
+          trace_->push("vco_control", drive_->vco_control());
+          trace_->push("pickoff", *st.sp);
+        },
+        "trace");
+
+  // ---- decimated output rate (1.875 kHz) + MCU monitor slice ------------
+  sched.every(
+      1,
+      [this, &st, out] {
+        if (!st.sp) return;
+        // The temperature sensor is read every DSP sample (its noise stream
+        // is part of the sample clock domain); the CIC decides when a slow
+        // sample completes.
+        const double measured_temp = temp_sensor_ ? temp_sensor_->read(st.temp_c) : st.temp_c;
+        const double comp_temp =
+            supervisor_ ? supervisor_->comp_temp(measured_temp) : measured_temp;
+        const auto slow = sense_->slow_output(comp_temp);
+        if (!slow) return;
+        double out_v = slow->rate;
+        if (supervisor_) {
+          const auto decision = supervisor_->on_slow({slow->rate, slow->quad, measured_temp});
+          out_v = decision.output_v;
+        }
+        last_output_ = out_v;
+        if (out) out->push_back(out_v);
+        if (trace_) trace_->push("rate_out", out_v);
+        post_status(measured_temp);
+        if (cfg_.with_mcu && st.cpu_cycles_per_slow > 0) platform_.run_cpu(st.cpu_cycles_per_slow);
+        if (auto* sram = platform_.sram_trace()) {
+          // Selectable chain nodes (paper §4.2: "digital data coming from any
+          // node of the DSP chain"), Q3.12 signed format.
+          const auto q312 = [](double v) {
+            return static_cast<std::uint16_t>(static_cast<std::int32_t>(v * 8192.0) & 0xFFFF);
+          };
+          sram->push(0, q312(sense_->raw_rate()));
+          sram->push(1, q312(sense_->raw_quad()));
+          sram->push(2, q312(drive_->amplitude()));
+          sram->push(3, q312(drive_->amplitude_control()));
+          sram->push(4, q312(drive_->vco_control() / 16.0));
+        }
+      },
+      "output");
+}
+
+void GyroSystem::run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
+                     std::vector<double>* out) {
+  // One pipeline instance per run() call: profiles are evaluated from t = 0
+  // at the start of the call (the RateSensor contract), so the scheduler's
+  // tick origin is this call's first tick. All multi-rate structure lives in
+  // the Scheduler and in the hardware models' own decimators — there is no
+  // divider arithmetic here.
+  platform::Scheduler sched(cfg_.analog_fs);
+  TickState st;
+  schedule_pipeline(sched, st, rate, temp, out);
+  sched.run_seconds(seconds);
+  // Batched open-loop runs may end mid-block; push the tail through so the
+  // chain's observable state matches the sample-serial path at return.
+  flush_sense_block();
 }
 
 }  // namespace ascp::core

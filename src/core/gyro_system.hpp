@@ -30,6 +30,7 @@
 #include "core/rate_sensor.hpp"
 #include "core/sense_chain.hpp"
 #include "platform/platform.hpp"
+#include "platform/scheduler.hpp"
 #include "safety/fault_injection.hpp"
 #include "safety/supervisor.hpp"
 #include "sensor/gyro_mems.hpp"
@@ -129,9 +130,28 @@ class GyroSystem : public RateSensor {
   const GyroSystemConfig& config() const { return cfg_; }
 
  private:
+  /// State shared between the scheduler tasks of one pipeline instance:
+  /// the current tick's environment and the (optional) ADC sample pair
+  /// flowing from the analog stage into the digital stages.
+  struct TickState {
+    double temp_c = 25.0;
+    sensor::GyroOutputs pick{};
+    std::optional<double> sp, ss;
+    long cpu_cycles_per_slow = 0;
+  };
+
   void build(std::uint64_t seed);
   void define_registers();
   void post_status(double measured_temp);
+  /// Registers the multi-rate conditioning pipeline on `sched`: analog tick
+  /// → ADC sampling → fault campaign → DSP → supervisor → trace → decimated
+  /// output + MCU slice, one scheduler task per stage, in that order.
+  void schedule_pipeline(platform::Scheduler& sched, TickState& st, const sensor::Profile& rate,
+                         const sensor::Profile& temp, std::vector<double>* out);
+  /// True when the open-loop batched sense path applies (no per-sample
+  /// observers: supervisor, campaign, trace, MCU).
+  bool can_batch_sense();
+  void flush_sense_block();
   /// Watchdog-bite recovery: self-test, calibration replay from EEPROM,
   /// drive re-acquisition, watchdog re-arm. Chained off the platform reset
   /// hook — fires right after the watchdog has reset the CPU.
@@ -164,6 +184,11 @@ class GyroSystem : public RateSensor {
 
   TraceRecorder* trace_ = nullptr;
   std::size_t trace_decimate_ = 16;
+
+  // Open-loop batched sense path: pending (pickoff, carrier) samples and the
+  // block size that makes the next flush coincide with a CIC completion.
+  std::vector<double> blk_ss_, blk_ci_, blk_cq_;
+  long blk_target_ = 0;
 };
 
 }  // namespace ascp::core

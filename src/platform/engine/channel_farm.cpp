@@ -1,0 +1,94 @@
+#include "platform/engine/channel_farm.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ascp::engine {
+
+ChannelFarm::ChannelFarm(std::vector<ChannelConfig> specs, const FarmConfig& cfg) {
+  Rng root(cfg.root_seed);
+  channels_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].seed = root.fork(static_cast<std::uint64_t>(i) + 1).next_u64();
+    channels_.push_back(std::make_unique<ConditioningChannel>(specs[i]));
+  }
+
+  threads_ = cfg.threads != 0 ? cfg.threads : std::max(1u, std::thread::hardware_concurrency());
+  // A worker per channel is the useful maximum; a single worker is the
+  // calling thread (no pool at all), which doubles as the reference
+  // configuration the determinism tests compare against.
+  const unsigned pool_size =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, channels_.size()));
+  if (pool_size > 1) {
+    pool_.reserve(pool_size);
+    for (unsigned k = 0; k < pool_size; ++k) pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ChannelFarm::~ChannelFarm() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : pool_) t.join();
+}
+
+void ChannelFarm::advance(double seconds) {
+  // Each channel converts the common wall of simulated time to its own base
+  // ticks (farms may mix base rates), exactly as a solo run would.
+  auto advance_one = [seconds](ConditioningChannel& ch) {
+    ch.advance(std::llround(seconds * ch.base_rate_hz()));
+  };
+
+  if (pool_.empty()) {
+    for (auto& ch : channels_) advance_one(*ch);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    pending_seconds_ = seconds;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = pool_.size();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  std::unique_lock<std::mutex> lk(m_);
+  cv_done_.wait(lk, [this] { return active_ == 0; });
+}
+
+void ChannelFarm::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    double seconds;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      seconds = pending_seconds_;
+    }
+
+    std::size_t i;
+    while ((i = cursor_.fetch_add(1, std::memory_order_relaxed)) < channels_.size()) {
+      auto& ch = *channels_[i];
+      ch.advance(std::llround(seconds * ch.base_rate_hz()));
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (--active_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+std::size_t ChannelFarm::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& ch : channels_) n += ch->outputs().size();
+  return n;
+}
+
+}  // namespace ascp::engine

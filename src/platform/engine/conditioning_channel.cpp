@@ -1,0 +1,83 @@
+#include "platform/engine/conditioning_channel.hpp"
+
+#include <cstring>
+
+#include "core/baselines.hpp"
+#include "core/gyro_system.hpp"
+#include "safety/standard_faults.hpp"
+
+namespace ascp::engine {
+
+ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
+  switch (cfg_.kind) {
+    case ChannelKind::GyroFull:
+    case ChannelKind::GyroIdeal: {
+      auto sys_cfg = core::default_gyro_system(
+          cfg_.kind == ChannelKind::GyroFull ? core::Fidelity::Full : core::Fidelity::Ideal);
+      sys_cfg.with_safety = cfg_.with_safety || cfg_.with_faults;
+      auto sys = std::make_unique<core::GyroSystem>(sys_cfg);
+      gyro_ = sys.get();
+      sensor_ = std::move(sys);
+      base_rate_hz_ = sys_cfg.analog_fs;
+      break;
+    }
+    case ChannelKind::Adxrs300: {
+      const auto bl_cfg = core::adxrs300_like();
+      sensor_ = std::make_unique<core::AnalogGyroBaseline>(bl_cfg);
+      base_rate_hz_ = bl_cfg.analog_fs;
+      break;
+    }
+    case ChannelKind::Gyrostar: {
+      const auto bl_cfg = core::gyrostar_like();
+      sensor_ = std::make_unique<core::AnalogGyroBaseline>(bl_cfg);
+      base_rate_hz_ = bl_cfg.analog_fs;
+      break;
+    }
+  }
+  sensor_->power_on(cfg_.seed);
+
+  if (gyro_ && cfg_.with_trace) {
+    trace_ = std::make_unique<TraceRecorder>();
+    gyro_->set_trace(trace_.get(), /*decimate=*/64);
+  }
+  if (gyro_ && cfg_.with_faults) {
+    // A transient AFE fault the supervisor detects and outlives, plus a
+    // config-register upset — enough to exercise the safety path without
+    // permanently wedging the channel.
+    campaign_ = std::make_unique<safety::FaultCampaign>();
+    safety::faults::add_register_bit_flip(*campaign_, *gyro_, /*at=*/3000);
+    if (cfg_.kind == ChannelKind::GyroFull) {
+      safety::faults::add_primary_adc_stuck(*campaign_, *gyro_, /*at=*/6000,
+                                            /*code=*/1234, /*clear_after=*/2000);
+    }
+    gyro_->set_fault_campaign(campaign_.get());
+  }
+
+  rate_ = sensor::Profile::constant(cfg_.rate_dps);
+  temp_ = sensor::Profile::constant(cfg_.temp_c);
+}
+
+ConditioningChannel::~ConditioningChannel() = default;
+
+void ConditioningChannel::advance(long n_base_ticks) {
+  if (n_base_ticks <= 0) return;
+  // RateSensor::run() quantizes seconds back to round(seconds·fs) ticks;
+  // n/fs survives that round-trip exactly for any realistic tick count.
+  sensor_->run(rate_, temp_, static_cast<double>(n_base_ticks) / base_rate_hz_, &out_);
+  ticks_ += n_base_ticks;
+}
+
+std::uint64_t ConditioningChannel::output_hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (double d : out_) {
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof u);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (u >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace ascp::engine

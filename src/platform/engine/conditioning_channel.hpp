@@ -1,0 +1,92 @@
+// conditioning_channel.hpp — one sensor conditioning instance as a farmable
+// unit of simulation.
+//
+// The paper validates the platform one device at a time; production use is
+// the opposite — thousands of seed/stimulus/fault variations of the same
+// conditioning pipeline (characterization sweeps, fault campaigns, Monte
+// Carlo tolerance runs). ConditioningChannel packages everything one such
+// variation owns — the sensor under test (platform GyroSystem at either
+// fidelity, or an analog baseline from Tables 2/3), its seed, its stimulus
+// profiles, an optional fault campaign and trace — behind a single
+// advance(n_base_ticks) so a farm can drive heterogeneous channels through
+// identical simulated time.
+//
+// Determinism contract: a channel's output stream is a pure function of its
+// ChannelConfig. Nothing in here reads shared mutable state, so channels may
+// advance on different threads with no synchronization, and the farm's
+// results are bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "core/rate_sensor.hpp"
+#include "safety/fault_injection.hpp"
+
+namespace ascp::core {
+class GyroSystem;
+}
+
+namespace ascp::engine {
+
+/// Which conditioning architecture the channel instantiates.
+enum class ChannelKind {
+  GyroFull,   ///< platform customization, Full fidelity (AFE + quantization)
+  GyroIdeal,  ///< platform customization, Ideal fidelity (MATLAB-level model)
+  Adxrs300,   ///< analog baseline, Table 2 configuration
+  Gyrostar,   ///< analog baseline, Table 3 configuration
+};
+
+struct ChannelConfig {
+  ChannelKind kind = ChannelKind::GyroFull;
+  /// Per-channel master seed. When the channel is built by a ChannelFarm the
+  /// farm overwrites this with a stream forked from its root seed.
+  std::uint64_t seed = 1;
+  double rate_dps = 30.0;  ///< constant angular-rate stimulus
+  double temp_c = 25.0;    ///< constant ambient temperature
+  bool with_safety = false;  ///< supervisor + DIAG block (GyroFull/GyroIdeal)
+  bool with_faults = false;  ///< canonical fault campaign (implies with_safety)
+  bool with_trace = false;   ///< attach a TraceRecorder (gyro kinds only)
+};
+
+class ConditioningChannel {
+ public:
+  explicit ConditioningChannel(const ChannelConfig& cfg);
+  ~ConditioningChannel();
+
+  ConditioningChannel(const ConditioningChannel&) = delete;
+  ConditioningChannel& operator=(const ConditioningChannel&) = delete;
+
+  /// Advance simulated time by `n_base_ticks` analog clock ticks, appending
+  /// decimated rate samples to outputs(). Callable repeatedly; decimation
+  /// phase carries across calls exactly as in a single longer run.
+  void advance(long n_base_ticks);
+
+  /// Base (analog) tick rate — the farm's common time base [Hz].
+  double base_rate_hz() const { return base_rate_hz_; }
+  long ticks_advanced() const { return ticks_; }
+
+  const ChannelConfig& config() const { return cfg_; }
+  const std::vector<double>& outputs() const { return out_; }
+  const TraceRecorder* trace() const { return trace_.get(); }
+
+  /// FNV-1a over the output samples' bit patterns — the byte-identity
+  /// fingerprint the determinism tests and the farm bench compare.
+  std::uint64_t output_hash() const;
+
+ private:
+  ChannelConfig cfg_;
+  std::unique_ptr<core::RateSensor> sensor_;
+  core::GyroSystem* gyro_ = nullptr;  ///< non-owning; set for gyro kinds
+  std::unique_ptr<safety::FaultCampaign> campaign_;
+  std::unique_ptr<TraceRecorder> trace_;
+  sensor::Profile rate_;
+  sensor::Profile temp_;
+  std::vector<double> out_;
+  double base_rate_hz_ = 0.0;
+  long ticks_ = 0;
+};
+
+}  // namespace ascp::engine

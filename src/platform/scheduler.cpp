@@ -5,13 +5,19 @@
 namespace ascp::platform {
 
 void Scheduler::every(long divider, Task task, std::string name) {
+  every(divider, 0, std::move(task), std::move(name));
+}
+
+void Scheduler::every(long divider, long phase, Task task, std::string name) {
   if (divider < 1) throw std::invalid_argument("scheduler divider must be >= 1");
-  entries_.push_back(Entry{divider, std::move(task), std::move(name)});
+  if (phase < 0 || phase >= divider)
+    throw std::invalid_argument("scheduler phase must be in [0, divider)");
+  entries_.push_back(Entry{divider, phase, std::move(task), std::move(name)});
 }
 
 void Scheduler::tick() {
   for (Entry& e : entries_)
-    if (ticks_ % e.divider == 0) e.task();
+    if (ticks_ % e.divider == e.phase) e.task();
   ++ticks_;
 }
 

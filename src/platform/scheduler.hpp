@@ -26,6 +26,13 @@ class Scheduler {
   /// first tick. Tasks registered earlier run first within a tick.
   void every(long divider, Task task, std::string name = {});
 
+  /// Run `task` every `divider` base ticks, offset by `phase` ticks
+  /// (0 <= phase < divider): fires when ticks() % divider == phase. A
+  /// divider-8 phase-7 task models hardware that emits on the 8th clock of
+  /// each conversion cycle (e.g. a SAR ADC completing), which is how the
+  /// conditioning pipelines keep their pre-refactor sample alignment.
+  void every(long divider, long phase, Task task, std::string name = {});
+
   /// Advance one base tick.
   void tick();
 
@@ -43,6 +50,7 @@ class Scheduler {
  private:
   struct Entry {
     long divider;
+    long phase;
     Task task;
     std::string name;
   };

@@ -194,5 +194,45 @@ TEST(SenseChain, OutputBandwidthSetByFir) {
   EXPECT_LT(peak, 0.4 * 0.35);  // well into the FIR stopband skirt
 }
 
+TEST(SenseChain, BlockPathMatchesScalarPathBitExact) {
+  // The engine batches the open-loop hot path through step_block, sizing
+  // blocks with samples_until_slow() so every CIC completion lands on a
+  // block boundary. Slow outputs must match the scalar path to the bit.
+  SenseChain scalar(open_loop_config());
+  SenseChain blocked(open_loop_config());
+  dsp::Nco nco(kFs, 15e3);
+
+  std::vector<double> want, got;
+  std::vector<double> pk, ci, cq;
+  const long n = static_cast<long>(0.05 * kFs);
+  for (long i = 0; i < n; ++i) {
+    nco.step();
+    const double x = 0.3 * nco.cosine() + 0.1 * nco.sine();
+    scalar.step(x, nco.sine(), nco.cosine());
+    if (const auto slow = scalar.slow_output(25.0)) want.push_back(slow->rate);
+
+    if (pk.empty()) {
+      ASSERT_EQ(blocked.samples_until_slow(), 128);
+    }
+    pk.push_back(x);
+    ci.push_back(nco.sine());
+    cq.push_back(nco.cosine());
+    if (static_cast<long>(pk.size()) == blocked.samples_until_slow()) {
+      blocked.step_block(pk, ci, cq);
+      pk.clear();
+      ci.clear();
+      cq.clear();
+      if (const auto slow = blocked.slow_output(25.0)) got.push_back(slow->rate);
+    }
+  }
+  blocked.step_block(pk, ci, cq);  // flush the trailing partial block
+  if (const auto slow = blocked.slow_output(25.0)) got.push_back(slow->rate);
+  ASSERT_EQ(want.size(), got.size());
+  ASSERT_FALSE(want.empty());
+  for (std::size_t k = 0; k < want.size(); ++k) ASSERT_EQ(want[k], got[k]) << "sample " << k;
+  EXPECT_EQ(scalar.baseband().i, blocked.baseband().i);
+  EXPECT_EQ(scalar.baseband().q, blocked.baseband().q);
+}
+
 }  // namespace
 }  // namespace ascp::core

@@ -64,5 +64,63 @@ TEST(Scheduler, TimeAccountingMatchesTicks) {
   EXPECT_DOUBLE_EQ(sched.dt(), 1.0 / 240e3);
 }
 
+TEST(Scheduler, RegistrationOrderHoldsAcrossMixedDividers) {
+  // Within one tick every due task fires in registration order, regardless
+  // of divider — the engine relies on this for its analog → sample → DSP →
+  // supervisor → output pipeline ordering.
+  Scheduler sched(1000.0);
+  std::vector<int> order;
+  sched.every(4, [&] { order.push_back(1); });
+  sched.every(1, [&] { order.push_back(2); });
+  sched.every(2, [&] { order.push_back(3); });
+  sched.run_ticks(4);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3,  // tick 0: all due
+                                     2,        // tick 1
+                                     2, 3,     // tick 2
+                                     2}));     // tick 3
+}
+
+TEST(Scheduler, RunSecondsRoundsHalfUpToNearestTick) {
+  // run_seconds() rounds seconds*base_rate to the nearest tick (half-up),
+  // the same convention the pre-refactor loops used — so a 0.9999-tick
+  // request runs one tick and a 0.4-tick request runs none.
+  Scheduler sched(1000.0);
+  long count = 0;
+  sched.every(1, [&] { ++count; });
+  sched.run_seconds(0.0004);  // 0.4 ticks -> 0
+  EXPECT_EQ(count, 0);
+  sched.run_seconds(0.0005);  // 0.5 ticks -> 1 (half rounds up)
+  EXPECT_EQ(count, 1);
+  sched.run_seconds(0.0034999);  // 3.4999 ticks -> 3
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Scheduler, PhaseOffsetShiftsFiring) {
+  Scheduler sched(1000.0);
+  std::vector<long> fired_at;
+  sched.every(8, 7, [&] { fired_at.push_back(sched.ticks()); });
+  sched.run_ticks(24);
+  EXPECT_EQ(fired_at, (std::vector<long>{7, 15, 23}));
+}
+
+TEST(Scheduler, PhasePersistsAcrossRunCalls) {
+  // A divider-8 phase-7 task keeps its alignment across run_* boundaries
+  // that are not divider multiples (the baseline channel depends on this).
+  Scheduler sched(1000.0);
+  long count = 0;
+  sched.every(8, 7, [&] { ++count; });
+  sched.run_ticks(11);  // fires at tick 7
+  EXPECT_EQ(count, 1);
+  sched.run_ticks(5);   // ticks 11..15: fires at 15
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, InvalidPhaseThrows) {
+  Scheduler sched(1000.0);
+  EXPECT_THROW(sched.every(8, 8, [] {}), std::invalid_argument);
+  EXPECT_THROW(sched.every(8, -1, [] {}), std::invalid_argument);
+  EXPECT_THROW(sched.every(0, 0, [] {}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ascp::platform
