@@ -12,6 +12,7 @@
 // never recover; the sense-ADC-stuck-at-null row is undetectable by design
 // (an actively nulled channel frozen at null is indistinguishable from
 // healthy operation) and is reported as such.
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -19,6 +20,8 @@
 
 #include "analysis/firmware_corpus.hpp"
 #include "core/gyro_system.hpp"
+#include "obs/export.hpp"
+#include "obs/observability.hpp"
 #include "safety/standard_faults.hpp"
 
 using namespace ascp;
@@ -49,6 +52,11 @@ struct Row {
   const char* final_state = "?";
   bool armed = false;
   bool injected = false;
+  // Structured-telemetry deltas for this scenario (from the shared registry).
+  double ev_transitions = 0.0;  ///< supervisor.state_transitions
+  double ev_latches = 0.0;      ///< supervisor.dtc_latches
+  double ev_injections = 0.0;   ///< fault.injections
+  std::uint64_t ev_total = 0;   ///< structured events emitted
 };
 
 /// Firmware for the MCU scenarios: the corpus watchdog kicker.
@@ -62,13 +70,22 @@ void run_for(GyroSystem& g, double seconds) {
         seconds, nullptr);
 }
 
-Row run_scenario(const Scenario& sc) {
+Row run_scenario(const Scenario& sc, obs::Observability& obs) {
   auto cfg = core::default_gyro_system(sc.fidelity);
   cfg.with_safety = true;
   cfg.with_mcu = sc.with_mcu;
   GyroSystem gyro(cfg);
   if (sc.with_mcu) gyro.platform().load_firmware(kick_firmware(gyro));
   gyro.power_on(1);
+
+  // Metrics + events only: the registry/log are shared across scenarios so
+  // the bench can report per-row deltas and a campaign-wide snapshot.
+  obs::ObsSink sink;
+  sink.metrics = &obs.metrics;
+  sink.events = &obs.events;
+  gyro.set_observability(sink);
+  const auto snap0 = obs.metrics.snapshot();
+  const std::uint64_t ev0 = obs.events.total();
   if (sc.with_mcu) {
     auto* wd = gyro.platform().watchdog();
     wd->write_reg(1, 30000);  // 1.5 ms of machine cycles at 20 MHz
@@ -84,11 +101,22 @@ Row run_scenario(const Scenario& sc) {
   Row row;
   row.armed = sup->armed();
   row.pre_dtcs = sup->dtcs();
+  const auto finish_obs = [&](Row& r) {
+    const auto snap1 = obs.metrics.snapshot();
+    r.ev_transitions = snap1.counter_value("supervisor.state_transitions") -
+                       snap0.counter_value("supervisor.state_transitions");
+    r.ev_latches = snap1.counter_value("supervisor.dtc_latches") -
+                   snap0.counter_value("supervisor.dtc_latches");
+    r.ev_injections =
+        snap1.counter_value("fault.injections") - snap0.counter_value("fault.injections");
+    r.ev_total = obs.events.total() - ev0;
+  };
   if (!sc.bind) {  // nominal baseline: no fault, just keep running
     row.name = sc.title;
     run_for(gyro, 2.0);
     row.latched = sup->dtcs();
     row.final_state = safety::state_name(sup->state());
+    finish_obs(row);
     return row;
   }
 
@@ -113,6 +141,7 @@ Row run_scenario(const Scenario& sc) {
   if (sup->nominal_return_fast() > inject_at)
     row.recover = sup->nominal_return_fast() - inject_at;
   row.final_state = safety::state_name(sup->state());
+  finish_obs(row);
   return row;
 }
 
@@ -166,9 +195,12 @@ int main() {
               "final");
   std::printf("%s\n", std::string(138, '-').c_str());
 
+  obs::Observability obs;
+  std::vector<Row> rows;
   int undetected = 0, false_positives = 0;
   for (const auto& sc : scenarios) {
-    const Row row = run_scenario(sc);
+    const Row row = run_scenario(sc, obs);
+    rows.push_back(row);
     if (!row.armed) {
       std::printf("%-30s monitors never armed — scenario invalid\n", row.name.c_str());
       ++undetected;
@@ -210,6 +242,32 @@ int main() {
   std::printf("faults (reference drift, PGA error) are adapted around — the AGC\n");
   std::printf("re-trims and the state returns to NOMINAL while the DTC stays\n");
   std::printf("latched as service history.\n");
+  // Machine-readable results with the campaign-wide telemetry snapshot
+  // embedded — the structured-event totals make regressions in the event
+  // pipeline visible alongside the detection-latency numbers.
+  if (FILE* f = std::fopen("BENCH_fault_campaign.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"fault_campaign\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"fault\": \"%s\", \"layer\": \"%s\", \"detectable\": %s, "
+                   "\"latched_dtcs\": %u, \"detect_samples\": %ld, "
+                   "\"recover_samples\": %ld, \"final_state\": \"%s\", "
+                   "\"state_transitions\": %.0f, \"dtc_latches\": %.0f, "
+                   "\"fault_injections\": %.0f, \"events\": %llu}%s\n",
+                   obs::json_escape(r.name).c_str(), r.layer, r.detectable ? "true" : "false",
+                   r.latched, r.detect, r.recover, r.final_state, r.ev_transitions,
+                   r.ev_latches, r.ev_injections,
+                   static_cast<unsigned long long>(r.ev_total),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    const std::string snap = obs::json_snapshot(obs.metrics.snapshot(), &obs.events);
+    std::fprintf(f, "  \"observability\": %s\n}\n", snap.c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_fault_campaign.json\n");
+  }
+
   std::printf("\nsummary: %d detectable fault(s) missed, %d false positive(s)\n",
               undetected, false_positives);
   return (undetected || false_positives) ? 1 : 0;

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "platform/engine/channel_farm.hpp"
 
 using namespace ascp;
@@ -50,10 +51,12 @@ struct RunResult {
   std::vector<std::uint64_t> hashes;
 };
 
-RunResult run_fleet(std::size_t n_channels, unsigned threads, double sim_seconds) {
+RunResult run_fleet(std::size_t n_channels, unsigned threads, double sim_seconds,
+                    obs::MetricRegistry* metrics) {
   engine::FarmConfig fc;
   fc.root_seed = 2025;
   fc.threads = threads;
+  fc.shared_metrics = metrics;
   engine::ChannelFarm farm(fleet(n_channels), fc);
   farm.advance(0.002);  // warmup: touch every channel once, fault in pages
 
@@ -73,15 +76,22 @@ RunResult run_fleet(std::size_t n_channels, unsigned threads, double sim_seconds
 int main(int argc, char** argv) {
   const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
 
+  // Sharded farm metrics: every run (serial and pooled) records into the same
+  // registry, and the merged snapshot is embedded in BENCH_channel_farm.json.
+  obs::MetricRegistry metrics;
+
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
     // CI smoke: a small pooled farm vs its single-threaded twin, checked
     // byte-identical. Exercises the pool handshake and the batched path
     // without the full sweep's runtime.
-    const auto solo = run_fleet(4, 1, 0.1);
-    const auto pooled = run_fleet(4, hw, 0.1);
+    const auto solo = run_fleet(4, 1, 0.1, &metrics);
+    const auto pooled = run_fleet(4, hw, 0.1, &metrics);
     const bool ok = pooled.hashes == solo.hashes && pooled.samples == solo.samples;
-    std::printf("farm smoke: 4 channels, 0.1 s, %u threads: %zu samples, %s\n", hw,
-                pooled.samples, ok ? "bit-identical" : "MISMATCH");
+    const auto snap = metrics.snapshot();
+    std::printf("farm smoke: 4 channels, 0.1 s, %u threads: %zu samples, %s "
+                "(%.0f advances metered)\n",
+                hw, pooled.samples, ok ? "bit-identical" : "MISMATCH",
+                snap.counter_value("farm.channel_advances"));
     return ok ? 0 : 1;
   }
   // Per-channel simulated time shrinks as the fleet grows so total simulated
@@ -95,9 +105,9 @@ int main(int argc, char** argv) {
 
   for (const std::size_t n : kChannels) {
     const double sim_seconds = 1.28 / static_cast<double>(n);
-    const auto solo = run_fleet(n, 1, sim_seconds);
+    const auto solo = run_fleet(n, 1, sim_seconds, &metrics);
     for (const unsigned threads : {1u, hw}) {
-      const auto r = threads == 1 ? solo : run_fleet(n, threads, sim_seconds);
+      const auto r = threads == 1 ? solo : run_fleet(n, threads, sim_seconds, &metrics);
       Row row;
       row.channels = n;
       row.threads = threads;
@@ -129,7 +139,11 @@ int main(int argc, char** argv) {
                    r.channel_sec_per_sec, r.speedup, r.bit_identical ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    // Merged sharded-metrics snapshot across every run above; the counter
+    // totals are thread-count-independent (only commutative sums are shared).
+    const std::string snap = obs::json_snapshot(metrics.snapshot());
+    std::fprintf(f, "  \"observability\": %s\n}\n", snap.c_str());
     std::fclose(f);
     std::printf("wrote BENCH_channel_farm.json\n");
   }

@@ -47,6 +47,18 @@ ctest --preset ubsan
 echo "== channel-farm smoke (4 channels, 0.1 s) =="
 ./build/bench/perf_channel_farm --smoke
 
+echo "== observability: unit tests =="
+./build/tests/test_obs
+
+echo "== observability: golden bit-identity (obs on vs off) =="
+./build/tests/test_obs --gtest_filter='ObsBitIdentity.*'
+
+echo "== observability: platform_top smoke =="
+./build/tools/platform_top --smoke --json /tmp/ci_obs_snapshot.json
+
+echo "== platform_lint: event-category coverage =="
+./build/tools/platform_lint --events
+
 echo "== platform_lint: shipped platform must be error-free =="
 ./build/tools/platform_lint
 

@@ -1,0 +1,25 @@
+#include "analysis/obs_lint.hpp"
+
+namespace ascp::analysis {
+
+Report check_event_coverage(const ascp::obs::EventLog& log) {
+  Report report;
+  for (obs::EventCategory cat : obs::kAllEventCategories) {
+    const char* name = obs::category_name(cat);
+    if (!log.emitter_declared(cat)) {
+      report.add(Severity::Error, "events", name,
+                 "no component declares itself an emitter of this category — dead "
+                 "vocabulary (removed emitter, kept enum?)");
+      continue;
+    }
+    std::string who;
+    for (const auto& e : log.emitters(cat)) {
+      if (!who.empty()) who += ", ";
+      who += e;
+    }
+    report.add(Severity::Info, "events", name, "emitted by " + who);
+  }
+  return report;
+}
+
+}  // namespace ascp::analysis

@@ -1,0 +1,22 @@
+// obs_lint.hpp — static coverage check for the structured-event vocabulary.
+//
+// Every EventCategory enumerator is API surface: digests group by it, the
+// Chrome-trace exporter tracks it, operators filter on it. A category no
+// component can ever emit is dead vocabulary — usually a refactor that
+// removed the emitter but kept the enum. Instrumented components declare
+// the categories they emit when an event sink is attached
+// (EventLog::declare_emitter), so assembling the full platform with a sink
+// and then walking the declarations proves coverage without simulating a
+// sample — the same zero-sample philosophy as the register-map checker.
+#pragma once
+
+#include "analysis/findings.hpp"
+#include "obs/events.hpp"
+
+namespace ascp::analysis {
+
+/// Check that every EventCategory enumerator has at least one declared
+/// emitter in `log` (error per uncovered category, info listing claimants).
+Report check_event_coverage(const ascp::obs::EventLog& log);
+
+}  // namespace ascp::analysis

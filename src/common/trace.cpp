@@ -41,6 +41,9 @@ std::vector<std::string> TraceRecorder::names() const {
 void TraceRecorder::write_csv(const std::string& path) const {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("cannot open trace CSV for writing: " + path);
+  // Always emit a summary line so the file is valid (and non-empty) even for a
+  // recorder with zero channels or channels that never received a sample.
+  f << "# trace: " << channels_.size() << " channel(s)\n";
   for (const auto& [name, slot] : channels_) {
     f << "# channel: " << name << " dt=" << slot.data.dt << "\n";
     f << "t," << name << "\n";

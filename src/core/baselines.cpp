@@ -1,5 +1,6 @@
 #include "core/baselines.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/math.hpp"
@@ -179,7 +180,16 @@ void AnalogGyroBaseline::build(std::uint64_t seed) {
       "daq_output");
 }
 
-void AnalogGyroBaseline::power_on(std::uint64_t seed) { build(seed); }
+void AnalogGyroBaseline::power_on(std::uint64_t seed) {
+  build(seed);
+  // build() replaced the scheduler; re-attach the profiler to the new one.
+  if (obs_.tasks) sched_->set_profiler(obs_.tasks);
+}
+
+void AnalogGyroBaseline::set_observability(const obs::ObsSink& sink) {
+  obs_ = sink;
+  sched_->set_profiler(obs_.tasks);
+}
 
 void AnalogGyroBaseline::run(const sensor::Profile& rate, const sensor::Profile& temp,
                              double seconds, std::vector<double>* out) {
@@ -190,7 +200,11 @@ void AnalogGyroBaseline::run(const sensor::Profile& rate, const sensor::Profile&
   run_temp_ = &temp;
   run_out_ = out;
   run_origin_ = sched_->ticks();
+  const auto wall0 = std::chrono::steady_clock::now();
   sched_->run_seconds(seconds);
+  if (obs_.tasks)
+    obs_.tasks->record_run(
+        seconds, std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count());
   run_rate_ = run_temp_ = nullptr;
   run_out_ = nullptr;
 }

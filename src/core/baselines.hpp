@@ -22,6 +22,7 @@
 #include "core/drive_loop.hpp"
 #include "core/rate_sensor.hpp"
 #include "dsp/modem.hpp"
+#include "obs/observability.hpp"
 #include "platform/scheduler.hpp"
 #include "sensor/gyro_mems.hpp"
 
@@ -72,8 +73,15 @@ class AnalogGyroBaseline : public RateSensor {
 
   bool locked() const { return drive_->locked(); }
 
+  /// Attach an observability sink (profiler-only: an analog baseline has no
+  /// PLL registers or DTCs to report, but its multi-rate kernel profiles the
+  /// same way the platform's does). Survives power_on.
+  void set_observability(const obs::ObsSink& sink);
+
  private:
   void build(std::uint64_t seed);
+
+  obs::ObsSink obs_{};
 
   BaselineConfig cfg_;
   std::unique_ptr<sensor::GyroMems> mems_;

@@ -1,5 +1,6 @@
 #include "core/gyro_system.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "core/calibration.hpp"
@@ -149,6 +150,7 @@ void GyroSystem::build(std::uint64_t seed) {
   blk_ci_.clear();
   blk_cq_.clear();
   blk_target_ = 0;
+  obs_pll_prev_ = obs_agc_prev_ = obs_pll_ever_ = false;
   if (supervisor_) supervisor_->reset();
 }
 
@@ -166,7 +168,30 @@ void GyroSystem::factory_calibrate() {
   build(cfg_.seed);
 }
 
+void GyroSystem::set_observability(const obs::ObsSink& sink) {
+  obs_ = sink;
+  if (obs_.events) {
+    obs_.events->declare_emitter(obs::EventCategory::Pll, "GyroSystem");
+    obs_.events->declare_emitter(obs::EventCategory::Agc, "GyroSystem");
+    obs_.events->declare_emitter(obs::EventCategory::Scheduler, "GyroSystem");
+    obs_.events->declare_emitter(obs::EventCategory::Mcu, "GyroSystem");
+  }
+  if (obs_.metrics) {
+    obs_m_outputs_ = obs_.metrics->counter("gyro.output_samples");
+    obs_m_dsp_ = obs_.metrics->counter("gyro.dsp_samples");
+    obs_m_runs_ = obs_.metrics->counter("gyro.runs");
+    obs_h_output_v_ = obs_.metrics->histogram("gyro.output_v");
+  }
+  if (supervisor_) supervisor_->set_obs(obs_);
+  if (campaign_) campaign_->set_obs(obs_, cfg_.analog_fs / cfg_.adc_div);
+  platform_.cpu().set_profiler(obs_.mcu);
+}
+
 void GyroSystem::recover_from_watchdog() {
+  if (obs_.events)
+    obs_.events->emit(static_cast<double>(dsp_samples_) / (cfg_.analog_fs / cfg_.adc_div),
+                      obs::EventSeverity::Warn, obs::EventCategory::Mcu, "mcu_recovery",
+                      "watchdog reset: self-test + cal replay + reacquire");
   if (supervisor_) supervisor_->notify_watchdog_bite();
 
   // Boot-flow replay, the §4.2 reboot-from-EEPROM story: self-test first,
@@ -304,6 +329,7 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
       [this, &st] {
         if (!st.sp) return;
         ++dsp_samples_;
+        if (obs_.metrics) obs_.metrics->add(obs_m_dsp_);
         if (campaign_) campaign_->step(dsp_samples_);
       },
       "fault_campaign");
@@ -366,6 +392,41 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
         },
         "supervisor");
 
+  // ---- observability edge detectors (per DSP sample) --------------------
+  // Read-only taps on the drive loop: PLL lock / lock-loss / relock and AGC
+  // settle / unsettle become structured events. Registered only when an
+  // event sink is attached, so the disabled configuration schedules exactly
+  // the same task set as before the telemetry subsystem existed.
+  if (obs_.events)
+    sched.every(
+        1,
+        [this, &st] {
+          if (!st.sp) return;
+          const double t = static_cast<double>(dsp_samples_) / (cfg_.analog_fs / cfg_.adc_div);
+          const bool pll = drive_->pll_locked();
+          if (pll != obs_pll_prev_) {
+            if (pll) {
+              obs_.events->emit(t, obs::EventSeverity::Info, obs::EventCategory::Pll,
+                                obs_pll_ever_ ? "pll_relock" : "pll_lock", {},
+                                {{"freq_hz", drive_->frequency()}});
+              obs_pll_ever_ = true;
+            } else {
+              obs_.events->emit(t, obs::EventSeverity::Warn, obs::EventCategory::Pll,
+                                "pll_lock_loss");
+            }
+            obs_pll_prev_ = pll;
+          }
+          const bool settled = drive_->locked();
+          if (settled != obs_agc_prev_) {
+            obs_.events->emit(t, obs::EventSeverity::Info, obs::EventCategory::Agc,
+                              settled ? "agc_settled" : "agc_unsettled", {},
+                              {{"gain", drive_->amplitude_control()},
+                               {"amplitude", drive_->amplitude()}});
+            obs_agc_prev_ = settled;
+          }
+        },
+        "obs_events");
+
   // ---- trace tap (per DSP sample) ---------------------------------------
   if (trace_)
     sched.every(
@@ -400,6 +461,10 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
         }
         last_output_ = out_v;
         if (out) out->push_back(out_v);
+        if (obs_.metrics) {
+          obs_.metrics->add(obs_m_outputs_);
+          obs_.metrics->observe(obs_h_output_v_, out_v);
+        }
         if (trace_) trace_->push("rate_out", out_v);
         post_status(measured_temp);
         if (cfg_.with_mcu && st.cpu_cycles_per_slow > 0) platform_.run_cpu(st.cpu_cycles_per_slow);
@@ -428,11 +493,32 @@ void GyroSystem::run(const sensor::Profile& rate, const sensor::Profile& temp, d
   // divider arithmetic here.
   platform::Scheduler sched(cfg_.analog_fs);
   TickState st;
+  const long tick_origin = base_ticks_;
   schedule_pipeline(sched, st, rate, temp, out);
+  if (obs_.tasks) {
+    // Scheduler instances are per-run; the profiler accumulates across them.
+    // The tick origin maps this run's local ticks onto the channel's global
+    // tick axis so exported slice timestamps stay monotonic.
+    obs_.tasks->set_tick_origin(tick_origin);
+    sched.set_profiler(obs_.tasks);
+  }
+  if (obs_.events)
+    obs_.events->emit(static_cast<double>(dsp_samples_) / (cfg_.analog_fs / cfg_.adc_div),
+                      obs::EventSeverity::Debug, obs::EventCategory::Scheduler, "run_begin",
+                      {}, {{"seconds", seconds}});
+  const auto wall0 = std::chrono::steady_clock::now();
   sched.run_seconds(seconds);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
   // Batched open-loop runs may end mid-block; push the tail through so the
   // chain's observable state matches the sample-serial path at return.
   flush_sense_block();
+  if (obs_.tasks) obs_.tasks->record_run(seconds, wall);
+  if (obs_.metrics) obs_.metrics->add(obs_m_runs_);
+  if (obs_.events)
+    obs_.events->emit(static_cast<double>(dsp_samples_) / (cfg_.analog_fs / cfg_.adc_div),
+                      obs::EventSeverity::Debug, obs::EventCategory::Scheduler, "run_end", {},
+                      {{"seconds", seconds}, {"wall_s", wall}});
 }
 
 }  // namespace ascp::core

@@ -27,6 +27,7 @@
 #include "afe/reference.hpp"
 #include "common/trace.hpp"
 #include "core/drive_loop.hpp"
+#include "obs/observability.hpp"
 #include "core/rate_sensor.hpp"
 #include "core/sense_chain.hpp"
 #include "platform/platform.hpp"
@@ -113,7 +114,17 @@ class GyroSystem : public RateSensor {
   /// Present only when cfg.with_safety (nullptr otherwise).
   safety::SafetySupervisor* supervisor() { return supervisor_.get(); }
   /// Campaign stepped once per DSP sample inside run() (nullptr = none).
-  void set_fault_campaign(safety::FaultCampaign* campaign) { campaign_ = campaign; }
+  void set_fault_campaign(safety::FaultCampaign* campaign) {
+    campaign_ = campaign;
+    if (campaign_ && obs_.enabled())
+      campaign_->set_obs(obs_, cfg_.analog_fs / cfg_.adc_div);
+  }
+
+  /// Attach an observability sink and propagate it to the supervisor, the
+  /// fault campaign and the MCU core. Read-only observers: the numeric
+  /// output is bit-identical with the sink attached or not.
+  void set_observability(const obs::ObsSink& sink);
+  const obs::ObsSink& observability() const { return obs_; }
   /// DSP samples elapsed since power-on — the fault-injection time base.
   long dsp_samples() const { return dsp_samples_; }
   afe::AcquisitionChannel* acq_primary() { return acq_primary_.get(); }
@@ -181,6 +192,14 @@ class GyroSystem : public RateSensor {
 
   std::unique_ptr<safety::SafetySupervisor> supervisor_;
   safety::FaultCampaign* campaign_ = nullptr;
+
+  obs::ObsSink obs_{};
+  // Edge detectors for the PLL/AGC event emitters (per power-on).
+  bool obs_pll_prev_ = false, obs_agc_prev_ = false, obs_pll_ever_ = false;
+  // Metric ids interned once at attach time (recording must not hit the
+  // registry's name table).
+  obs::MetricRegistry::Id obs_m_outputs_ = 0, obs_m_dsp_ = 0, obs_m_runs_ = 0;
+  obs::MetricRegistry::Id obs_h_output_v_ = 0;
 
   TraceRecorder* trace_ = nullptr;
   std::size_t trace_decimate_ = 16;

@@ -1,5 +1,7 @@
 #include "mcu/core8051.hpp"
 
+#include "obs/mcu_profile.hpp"
+
 namespace ascp::mcu {
 
 namespace {
@@ -285,6 +287,7 @@ void Core8051::jump_to_isr(std::uint16_t vector, bool high_priority) {
   else
     in_isr_low_ = true;
   halted_ = false;  // an interrupt wakes a spinning idle loop
+  if (profiler_) profiler_->record_isr_enter(vector, static_cast<std::uint64_t>(cycles_));
 }
 
 bool Core8051::service_interrupts() {
@@ -346,8 +349,12 @@ int Core8051::step() {
     tick_peripherals(1);
     return 1;
   }
+  const std::uint16_t pc_before = pc_;
+  const std::uint8_t opcode = code_[pc_before];
   const int c = execute();
   cycles_ += c;
+  if (profiler_)
+    profiler_->record_exec(pc_before, opcode, c, static_cast<std::uint64_t>(cycles_));
   tick_peripherals(c);
   return c;
 }

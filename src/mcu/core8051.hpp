@@ -16,6 +16,10 @@
 #include <memory>
 #include <vector>
 
+namespace ascp::obs {
+class McuProfiler;
+}
+
 namespace ascp::mcu {
 
 /// Peripheral visible on the 8051 SFR bus (cache controller, UART extensions
@@ -121,6 +125,12 @@ class Core8051 {
   void jam() { jammed_ = true; }
   bool jammed() const { return jammed_; }
 
+  /// Attach an execution profiler (null detaches). The core reports every
+  /// retired instruction and interrupt dispatch; the profiler never feeds
+  /// back, so firmware behaviour is unchanged.
+  void set_profiler(obs::McuProfiler* profiler) { profiler_ = profiler; }
+  obs::McuProfiler* profiler() const { return profiler_; }
+
  private:
   // Memory spaces.
   std::array<std::uint8_t, 65536> code_{};
@@ -135,6 +145,7 @@ class Core8051 {
   long cycles_ = 0;
   bool halted_ = false;
   bool jammed_ = false;
+  obs::McuProfiler* profiler_ = nullptr;
 
   // Interrupt bookkeeping.
   bool in_isr_low_ = false, in_isr_high_ = false;

@@ -1,0 +1,221 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ascp::obs {
+
+namespace {
+
+std::uint64_t next_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0.0;
+}
+
+HistogramStats MetricsSnapshot::histogram_stats(std::string_view name) const {
+  for (const auto& [n, s] : histograms)
+    if (n == name) return s;
+  return {};
+}
+
+MetricRegistry::MetricRegistry() : uid_(next_uid()) {}
+MetricRegistry::~MetricRegistry() = default;
+
+int MetricRegistry::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // ≤ 0 and NaN land in the underflow bucket
+  int e = 0;
+  std::frexp(v, &e);  // v = m·2^e with m ∈ [0.5, 1) ⇒ v ∈ [2^(e-1), 2^e)
+  const int idx = e - kMinExp;
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+double MetricRegistry::bucket_floor(double v) {
+  const int idx = bucket_index(v);
+  if (idx == 0) return 0.0;
+  return std::ldexp(1.0, idx + kMinExp - 1);
+}
+
+MetricRegistry::Id MetricRegistry::intern(std::vector<std::string>& names, std::string_view name,
+                                          std::size_t cap, const char* kind) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return static_cast<Id>(i);
+  if (names.size() >= cap)
+    throw std::length_error(std::string("MetricRegistry: too many ") + kind + " metrics");
+  names.emplace_back(name);
+  return static_cast<Id>(names.size() - 1);
+}
+
+MetricRegistry::Id MetricRegistry::counter(std::string_view name) {
+  return intern(counter_names_, name, kMaxCounters, "counter");
+}
+
+MetricRegistry::Id MetricRegistry::gauge(std::string_view name) {
+  return intern(gauge_names_, name, kMaxGauges, "gauge");
+}
+
+MetricRegistry::Id MetricRegistry::histogram(std::string_view name) {
+  return intern(hist_names_, name, kMaxHistograms, "histogram");
+}
+
+MetricRegistry::Shard* MetricRegistry::local_shard() {
+  // Each thread caches (registry uid → shard) so the fast path is a linear
+  // scan of a tiny vector with no locks. Registries are few and long-lived;
+  // stale entries from destroyed registries are never matched (uids are
+  // globally unique) and cost only their cache slot.
+  struct CacheEntry {
+    std::uint64_t uid;
+    Shard* shard;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache)
+    if (e.uid == uid_) return e.shard;
+
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    shards_.push_back(std::move(owned));
+  }
+  cache.push_back({uid_, shard});
+  return shard;
+}
+
+void MetricRegistry::add(Id id, double delta) {
+  atomic_add(local_shard()->counters[id], delta);
+}
+
+void MetricRegistry::set(Id id, double value) {
+  gauges_[id].store(value, std::memory_order_relaxed);
+}
+
+void MetricRegistry::observe(Id id, double value) {
+  Hist& h = local_shard()->hists[id];
+  h.buckets[static_cast<std::size_t>(bucket_index(value))].fetch_add(1,
+                                                                     std::memory_order_relaxed);
+  const std::uint64_t n = h.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(h.sum, value);
+  if (n == 0) {
+    // First observation in this shard seeds min/max (they start at 0.0,
+    // which would otherwise poison all-positive distributions).
+    h.min.store(value, std::memory_order_relaxed);
+    h.max.store(value, std::memory_order_relaxed);
+  } else {
+    atomic_min(h.min, value);
+    atomic_max(h.max, value);
+  }
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(m_);
+  MetricsSnapshot snap;
+
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    double total = 0.0;
+    for (const auto& sh : shards_) total += sh->counters[i].load(std::memory_order_relaxed);
+    snap.counters.emplace_back(counter_names_[i], total);
+  }
+
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i)
+    snap.gauges.emplace_back(gauge_names_[i], gauges_[i].load(std::memory_order_relaxed));
+
+  snap.histograms.reserve(hist_names_.size());
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    HistogramStats st;
+    bool first = true;
+    for (const auto& sh : shards_) {
+      const Hist& h = sh->hists[i];
+      const std::uint64_t n = h.count.load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      for (int b = 0; b < kBuckets; ++b)
+        buckets[static_cast<std::size_t>(b)] += h.buckets[static_cast<std::size_t>(b)].load(
+            std::memory_order_relaxed);
+      st.count += n;
+      st.sum += h.sum.load(std::memory_order_relaxed);
+      const double mn = h.min.load(std::memory_order_relaxed);
+      const double mx = h.max.load(std::memory_order_relaxed);
+      if (first) {
+        st.min = mn;
+        st.max = mx;
+        first = false;
+      } else {
+        st.min = std::min(st.min, mn);
+        st.max = std::max(st.max, mx);
+      }
+    }
+    if (st.count) {
+      const auto percentile = [&](double q) {
+        const std::uint64_t rank = static_cast<std::uint64_t>(
+            std::ceil(q / 100.0 * static_cast<double>(st.count)));
+        std::uint64_t cum = 0;
+        for (int b = 0; b < kBuckets; ++b) {
+          cum += buckets[static_cast<std::size_t>(b)];
+          if (cum >= rank) {
+            const double floor_v =
+                b == 0 ? 0.0 : std::ldexp(1.0, b + kMinExp - 1);
+            // The bucket edge can undershoot the exact extrema we track.
+            return std::clamp(floor_v, st.min, st.max);
+          }
+        }
+        return st.max;
+      };
+      st.p50 = percentile(50.0);
+      st.p95 = percentile(95.0);
+      st.p99 = percentile(99.0);
+    }
+    snap.histograms.emplace_back(hist_names_[i], st);
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricRegistry::reset_values() {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+  for (const auto& sh : shards_) {
+    for (auto& c : sh->counters) c.store(0.0, std::memory_order_relaxed);
+    for (auto& h : sh->hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0.0, std::memory_order_relaxed);
+      h.min.store(0.0, std::memory_order_relaxed);
+      h.max.store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace ascp::obs

@@ -1,0 +1,131 @@
+// metrics.hpp — sharded metric registry: counters, gauges, log-bucketed
+// histograms.
+//
+// The paper's FPGA prototype exists to observe the platform (§4.2 stores
+// chain-internal data into SRAM in real time); MetricRegistry is the
+// aggregate-statistics half of the simulation-side equivalent. Counters and
+// histograms record into per-thread shards — one relaxed atomic op per
+// record, no locks, no false sharing with other threads' shards — so
+// ChannelFarm workers can instrument hot loops without serializing. A
+// snapshot() merges every shard under the registry mutex.
+//
+// Zero-cost-when-disabled contract: instrumented components hold a
+// `MetricRegistry*` that defaults to nullptr (the null sink); nothing in the
+// numeric path reads metric state, so enabling metrics cannot perturb
+// simulation output.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ascp::obs {
+
+/// Merged view of one histogram. Percentiles are derived from the log-2
+/// bucket layout: a recorded value is attributed to the bucket [2^(e-1), 2^e)
+/// containing it, and percentile() reports that bucket's lower edge (exact
+/// for values that sit on a bucket edge, ≤2× off otherwise); min and max are
+/// tracked exactly.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Point-in-time merge of every shard, sorted by metric name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+
+  /// Value of a counter by name (0 when absent).
+  double counter_value(std::string_view name) const;
+  /// Stats of a histogram by name (all-zero when absent).
+  HistogramStats histogram_stats(std::string_view name) const;
+};
+
+class MetricRegistry {
+ public:
+  using Id = std::uint32_t;
+
+  /// Fixed per-shard capacities: ids are dense indexes into shard arrays so
+  /// recording never allocates. Creating more metrics than this throws.
+  static constexpr std::size_t kMaxCounters = 192;
+  static constexpr std::size_t kMaxGauges = 64;
+  static constexpr std::size_t kMaxHistograms = 64;
+  /// Histogram buckets: bucket 0 catches v < 2^kMinExp (and v ≤ 0); bucket
+  /// i ≥ 1 covers [2^(kMinExp+i-1), 2^(kMinExp+i)).
+  static constexpr int kBuckets = 88;
+  static constexpr int kMinExp = -40;
+
+  MetricRegistry();
+  ~MetricRegistry();
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Get-or-create by name (same name → same id, any thread).
+  Id counter(std::string_view name);
+  Id gauge(std::string_view name);
+  Id histogram(std::string_view name);
+
+  /// Counter increment — one relaxed atomic add in this thread's shard.
+  void add(Id id, double delta = 1.0);
+  /// Gauge write — last value wins (registry-level, not sharded: gauges are
+  /// "current state", which has no meaningful cross-thread merge).
+  void set(Id id, double value);
+  /// Histogram observation — bucket increment + sum/min/max in this
+  /// thread's shard.
+  void observe(Id id, double value);
+
+  /// Merge every shard into one consistent view. Safe to call while other
+  /// threads record (their in-flight updates land in the next snapshot).
+  MetricsSnapshot snapshot() const;
+
+  /// Zero all values (metric names/ids survive). Callers must quiesce
+  /// recording threads first.
+  void reset_values();
+
+  /// Lower edge of the log bucket that `v` falls into — the value
+  /// percentile() would report for a rank landing on `v`'s bucket. Exposed
+  /// so tests can construct distributions with exact percentiles.
+  static double bucket_floor(double v);
+  /// Bucket index for `v` (0 .. kBuckets-1).
+  static int bucket_index(double v);
+
+ private:
+  struct Hist {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+  };
+  struct Shard {
+    std::array<std::atomic<double>, kMaxCounters> counters{};
+    std::array<Hist, kMaxHistograms> hists{};
+  };
+
+  Shard* local_shard();
+  Id intern(std::vector<std::string>& names, std::string_view name, std::size_t cap,
+            const char* kind);
+
+  const std::uint64_t uid_;  ///< distinguishes registries in the TLS cache
+  mutable std::mutex m_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ascp::obs

@@ -1,0 +1,42 @@
+// observability.hpp — the sink handed to instrumented components.
+//
+// ObsSink is a bundle of non-owning pointers; any member may be null and
+// components must treat null as "that channel is disabled". The default
+// ObsSink{} is the null sink — attaching it is a no-op, which is how the
+// zero-cost-when-disabled contract is spelled: components guard every
+// emission with a pointer test and never read observability state back into
+// the numeric path.
+//
+// Observability is the owning counterpart for callers who just want "all of
+// it": one registry, one event log, one task profiler, one MCU profiler, and
+// a sink() view over them.
+#pragma once
+
+#include "obs/events.hpp"
+#include "obs/mcu_profile.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace ascp::obs {
+
+/// Non-owning view; null members disable the corresponding channel.
+struct ObsSink {
+  MetricRegistry* metrics = nullptr;
+  EventLog* events = nullptr;
+  TaskProfiler* tasks = nullptr;
+  McuProfiler* mcu = nullptr;
+
+  bool enabled() const { return metrics || events || tasks || mcu; }
+};
+
+/// Owning bundle of every observability component.
+struct Observability {
+  MetricRegistry metrics;
+  EventLog events;
+  TaskProfiler tasks;
+  McuProfiler mcu;
+
+  ObsSink sink() { return {&metrics, &events, &tasks, &mcu}; }
+};
+
+}  // namespace ascp::obs

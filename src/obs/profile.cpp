@@ -1,0 +1,53 @@
+#include "obs/profile.hpp"
+
+namespace ascp::obs {
+
+TaskProfiler::TaskProfiler(std::size_t slice_capacity)
+    : slice_capacity_(slice_capacity) {}
+
+int TaskProfiler::register_task(std::string_view name, long divider, long phase) {
+  std::string label(name);
+  if (label.empty())
+    label = "task@" + std::to_string(divider) + "+" + std::to_string(phase);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskStats& t = tasks_[i];
+    if (t.name == label && t.divider == divider && t.phase == phase)
+      return static_cast<int>(i);
+  }
+  TaskStats t;
+  t.name = std::move(label);
+  t.divider = divider;
+  t.phase = phase;
+  tasks_.push_back(std::move(t));
+  return static_cast<int>(tasks_.size() - 1);
+}
+
+void TaskProfiler::record(int id, long tick, double wall_seconds) {
+  TaskStats& t = tasks_[static_cast<std::size_t>(id)];
+  ++t.invocations;
+  t.wall_seconds += wall_seconds;
+  if (slices_.size() < slice_capacity_) {
+    slices_.push_back({id, tick_origin_ + tick, wall_seconds});
+  } else {
+    ++slices_dropped_;
+  }
+}
+
+void TaskProfiler::record_run(double sim_seconds, double wall_seconds) {
+  sim_seconds_ += sim_seconds;
+  wall_seconds_ += wall_seconds;
+}
+
+void TaskProfiler::reset() {
+  for (auto& t : tasks_) {
+    t.invocations = 0;
+    t.wall_seconds = 0.0;
+  }
+  slices_.clear();
+  slices_dropped_ = 0;
+  tick_origin_ = 0;
+  sim_seconds_ = 0.0;
+  wall_seconds_ = 0.0;
+}
+
+}  // namespace ascp::obs

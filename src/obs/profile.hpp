@@ -1,0 +1,87 @@
+// profile.hpp — scheduler task profiler.
+//
+// Answers "where did the simulation time go": per-task invocation counts and
+// accumulated wall time inside platform::Scheduler, plus a bounded ring of
+// per-invocation slices (task, base tick, wall cost) for the Chrome-trace
+// exporter, and the run-level sim-time/wall-time ratio.
+//
+// The profiler outlives individual Scheduler instances on purpose:
+// GyroSystem builds a fresh Scheduler per run() call, so tasks are
+// re-registered each run and deduplicated here by (name, divider, phase) —
+// statistics accumulate across runs. set_tick_origin() maps each run's
+// local tick 0 onto the channel's global tick axis so exported slice
+// timestamps stay monotonic across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ascp::obs {
+
+class TaskProfiler {
+ public:
+  explicit TaskProfiler(std::size_t slice_capacity = 16384);
+
+  /// Get-or-create the id for a task. Unnamed tasks profile under a
+  /// synthesized "task@divider+phase" label.
+  int register_task(std::string_view name, long divider, long phase);
+
+  /// Base tick rate [Hz] of the scheduler feeding this profiler — set by
+  /// Scheduler::set_profiler, used to convert ticks to sim seconds.
+  void set_base_rate(double hz) { base_rate_hz_ = hz; }
+  double base_rate() const { return base_rate_hz_; }
+
+  /// Global tick corresponding to the *next* run's local tick 0.
+  void set_tick_origin(long origin) { tick_origin_ = origin; }
+
+  /// One task invocation at scheduler-local `tick`, costing `wall_seconds`.
+  void record(int id, long tick, double wall_seconds);
+
+  /// One completed run of the owning system: `sim_seconds` of simulated time
+  /// bought with `wall_seconds` of host time.
+  void record_run(double sim_seconds, double wall_seconds);
+
+  struct TaskStats {
+    std::string name;
+    long divider = 1;
+    long phase = 0;
+    std::uint64_t invocations = 0;
+    double wall_seconds = 0.0;
+  };
+  const std::vector<TaskStats>& stats() const { return tasks_; }
+  std::size_t task_count() const { return tasks_.size(); }
+  const std::string& task_name(int id) const { return tasks_[static_cast<std::size_t>(id)].name; }
+
+  /// Per-invocation slice on the global tick axis (for trace export).
+  struct Slice {
+    int task_id = 0;
+    long tick = 0;  ///< global tick (origin + scheduler-local tick)
+    double wall_seconds = 0.0;
+  };
+  const std::vector<Slice>& slices() const { return slices_; }
+  std::uint64_t slices_dropped() const { return slices_dropped_; }
+
+  double sim_seconds() const { return sim_seconds_; }
+  double wall_seconds() const { return wall_seconds_; }
+  /// Simulated seconds per host second across all recorded runs (0 when no
+  /// wall time has been recorded).
+  double sim_per_wall() const {
+    return wall_seconds_ > 0.0 ? sim_seconds_ / wall_seconds_ : 0.0;
+  }
+
+  void reset();
+
+ private:
+  std::vector<TaskStats> tasks_;
+  std::vector<Slice> slices_;
+  std::size_t slice_capacity_;
+  std::uint64_t slices_dropped_ = 0;
+  double base_rate_hz_ = 0.0;
+  long tick_origin_ = 0;
+  double sim_seconds_ = 0.0;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace ascp::obs

@@ -7,6 +7,12 @@
 namespace ascp::engine {
 
 ChannelFarm::ChannelFarm(std::vector<ChannelConfig> specs, const FarmConfig& cfg) {
+  metrics_ = cfg.shared_metrics;
+  if (metrics_) {
+    m_advances_ = metrics_->counter("farm.channel_advances");
+    m_samples_ = metrics_->counter("farm.output_samples");
+    h_ticks_ = metrics_->histogram("farm.advance_ticks");
+  }
   Rng root(cfg.root_seed);
   channels_.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -35,15 +41,24 @@ ChannelFarm::~ChannelFarm() {
   for (auto& t : pool_) t.join();
 }
 
-void ChannelFarm::advance(double seconds) {
+void ChannelFarm::advance_channel(ConditioningChannel& ch, double seconds) {
   // Each channel converts the common wall of simulated time to its own base
   // ticks (farms may mix base rates), exactly as a solo run would.
-  auto advance_one = [seconds](ConditioningChannel& ch) {
-    ch.advance(std::llround(seconds * ch.base_rate_hz()));
-  };
+  const long ticks = std::llround(seconds * ch.base_rate_hz());
+  const std::size_t before = ch.outputs().size();
+  ch.advance(ticks);
+  if (metrics_) {
+    // Sharded, commutative records only: the merged totals are independent
+    // of which worker ran which channel.
+    metrics_->add(m_advances_);
+    metrics_->add(m_samples_, static_cast<double>(ch.outputs().size() - before));
+    metrics_->observe(h_ticks_, static_cast<double>(ticks));
+  }
+}
 
+void ChannelFarm::advance(double seconds) {
   if (pool_.empty()) {
-    for (auto& ch : channels_) advance_one(*ch);
+    for (auto& ch : channels_) advance_channel(*ch, seconds);
     return;
   }
 
@@ -73,10 +88,8 @@ void ChannelFarm::worker_loop() {
     }
 
     std::size_t i;
-    while ((i = cursor_.fetch_add(1, std::memory_order_relaxed)) < channels_.size()) {
-      auto& ch = *channels_[i];
-      ch.advance(std::llround(seconds * ch.base_rate_hz()));
-    }
+    while ((i = cursor_.fetch_add(1, std::memory_order_relaxed)) < channels_.size())
+      advance_channel(*channels_[i], seconds);
 
     {
       std::lock_guard<std::mutex> lk(m_);

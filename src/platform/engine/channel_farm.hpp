@@ -34,6 +34,12 @@ struct FarmConfig {
   /// Worker threads; 0 selects std::thread::hardware_concurrency(). The pool
   /// is created once at construction and reused by every advance() call.
   unsigned threads = 1;
+  /// Optional farm-level metric registry (non-owning). Workers record
+  /// per-channel progress into their thread's shard lock-free; because every
+  /// recorded quantity is a commutative sum (counters, histogram buckets),
+  /// the merged snapshot is identical for any thread count and any
+  /// channel→worker assignment.
+  obs::MetricRegistry* shared_metrics = nullptr;
 };
 
 class ChannelFarm {
@@ -61,9 +67,14 @@ class ChannelFarm {
 
  private:
   void worker_loop();
+  void advance_channel(ConditioningChannel& ch, double seconds);
 
   std::vector<std::unique_ptr<ConditioningChannel>> channels_;
   unsigned threads_ = 1;
+
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::MetricRegistry::Id m_advances_ = 0, m_samples_ = 0;
+  obs::MetricRegistry::Id h_ticks_ = 0;
 
   // Pool coordination: advance() publishes the time quantum under the mutex
   // and bumps the generation; workers race down the atomic cursor, and the

@@ -36,6 +36,14 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
   }
   sensor_->power_on(cfg_.seed);
 
+  if (cfg_.with_obs) {
+    obs_ = std::make_unique<obs::Observability>();
+    if (gyro_)
+      gyro_->set_observability(obs_->sink());
+    else if (auto* bl = dynamic_cast<core::AnalogGyroBaseline*>(sensor_.get()))
+      bl->set_observability(obs_->sink());
+  }
+
   if (gyro_ && cfg_.with_trace) {
     trace_ = std::make_unique<TraceRecorder>();
     gyro_->set_trace(trace_.get(), /*decimate=*/64);

@@ -23,6 +23,7 @@
 
 #include "common/trace.hpp"
 #include "core/rate_sensor.hpp"
+#include "obs/observability.hpp"
 #include "safety/fault_injection.hpp"
 
 namespace ascp::core {
@@ -49,6 +50,10 @@ struct ChannelConfig {
   bool with_safety = false;  ///< supervisor + DIAG block (GyroFull/GyroIdeal)
   bool with_faults = false;  ///< canonical fault campaign (implies with_safety)
   bool with_trace = false;   ///< attach a TraceRecorder (gyro kinds only)
+  /// Own a per-channel Observability bundle (metrics + event log + task
+  /// profiler + MCU profiler) and attach it to the sensor. Observers are
+  /// read-only: the output stream is bit-identical with or without it.
+  bool with_obs = false;
 };
 
 class ConditioningChannel {
@@ -71,6 +76,9 @@ class ConditioningChannel {
   const ChannelConfig& config() const { return cfg_; }
   const std::vector<double>& outputs() const { return out_; }
   const TraceRecorder* trace() const { return trace_.get(); }
+  /// Per-channel telemetry (null unless cfg.with_obs).
+  obs::Observability* observability() { return obs_.get(); }
+  const obs::Observability* observability() const { return obs_.get(); }
 
   /// FNV-1a over the output samples' bit patterns — the byte-identity
   /// fingerprint the determinism tests and the farm bench compare.
@@ -82,6 +90,7 @@ class ConditioningChannel {
   core::GyroSystem* gyro_ = nullptr;  ///< non-owning; set for gyro kinds
   std::unique_ptr<safety::FaultCampaign> campaign_;
   std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<obs::Observability> obs_;
   sensor::Profile rate_;
   sensor::Profile temp_;
   std::vector<double> out_;

@@ -1,6 +1,9 @@
 #include "platform/scheduler.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/profile.hpp"
 
 namespace ascp::platform {
 
@@ -12,12 +15,32 @@ void Scheduler::every(long divider, long phase, Task task, std::string name) {
   if (divider < 1) throw std::invalid_argument("scheduler divider must be >= 1");
   if (phase < 0 || phase >= divider)
     throw std::invalid_argument("scheduler phase must be in [0, divider)");
-  entries_.push_back(Entry{divider, phase, std::move(task), std::move(name)});
+  Entry e{divider, phase, std::move(task), std::move(name), -1};
+  if (profiler_) e.profile_id = profiler_->register_task(e.name, divider, phase);
+  entries_.push_back(std::move(e));
+}
+
+void Scheduler::set_profiler(obs::TaskProfiler* profiler) {
+  profiler_ = profiler;
+  for (Entry& e : entries_)
+    e.profile_id = profiler_ ? profiler_->register_task(e.name, e.divider, e.phase) : -1;
+  if (profiler_) profiler_->set_base_rate(base_rate_);
 }
 
 void Scheduler::tick() {
-  for (Entry& e : entries_)
-    if (ticks_ % e.divider == e.phase) e.task();
+  if (profiler_) {
+    using clock = std::chrono::steady_clock;
+    for (Entry& e : entries_) {
+      if (ticks_ % e.divider != e.phase) continue;
+      const auto t0 = clock::now();
+      e.task();
+      const double wall = std::chrono::duration<double>(clock::now() - t0).count();
+      profiler_->record(e.profile_id, ticks_, wall);
+    }
+  } else {
+    for (Entry& e : entries_)
+      if (ticks_ % e.divider == e.phase) e.task();
+  }
   ++ticks_;
 }
 

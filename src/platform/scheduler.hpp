@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+namespace ascp::obs {
+class TaskProfiler;
+}
+
 namespace ascp::platform {
 
 class Scheduler {
@@ -47,17 +51,26 @@ class Scheduler {
   long ticks() const { return ticks_; }
   double now() const { return static_cast<double>(ticks_) / base_rate_; }
 
+  /// Attach a task profiler (null detaches). Already-registered and future
+  /// tasks are registered with it; while attached, tick() wall-times every
+  /// task invocation. Profiling is observational only — it cannot change
+  /// task order or firing pattern.
+  void set_profiler(obs::TaskProfiler* profiler);
+  obs::TaskProfiler* profiler() const { return profiler_; }
+
  private:
   struct Entry {
     long divider;
     long phase;
     Task task;
     std::string name;
+    int profile_id = -1;
   };
 
   double base_rate_;
   long ticks_ = 0;
   std::vector<Entry> entries_;
+  obs::TaskProfiler* profiler_ = nullptr;
 };
 
 }  // namespace ascp::platform

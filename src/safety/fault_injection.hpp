@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/observability.hpp"
+
 namespace ascp::safety {
 
 enum class FaultLayer { Sensor, Afe, Dsp, Mcu };
@@ -47,6 +49,14 @@ class FaultCampaign {
     entries_.push_back({std::move(spec), std::move(inject), std::move(clear)});
   }
 
+  /// Attach an observability sink (`fs` converts sample indexes to seconds
+  /// for event timestamps). Inject/clear firings emit Fault events.
+  void set_obs(const obs::ObsSink& sink, double fs) {
+    obs_ = sink;
+    obs_fs_ = fs > 0.0 ? fs : 1.0;
+    if (obs_.events) obs_.events->declare_emitter(obs::EventCategory::Fault, "FaultCampaign");
+  }
+
   /// Advance to DSP-sample `sample`, firing any due injections/clears.
   /// Called from inside the system's run loop.
   void step(long sample) {
@@ -54,11 +64,22 @@ class FaultCampaign {
       if (!e.injected && sample >= e.spec.inject_at) {
         e.inject();
         e.injected = true;
+        if (obs_.events)
+          obs_.events->emit(static_cast<double>(sample) / obs_fs_, obs::EventSeverity::Warn,
+                            obs::EventCategory::Fault, "fault_inject", e.spec.name,
+                            {{"sample", static_cast<double>(sample)},
+                             {"layer", static_cast<double>(static_cast<int>(e.spec.layer))}});
+        if (obs_.metrics) obs_.metrics->add(obs_.metrics->counter("fault.injections"));
       }
       if (e.injected && !e.cleared && e.spec.clear_after >= 0 &&
           sample >= e.spec.inject_at + e.spec.clear_after) {
         if (e.clear) e.clear();
         e.cleared = true;
+        if (obs_.events)
+          obs_.events->emit(static_cast<double>(sample) / obs_fs_, obs::EventSeverity::Info,
+                            obs::EventCategory::Fault, "fault_clear", e.spec.name,
+                            {{"sample", static_cast<double>(sample)}});
+        if (obs_.metrics) obs_.metrics->add(obs_.metrics->counter("fault.clears"));
       }
     }
   }
@@ -78,6 +99,8 @@ class FaultCampaign {
 
  private:
   std::vector<Entry> entries_;
+  obs::ObsSink obs_{};
+  double obs_fs_ = 1.0;
 };
 
 }  // namespace ascp::safety

@@ -16,6 +16,31 @@ int bit_index(std::uint16_t bit) {
 }
 }  // namespace
 
+void SafetySupervisor::set_obs(const obs::ObsSink& sink) {
+  obs_ = sink;
+  if (obs_.events) {
+    obs_.events->declare_emitter(obs::EventCategory::Supervisor, "SafetySupervisor");
+    obs_.events->declare_emitter(obs::EventCategory::Dtc, "SafetySupervisor");
+    obs_.events->declare_emitter(obs::EventCategory::Watchdog, "SafetySupervisor");
+  }
+}
+
+void SafetySupervisor::set_state(SafetyState next) {
+  if (next == state_) return;
+  const SafetyState prev = state_;
+  state_ = next;
+  if (obs_.events) {
+    // A step toward SAFE_STATE is bad news; a step back down is recovery.
+    const bool worse = static_cast<int>(next) > static_cast<int>(prev);
+    obs_.events->emit(sim_time(), worse ? obs::EventSeverity::Warn : obs::EventSeverity::Info,
+                      obs::EventCategory::Supervisor, "state_transition",
+                      std::string(state_name(prev)) + "->" + state_name(next),
+                      {{"from", static_cast<double>(prev)}, {"to", static_cast<double>(next)}});
+  }
+  if (obs_.metrics)
+    obs_.metrics->add(obs_.metrics->counter("supervisor.state_transitions"));
+}
+
 void SafetySupervisor::attach(platform::RegisterFile* regs, std::uint16_t base) {
   regs_ = regs;
   diag_base_ = base;
@@ -171,16 +196,16 @@ SlowDecision SafetySupervisor::on_slow(const SlowSample& s) {
       break;
     case SafetyState::Degraded:
       if (critical_slow_ >= cfg_.escalate_slow) {
-        state_ = SafetyState::SafeState;
+        set_state(SafetyState::SafeState);
       } else if (quiet_slow_ >= cfg_.recover_slow) {
-        state_ = SafetyState::Nominal;
+        set_state(SafetyState::Nominal);
         nominal_return_fast_ = fast_index_;
         quiet_slow_ = 0;
       }
       break;
     case SafetyState::SafeState:
       if (quiet_slow_ >= cfg_.recover_slow) {
-        state_ = SafetyState::Degraded;
+        set_state(SafetyState::Degraded);
         quiet_slow_ = 0;
       }
       break;
@@ -223,7 +248,13 @@ double SafetySupervisor::comp_temp(double measured_c) {
   return measured_c;
 }
 
-void SafetySupervisor::notify_watchdog_bite() { latch(kDtcWatchdogBite); }
+void SafetySupervisor::notify_watchdog_bite() {
+  if (obs_.events)
+    obs_.events->emit(sim_time(), obs::EventSeverity::Error, obs::EventCategory::Watchdog,
+                      "watchdog_bite");
+  if (obs_.metrics) obs_.metrics->add(obs_.metrics->counter("supervisor.watchdog_bites"));
+  latch(kDtcWatchdogBite);
+}
 
 void SafetySupervisor::notify_selftest(bool passed) {
   if (!passed) latch(kDtcSelfTest);
@@ -250,6 +281,9 @@ long SafetySupervisor::first_latch_fast(std::uint16_t dtc_bit) const {
 }
 
 void SafetySupervisor::clear_dtcs() {
+  if (obs_.events && dtcs_)
+    obs_.events->emit(sim_time(), obs::EventSeverity::Info, obs::EventCategory::Dtc,
+                      "dtc_clear", describe_dtcs(dtcs_));
   dtcs_ = 0;
   post_diag();
 }
@@ -291,7 +325,12 @@ void SafetySupervisor::latch(std::uint16_t dtc_bit) {
   ++events_;
   auto& first = first_latch_[static_cast<std::size_t>(bit_index(dtc_bit))];
   if (first < 0) first = fast_index_;
-  if (state_ == SafetyState::Nominal) state_ = SafetyState::Degraded;
+  if (obs_.events)
+    obs_.events->emit(sim_time(), obs::EventSeverity::Error, obs::EventCategory::Dtc,
+                      "dtc_latch", dtc_name(dtc_bit),
+                      {{"mask", static_cast<double>(dtcs_)}});
+  if (obs_.metrics) obs_.metrics->add(obs_.metrics->counter("supervisor.dtc_latches"));
+  if (state_ == SafetyState::Nominal) set_state(SafetyState::Degraded);
   post_diag();
 }
 

@@ -40,6 +40,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/observability.hpp"
 #include "platform/registers.hpp"
 #include "safety/dtc.hpp"
 
@@ -123,6 +124,11 @@ class SafetySupervisor {
   /// samples; returning false latches CAL_CRC.
   void set_calibration_audit(std::function<bool()> audit) { audit_ = std::move(audit); }
 
+  /// Attach an observability sink (null members disable channels). The
+  /// supervisor emits exactly one Supervisor event per state transition, one
+  /// Dtc event per latch/clear, and one Watchdog event per bite.
+  void set_obs(const obs::ObsSink& sink);
+
   // ---- chain hooks ---------------------------------------------------------
   void on_fast(const FastSample& s);
   SlowDecision on_slow(const SlowSample& s);
@@ -166,8 +172,13 @@ class SafetySupervisor {
   void scrub_config();
   void post_diag();
   bool any_condition_active() const;
+  /// Every state_ change goes through here — the single place that emits the
+  /// Supervisor transition event (so there is exactly one event per change).
+  void set_state(SafetyState next);
+  double sim_time() const { return static_cast<double>(fast_index_) / cfg_.fs; }
 
   SupervisorConfig cfg_;
+  obs::ObsSink obs_{};
   platform::RegisterFile* regs_ = nullptr;
   std::uint16_t diag_base_ = 0;
   bool diag_defined_ = false;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -85,6 +86,51 @@ TEST(Trace, AsciiRenderContainsHeaderAndStars) {
   const auto art = rec.render_ascii("w", 40, 8);
   EXPECT_NE(art.find("w  ["), std::string::npos);
   EXPECT_NE(art.find('*'), std::string::npos);
+}
+
+TEST(Trace, CsvWithZeroChannelsIsValidFile) {
+  TraceRecorder rec;
+  const std::string path = ::testing::TempDir() + "/ascp_trace_empty.csv";
+  rec.write_csv(path);  // must not throw and must leave a readable file
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("# trace: 0 channel(s)"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CsvChannelWithNoSamplesKeepsHeader) {
+  TraceRecorder rec;
+  rec.open("quiet", 0.25);  // opened but never pushed
+  const std::string path = ::testing::TempDir() + "/ascp_trace_quiet.csv";
+  rec.write_csv(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string body = ss.str();
+  EXPECT_NE(body.find("# channel: quiet"), std::string::npos);
+  EXPECT_NE(body.find("t,quiet"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, AsciiConstantChannelRendersWithoutDivideByZero) {
+  TraceRecorder rec;
+  rec.open("flat", 0.001);
+  for (int i = 0; i < 50; ++i) rec.push("flat", 2.5);
+  const auto art = rec.render_ascii("flat", 32, 6);  // hi == lo internally
+  EXPECT_NE(art.find("flat  ["), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  for (const char ch : art) {
+    EXPECT_TRUE(std::isprint(static_cast<unsigned char>(ch)) || ch == '\n') << int(ch);
+  }
+}
+
+TEST(Trace, AsciiEmptyChannelReturnsEmptyString) {
+  TraceRecorder rec;
+  rec.open("never", 1.0);
+  EXPECT_TRUE(rec.render_ascii("never", 40, 8).empty());
 }
 
 TEST(Trace, ClearRemovesEverything) {

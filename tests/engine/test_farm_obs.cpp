@@ -1,0 +1,92 @@
+// Farm-level observability: worker threads record into per-thread shards of
+// one shared MetricRegistry, and the merged snapshot must be independent of
+// the thread count (only commutative sums are shared). This file rides in
+// the test_engine binary so the TSan CI stage races the shards for real.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "platform/engine/channel_farm.hpp"
+
+namespace ascp::engine {
+namespace {
+
+std::vector<ChannelConfig> small_fleet() {
+  std::vector<ChannelConfig> specs(4);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].kind = ChannelKind::GyroIdeal;
+    specs[i].rate_dps = 10.0 + 12.5 * static_cast<double>(i);
+  }
+  return specs;
+}
+
+obs::MetricsSnapshot run_with(unsigned threads) {
+  obs::MetricRegistry metrics;
+  FarmConfig fc;
+  fc.root_seed = 7;
+  fc.threads = threads;
+  fc.shared_metrics = &metrics;
+  ChannelFarm farm(small_fleet(), fc);
+  farm.advance(0.03);
+  farm.advance(0.02);
+  return metrics.snapshot();
+}
+
+TEST(FarmObs, MergedSnapshotIndependentOfThreadCount) {
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  const auto solo = run_with(1);
+  const auto pooled = run_with(hw);
+
+  // Counters: identical names and totals.
+  ASSERT_EQ(solo.counters.size(), pooled.counters.size());
+  ASSERT_FALSE(solo.counters.empty());
+  for (std::size_t i = 0; i < solo.counters.size(); ++i) {
+    EXPECT_EQ(solo.counters[i].first, pooled.counters[i].first);
+    EXPECT_DOUBLE_EQ(solo.counters[i].second, pooled.counters[i].second)
+        << solo.counters[i].first;
+  }
+  EXPECT_GT(solo.counter_value("farm.channel_advances"), 0.0);
+  EXPECT_GT(solo.counter_value("farm.output_samples"), 0.0);
+
+  // Histograms: same observation multiset → identical merged stats.
+  ASSERT_EQ(solo.histograms.size(), pooled.histograms.size());
+  for (std::size_t i = 0; i < solo.histograms.size(); ++i) {
+    EXPECT_EQ(solo.histograms[i].first, pooled.histograms[i].first);
+    const auto& a = solo.histograms[i].second;
+    const auto& b = pooled.histograms[i].second;
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_DOUBLE_EQ(a.sum, b.sum);
+    EXPECT_DOUBLE_EQ(a.min, b.min);
+    EXPECT_DOUBLE_EQ(a.max, b.max);
+    EXPECT_DOUBLE_EQ(a.p50, b.p50);
+    EXPECT_DOUBLE_EQ(a.p95, b.p95);
+    EXPECT_DOUBLE_EQ(a.p99, b.p99);
+  }
+  const auto ticks = solo.histogram_stats("farm.advance_ticks");
+  // 4 channels × 2 advance() calls = 8 per-channel advances observed.
+  EXPECT_EQ(ticks.count, 8u);
+}
+
+TEST(FarmObs, MeteredFarmOutputMatchesUnmeteredFarm) {
+  // The shared registry is pure observation: a metered farm and a plain farm
+  // with the same seed must produce byte-identical streams.
+  const auto signatures = [](obs::MetricRegistry* metrics) {
+    FarmConfig fc;
+    fc.root_seed = 11;
+    fc.threads = 2;
+    fc.shared_metrics = metrics;
+    ChannelFarm farm(small_fleet(), fc);
+    farm.advance(0.03);
+    std::vector<std::uint64_t> sig;
+    for (std::size_t i = 0; i < farm.size(); ++i) sig.push_back(farm.channel(i).output_hash());
+    return sig;
+  };
+  obs::MetricRegistry metrics;
+  EXPECT_EQ(signatures(nullptr), signatures(&metrics));
+  EXPECT_GT(metrics.snapshot().counter_value("farm.channel_advances"), 0.0);
+}
+
+}  // namespace
+}  // namespace ascp::engine

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "platform/scheduler.hpp"
 
 namespace ascp::platform {
@@ -120,6 +122,60 @@ TEST(Scheduler, InvalidPhaseThrows) {
   EXPECT_THROW(sched.every(8, 8, [] {}), std::invalid_argument);
   EXPECT_THROW(sched.every(8, -1, [] {}), std::invalid_argument);
   EXPECT_THROW(sched.every(0, 0, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, ProfilerCountsInvocationsPerTask) {
+  Scheduler sched(1000.0);
+  long fast = 0, slow = 0;
+  sched.every(1, [&] { ++fast; }, "fast");
+  obs::TaskProfiler prof;
+  sched.set_profiler(&prof);  // attach after one registration…
+  sched.every(8, 7, [&] { ++slow; }, "slow");  // …and register one while attached
+  EXPECT_DOUBLE_EQ(prof.base_rate(), 1000.0);
+  sched.run_ticks(64);
+
+  EXPECT_EQ(fast, 64);
+  EXPECT_EQ(slow, 8);
+  ASSERT_EQ(prof.task_count(), 2u);
+  const auto& stats = prof.stats();
+  EXPECT_EQ(stats[0].name, "fast");
+  EXPECT_EQ(stats[0].invocations, 64u);
+  EXPECT_EQ(stats[0].divider, 1);
+  EXPECT_EQ(stats[1].name, "slow");
+  EXPECT_EQ(stats[1].invocations, 8u);
+  EXPECT_EQ(stats[1].divider, 8);
+  EXPECT_EQ(stats[1].phase, 7);
+  EXPECT_GE(stats[0].wall_seconds, 0.0);
+  // One slice per invocation, on the scheduler's tick axis.
+  EXPECT_EQ(prof.slices().size(), 72u);
+  EXPECT_EQ(prof.slices_dropped(), 0u);
+}
+
+TEST(Scheduler, ProfilerDoesNotChangeFiringPattern) {
+  // Same tasks, one scheduler profiled and one not: identical firing order.
+  const auto firing_log = [](bool profiled) {
+    Scheduler sched(1000.0);
+    obs::TaskProfiler prof;
+    std::vector<std::pair<char, long>> log;
+    sched.every(2, [&] { log.emplace_back('a', sched.ticks()); }, "a");
+    sched.every(8, 7, [&] { log.emplace_back('b', sched.ticks()); }, "b");
+    if (profiled) sched.set_profiler(&prof);
+    sched.run_ticks(32);
+    return log;
+  };
+  EXPECT_EQ(firing_log(false), firing_log(true));
+}
+
+TEST(Scheduler, ProfilerDetachStopsRecording) {
+  Scheduler sched(1000.0);
+  obs::TaskProfiler prof;
+  sched.every(1, [] {}, "t");
+  sched.set_profiler(&prof);
+  sched.run_ticks(10);
+  sched.set_profiler(nullptr);
+  sched.run_ticks(10);
+  ASSERT_EQ(prof.task_count(), 1u);
+  EXPECT_EQ(prof.stats()[0].invocations, 10u);  // only the attached window
 }
 
 }  // namespace

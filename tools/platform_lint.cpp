@@ -9,6 +9,9 @@
 //                              the default (Table 1) DSP configuration
 //   platform_lint --map FILE   lint a register-map description file
 //   platform_lint --asm FILE   assemble FILE and lint the resulting image
+//   platform_lint --events     check structured-event category coverage: every
+//                              EventCategory enumerator must have a declared
+//                              emitter on the fully assembled platform
 //   -v / --verbose             also print info-level findings
 //
 // Exit status: 0 when no error-severity findings, 1 otherwise, 2 on usage
@@ -22,10 +25,12 @@
 #include "analysis/findings.hpp"
 #include "analysis/firmware_corpus.hpp"
 #include "analysis/firmware_lint.hpp"
+#include "analysis/obs_lint.hpp"
 #include "analysis/range_lint.hpp"
 #include "analysis/regmap_lint.hpp"
 #include "core/gyro_system.hpp"
 #include "mcu/assembler.hpp"
+#include "safety/standard_faults.hpp"
 
 using namespace ascp;
 using namespace ascp::analysis;
@@ -106,6 +111,28 @@ int lint_asm_file(const char* path, bool verbose) {
   return finish(report, verbose);
 }
 
+int lint_events(bool verbose) {
+  // Assemble the platform at full observability fidelity — MCU, safety
+  // supervisor and a fault campaign all attached — then verify that every
+  // event-category enumerator has a component claiming to emit it. No
+  // samples are simulated; declarations happen at attach time.
+  auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  cfg.with_mcu = true;
+  cfg.with_safety = true;
+  core::GyroSystem gyro(cfg);
+
+  ascp::obs::Observability obs;
+  gyro.set_observability(obs.sink());
+
+  safety::FaultCampaign campaign;
+  safety::faults::add_register_bit_flip(campaign, gyro, /*at=*/1000);
+  gyro.set_fault_campaign(&campaign);
+
+  std::printf("== event-category coverage (%zu categories) ==\n",
+              ascp::obs::kAllEventCategories.size());
+  return finish(check_event_coverage(obs.events), verbose);
+}
+
 int lint_platform(bool verbose) {
   Report report;
 
@@ -143,22 +170,26 @@ int lint_platform(bool verbose) {
 
 int main(int argc, char** argv) {
   bool verbose = false;
+  bool events = false;
   const char* map_file = nullptr;
   const char* asm_file = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-v") || !std::strcmp(argv[i], "--verbose")) {
       verbose = true;
+    } else if (!std::strcmp(argv[i], "--events")) {
+      events = true;
     } else if (!std::strcmp(argv[i], "--map") && i + 1 < argc) {
       map_file = argv[++i];
     } else if (!std::strcmp(argv[i], "--asm") && i + 1 < argc) {
       asm_file = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: platform_lint [-v] [--map FILE | --asm FILE]\n");
+                   "usage: platform_lint [-v] [--map FILE | --asm FILE | --events]\n");
       return 2;
     }
   }
   if (map_file) return lint_map_file(map_file, verbose);
   if (asm_file) return lint_asm_file(asm_file, verbose);
+  if (events) return lint_events(verbose);
   return lint_platform(verbose);
 }

@@ -1,0 +1,163 @@
+// platform_top — live telemetry digest for the conditioning platform.
+//
+// Runs the standard gyro scenario (Full fidelity, safety supervisor, 8051
+// monitor running the watchdog-kicker firmware) with the full observability
+// stack attached, printing a one-line digest per simulated chunk and a final
+// report: per-task scheduler timings, the MCU PC-histogram top-10 (with
+// disassembly), ISR costs and the structured-event digest. The "top(1) for
+// the simulated chip".
+//
+//   platform_top                 2 s of simulated time, default scenario
+//   platform_top --seconds S     simulate S seconds
+//   platform_top --smoke         short run (CI): 0.25 s, all outputs checked
+//   platform_top --faults        attach the standard fault campaign
+//   platform_top --trace FILE    write a Chrome trace_event JSON (Perfetto)
+//   platform_top --json FILE     write the full JSON snapshot
+//                                (BENCH_observability.json by default)
+//
+// Exit status: 0 on success, 1 when the run produced no output samples or an
+// export failed, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/disasm.hpp"
+#include "analysis/firmware_corpus.hpp"
+#include "core/gyro_system.hpp"
+#include "obs/export.hpp"
+#include "obs/observability.hpp"
+#include "safety/standard_faults.hpp"
+#include "sensor/environment.hpp"
+
+using namespace ascp;
+
+namespace {
+
+bool write_file(const char* path, const std::string& content) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return false;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  bool smoke = false;
+  bool faults = false;
+  const char* trace_path = nullptr;
+  const char* json_path = "BENCH_observability.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!std::strcmp(argv[i], "--faults")) {
+      faults = true;
+    } else if (!std::strcmp(argv[i], "--seconds") && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: platform_top [--smoke] [--faults] [--seconds S] "
+                   "[--trace FILE] [--json FILE]\n");
+      return 2;
+    }
+  }
+  if (smoke) seconds = 0.25;
+  if (seconds <= 0.0) {
+    std::fprintf(stderr, "platform_top: --seconds must be > 0\n");
+    return 2;
+  }
+
+  // ---- the standard scenario: Full gyro + supervisor + 8051 monitor -------
+  auto cfg = core::default_gyro_system(core::Fidelity::Full);
+  cfg.with_safety = true;
+  cfg.with_mcu = true;
+  core::GyroSystem gyro(cfg);
+  gyro.platform().load_firmware(
+      analysis::corpus::assemble_watchdog_kicker(gyro.platform().config().map).image);
+  gyro.power_on(1);
+  if (auto* wd = gyro.platform().watchdog()) {
+    wd->write_reg(1, 30000);  // 1.5 ms of machine cycles at 20 MHz
+    wd->write_reg(2, 1);
+  }
+
+  obs::Observability obs;
+  gyro.set_observability(obs.sink());
+
+  const double fs_dsp = cfg.analog_fs / cfg.adc_div;
+  safety::FaultCampaign campaign;
+  if (faults) {
+    const long n = static_cast<long>(seconds * fs_dsp);
+    safety::faults::add_register_bit_flip(campaign, gyro, /*at=*/n * 2 / 5);
+    safety::faults::add_primary_adc_stuck(campaign, gyro, /*at=*/n * 3 / 5,
+                                          /*code=*/1234, /*clear_after=*/n / 5);
+    gyro.set_fault_campaign(&campaign);
+  }
+
+  // ---- chunked run with a one-line digest per chunk ------------------------
+  const auto rate = sensor::Profile::constant(30.0);
+  const auto temp = sensor::Profile::constant(25.0);
+  const int chunks = smoke ? 2 : 8;
+  std::vector<double> out;
+  std::printf("platform_top: %.3f s simulated, %d chunk(s)%s\n", seconds, chunks,
+              faults ? ", fault campaign attached" : "");
+  for (int c = 0; c < chunks; ++c) {
+    gyro.run(rate, temp, seconds / chunks, &out);
+    const auto* sup = gyro.supervisor();
+    std::printf(
+        "  t=%7.3fs out=%6zu samples rate=%.4fV pll=%s state=%s dtc=0x%03X "
+        "events=%llu sim/wall=%.2f\n",
+        static_cast<double>(gyro.dsp_samples()) / fs_dsp, out.size(), gyro.last_output(),
+        gyro.locked() ? "lock" : "....", safety::state_name(sup->state()), sup->dtcs(),
+        static_cast<unsigned long long>(obs.events.total()), obs.tasks.sim_per_wall());
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "platform_top: scenario produced no output samples\n");
+    return 1;
+  }
+
+  // ---- final report --------------------------------------------------------
+  const auto snap = obs.metrics.snapshot();
+  std::fputs(obs::text_report(snap, &obs.events, &obs.tasks, &obs.mcu).c_str(), stdout);
+
+  // Top-10 PCs again, with disassembly — the text report shows raw counts;
+  // here the decoder names the instruction behind each hot address.
+  std::vector<std::uint8_t> code(65536);
+  for (std::size_t a = 0; a < code.size(); ++a)
+    code[a] = gyro.platform().cpu().code_byte(static_cast<std::uint16_t>(a));
+  std::printf("== mcu hot spots (disassembled) ==\n");
+  for (const auto& p : obs.mcu.top_pcs(10)) {
+    const auto insn = analysis::decode(code.data(), code.size(), 0, p.pc);
+    std::printf("  0x%04X  %-20s %llu\n", p.pc, insn.text().c_str(),
+                static_cast<unsigned long long>(p.count));
+  }
+
+  // ---- exports -------------------------------------------------------------
+  int rc = 0;
+  if (json_path) {
+    const std::string js = obs::json_snapshot(snap, &obs.events, &obs.tasks, &obs.mcu);
+    if (write_file(json_path, js)) {
+      std::printf("platform_top: wrote %s (%zu bytes)\n", json_path, js.size());
+    } else {
+      std::fprintf(stderr, "platform_top: cannot write %s\n", json_path);
+      rc = 1;
+    }
+  }
+  if (trace_path) {
+    const std::string tr = obs::chrome_trace_json(obs.tasks, &obs.events);
+    if (write_file(trace_path, tr)) {
+      std::printf("platform_top: wrote %s (%zu bytes, load in Perfetto)\n", trace_path,
+                  tr.size());
+    } else {
+      std::fprintf(stderr, "platform_top: cannot write %s\n", trace_path);
+      rc = 1;
+    }
+  }
+  return rc;
+}
