@@ -1,32 +1,68 @@
 #!/usr/bin/env bash
 # ci.sh — the single CI entry point.
 #
-# Builds every preset, runs the tier-1 test suite on the default and ubsan
-# builds, and runs the static verification driver (platform_lint) over the
-# shipped platform plus both negative fixtures. clang-tidy (the lint preset)
-# runs only when the tool is installed, so the script works in minimal
-# containers too.
+# With no argument, runs the full pipeline: builds every preset, runs the
+# tier-1 test suite on the default and ubsan builds, runs the static
+# verification driver (platform_lint) over the shipped platform plus both
+# negative fixtures, and finishes with the conformance-fuzzer stages (a
+# deterministic smoke sweep plus corpus replay under ASAN). clang-tidy (the
+# lint preset) runs only when the tool is installed, so the script works in
+# minimal containers too.
+#
+# Individual stages can be run by name:
+#   ci.sh coverage     — ASCP_COVERAGE build, tier-1 + fuzz smoke, then the
+#                        aggregated line-coverage summary (coverage_report.py)
+#   ci.sh fuzz-smoke   — deterministic conformance smoke: 200 randomized
+#                        scenarios from --seed 2026, zero violations required
+#   ci.sh fuzz-corpus  — replay every checked-in .scenario under ASAN
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+stage="${1:-all}"
 
-echo "== configure + build: default =="
-cmake --preset default >/dev/null
-cmake --build --preset default -j "$jobs"
+build_preset() {
+  echo "== configure + build: $1 =="
+  cmake --preset "$1" >/dev/null
+  cmake --build --preset "$1" -j "$jobs" "${@:2}"
+}
 
-echo "== configure + build: ubsan =="
-cmake --preset ubsan >/dev/null
-cmake --build --preset ubsan -j "$jobs"
+stage_fuzz_smoke() {
+  build_preset default --target scenario_fuzz
+  echo "== conformance fuzz: deterministic smoke (seed 2026, 200 scenarios) =="
+  ./build/tools/scenario_fuzz --smoke --seed 2026 --runs 200
+}
 
-echo "== configure + build: asan =="
-cmake --preset asan >/dev/null
-cmake --build --preset asan -j "$jobs"
+stage_fuzz_corpus() {
+  build_preset asan --target scenario_fuzz
+  echo "== conformance fuzz: corpus replay under ASAN =="
+  ./build-asan/tools/scenario_fuzz --corpus tests/conformance/corpus
+}
+
+stage_coverage() {
+  build_preset coverage
+  echo "== tier-1 tests (coverage build) =="
+  ctest --preset coverage
+  echo "== conformance fuzz smoke (coverage build, reduced sweep) =="
+  ./build-coverage/tools/scenario_fuzz --smoke --seed 2026 --runs 40
+  echo "== line coverage =="
+  python3 scripts/coverage_report.py build-coverage
+}
+
+case "$stage" in
+  fuzz-smoke)  stage_fuzz_smoke;  echo "CI STAGE fuzz-smoke PASSED";  exit 0 ;;
+  fuzz-corpus) stage_fuzz_corpus; echo "CI STAGE fuzz-corpus PASSED"; exit 0 ;;
+  coverage)    stage_coverage;    echo "CI STAGE coverage PASSED";    exit 0 ;;
+  all) ;;
+  *) echo "usage: ci.sh [coverage|fuzz-smoke|fuzz-corpus]" >&2; exit 2 ;;
+esac
+
+build_preset default
+build_preset ubsan
+build_preset asan
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "== configure + build: lint (clang-tidy) =="
-  cmake --preset lint >/dev/null
-  cmake --build --preset lint -j "$jobs"
+  build_preset lint
 else
   echo "== lint preset skipped: clang-tidy not installed =="
 fi
@@ -71,5 +107,8 @@ if ./build/tools/platform_lint --asm tests/analysis/fixtures/broken_firmware.asm
   echo "ERROR: broken_firmware.asm was not flagged" >&2
   exit 1
 fi
+
+stage_fuzz_smoke
+stage_fuzz_corpus
 
 echo "CI PASSED"

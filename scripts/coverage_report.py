@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage for an ASCP_COVERAGE build tree.
+
+Usage: coverage_report.py <build-dir> [--filter PREFIX]
+
+Walks <build-dir> for .gcda counter files, runs `gcov -n` on each (no .gcov
+files are written), and aggregates "Lines executed" per source file. Only
+files whose path contains PREFIX (default "/src/") are reported, so headers
+from the toolchain and the test harness don't dilute the number.
+
+Exit status is 0 when any covered line was found, 1 otherwise — a coverage
+stage that measured nothing is a broken stage, not 100% coverage.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+
+def collect_gcda(build_dir):
+    for root, _dirs, files in os.walk(os.path.abspath(build_dir)):
+        for f in files:
+            if f.endswith(".gcda"):
+                yield os.path.join(root, f)
+
+
+def parse_gcov_output(text):
+    """Yield (source_path, percent, total_lines) triples from `gcov -n`."""
+    current = None
+    for line in text.splitlines():
+        m = re.match(r"File '(.*)'", line)
+        if m:
+            current = m.group(1)
+            continue
+        m = re.match(r"Lines executed:\s*([0-9.]+)% of (\d+)", line)
+        if m and current is not None:
+            yield current, float(m.group(1)), int(m.group(2))
+            current = None
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    build_dir = args[0]
+    prefix = "/src/"
+    if "--filter" in args:
+        prefix = args[args.index("--filter") + 1]
+
+    gcda = sorted(collect_gcda(build_dir))
+    if not gcda:
+        print(f"coverage: no .gcda files under {build_dir} (run the tests first)",
+              file=sys.stderr)
+        return 1
+
+    # One gcov invocation per object dir keeps the command lines short; the
+    # same source seen from several test binaries gets max-merged below
+    # (counts are already merged inside the shared .gcda of each object).
+    by_file = {}  # source path -> (covered_lines, total_lines)
+    for path in gcda:
+        proc = subprocess.run(
+            ["gcov", "-n", path],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        for src, pct, total in parse_gcov_output(proc.stdout):
+            if prefix not in src or total == 0:
+                continue
+            covered = round(pct * total / 100.0)
+            prev = by_file.get(src)
+            if prev is None or covered > prev[0]:
+                by_file[src] = (covered, total)
+
+    if not by_file:
+        print(f"coverage: no sources matching '{prefix}' were exercised",
+              file=sys.stderr)
+        return 1
+
+    # Per-directory rollup, then the total line.
+    by_dir = {}
+    for src, (covered, total) in sorted(by_file.items()):
+        rel = src[src.find(prefix) + 1:] if prefix in src else src
+        d = os.path.dirname(rel)
+        c, t = by_dir.get(d, (0, 0))
+        by_dir[d] = (c + covered, t + total)
+
+    width = max(len(d) for d in by_dir)
+    print(f"{'directory':<{width}}  lines  covered      %")
+    for d, (c, t) in sorted(by_dir.items()):
+        print(f"{d:<{width}}  {t:5d}  {c:7d}  {100.0 * c / t:5.1f}")
+    c_all = sum(c for c, _t in by_file.values())
+    t_all = sum(t for _c, t in by_file.values())
+    print("-" * (width + 26))
+    print(f"{'TOTAL':<{width}}  {t_all:5d}  {c_all:7d}  {100.0 * c_all / t_all:5.1f}")
+    print(f"line coverage: {100.0 * c_all / t_all:.1f}% ({c_all}/{t_all} lines)")
+    return 0 if c_all > 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+// generator.hpp — seeded random scenario generator.
+//
+// Draws Scenarios from the legal operating space: stimulus segments inside
+// the ±300 °/s full scale and the −40..85 °C Table 1 range, register values
+// inside the RegisterFile's declared field widths, fault schedules from the
+// PR-1 catalogue with injection instants placed after the supervisor's
+// arming warmup. Generation is a pure function of the seed — the same seed
+// always yields byte-identical scenario text, which is what makes the smoke
+// stage (`scenario_fuzz --smoke --seed 2026`) deterministic in CI.
+#pragma once
+
+#include <cstdint>
+
+#include "conformance/scenario.hpp"
+
+namespace ascp::conformance {
+
+/// Class-mix and range knobs. Defaults implement the smoke-budget mix
+/// (mostly cheap invariant runs, a differential band, a fault band sized so
+/// the expensive Full-fidelity AFE faults stay rare, and an ISS band).
+struct GeneratorConfig {
+  double w_invariant = 0.46;
+  double w_diff = 0.20;
+  double w_fault = 0.22;
+  double w_iss = 0.12;
+  /// Stimulus caps (generator guarantees base + burst stays inside the
+  /// supervisor's plausibility span so fault-free runs can't trip RATE_RANGE).
+  double max_base_dps = 200.0;
+  double max_burst_dps = 100.0;
+  /// Fault scenarios inject only after the supervisor has armed (measured
+  /// ≈0.43 s at the shipped operating point, up to ≈0.60 s at cold-temp
+  /// corners where the drive resonance shift slows PLL acquisition).
+  double min_inject_s = 0.65;
+  double post_inject_s = 0.30;  ///< detection + recovery window after injection
+};
+
+/// Generate the scenario for `seed` (deterministic, side-effect free).
+Scenario generate_scenario(std::uint64_t seed, const GeneratorConfig& cfg = {});
+
+}  // namespace ascp::conformance

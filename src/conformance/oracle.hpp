@@ -1,0 +1,79 @@
+// oracle.hpp — differential conformance oracle for randomized scenarios.
+//
+// Runs a Scenario through the implementations the platform claims agree —
+// the fixed-point GyroSystem pipeline, the ideal (MATLAB-level) chain, and
+// firmware-driven runs on the MCS-51 ISS — and asserts:
+//
+//   * tolerance envelopes: every output sample is finite, and for fault-free
+//     scenarios stays inside the bound the static fixed-point range analyzer
+//     proves for the "sense.output" node (the analyzer is the oracle's
+//     source of truth for "how big can this legally get");
+//   * platform invariants: no DTC latches before the first injected fault,
+//     every detectable injected fault latches its catalogue DTC, the
+//     documented undetectable fault latches nothing, supervisor state
+//     transitions only move between adjacent states, and the PLL relocks
+//     after every injected lock-loss;
+//   * event-log completeness: every injected fault produces its
+//     `fault_inject` event and every detectable one a Dtc latch event;
+//   * differential agreement: fixed-point vs ideal outputs agree within a
+//     settling-aware envelope; with-MCU runs are bit-identical to
+//     MCU-less runs and the monitor firmware's register reads match the
+//     C++-visible register fabric;
+//   * replay determinism: the report carries the FNV-1a output hash so
+//     callers can assert same-seed ⇒ same-trace (solo, replay, farm).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conformance/scenario.hpp"
+#include "platform/engine/conditioning_channel.hpp"
+
+namespace ascp::conformance {
+
+/// Oracle tolerance knobs. Defaults are calibrated against the shipped
+/// operating point and documented where they are derived (see oracle.cpp).
+struct OracleConfig {
+  /// Fixed-point vs ideal per-sample agreement in the settled tail:
+  /// |full − ideal| ≤ diff_offset_v + diff_scale_frac·|ideal − null|.
+  double diff_offset_v = 0.05;
+  double diff_scale_frac = 0.10;
+  /// Fraction of the output stream treated as settling transient and
+  /// excluded from the differential comparison.
+  double settle_frac = 0.5;
+  /// Extra margin on the range-analyzer output envelope [V].
+  double envelope_margin_v = 1e-6;
+};
+
+struct Violation {
+  std::string check;   ///< stable check identifier, e.g. "envelope", "dtc_missing"
+  std::string detail;  ///< human-readable specifics (sample index, values)
+};
+
+struct ScenarioReport {
+  std::vector<Violation> violations;
+  std::uint64_t output_hash = 0;  ///< FNV-1a over the SUT output stream
+  std::size_t outputs = 0;        ///< decimated samples produced
+  double envelope_v = 0.0;        ///< derived |output| bound (0 = not applied)
+
+  bool ok() const { return violations.empty(); }
+  /// One line per violation (empty string when ok).
+  std::string summary() const;
+};
+
+/// Engine configuration for the scenario's system under test. Public so the
+/// fuzz tool can batch the same configs through a ChannelFarm (ChannelFarm is
+/// the execution backend for fuzz batches; with FarmConfig::reseed_channels
+/// = false the farm reproduces solo-run streams bit-exactly).
+engine::ChannelConfig channel_config(const Scenario& s);
+
+/// |output| envelope for a fault-free run of this scenario, derived from the
+/// static range analyzer ("sense.output" adversarial bound, in volts).
+double derive_output_envelope_v(const Scenario& s);
+
+/// Run the scenario through the SUT (plus reference runs demanded by its
+/// class) and check every applicable invariant.
+ScenarioReport run_scenario(const Scenario& s, const OracleConfig& cfg = {});
+
+}  // namespace ascp::conformance

@@ -1,0 +1,34 @@
+// shrink.hpp — automatic minimization of failing scenarios.
+//
+// When the oracle flags a scenario, the raw random case is usually noisy:
+// extra bursts, multi-segment stimulus, register writes that have nothing to
+// do with the failure. The shrinker greedily applies structure-reducing
+// candidate edits — drop faults, drop bursts, drop register writes, drop
+// trailing stimulus segments, halve the duration, neutralize the MEMS
+// corner — keeping an edit only if the caller-supplied predicate confirms
+// the scenario *still fails*. The result is the minimal `.scenario` repro
+// that ships in a bug report and replays via `scenario_fuzz --replay`.
+#pragma once
+
+#include <functional>
+
+#include "conformance/scenario.hpp"
+
+namespace ascp::conformance {
+
+/// Returns true when the candidate scenario still reproduces the failure.
+using StillFails = std::function<bool(const Scenario&)>;
+
+struct ShrinkStats {
+  int attempts = 0;  ///< candidate scenarios tried (predicate invocations)
+  int accepted = 0;  ///< edits that kept the failure and were retained
+};
+
+/// Greedy fixed-point shrink: cycles through the edit passes until a full
+/// cycle makes no progress or `max_attempts` predicate calls are spent.
+/// `failing` must satisfy the predicate on entry; the returned scenario
+/// always does.
+Scenario shrink_scenario(Scenario failing, const StillFails& still_fails, int max_attempts = 200,
+                         ShrinkStats* stats = nullptr);
+
+}  // namespace ascp::conformance

@@ -91,6 +91,7 @@ void GyroSystem::define_registers() {
             static_cast<std::uint16_t>(cfg_.sense_pga_gain * 16.0), [this](std::uint16_t v) {
               cfg_.sense_pga_gain = static_cast<double>(v) / 16.0;
             });
+  rf.declare_fields(reg::kSenseGain, {{"gain_x16", 0, 8, /*writable=*/true, false}});
 
   // Analog-die registers behind the second TAP (Fig. 2: JTAG on both dies).
   afe_regs_.define("pga_primary", reg::kAfePgaPrimary, RegKind::Config,
@@ -102,6 +103,9 @@ void GyroSystem::define_registers() {
   afe_regs_.define("adc_bits", reg::kAfeAdcBits, RegKind::Config,
                    static_cast<std::uint16_t>(cfg_.adc.bits),
                    [this](std::uint16_t v) { cfg_.adc.bits = static_cast<int>(v); });
+  afe_regs_.declare_fields(reg::kAfePgaPrimary, {{"gain_x16", 0, 8, /*writable=*/true, false}});
+  afe_regs_.declare_fields(reg::kAfePgaSense, {{"gain_x16", 0, 8, /*writable=*/true, false}});
+  afe_regs_.declare_fields(reg::kAfeAdcBits, {{"bits", 0, 5, /*writable=*/true, false}});
   platform_.jtag_chain().add(&afe_tap_);
 }
 

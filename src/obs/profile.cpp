@@ -19,19 +19,23 @@ int TaskProfiler::register_task(std::string_view name, long divider, long phase)
   t.divider = divider;
   t.phase = phase;
   tasks_.push_back(std::move(t));
+  timed_.push_back(0);
   return static_cast<int>(tasks_.size() - 1);
 }
 
-void TaskProfiler::record(int id, long tick, double wall_seconds) {
+void TaskProfiler::record(int id, long tick, double wall_seconds, double weight) {
   TaskStats& t = tasks_[static_cast<std::size_t>(id)];
   ++t.invocations;
-  t.wall_seconds += wall_seconds;
+  ++timed_[static_cast<std::size_t>(id)];
+  t.wall_seconds += wall_seconds * weight;
   if (slices_.size() < slice_capacity_) {
     slices_.push_back({id, tick_origin_ + tick, wall_seconds});
   } else {
     ++slices_dropped_;
   }
 }
+
+void TaskProfiler::count(int id) { ++tasks_[static_cast<std::size_t>(id)].invocations; }
 
 void TaskProfiler::record_run(double sim_seconds, double wall_seconds) {
   sim_seconds_ += sim_seconds;
@@ -43,6 +47,7 @@ void TaskProfiler::reset() {
     t.invocations = 0;
     t.wall_seconds = 0.0;
   }
+  for (auto& n : timed_) n = 0;
   slices_.clear();
   slices_dropped_ = 0;
   tick_origin_ = 0;

@@ -16,7 +16,8 @@ ChannelFarm::ChannelFarm(std::vector<ChannelConfig> specs, const FarmConfig& cfg
   Rng root(cfg.root_seed);
   channels_.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    specs[i].seed = root.fork(static_cast<std::uint64_t>(i) + 1).next_u64();
+    if (cfg.reseed_channels)
+      specs[i].seed = root.fork(static_cast<std::uint64_t>(i) + 1).next_u64();
     channels_.push_back(std::make_unique<ConditioningChannel>(specs[i]));
   }
 

@@ -31,6 +31,10 @@ struct FarmConfig {
   /// Rng(root_seed).fork(i + 1).next_u64(), so one number reproduces the
   /// whole farm and channels stay decorrelated.
   std::uint64_t root_seed = 1;
+  /// When false, each spec's own `seed` is kept instead of being forked from
+  /// root_seed — the conformance fuzzer needs farm-run channels to reproduce
+  /// the exact stream of a solo run of the same scenario.
+  bool reseed_channels = true;
   /// Worker threads; 0 selects std::thread::hardware_concurrency(). The pool
   /// is created once at construction and reused by every advance() call.
   unsigned threads = 1;

@@ -14,7 +14,9 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
     case ChannelKind::GyroIdeal: {
       auto sys_cfg = core::default_gyro_system(
           cfg_.kind == ChannelKind::GyroFull ? core::Fidelity::Full : core::Fidelity::Ideal);
-      sys_cfg.with_safety = cfg_.with_safety || cfg_.with_faults;
+      sys_cfg.with_safety =
+          cfg_.with_safety || cfg_.with_faults || static_cast<bool>(cfg_.campaign_factory);
+      if (cfg_.configure) cfg_.configure(sys_cfg);
       auto sys = std::make_unique<core::GyroSystem>(sys_cfg);
       gyro_ = sys.get();
       sensor_ = std::move(sys);
@@ -34,6 +36,9 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
       break;
     }
   }
+  // Register writes and firmware loads land before power_on so config-hook
+  // effects (PGA gains, ADC bits, sense mode) are baked into the cold build.
+  if (gyro_ && cfg_.customize) cfg_.customize(*gyro_);
   sensor_->power_on(cfg_.seed);
 
   if (cfg_.with_obs) {
@@ -48,7 +53,10 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
     trace_ = std::make_unique<TraceRecorder>();
     gyro_->set_trace(trace_.get(), /*decimate=*/64);
   }
-  if (gyro_ && cfg_.with_faults) {
+  if (gyro_ && cfg_.campaign_factory) {
+    campaign_ = cfg_.campaign_factory(*gyro_);
+    if (campaign_) gyro_->set_fault_campaign(campaign_.get());
+  } else if (gyro_ && cfg_.with_faults) {
     // A transient AFE fault the supervisor detects and outlives, plus a
     // config-register upset — enough to exercise the safety path without
     // permanently wedging the channel.
@@ -61,8 +69,8 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
     gyro_->set_fault_campaign(campaign_.get());
   }
 
-  rate_ = sensor::Profile::constant(cfg_.rate_dps);
-  temp_ = sensor::Profile::constant(cfg_.temp_c);
+  rate_ = cfg_.rate_profile ? *cfg_.rate_profile : sensor::Profile::constant(cfg_.rate_dps);
+  temp_ = cfg_.temp_profile ? *cfg_.temp_profile : sensor::Profile::constant(cfg_.temp_c);
 }
 
 ConditioningChannel::~ConditioningChannel() = default;

@@ -18,16 +18,20 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/trace.hpp"
 #include "core/rate_sensor.hpp"
 #include "obs/observability.hpp"
 #include "safety/fault_injection.hpp"
+#include "sensor/environment.hpp"
 
 namespace ascp::core {
 class GyroSystem;
+struct GyroSystemConfig;
 }
 
 namespace ascp::engine {
@@ -54,6 +58,23 @@ struct ChannelConfig {
   /// profiler + MCU profiler) and attach it to the sensor. Observers are
   /// read-only: the output stream is bit-identical with or without it.
   bool with_obs = false;
+
+  // ---- scenario hooks (conformance fuzzing) -------------------------------
+  // Every hook must be a pure/deterministic function of the channel's own
+  // configuration — the determinism contract above extends to them. All are
+  // gyro-kind only; baselines ignore them.
+  /// Mutates the GyroSystemConfig before construction (MEMS quadrature/drift
+  /// scaling, sense-chain dimensioning, with_mcu, supervisor overrides).
+  std::function<void(core::GyroSystemConfig&)> configure;
+  /// Runs on the constructed system before power_on — the place for register
+  /// writes (DSP + AFE files) and firmware loading.
+  std::function<void(core::GyroSystem&)> customize;
+  /// Builds the channel's fault campaign (overrides the canned with_faults
+  /// demo campaign). The channel owns the returned campaign.
+  std::function<std::unique_ptr<safety::FaultCampaign>(core::GyroSystem&)> campaign_factory;
+  /// Time-varying stimulus; when unset the constant rate_dps/temp_c apply.
+  std::optional<sensor::Profile> rate_profile;
+  std::optional<sensor::Profile> temp_profile;
 };
 
 class ConditioningChannel {
@@ -75,6 +96,10 @@ class ConditioningChannel {
 
   const ChannelConfig& config() const { return cfg_; }
   const std::vector<double>& outputs() const { return out_; }
+  /// The conditioned gyro under test (null for analog-baseline kinds) — the
+  /// conformance oracle reads supervisor/register state through this.
+  core::GyroSystem* gyro() { return gyro_; }
+  const core::GyroSystem* gyro() const { return gyro_; }
   const TraceRecorder* trace() const { return trace_.get(); }
   /// Per-channel telemetry (null unless cfg.with_obs).
   obs::Observability* observability() { return obs_.get(); }

@@ -15,15 +15,31 @@ void Scheduler::every(long divider, long phase, Task task, std::string name) {
   if (divider < 1) throw std::invalid_argument("scheduler divider must be >= 1");
   if (phase < 0 || phase >= divider)
     throw std::invalid_argument("scheduler phase must be in [0, divider)");
-  Entry e{divider, phase, std::move(task), std::move(name), -1};
-  if (profiler_) e.profile_id = profiler_->register_task(e.name, divider, phase);
+  Entry e{divider, phase, std::move(task), std::move(name), -1, 1, 0};
+  if (profiler_) {
+    e.profile_id = profiler_->register_task(e.name, divider, phase);
+    e.sample_stride = entry_stride(e);
+  }
   entries_.push_back(std::move(e));
+}
+
+long Scheduler::entry_stride(const Entry& e) const {
+  const long requested = profiler_ ? profiler_->sample_stride() : 1;
+  if (requested > 0) return requested;
+  // Auto: sample each task at ~kAutoSampleHz in simulated time, so the two
+  // host clock reads per timed firing stay negligible even at MHz base rates.
+  const double fire_hz = base_rate_ / static_cast<double>(e.divider);
+  const long stride = static_cast<long>(fire_hz / obs::TaskProfiler::kAutoSampleHz);
+  return stride < 1 ? 1 : stride;
 }
 
 void Scheduler::set_profiler(obs::TaskProfiler* profiler) {
   profiler_ = profiler;
-  for (Entry& e : entries_)
+  for (Entry& e : entries_) {
     e.profile_id = profiler_ ? profiler_->register_task(e.name, e.divider, e.phase) : -1;
+    e.sample_stride = profiler_ ? entry_stride(e) : 1;
+    e.fired = 0;
+  }
   if (profiler_) profiler_->set_base_rate(base_rate_);
 }
 
@@ -32,10 +48,16 @@ void Scheduler::tick() {
     using clock = std::chrono::steady_clock;
     for (Entry& e : entries_) {
       if (ticks_ % e.divider != e.phase) continue;
-      const auto t0 = clock::now();
-      e.task();
-      const double wall = std::chrono::duration<double>(clock::now() - t0).count();
-      profiler_->record(e.profile_id, ticks_, wall);
+      if (e.fired++ % e.sample_stride == 0) {
+        const auto t0 = clock::now();
+        e.task();
+        const double wall = std::chrono::duration<double>(clock::now() - t0).count();
+        profiler_->record(e.profile_id, ticks_, wall,
+                          static_cast<double>(e.sample_stride));
+      } else {
+        e.task();
+        profiler_->count(e.profile_id);
+      }
     }
   } else {
     for (Entry& e : entries_)

@@ -52,9 +52,10 @@ class Scheduler {
   double now() const { return static_cast<double>(ticks_) / base_rate_; }
 
   /// Attach a task profiler (null detaches). Already-registered and future
-  /// tasks are registered with it; while attached, tick() wall-times every
-  /// task invocation. Profiling is observational only — it cannot change
-  /// task order or firing pattern.
+  /// tasks are registered with it; while attached, tick() counts every task
+  /// invocation and wall-times a sampled subset (the profiler's
+  /// sample-stride policy — see TaskProfiler::set_sample_stride). Profiling
+  /// is observational only — it cannot change task order or firing pattern.
   void set_profiler(obs::TaskProfiler* profiler);
   obs::TaskProfiler* profiler() const { return profiler_; }
 
@@ -65,7 +66,11 @@ class Scheduler {
     Task task;
     std::string name;
     int profile_id = -1;
+    long sample_stride = 1;  ///< wall-time every Nth firing of this entry
+    long fired = 0;          ///< firings since profiler attach (sampling phase)
   };
+
+  long entry_stride(const Entry& e) const;
 
   double base_rate_;
   long ticks_ = 0;

@@ -1,0 +1,165 @@
+// Regression pins for latent-bug audits driven by the conformance fuzzer
+// (ISSUE PR-5 satellite): NCO phase-wrap bit-identity, the open-loop batched
+// sense path against the sample-serial path with a run ending mid-block,
+// profiler neutrality under sampled wall-timing, and the cold-temperature
+// supervisor-arming corner that set the fault generator's injection floor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "core/gyro_system.hpp"
+#include "dsp/nco.hpp"
+#include "obs/observability.hpp"
+#include "platform/scheduler.hpp"
+#include "safety/supervisor.hpp"
+#include "sensor/environment.hpp"
+
+namespace ascp {
+namespace {
+
+// The fuzzer's first audit target: the NCO's uint32 accumulator wraps many
+// times per block at high f0/fs; blocked and per-sample generation must agree
+// to the bit through every wrap.
+TEST(ConformanceRegressions, NcoBlockPathBitIdenticalThroughPhaseWraps) {
+  dsp::Nco scalar(240e3, 100e3), blocked(240e3, 100e3);  // wraps every ~2.4 samples
+  constexpr int kN = 4096;
+  std::vector<double> want_s(kN), want_c(kN), got_s(kN), got_c(kN);
+  for (int k = 0; k < kN; ++k) {
+    want_s[static_cast<std::size_t>(k)] = scalar.step();
+    want_c[static_cast<std::size_t>(k)] = scalar.cosine();
+  }
+  blocked.step_block(got_s, got_c);
+  for (int k = 0; k < kN; ++k) {
+    ASSERT_EQ(want_s[static_cast<std::size_t>(k)], got_s[static_cast<std::size_t>(k)]) << k;
+    ASSERT_EQ(want_c[static_cast<std::size_t>(k)], got_c[static_cast<std::size_t>(k)]) << k;
+  }
+  // Both must land on the identical accumulator, so the next sample agrees too.
+  ASSERT_EQ(scalar.step(), blocked.step());
+}
+
+// Second audit target: GyroSystem's open-loop batched sense path. A trace
+// tap is a read-only observer that forces the sample-serial path, so the two
+// runs must produce bit-identical decimated outputs — including when the run
+// ends mid-CIC-block (240000 × 0.0501 = 12024 samples; 12024 mod 128 = 120
+// pending samples flushed at run end without emitting a partial output).
+TEST(ConformanceRegressions, BatchedSensePathMatchesSerialWhenRunEndsMidBlock) {
+  core::GyroSystemConfig cfg = core::default_gyro_system(core::Fidelity::Ideal);
+  cfg.sense.mode = core::SenseMode::OpenLoop;
+  const auto rate = sensor::Profile::sine(80.0, 20.0);
+  const auto temp = sensor::Profile::constant(25.0);
+  constexpr double kDur = 0.0501;
+
+  core::GyroSystem batched(cfg);
+  batched.power_on(7);
+  std::vector<double> out_batched;
+  batched.run(rate, temp, kDur, &out_batched);
+
+  core::GyroSystem serial(cfg);
+  TraceRecorder trace;
+  serial.set_trace(&trace, 16);
+  serial.power_on(7);
+  std::vector<double> out_serial;
+  serial.run(rate, temp, kDur, &out_serial);
+
+  ASSERT_FALSE(out_batched.empty());
+  ASSERT_EQ(out_batched.size(), out_serial.size());
+  for (std::size_t k = 0; k < out_batched.size(); ++k)
+    ASSERT_EQ(out_batched[k], out_serial[k]) << "sample " << k;
+  ASSERT_EQ(batched.last_output(), serial.last_output());
+}
+
+// The profiler fix that the fuzzer's smoke budget forced: wall-timing is
+// sampled (every Nth firing per task), but invocation counts stay exact and
+// the sampled costs are scaled by the stride so accumulated wall estimates
+// stay unbiased.
+TEST(ConformanceRegressions, SampledProfilerKeepsExactInvocationCounts) {
+  platform::Scheduler sched(240e3);
+  long fired = 0;
+  sched.every(1, [&] { ++fired; }, "dsp");
+  sched.every(128, [&] {}, "decim");
+
+  obs::TaskProfiler prof;  // default stride 0 = auto
+  sched.set_profiler(&prof);
+  sched.run_ticks(24000);
+
+  ASSERT_EQ(fired, 24000);  // profiling never changes the firing pattern
+  ASSERT_EQ(prof.task_count(), 2u);
+  // Invocation counts are exact (divider-128 task fires at tick 0, so 188
+  // firings in 24000 ticks)...
+  EXPECT_EQ(prof.stats()[0].invocations, 24000u);
+  EXPECT_EQ(prof.stats()[1].invocations, 188u);
+  // ...while only a sampled subset was clocked. Auto stride for a 240 kHz
+  // task targets kAutoSampleHz: 240000 / 2000 = 120 → 24000/120 timed.
+  EXPECT_EQ(prof.timed_invocations(0), 24000u / 120u);
+  // The 1.875 kHz decimator fires below the sample target → stride 1 (exact).
+  EXPECT_EQ(prof.timed_invocations(1), 188u);
+  EXPECT_GT(prof.stats()[0].wall_seconds, 0.0);
+}
+
+TEST(ConformanceRegressions, ProfilerWallEstimateScalesSampledCostByStride) {
+  obs::TaskProfiler prof;
+  const int id = prof.register_task("t", 1, 0);
+  prof.record(id, 0, 1e-3, 16.0);  // one timed firing standing in for 16
+  EXPECT_EQ(prof.stats()[static_cast<std::size_t>(id)].invocations, 1u);
+  EXPECT_EQ(prof.timed_invocations(id), 1u);
+  EXPECT_DOUBLE_EQ(prof.stats()[static_cast<std::size_t>(id)].wall_seconds, 1.6e-2);
+}
+
+TEST(ConformanceRegressions, ExactStrideTimesEveryInvocation) {
+  platform::Scheduler sched(240e3);
+  sched.every(1, [] {}, "dsp");
+  obs::TaskProfiler prof;
+  prof.set_sample_stride(1);
+  sched.set_profiler(&prof);
+  sched.run_ticks(5000);
+  EXPECT_EQ(prof.stats()[0].invocations, 5000u);
+  EXPECT_EQ(prof.timed_invocations(0), 5000u);
+}
+
+// Attaching observability must not perturb the numeric path: same seed, same
+// stimulus, bit-identical outputs with and without the sink (the conformance
+// oracle relies on this when it hashes instrumented runs).
+TEST(ConformanceRegressions, ObservabilityAttachIsOutputNeutral) {
+  core::GyroSystemConfig cfg = core::default_gyro_system(core::Fidelity::Ideal);
+  const auto rate = sensor::Profile::sine(100.0, 15.0);
+  const auto temp = sensor::Profile::constant(25.0);
+
+  core::GyroSystem plain(cfg);
+  plain.power_on(3);
+  std::vector<double> out_plain;
+  plain.run(rate, temp, 0.06, &out_plain);
+
+  core::GyroSystem observed(cfg);
+  obs::Observability o;
+  observed.set_observability(o.sink());
+  observed.power_on(3);
+  std::vector<double> out_observed;
+  observed.run(rate, temp, 0.06, &out_observed);
+
+  ASSERT_EQ(out_plain.size(), out_observed.size());
+  for (std::size_t k = 0; k < out_plain.size(); ++k)
+    ASSERT_EQ(out_plain[k], out_observed[k]) << "sample " << k;
+  // And the profiler actually saw the run.
+  EXPECT_GT(o.tasks.stats().size(), 0u);
+  EXPECT_GT(o.tasks.stats()[0].invocations, 0u);
+}
+
+// The corner that moved the fault generator's injection floor to 0.65 s:
+// at a 10 °C cold soak the drive resonance shift slows PLL acquisition, and
+// the supervisor must still be armed before the earliest injection instant.
+TEST(ConformanceRegressions, SupervisorArmsBeforeInjectionFloorAtColdCorner) {
+  core::GyroSystemConfig cfg = core::default_gyro_system(core::Fidelity::Full);
+  cfg.with_safety = true;
+  core::GyroSystem g(cfg);
+  g.power_on(1);
+  std::vector<double> out;
+  g.run(sensor::Profile::constant(30.0), sensor::Profile::constant(10.0), 0.65, &out);
+  ASSERT_NE(g.supervisor(), nullptr);
+  EXPECT_TRUE(g.supervisor()->armed());
+  EXPECT_TRUE(g.locked());
+}
+
+}  // namespace
+}  // namespace ascp

@@ -1,0 +1,213 @@
+// Conformance-layer unit tests: `.scenario` serialization exactness, the
+// generator's legality contract against the platform's declared register
+// fields, and the shrinker's minimization guarantees.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "conformance/generator.hpp"
+#include "conformance/scenario.hpp"
+#include "conformance/shrink.hpp"
+#include "core/gyro_system.hpp"
+
+namespace ascp::conformance {
+namespace {
+
+constexpr double kDspFs = 240e3;
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+TEST(ScenarioFormat, TextRoundTripIsByteStable) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    const std::string text = to_text(s);
+    const Scenario back = from_text(text);
+    EXPECT_EQ(to_text(back), text) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioFormat, RoundTripPreservesFloatBitPatterns) {
+  // Values that lose digits under naive %g printing must still come back
+  // bit-identical — replay determinism depends on it.
+  Scenario s;
+  s.seed = 0xDEADBEEFCAFEF00Dull;
+  s.cls = ScenarioClass::DiffIdeal;
+  s.duration_s = 0.1 + 0.2;  // 0.30000000000000004
+  s.quad_scale = 1.0 / 3.0;
+  s.drift_scale = 2.0 / 7.0;
+  s.output_bw_hz = 33.333333333333336;
+  s.rate.push_back({SegKind::Chirp, 0.3, 0.1234567890123456789, -1e-17, 1.5, 29.999999999999996});
+  s.temp.push_back({SegKind::Ramp, 0.3, -39.99999999999999, 85.0, 0.0, 0.0});
+  s.bursts.push_back({0.012345678901234567, 0.01, 99.99999999999999, 1234.5678901234567});
+  s.faults.push_back({FaultKind::QuadratureStep, 160001, 12345, 3.0000000000000004e6});
+  s.regs.push_back({true, core::reg::kAfePgaPrimary, 0x28});
+
+  const Scenario back = from_text(to_text(s));
+  EXPECT_EQ(back.seed, s.seed);
+  EXPECT_TRUE(same_bits(back.duration_s, s.duration_s));
+  EXPECT_TRUE(same_bits(back.quad_scale, s.quad_scale));
+  EXPECT_TRUE(same_bits(back.drift_scale, s.drift_scale));
+  EXPECT_TRUE(same_bits(back.output_bw_hz, s.output_bw_hz));
+  ASSERT_EQ(back.rate.size(), 1u);
+  EXPECT_TRUE(same_bits(back.rate[0].a, s.rate[0].a));
+  EXPECT_TRUE(same_bits(back.rate[0].b, s.rate[0].b));
+  EXPECT_TRUE(same_bits(back.rate[0].f1, s.rate[0].f1));
+  ASSERT_EQ(back.bursts.size(), 1u);
+  EXPECT_TRUE(same_bits(back.bursts[0].t0, s.bursts[0].t0));
+  EXPECT_TRUE(same_bits(back.bursts[0].freq, s.bursts[0].freq));
+  ASSERT_EQ(back.faults.size(), 1u);
+  EXPECT_EQ(back.faults[0].kind, FaultKind::QuadratureStep);
+  EXPECT_EQ(back.faults[0].inject_at, 160001);
+  EXPECT_EQ(back.faults[0].clear_after, 12345);
+  EXPECT_TRUE(same_bits(back.faults[0].param, s.faults[0].param));
+  ASSERT_EQ(back.regs.size(), 1u);
+  EXPECT_TRUE(back.regs[0].afe);
+  EXPECT_EQ(back.regs[0].addr, core::reg::kAfePgaPrimary);
+  EXPECT_EQ(back.regs[0].value, 0x28);
+}
+
+TEST(ScenarioFormat, MalformedInputThrowsWithDiagnostics) {
+  EXPECT_THROW(from_text("this is not a scenario"), std::runtime_error);
+  EXPECT_THROW(from_text("class no_such_class\n"), std::runtime_error);
+  // A valid prefix with a corrupted record (before the terminating `end`)
+  // must still be rejected; anything after `end` is ignored by design.
+  Scenario s = generate_scenario(3);
+  std::string text = to_text(s);
+  text.insert(text.rfind("end\n"), "fault NotInTheCatalogue 0 -1 0\n");
+  EXPECT_THROW(from_text(text), std::runtime_error);
+  EXPECT_NO_THROW(from_text(to_text(s) + "trailing garbage after end\n"));
+}
+
+TEST(ScenarioGenerator, SameSeedYieldsByteIdenticalScenarios) {
+  for (std::uint64_t seed : {1ull, 2026ull, 0x123456789ull}) {
+    EXPECT_EQ(to_text(generate_scenario(seed)), to_text(generate_scenario(seed)))
+        << "seed " << seed;
+  }
+}
+
+TEST(ScenarioGenerator, DrawsStayInsideTheLegalOperatingSpace) {
+  const GeneratorConfig cfg;
+  // One platform instance provides the ground truth for register legality:
+  // the declared writable field masks of both register files.
+  core::GyroSystem g(core::default_gyro_system(core::Fidelity::Ideal));
+  auto writable_mask = [](platform::RegisterFile& rf, std::uint16_t addr) -> std::uint16_t {
+    const auto* fields = rf.fields_of(addr);
+    if (!fields) return 0;
+    std::uint16_t mask = 0;
+    for (const auto& f : *fields)
+      if (f.writable && !f.reserved)
+        mask |= static_cast<std::uint16_t>(((1u << f.width) - 1u) << f.lsb);
+    return mask;
+  };
+
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    const Scenario s = generate_scenario(seed, cfg);
+    ASSERT_GT(s.duration_s, 0.0) << "seed " << seed;
+    ASSERT_GE(s.quad_scale, 0.5);
+    ASSERT_LE(s.quad_scale, 1.5);
+    ASSERT_GE(s.drift_scale, 0.5);
+    ASSERT_LE(s.drift_scale, 1.5);
+    ASSERT_GE(s.output_bw_hz, 25.0);
+    ASSERT_LE(s.output_bw_hz, 75.0);
+
+    for (const auto& seg : s.rate) {
+      ASSERT_LE(std::abs(seg.a), cfg.max_base_dps) << "seed " << seed;
+      ASSERT_LE(std::abs(seg.b), cfg.max_base_dps) << "seed " << seed;
+    }
+    for (const auto& seg : s.temp) {
+      ASSERT_GE(seg.a, -40.0) << "seed " << seed;
+      ASSERT_LE(seg.a, 85.0) << "seed " << seed;
+      if (seg.kind == SegKind::Ramp) {
+        ASSERT_GE(seg.b, -65.0) << "seed " << seed;  // -30 start − 25 swing floor
+        ASSERT_LE(seg.b, 85.0) << "seed " << seed;
+      }
+    }
+    for (const auto& b : s.bursts) {
+      ASSERT_GE(b.t0, 0.0) << "seed " << seed;
+      ASSERT_LE(b.t0 + b.duration, s.duration_s + 1e-9) << "seed " << seed;
+      ASSERT_LE(b.amplitude, cfg.max_burst_dps) << "seed " << seed;
+    }
+    for (const auto& f : s.faults) {
+      // Injection only after the supervisor's worst-case arming window.
+      ASSERT_GE(f.inject_at, static_cast<long>(cfg.min_inject_s * kDspFs) - 1)
+          << "seed " << seed << " " << fault_kind_name(f.kind);
+      ASSERT_LT(static_cast<double>(f.inject_at) / kDspFs, s.duration_s) << "seed " << seed;
+      if (fault_requires_full(f.kind))
+        ASSERT_TRUE(s.full_fidelity) << "seed " << seed << " " << fault_kind_name(f.kind);
+    }
+    for (const auto& w : s.regs) {
+      auto& rf = w.afe ? g.afe_regs() : g.regs();
+      const std::uint16_t mask = writable_mask(rf, w.addr);
+      ASSERT_NE(mask, 0) << "seed " << seed << " write to undeclared reg " << w.addr;
+      ASSERT_EQ(w.value & ~mask, 0)
+          << "seed " << seed << " value " << w.value << " spills outside writable field of reg "
+          << w.addr;
+    }
+  }
+}
+
+TEST(ScenarioShrink, MinimizesToTheFailureRelevantCore) {
+  // A deliberately noisy failing scenario whose "failure" only needs the
+  // NcoPhaseJump fault: everything else must shrink away.
+  Scenario s;
+  s.cls = ScenarioClass::Fault;
+  s.full_fidelity = false;
+  s.duration_s = 1.2;
+  s.quad_scale = 1.4;
+  s.drift_scale = 0.6;
+  s.datapath_bits = 20;
+  s.rate = {{SegKind::Sine, 0.4, 50.0, 5.0, 7.0, 0.0},
+            {SegKind::Chirp, 0.4, 30.0, 0.0, 2.0, 20.0},
+            {SegKind::Constant, 0.4, 10.0, 0.0, 0.0, 0.0}};
+  s.temp = {{SegKind::Constant, 0.6, 40.0, 0.0, 0.0, 0.0},
+            {SegKind::Ramp, 0.6, 40.0, 60.0, 0.0, 0.0}};
+  s.bursts = {{0.1, 0.01, 40.0, 300.0}, {0.3, 0.02, 60.0, 0.0}, {0.5, 0.01, 20.0, 800.0}};
+  s.regs = {{false, core::reg::kSenseGain, 100}, {true, core::reg::kAfePgaPrimary, 30}};
+  s.faults = {{FaultKind::ReferenceDrift, 168000, -1, -0.5},
+              {FaultKind::NcoPhaseJump, 168000, -1, 1.5}};
+
+  const auto still_fails = [](const Scenario& c) {
+    for (const auto& f : c.faults)
+      if (f.kind == FaultKind::NcoPhaseJump) return true;
+    return false;
+  };
+
+  ShrinkStats stats;
+  const Scenario min = shrink_scenario(s, still_fails, 200, &stats);
+
+  EXPECT_TRUE(still_fails(min));  // the contract: the result still fails
+  ASSERT_EQ(min.faults.size(), 1u);
+  EXPECT_EQ(min.faults[0].kind, FaultKind::NcoPhaseJump);
+  EXPECT_TRUE(min.bursts.empty());
+  EXPECT_TRUE(min.regs.empty());
+  EXPECT_EQ(min.rate.size(), 1u);
+  EXPECT_EQ(min.temp.size(), 1u);
+  EXPECT_EQ(min.rate[0].kind, SegKind::Constant);
+  // Duration shrinks to the fault's detection window: inject (0.70 s) + 0.25.
+  EXPECT_NEAR(min.duration_s, 168000.0 / kDspFs + 0.25, 1e-9);
+  // MEMS corner and wordlength ablation neutralized.
+  EXPECT_EQ(min.quad_scale, 1.0);
+  EXPECT_EQ(min.drift_scale, 1.0);
+  EXPECT_EQ(min.datapath_bits, 0);
+  EXPECT_GT(stats.accepted, 0);
+  EXPECT_LE(stats.attempts, 200);
+  // Stimulus bookkeeping stays consistent after all edits.
+  EXPECT_GE(min.rate[0].duration, min.duration_s);
+}
+
+TEST(ScenarioShrink, RespectsTheAttemptBudget) {
+  Scenario s = generate_scenario(11);
+  s.bursts.assign(30, Burst{0.01, 0.005, 20.0, 100.0});
+  int calls = 0;
+  ShrinkStats stats;
+  shrink_scenario(
+      s, [&](const Scenario&) { ++calls; return true; }, 10, &stats);
+  EXPECT_LE(calls, 10);
+  EXPECT_EQ(stats.attempts, calls);
+}
+
+}  // namespace
+}  // namespace ascp::conformance

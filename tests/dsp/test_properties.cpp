@@ -1,0 +1,215 @@
+// Randomized DSP kernel properties. The fixed-chunk bit-exactness suite
+// (test_block_kernels.cpp) pins known-awkward partitions; here the
+// partitions, inputs and designs are themselves drawn from a seeded Rng so
+// each run sweeps a different corner of the legal space deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/cic.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/modem.hpp"
+#include "dsp/nco.hpp"
+
+namespace ascp::dsp {
+namespace {
+
+constexpr double kFs = 240e3;
+
+std::vector<double> noise(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.gaussian(0.6) + 0.05;
+  return v;
+}
+
+/// Random partition of [0, n) into chunks of 1..97 samples.
+std::vector<std::size_t> random_chunks(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> chunks;
+  std::size_t left = n;
+  while (left > 0) {
+    const std::size_t c = std::min<std::size_t>(left, 1 + rng.next_u64() % 97);
+    chunks.push_back(c);
+    left -= c;
+  }
+  return chunks;
+}
+
+TEST(DspProperties, BiquadBlockBitIdenticalUnderRandomPartitions) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 0xB1);
+    const auto in = noise(700, rng);
+    const double fc = rng.uniform(50.0, 0.4 * kFs);
+    const double q = rng.uniform(0.4, 8.0);
+    Biquad scalar(design_biquad_lowpass(fc, q, kFs));
+    Biquad blocked(scalar.coeffs());
+
+    std::vector<double> want(in.size());
+    for (std::size_t k = 0; k < in.size(); ++k) want[k] = scalar.process(in[k]);
+
+    std::vector<double> got = in;
+    std::size_t pos = 0;
+    for (const std::size_t c : random_chunks(in.size(), rng)) {
+      blocked.process_block(std::span<double>(got).subspan(pos, c));
+      pos += c;
+    }
+    for (std::size_t k = 0; k < in.size(); ++k)
+      ASSERT_EQ(want[k], got[k]) << "seed " << seed << " sample " << k;
+  }
+}
+
+TEST(DspProperties, FirBlockBitIdenticalUnderRandomPartitions) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 0xF1);
+    const auto in = noise(700, rng);
+    const int taps = 15 + 2 * static_cast<int>(rng.next_u64() % 40);  // odd, 15..93
+    const auto h = design_lowpass(taps, rng.uniform(40.0, 400.0), kFs / 128.0);
+    FirFilter scalar(h), blocked(h);
+
+    std::vector<double> want(in.size());
+    for (std::size_t k = 0; k < in.size(); ++k) want[k] = scalar.process(in[k]);
+
+    std::vector<double> got(in.size());
+    std::size_t pos = 0;
+    for (const std::size_t c : random_chunks(in.size(), rng)) {
+      blocked.process_block(std::span<const double>(in).subspan(pos, c),
+                            std::span<double>(got).subspan(pos, c));
+      pos += c;
+    }
+    for (std::size_t k = 0; k < in.size(); ++k)
+      ASSERT_EQ(want[k], got[k]) << "seed " << seed << " sample " << k;
+  }
+}
+
+TEST(DspProperties, CicBlockBitIdenticalUnderRandomPartitions) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 0xC1);
+    const int stages = 1 + static_cast<int>(rng.next_u64() % 4);
+    const int ratio = 1 << (3 + rng.next_u64() % 5);  // 8..128
+    const auto in = noise(static_cast<std::size_t>(ratio) * 5 + rng.next_u64() % 100, rng);
+    CicDecimator scalar(stages, ratio, 16, 2.5), blocked(stages, ratio, 16, 2.5);
+
+    std::vector<double> want;
+    for (double x : in)
+      if (const auto y = scalar.push(x)) want.push_back(*y);
+
+    std::vector<double> got(in.size() / static_cast<std::size_t>(ratio) + 1);
+    std::size_t n_out = 0, pos = 0;
+    for (const std::size_t c : random_chunks(in.size(), rng)) {
+      n_out += blocked.push_block(std::span<const double>(in).subspan(pos, c),
+                                  std::span<double>(got).subspan(n_out));
+      pos += c;
+    }
+    ASSERT_EQ(n_out, want.size()) << "seed " << seed;
+    for (std::size_t k = 0; k < want.size(); ++k)
+      ASSERT_EQ(want[k], got[k]) << "seed " << seed << " sample " << k;
+  }
+}
+
+TEST(DspProperties, NcoAndDemodBlockBitIdenticalUnderRandomPartitions) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 0xD1);
+    const double f0 = rng.uniform(5e3, 40e3);
+    const auto x = noise(700, rng);
+    Nco nco_s(kFs, f0), nco_b(kFs, f0);
+    IqDemodulator dm_s(kFs, 400.0), dm_b(kFs, 400.0);
+
+    std::vector<double> ci(x.size()), cq(x.size()), want_i(x.size()), want_q(x.size());
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      ci[k] = nco_s.step();
+      cq[k] = nco_s.cosine();
+      const auto bb = dm_s.step(x[k], ci[k], cq[k]);
+      want_i[k] = bb.i;
+      want_q[k] = bb.q;
+    }
+
+    std::vector<double> gci(x.size()), gcq(x.size()), got_i(x.size()), got_q(x.size());
+    std::size_t pos = 0;
+    for (const std::size_t c : random_chunks(x.size(), rng)) {
+      nco_b.step_block(std::span<double>(gci).subspan(pos, c),
+                       std::span<double>(gcq).subspan(pos, c));
+      dm_b.step_block(std::span<const double>(x).subspan(pos, c),
+                      std::span<const double>(gci).subspan(pos, c),
+                      std::span<const double>(gcq).subspan(pos, c),
+                      std::span<double>(got_i).subspan(pos, c),
+                      std::span<double>(got_q).subspan(pos, c));
+      pos += c;
+    }
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      ASSERT_EQ(ci[k], gci[k]) << "seed " << seed << " carrier sample " << k;
+      ASSERT_EQ(want_i[k], got_i[k]) << "seed " << seed << " i sample " << k;
+      ASSERT_EQ(want_q[k], got_q[k]) << "seed " << seed << " q sample " << k;
+    }
+  }
+}
+
+TEST(DspProperties, RandomLegalBiquadDesignsAreStable) {
+  // Every RBJ design over the legal (fc, Q) space must sit inside the
+  // stability triangle |a2| < 1, |a1| < 1 + a2, and produce bounded output
+  // for bounded input.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 0x51AB);
+    const double fc = rng.uniform(20.0, 0.45 * kFs);
+    const double q = rng.uniform(0.35, 12.0);
+    BiquadCoeffs c;
+    switch (seed % 4) {
+      case 0: c = design_biquad_lowpass(fc, q, kFs); break;
+      case 1: c = design_biquad_highpass(fc, q, kFs); break;
+      case 2: c = design_biquad_bandpass(fc, q, kFs); break;
+      default: c = design_biquad_notch(fc, q, kFs); break;
+    }
+    ASSERT_LT(std::abs(c.a2), 1.0) << "seed " << seed << " fc=" << fc << " q=" << q;
+    ASSERT_LT(std::abs(c.a1), 1.0 + c.a2) << "seed " << seed << " fc=" << fc << " q=" << q;
+
+    Biquad f(c);
+    double peak = 0.0;
+    for (int k = 0; k < 5000; ++k)
+      peak = std::max(peak, std::abs(f.process(rng.uniform(-1.0, 1.0))));
+    // Worst-case resonant gain at Q=12 stays well under this; instability
+    // would blow through it within a few thousand samples.
+    ASSERT_LT(peak, 100.0) << "seed " << seed << " fc=" << fc << " q=" << q;
+  }
+}
+
+TEST(DspProperties, CicOutputBoundedByInputExtremes) {
+  // The CIC impulse response is a nonnegative boxcar cascade normalized to
+  // unit DC gain, so outputs are convex combinations of inputs (up to the
+  // input quantizer's LSB): min x − lsb ≤ y ≤ max x + lsb.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 0xCCC);
+    const int stages = 1 + static_cast<int>(rng.next_u64() % 4);
+    const int ratio = 1 << (3 + rng.next_u64() % 5);
+    const double fs_v = 2.5;
+    CicDecimator cic(stages, ratio, 16, fs_v);
+    const double lsb = 2.0 * fs_v / 65536.0;
+    const double amp = rng.uniform(0.2, fs_v);
+    for (int k = 0; k < ratio * 40; ++k) {
+      if (const auto y = cic.push(rng.uniform(-amp, amp))) {
+        ASSERT_LE(std::abs(*y), amp + lsb) << "seed " << seed << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(DspProperties, CicDcGainIsExactlyNormalized) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 0xDC);
+    const int stages = 1 + static_cast<int>(rng.next_u64() % 4);
+    const int ratio = 1 << (3 + rng.next_u64() % 5);
+    CicDecimator cic(stages, ratio, 16, 2.5);
+    const double dc = rng.uniform(-2.0, 2.0);
+    double last = 0.0;
+    for (int k = 0; k < ratio * (stages + 4); ++k)
+      if (const auto y = cic.push(dc)) last = *y;
+    // After the N-stage pipeline fills, a DC input must come out at the
+    // input value to within the 16-bit input quantizer's LSB.
+    EXPECT_NEAR(last, dc, 2.0 * 2.5 / 65536.0) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ascp::dsp
