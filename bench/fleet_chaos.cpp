@@ -1,0 +1,265 @@
+// fleet_chaos — seeded chaos harness for the crash-resilient fleet runtime.
+//
+// Drives a mixed 8-channel fleet through a deterministic chaos script —
+// worker stalls, one-shot channel exceptions, a persistent crasher, and
+// checkpoint corruption (bit-flip and truncation) staged between run
+// segments — and then audits the resilience invariants:
+//
+//   * zero lost channels  — every channel either caught up to the fleet tick
+//                           or was quarantined with an ENGINE_FAULT DTC;
+//   * full detection      — every injected stall was flagged by the watchdog,
+//                           every exception restarted the channel, every
+//                           corrupted checkpoint was rejected by the CRC
+//                           frame and demoted to a cold rebuild;
+//   * bit-exact recovery  — every surviving channel's output_hash() equals a
+//                           clean solo twin that never saw chaos.
+//
+// Reports detection latency and MTTR percentiles to stdout and to
+// BENCH_fleet_chaos.json. Exit status 0 when every invariant holds.
+//
+//   fleet_chaos [--smoke] [--seed N]
+//     --smoke   shorter run with small stall sleeps (CI-friendly)
+//     --seed N  chaos-script seed (default 2026)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "platform/engine/fleet.hpp"
+#include "safety/dtc.hpp"
+
+using namespace ascp;
+using namespace ascp::engine;
+
+namespace {
+
+struct ChaosPlan {
+  // fleet tick → channel for each injection kind
+  std::vector<std::pair<long, std::size_t>> exceptions;  // one-shot throws
+  std::vector<std::pair<long, std::size_t>> stalls;      // sleeps > deadline
+  std::size_t persistent_crasher = 0;                    // throws from crash_from
+  long crash_from = 0;
+  std::size_t corrupt_victim = 0;   // checkpoint bit-flipped, then crashed
+  std::size_t truncate_victim = 0;  // checkpoint truncated, then crashed
+};
+
+double mean(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double maxv(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+const std::vector<ChannelKind> kKinds = {
+    ChannelKind::GyroIdeal, ChannelKind::Adxrs300, ChannelKind::Gyrostar,
+    ChannelKind::GyroIdeal, ChannelKind::Adxrs300, ChannelKind::Gyrostar,
+    ChannelKind::GyroIdeal, ChannelKind::Adxrs300};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::uint64_t seed = 2026;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+    else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) seed = std::strtoull(argv[++i], nullptr, 10);
+    else {
+      std::fprintf(stderr, "usage: fleet_chaos [--smoke] [--seed N]\n");
+      return 2;
+    }
+  }
+
+  const long total_ticks = smoke ? 24 : 60;
+  const double stall_sleep_ms = smoke ? 30.0 : 60.0;
+
+  FleetConfig fc;
+  fc.root_seed = 424242;
+  fc.threads = 4;
+  fc.tick_seconds = 0.002;
+  fc.tick_deadline_ms = smoke ? 12.0 : 25.0;
+  fc.checkpoint_interval = 4;
+  fc.max_restarts = 3;
+  fc.backoff_base_ticks = 1;
+  fc.backoff_cap_ticks = 4;
+
+  // ---- deterministic chaos script ------------------------------------------
+  // Victims are distinct channels; all tick choices come from the seed, so a
+  // run is reproduced by its seed alone.
+  Rng chaos(seed);
+  ChaosPlan plan;
+  std::vector<std::size_t> order(kKinds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[chaos.next_u64() % i]);
+  plan.persistent_crasher = order[0];
+  plan.corrupt_victim = order[1];
+  plan.truncate_victim = order[2];
+  const auto pick_tick = [&](long lo, long hi) {
+    return lo + static_cast<long>(chaos.next_u64() % static_cast<std::uint64_t>(hi - lo));
+  };
+  // Quarantine needs 4 crashes with backoffs 1/2/4 between them — the last
+  // lands ~10 ticks after the first, which must stay inside the run.
+  plan.crash_from = pick_tick(total_ticks / 2, total_ticks - 10);
+  for (std::size_t k = 3; k < 5; ++k)
+    plan.exceptions.emplace_back(pick_tick(2, total_ticks - 4), order[k]);
+  for (std::size_t k = 5; k < 7; ++k)
+    plan.stalls.emplace_back(pick_tick(2, total_ticks - 4), order[k]);
+  // The corruption victims crash right after the segment boundary where their
+  // checkpoint image is sabotaged (segment boundaries are thirds of the run).
+  const long seg1 = total_ticks / 3, seg2 = 2 * total_ticks / 3;
+  plan.exceptions.emplace_back(seg1 + 1, plan.corrupt_victim);
+  plan.exceptions.emplace_back(seg2 + 1, plan.truncate_victim);
+
+  // ---- fleet assembly -------------------------------------------------------
+  std::atomic<long> stalls_injected{0}, exceptions_injected{0};
+  std::vector<FleetChannelSpec> specs(kKinds.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].config.kind = kKinds[i];
+    std::vector<long> ex_ticks, stall_ticks;
+    for (const auto& [t, ch] : plan.exceptions)
+      if (ch == i) ex_ticks.push_back(t);
+    for (const auto& [t, ch] : plan.stalls)
+      if (ch == i) stall_ticks.push_back(t);
+    const bool crasher = i == plan.persistent_crasher;
+    const long crash_from = plan.crash_from;
+    specs[i].before_advance = [ex_ticks, stall_ticks, crasher, crash_from, stall_sleep_ms,
+                               &stalls_injected, &exceptions_injected](long tick) {
+      if (crasher && tick >= crash_from) {
+        exceptions_injected.fetch_add(1);
+        throw std::runtime_error("persistent crasher");
+      }
+      for (long t : ex_ticks)
+        if (t == tick) {
+          exceptions_injected.fetch_add(1);
+          throw std::runtime_error("injected exception");
+        }
+      for (long t : stall_ticks)
+        if (t == tick) {
+          stalls_injected.fetch_add(1);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(stall_sleep_ms));
+        }
+    };
+  }
+
+  obs::Observability obs;
+  FleetConfig cfg = fc;
+  cfg.metrics = &obs.metrics;
+  cfg.events = &obs.events;
+  FleetSupervisor fleet(std::move(specs), cfg);
+  std::vector<std::uint64_t> delivered(kKinds.size(), 0);
+  fleet.set_consumer([&delivered](std::size_t i, std::vector<double>&& batch) {
+    delivered[i] += batch.size();
+  });
+
+  // ---- run: three segments with checkpoint sabotage at the boundaries ------
+  const auto wall0 = std::chrono::steady_clock::now();
+  fleet.run_ticks(seg1);
+  fleet.corrupt_last_checkpoint(plan.corrupt_victim);
+  fleet.run_ticks(seg2 - seg1);
+  fleet.truncate_last_checkpoint(plan.truncate_victim, 16);
+  fleet.run_ticks(total_ticks - seg2);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+
+  const FleetStats& st = fleet.stats();
+
+  // ---- clean twins: recovery must be bit-exact ------------------------------
+  // Seeds fork sequentially from the root exactly as the supervisor derives
+  // them; quarantined channels stopped mid-crash, so only survivors compare.
+  Rng root(fc.root_seed);
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < kKinds.size(); ++i)
+    seeds.push_back(root.fork(static_cast<std::uint64_t>(i) + 1).next_u64());
+
+  bool hashes_ok = true;
+  long lost_channels = 0;
+  long quarantined_with_dtc = 0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (fleet.health(i) == ChannelHealth::Quarantined) {
+      if (fleet.fleet_dtcs(i) & safety::kDtcEngineFault) ++quarantined_with_dtc;
+      else ++lost_channels;  // parked without a trouble code = silent loss
+      continue;
+    }
+    if (fleet.ticks_done(i) != fleet.ticks_run()) {
+      ++lost_channels;
+      continue;
+    }
+    ChannelConfig twin_cfg;
+    twin_cfg.kind = kKinds[i];
+    twin_cfg.seed = seeds[i];
+    ConditioningChannel twin(twin_cfg);
+    twin.advance(std::llround(static_cast<double>(total_ticks) * fc.tick_seconds *
+                              twin.base_rate_hz()));
+    if (twin.output_hash() != fleet.channel(i).output_hash()) {
+      hashes_ok = false;
+      std::printf("channel %zu: hash diverged from clean twin after recovery\n", i);
+    }
+  }
+
+  const bool stalls_detected = st.stalls_detected >= stalls_injected.load();
+  const bool exceptions_handled =
+      st.exceptions == exceptions_injected.load() && st.restarts >= 3;
+  const bool corruptions_detected = st.corrupt_checkpoints >= 2;
+  const bool quarantine_worked =
+      st.quarantined == 1 && quarantined_with_dtc == 1;
+  const bool pass = lost_channels == 0 && stalls_detected && exceptions_handled &&
+                    corruptions_detected && quarantine_worked && hashes_ok;
+
+  std::printf("== fleet_chaos%s: seed %llu, %zu channels, %ld ticks, %.2fs wall ==\n",
+              smoke ? " (smoke)" : "", static_cast<unsigned long long>(seed), fleet.size(),
+              total_ticks, wall_s);
+  std::printf("injected: %ld stalls, %ld exception events, 2 checkpoint corruptions\n",
+              stalls_injected.load(), exceptions_injected.load());
+  std::printf("detected: %ld stalls, %ld exceptions, %ld corrupt checkpoints\n",
+              st.stalls_detected, st.exceptions, st.corrupt_checkpoints);
+  std::printf("recovery: %ld restarts, %ld quarantined (with DTC: %ld), %ld checkpoints taken\n",
+              st.restarts, st.quarantined, quarantined_with_dtc, st.checkpoints);
+  std::printf("detection latency: mean %.2f ms, max %.2f ms over %zu stall incident(s)\n",
+              mean(st.stall_detect_ms), maxv(st.stall_detect_ms), st.stall_detect_ms.size());
+  std::printf("MTTR: mean %.2f ms, max %.2f ms over %zu incident(s)\n", mean(st.mttr_ms),
+              maxv(st.mttr_ms), st.mttr_ms.size());
+  std::printf("lost channels: %ld; surviving hashes bit-exact: %s\n", lost_channels,
+              hashes_ok ? "yes" : "NO");
+  std::printf("%s\n", pass ? "PASS" : "FAIL");
+
+  if (FILE* f = std::fopen("BENCH_fleet_chaos.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"fleet_chaos\",\n  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"seed\": %llu,\n  \"channels\": %zu,\n  \"ticks\": %ld,\n",
+                 static_cast<unsigned long long>(seed), fleet.size(), total_ticks);
+    std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall_s);
+    std::fprintf(f, "  \"injected\": {\"stalls\": %ld, \"exceptions\": %ld, \"checkpoint_corruptions\": 2},\n",
+                 stalls_injected.load(), exceptions_injected.load());
+    std::fprintf(f, "  \"detected\": {\"stalls\": %ld, \"exceptions\": %ld, \"corrupt_checkpoints\": %ld},\n",
+                 st.stalls_detected, st.exceptions, st.corrupt_checkpoints);
+    std::fprintf(f, "  \"recovery\": {\"restarts\": %ld, \"quarantined\": %ld, \"checkpoints\": %ld, \"shed_channel_ticks\": %ld},\n",
+                 st.restarts, st.quarantined, st.checkpoints, st.shed_channel_ticks);
+    std::fprintf(f, "  \"detection_latency_ms\": {\"mean\": %.3f, \"max\": %.3f, \"n\": %zu},\n",
+                 mean(st.stall_detect_ms), maxv(st.stall_detect_ms), st.stall_detect_ms.size());
+    std::fprintf(f, "  \"mttr_ms\": {\"mean\": %.3f, \"max\": %.3f, \"n\": %zu},\n",
+                 mean(st.mttr_ms), maxv(st.mttr_ms), st.mttr_ms.size());
+    std::fprintf(f, "  \"delivered_samples\": %ld,\n", st.delivered_samples);
+    std::fprintf(f, "  \"engine_events\": %llu,\n",
+                 static_cast<unsigned long long>(obs.events.count(obs::EventCategory::Engine)));
+    std::fprintf(f, "  \"invariants\": {\"lost_channels\": %ld, \"stalls_detected\": %s, \"exceptions_handled\": %s, \"corruptions_detected\": %s, \"quarantine_with_dtc\": %s, \"hashes_bit_exact\": %s},\n",
+                 lost_channels, stalls_detected ? "true" : "false",
+                 exceptions_handled ? "true" : "false", corruptions_detected ? "true" : "false",
+                 quarantine_worked ? "true" : "false", hashes_ok ? "true" : "false");
+    std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_fleet_chaos.json\n");
+  }
+
+  return pass ? 0 : 1;
+}

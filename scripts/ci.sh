@@ -15,6 +15,10 @@
 #   ci.sh fuzz-smoke   — deterministic conformance smoke: 200 randomized
 #                        scenarios from --seed 2026, zero violations required
 #   ci.sh fuzz-corpus  — replay every checked-in .scenario under ASAN
+#   ci.sh chaos-smoke  — deterministic seeded fleet-chaos run (stalls,
+#                        exceptions, checkpoint corruption; zero lost
+#                        channels required) plus a checkpoint round-trip
+#                        replay under ASAN
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,6 +43,16 @@ stage_fuzz_corpus() {
   ./build-asan/tools/scenario_fuzz --corpus tests/conformance/corpus
 }
 
+stage_chaos_smoke() {
+  build_preset default --target fleet_chaos
+  echo "== fleet chaos: deterministic smoke (seed 2026) =="
+  ./build/bench/fleet_chaos --smoke --seed 2026
+  build_preset asan --target test_checkpoint
+  echo "== checkpoint round-trip replay under ASAN (corpus subset) =="
+  ./build-asan/tests/test_checkpoint \
+    --gtest_filter='Corpus/CorpusCheckpoint.ResumeAtKBitExactWithStraightRun/*:CheckpointFrame.*'
+}
+
 stage_coverage() {
   build_preset coverage
   echo "== tier-1 tests (coverage build) =="
@@ -52,9 +66,10 @@ stage_coverage() {
 case "$stage" in
   fuzz-smoke)  stage_fuzz_smoke;  echo "CI STAGE fuzz-smoke PASSED";  exit 0 ;;
   fuzz-corpus) stage_fuzz_corpus; echo "CI STAGE fuzz-corpus PASSED"; exit 0 ;;
+  chaos-smoke) stage_chaos_smoke; echo "CI STAGE chaos-smoke PASSED"; exit 0 ;;
   coverage)    stage_coverage;    echo "CI STAGE coverage PASSED";    exit 0 ;;
   all) ;;
-  *) echo "usage: ci.sh [coverage|fuzz-smoke|fuzz-corpus]" >&2; exit 2 ;;
+  *) echo "usage: ci.sh [coverage|fuzz-smoke|fuzz-corpus|chaos-smoke]" >&2; exit 2 ;;
 esac
 
 build_preset default
@@ -110,5 +125,6 @@ fi
 
 stage_fuzz_smoke
 stage_fuzz_corpus
+stage_chaos_smoke
 
 echo "CI PASSED"

@@ -66,6 +66,15 @@ class SarAdc {
     ref_shift_ = 0.0;
   }
 
+  void serialize_state(StateArchive& ar) {
+    // Mismatch draws (offset_, gain_, inl_) reproduce from the same seed at
+    // construction; only the noise stream and fault latches evolve.
+    noise_.serialize_state(ar);
+    ar.value(stuck_);
+    ar.value(stuck_code_);
+    ar.value(ref_shift_);
+  }
+
  private:
   AdcConfig cfg_;
   double lsb_;

@@ -38,6 +38,16 @@ class Amplifier {
 
   void reset() { state_ = 0.0; }
 
+  void serialize_state(StateArchive& ar) {
+    // Gain/bandwidth are register-writable at run time, so they travel with
+    // the state even though they look like config.
+    ar.value(cfg_.gain);
+    ar.value(cfg_.bandwidth_hz);
+    ar.value(alpha_);
+    ar.value(state_);
+    noise_.serialize_state(ar);
+  }
+
  private:
   AmplifierConfig cfg_;
   double offset_;

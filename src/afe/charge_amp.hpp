@@ -40,6 +40,13 @@ class ChargeAmp {
 
   void reset();
 
+  void serialize_state(StateArchive& ar) {
+    ar.value(lp_state_);
+    ar.value(hp_state_);
+    noise_.serialize_state(ar);
+    ar.value(open_wire_);
+  }
+
  private:
   ChargeAmpConfig cfg_;
   double lp_alpha_;

@@ -43,6 +43,13 @@ class Dac {
   double lsb() const { return lsb_; }
   int bits() const { return cfg_.bits; }
 
+  void serialize_state(StateArchive& ar) {
+    ar.value(code_);
+    ar.value(target_);
+    ar.value(out_);
+    ar.value(glitch_);
+  }
+
  private:
   DacConfig cfg_;
   double lsb_;

@@ -42,6 +42,15 @@ class AcquisitionChannel {
 
   void reset();
 
+  void serialize_state(StateArchive& ar) {
+    amp_.serialize_state(ar);
+    adc_.serialize_state(ar);
+    ar.value(aa_state_);
+    std::int32_t p = phase_;
+    ar.value(p);
+    phase_ = p;
+  }
+
  private:
   FrontendConfig cfg_;
   Amplifier amp_;

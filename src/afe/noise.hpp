@@ -29,6 +29,11 @@ class NoiseSource {
 
   const NoiseSpec& spec() const { return spec_; }
 
+  void serialize_state(StateArchive& ar) {
+    rng_.serialize_state(ar);
+    flicker_.serialize_state(ar);
+  }
+
  private:
   NoiseSpec spec_;
   double sigma_white_;  ///< white sigma at 25 °C for this fs

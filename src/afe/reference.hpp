@@ -60,6 +60,8 @@ class TempSensor {
   /// Measured temperature given true ambient.
   double read(double true_temp_c);
 
+  void serialize_state(StateArchive& ar) { rng_.serialize_state(ar); }
+
  private:
   double gain_;
   double offset_;

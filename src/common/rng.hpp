@@ -5,7 +5,10 @@
 // that a simulation is fully reproducible from a single master seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
+
+#include "common/state_archive.hpp"
 
 namespace ascp {
 
@@ -35,6 +38,12 @@ class Rng {
   /// Derive an independent stream for a sub-block (splitmix of seed + tag).
   Rng fork(std::uint64_t tag);
 
+  void serialize_state(StateArchive& ar) {
+    for (auto& s : s_) ar.value(s);
+    ar.value(has_cached_);
+    ar.value(cached_);
+  }
+
  private:
   std::uint64_t s_[4]{};
   bool has_cached_ = false;
@@ -51,6 +60,13 @@ class FlickerNoise {
   FlickerNoise(Rng rng, double sigma, int num_octaves = 12);
 
   double next();
+
+  void serialize_state(StateArchive& ar) {
+    rng_.serialize_state(ar);
+    for (auto& s : state_) ar.value(s);
+    ar.value(sum_);
+    ar.value(counter_);
+  }
 
  private:
   Rng rng_;

@@ -1,0 +1,138 @@
+// state_archive.hpp — direction-tagged binary archive for bit-exact
+// checkpoint/restore.
+//
+// Every stateful component implements one `serialize_state(StateArchive&)`
+// member that lists its persistent fields once; the same statement sequence
+// runs for save and load, so the two directions can never drift apart.
+// Encoding is little-endian fixed-width; doubles round-trip through their
+// IEEE-754 bit pattern, which is what makes a restored run bit-exact rather
+// than merely close.
+//
+// Archives are section-framed: `begin_section("CHAN") … end_section()`
+// brackets a component's fields with a fourcc tag and a byte length. On load
+// the tag and length are verified, so a field added on one side of a
+// save/load pair fails loudly (StateError) instead of silently shearing the
+// byte stream. The framing also lets tools/checkpoint_tool walk a checkpoint
+// without linking the whole platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ascp {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+/// Used by the checkpoint container to reject bit-flipped images.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+/// Any structural problem while loading: truncation, tag mismatch, length
+/// disagreement, oversized counts. The message says what went wrong where.
+class StateError : public std::runtime_error {
+ public:
+  explicit StateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class StateArchive {
+ public:
+  static StateArchive saver();
+  static StateArchive loader(const std::uint8_t* data, std::size_t len);
+  static StateArchive loader(const std::vector<std::uint8_t>& bytes);
+
+  bool saving() const { return saving_; }
+
+  // --- scalars (fixed-width little-endian) ------------------------------
+  void value(bool& v);
+  void value(std::uint8_t& v);
+  void value(std::uint16_t& v);
+  void value(std::uint32_t& v);
+  void value(std::uint64_t& v);
+  void value(std::int32_t& v);
+  void value(std::int64_t& v);
+  void value(double& v);
+
+  /// Enums ride as u32 of their underlying value.
+  template <typename E>
+  void enum_value(E& e) {
+    std::uint32_t raw = static_cast<std::uint32_t>(e);
+    value(raw);
+    if (!saving_) e = static_cast<E>(raw);
+  }
+
+  // --- raw buffers (bulk copy; for code/data memories) ------------------
+  void bytes(std::uint8_t* p, std::size_t n);
+
+  // --- containers -------------------------------------------------------
+  void value(std::vector<std::uint8_t>& v);
+  void value(std::optional<double>& v);
+  void value(std::deque<std::uint8_t>& v);
+
+  template <typename T>
+  void value(std::vector<T>& v) {
+    std::uint64_t n = v.size();
+    value(n);
+    if (!saving_) {
+      guard_count(n, sizeof(T));
+      v.resize(static_cast<std::size_t>(n));
+    }
+    for (auto& e : v) value(e);
+  }
+
+  template <typename T, std::size_t N>
+  void value(std::array<T, N>& v) {
+    for (auto& e : v) value(e);
+  }
+
+  // --- section framing --------------------------------------------------
+  void begin_section(const char* fourcc);
+  void end_section();
+
+  // --- terminal ---------------------------------------------------------
+  /// Save mode: hand over the encoded bytes.
+  std::vector<std::uint8_t> take();
+  /// Load mode: true once every byte has been consumed.
+  bool exhausted() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  explicit StateArchive(bool saving) : saving_(saving) {}
+
+  std::size_t limit() const { return limits_.empty() ? size_ : limits_.back(); }
+  void put(const std::uint8_t* p, std::size_t n);
+  void get(std::uint8_t* p, std::size_t n);
+  void guard_count(std::uint64_t n, std::size_t elem_size) const;
+
+  template <typename U>
+  void scalar(U& v) {
+    std::uint8_t buf[sizeof(U)];
+    if (saving_) {
+      U x = v;
+      for (std::size_t i = 0; i < sizeof(U); ++i) {
+        buf[i] = static_cast<std::uint8_t>(x & 0xFF);
+        x = static_cast<U>(x >> 8);
+      }
+      put(buf, sizeof(U));
+    } else {
+      get(buf, sizeof(U));
+      U x = 0;
+      for (std::size_t i = sizeof(U); i-- > 0;)
+        x = static_cast<U>((x << 8) | buf[i]);
+      v = x;
+    }
+  }
+
+  bool saving_;
+  std::vector<std::uint8_t> out_;               // save mode
+  const std::uint8_t* in_ = nullptr;            // load mode
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  std::vector<std::size_t> patch_;              // save: length-field offsets
+  std::vector<std::size_t> limits_;             // load: section end offsets
+};
+
+}  // namespace ascp

@@ -128,7 +128,9 @@ void AnalogGyroBaseline::build(std::uint64_t seed) {
   sched_->every(
       1,
       [this, dt] {
-        const double t = static_cast<double>(sched_->ticks() - run_origin_) * dt;
+        const double t = cfg_.stimulus_global_time
+                             ? static_cast<double>(sched_->ticks()) * dt
+                             : static_cast<double>(sched_->ticks() - run_origin_) * dt;
         tick_temp_ = run_temp_->at(t);
 
         sensor::GyroInputs in;
@@ -189,6 +191,24 @@ void AnalogGyroBaseline::power_on(std::uint64_t seed) {
 void AnalogGyroBaseline::set_observability(const obs::ObsSink& sink) {
   obs_ = sink;
   sched_->set_profiler(obs_.tasks);
+}
+
+void AnalogGyroBaseline::serialize_state(StateArchive& ar) {
+  ar.begin_section("BASE");
+  mems_->serialize_state(ar);
+  drive_->serialize_state(ar);
+  demod_->serialize_state(ar);
+  std::int64_t ticks = sched_->ticks();
+  ar.value(ticks);
+  if (!ar.saving()) sched_->set_ticks(static_cast<long>(ticks));
+  ar.value(tick_temp_);
+  ar.value(pick_.dc_primary);
+  ar.value(pick_.dc_sense);
+  noise_rng_.serialize_state(ar);
+  ar.value(lpf_state_[0]);
+  ar.value(lpf_state_[1]);
+  ar.value(drive_v_);
+  ar.end_section();
 }
 
 void AnalogGyroBaseline::run(const sensor::Profile& rate, const sensor::Profile& temp,

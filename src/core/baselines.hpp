@@ -19,6 +19,7 @@
 
 #include <memory>
 
+#include "common/state_archive.hpp"
 #include "core/drive_loop.hpp"
 #include "core/rate_sensor.hpp"
 #include "dsp/modem.hpp"
@@ -52,6 +53,9 @@ struct BaselineConfig {
 
   double full_scale_dps = 300.0;
   double output_rate_hz = 1875.0;    ///< DAQ sampling of the analog output
+  /// Evaluate profiles on the device's global tick axis instead of
+  /// restarting t at 0 each run() (see GyroSystemConfig::stimulus_global_time).
+  bool stimulus_global_time = false;
 };
 
 /// ADXRS300-class configuration (Table 2).
@@ -77,6 +81,11 @@ class AnalogGyroBaseline : public RateSensor {
   /// PLL registers or DTCs to report, but its multi-rate kernel profiles the
   /// same way the platform's does). Survives power_on.
   void set_observability(const obs::ObsSink& sink);
+
+  /// Checkpoint path: dynamic state only — trim/phase draws reproduce from
+  /// the power-on seed, and the persistent scheduler's tick counter travels
+  /// so decimation phase resumes exactly.
+  void serialize_state(StateArchive& ar);
 
  private:
   void build(std::uint64_t seed);

@@ -50,6 +50,11 @@ class DriveLoop {
 
   void reset();
 
+  void serialize_state(StateArchive& ar) {
+    pll_.serialize_state(ar);
+    agc_.serialize_state(ar);
+  }
+
  private:
   dsp::Pll pll_;
   dsp::Agc agc_;

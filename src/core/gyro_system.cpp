@@ -209,6 +209,10 @@ void GyroSystem::recover_from_watchdog() {
       set_compensation(cal.coeffs);
       if (supervisor_) supervisor_->notify_cal_replay(true);
     } else if (cal.status == safety::CalRecord::Status::Corrupt) {
+      // Corrupt trim image: condition with unity/zero safe defaults rather
+      // than whatever stale coefficients the chain was running with — a
+      // known-pessimistic output beats a plausible-but-wrong one.
+      set_compensation(dsp::CompensationCoeffs{});
       if (supervisor_) supervisor_->notify_cal_replay(false);
     }
   }
@@ -287,7 +291,11 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
       [this, &sched, &st, &rate, &temp, dt, full] {
         st.sp.reset();
         st.ss.reset();
-        const double t = static_cast<double>(sched.ticks()) * dt;
+        // base_ticks_ increments at the end of this task, so here it equals
+        // the global index of the current tick; for the first run from a
+        // cold start both time axes are identical.
+        const double t = cfg_.stimulus_global_time ? static_cast<double>(base_ticks_) * dt
+                                                   : static_cast<double>(sched.ticks()) * dt;
         st.temp_c = temp.at(t);
 
         sensor::GyroInputs in;
@@ -317,9 +325,14 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
   // ---- ideal sampling (240 kHz): the MATLAB level has no AFE, so the
   // scheduler provides the ADC cadence (phase-aligned with a SAR finishing
   // its conversion cycle on the adc_div-th clock) -------------------------
+  // The phase keeps the *global* conversion cadence (g % adc_div ==
+  // adc_div-1) even when one timeline is split across several run() calls
+  // (checkpoint resume): base_ticks_ here is this run's tick origin. From a
+  // cold start the expression reduces to the historical adc_div-1.
   if (!full)
     sched.every(
-        cfg_.adc_div, cfg_.adc_div - 1,
+        cfg_.adc_div,
+        (cfg_.adc_div - 1 - base_ticks_ % cfg_.adc_div + cfg_.adc_div) % cfg_.adc_div,
         [this, &st] {
           st.sp = ideal_gain_primary_ * st.pick.dc_primary;
           st.ss = ideal_gain_sense_ * st.pick.dc_sense;
@@ -486,6 +499,63 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
         }
       },
       "output");
+}
+
+void GyroSystem::serialize_state(StateArchive& ar) {
+  ar.begin_section("GSYS");
+  // Runtime-mutable config knobs. Register hooks mutate cfg_ when firmware
+  // or JTAG writes config registers mid-run; the raw register restore below
+  // deliberately does not re-fire hooks, so the knobs travel explicitly.
+  std::int32_t mode = static_cast<std::int32_t>(cfg_.sense.mode);
+  ar.value(mode);
+  if (!ar.saving()) cfg_.sense.mode = static_cast<SenseMode>(mode);
+  ar.value(cfg_.primary_pga_gain);
+  ar.value(cfg_.sense_pga_gain);
+  std::int32_t adc_bits = cfg_.adc.bits;
+  ar.value(adc_bits);
+  if (!ar.saving()) cfg_.adc.bits = adc_bits;
+  for (auto& o : cfg_.comp.offset) ar.value(o);
+  ar.value(cfg_.comp.s0);
+  ar.value(cfg_.comp.s1);
+  ar.value(cfg_.comp.s2);
+  if (!ar.saving()) sense_->set_compensation(cfg_.comp);
+
+  // Components, in pipeline order. All exist at every fidelity (build()
+  // constructs them unconditionally).
+  mems_->serialize_state(ar);
+  champ_primary_->serialize_state(ar);
+  champ_sense_->serialize_state(ar);
+  acq_primary_->serialize_state(ar);
+  acq_sense_->serialize_state(ar);
+  dac_drive_->serialize_state(ar);
+  dac_ctrl_->serialize_state(ar);
+  temp_sensor_->serialize_state(ar);
+  drive_->serialize_state(ar);
+  sense_->serialize_state(ar);
+
+  ar.value(drive_v_);
+  ar.value(ctrl_v_);
+  ar.value(last_output_);
+  std::int64_t base = base_ticks_, dsp = dsp_samples_;
+  ar.value(base);
+  ar.value(dsp);
+  if (!ar.saving()) {
+    base_ticks_ = static_cast<long>(base);
+    dsp_samples_ = static_cast<long>(dsp);
+  }
+  ar.value(obs_pll_prev_);
+  ar.value(obs_agc_prev_);
+  ar.value(obs_pll_ever_);
+
+  bool has_sup = supervisor_ != nullptr;
+  ar.value(has_sup);
+  if (has_sup != (supervisor_ != nullptr))
+    throw StateError("checkpoint safety-supervisor presence mismatch");
+  if (supervisor_) supervisor_->serialize_state(ar);
+
+  platform_.serialize_state(ar);
+  afe_regs_.serialize_values(ar);
+  ar.end_section();
 }
 
 void GyroSystem::run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,

@@ -25,6 +25,7 @@
 #include "afe/dac.hpp"
 #include "afe/frontend.hpp"
 #include "afe/reference.hpp"
+#include "common/state_archive.hpp"
 #include "common/trace.hpp"
 #include "core/drive_loop.hpp"
 #include "obs/observability.hpp"
@@ -72,6 +73,12 @@ struct GyroSystemConfig {
   afe::DacConfig dac{};
 
   bool with_mcu = false;  ///< instantiate the 8051 monitor subsystem
+  /// Evaluate the rate/temperature profiles on the channel's global tick
+  /// axis instead of restarting t at 0 each run() call. Set by owners (the
+  /// fleet engine) that advance one continuous timeline through many run()
+  /// calls — required for checkpoint resume to be bit-exact, because a
+  /// resumed run must see the stimulus continue, not restart.
+  bool stimulus_global_time = false;
   /// Instantiate the safety supervisor + DIAG register block. The nominal
   /// numeric path is bit-identical with or without it (pass-through until a
   /// monitor trips).
@@ -139,6 +146,12 @@ class GyroSystem : public RateSensor {
 
   void set_compensation(const dsp::CompensationCoeffs& c);
   const GyroSystemConfig& config() const { return cfg_; }
+
+  /// Checkpoint path: runtime-mutable config knobs, both register files and
+  /// every stateful component. Wiring (obs sink, trace, campaign pointer,
+  /// register hook closures) stays as constructed — restore into a system
+  /// built from the same config.
+  void serialize_state(StateArchive& ar);
 
  private:
   /// State shared between the scheduler tasks of one pipeline instance:

@@ -110,6 +110,30 @@ class SenseChain {
 
   void reset();
 
+  void serialize_state(StateArchive& ar) {
+    demod_.serialize_state(ar);
+    cic_rate_.serialize_state(ar);
+    cic_quad_.serialize_state(ar);
+    fir_.serialize_state(ar);
+    out_lpf_.serialize_state(ar);
+    // Compensation coefficients are runtime-written (cal replay, trim), so
+    // they travel with the state. blk_* scratch is per-call and skipped.
+    dsp::CompensationCoeffs c = comp_.coeffs();
+    for (auto& o : c.offset) ar.value(o);
+    ar.value(c.s0);
+    ar.value(c.s1);
+    ar.value(c.s2);
+    if (!ar.saving()) comp_.set_coeffs(c);
+    ar.value(bb_.i);
+    ar.value(bb_.q);
+    ar.value(rate_integ_);
+    ar.value(quad_integ_);
+    ar.value(raw_rate_);
+    ar.value(raw_quad_);
+    ar.value(pending_rate_);
+    ar.value(pending_quad_);
+  }
+
  private:
   SenseChainConfig cfg_;
   dsp::IqDemodulator demod_;

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 
+#include "common/state_archive.hpp"
+
 namespace ascp::dsp {
 
 struct AgcConfig {
@@ -57,6 +59,15 @@ class Agc {
     integ_ = 0.0;
     error_ = 0.0;
     settle_counter_ = 0;
+  }
+
+  void serialize_state(StateArchive& ar) {
+    ar.value(gain_);
+    ar.value(integ_);
+    ar.value(error_);
+    std::int32_t sc = settle_counter_;
+    ar.value(sc);
+    settle_counter_ = sc;
   }
 
  private:

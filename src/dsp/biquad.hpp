@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "common/state_archive.hpp"
+
 namespace ascp::dsp {
 
 /// Normalized biquad coefficients: H(z) = (b0 + b1 z^-1 + b2 z^-2) /
@@ -46,6 +48,11 @@ class Biquad {
   void reset() { s1_ = s2_ = 0.0; }
   const BiquadCoeffs& coeffs() const { return c_; }
 
+  void serialize_state(StateArchive& ar) {
+    ar.value(s1_);
+    ar.value(s2_);
+  }
+
  private:
   BiquadCoeffs c_;
   double s1_ = 0.0, s2_ = 0.0;
@@ -65,6 +72,16 @@ class BiquadCascade {
   void process_block(std::span<double> xy);
   void reset();
   std::size_t size() const { return sections_.size(); }
+
+  void serialize_state(StateArchive& ar) {
+    // Section count is structural (set at design time), so only the
+    // recurrence states travel; a count mismatch means the wrong config.
+    std::uint32_t n = static_cast<std::uint32_t>(sections_.size());
+    ar.value(n);
+    if (n != sections_.size())
+      throw StateError("BiquadCascade section count mismatch");
+    for (auto& s : sections_) s.serialize_state(ar);
+  }
 
  private:
   std::vector<Biquad> sections_;

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "common/state_archive.hpp"
+
 namespace ascp::dsp {
 
 /// N-stage CIC decimator with decimation ratio R and differential delay 1.
@@ -47,6 +49,14 @@ class CicDecimator {
   double magnitude(double f, double fs) const;
 
   void reset();
+
+  void serialize_state(StateArchive& ar) {
+    for (auto& v : integ_) ar.value(v);
+    for (auto& v : comb_) ar.value(v);
+    std::int32_t p = phase_;
+    ar.value(p);
+    phase_ = p;
+  }
 
  private:
   int stages_;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/quantizer.hpp"
+#include "common/state_archive.hpp"
 
 namespace ascp::dsp {
 
@@ -32,6 +33,13 @@ class FirFilter {
   /// Group delay in samples (linear-phase symmetric designs): (N-1)/2.
   double group_delay() const { return static_cast<double>(taps_.size() - 1) / 2.0; }
 
+  void serialize_state(StateArchive& ar) {
+    for (auto& v : delay_) ar.value(v);
+    std::uint64_t h = head_;
+    ar.value(h);
+    head_ = static_cast<std::size_t>(h);
+  }
+
  private:
   std::vector<double> taps_;
   std::vector<double> delay_;
@@ -51,6 +59,13 @@ class FirFilterFx {
   void reset();
 
   std::size_t order() const { return taps_q_.size() - 1; }
+
+  void serialize_state(StateArchive& ar) {
+    for (auto& v : delay_) ar.value(v);
+    std::uint64_t h = head_;
+    ar.value(h);
+    head_ = static_cast<std::size_t>(h);
+  }
 
  private:
   std::vector<double> taps_q_;

@@ -42,6 +42,13 @@ class IqDemodulator {
   Iq output() const { return out_; }
   void reset();
 
+  void serialize_state(StateArchive& ar) {
+    lpf_i_.serialize_state(ar);
+    lpf_q_.serialize_state(ar);
+    ar.value(out_.i);
+    ar.value(out_.q);
+  }
+
  private:
   Biquad lpf_i_;
   Biquad lpf_q_;

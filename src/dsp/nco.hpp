@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <span>
 
+#include "common/state_archive.hpp"
+
 namespace ascp::dsp {
 
 /// Phase-accumulator NCO with a 1024-entry sine lookup table and 32-bit
@@ -52,6 +54,13 @@ class Nco {
 
   /// Tuning resolution [Hz]: fs / 2^32.
   double resolution() const;
+
+  void serialize_state(StateArchive& ar) {
+    ar.value(acc_);
+    ar.value(fcw_);
+    ar.value(sin_);
+    ar.value(cos_);
+  }
 
  private:
   static constexpr int kLutBits = 10;

@@ -61,6 +61,18 @@ class Pll {
 
   void reset();
 
+  void serialize_state(StateArchive& ar) {
+    nco_.serialize_state(ar);
+    pd_lpf_.serialize_state(ar);
+    q_lpf_.serialize_state(ar);
+    ar.value(pd_filtered_);
+    ar.value(integ_);
+    ar.value(amplitude_);
+    std::int32_t lc = lock_counter_;
+    ar.value(lc);
+    lock_counter_ = lc;
+  }
+
  private:
   PllConfig cfg_;
   Nco nco_;

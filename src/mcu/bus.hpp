@@ -65,6 +65,13 @@ class BridgedBus : public XdataBus {
   std::uint16_t program_base() const { return prog_base_; }
   std::uint32_t program_size() const { return prog_size_; }
 
+  void serialize_state(StateArchive& ar) {
+    ar.value(ram_);
+    ar.value(latched_low_);
+    ar.value(read_latch_high_);
+    ar.value(prog_ram_);
+  }
+
  private:
   struct Window {
     BridgeDevice* dev;

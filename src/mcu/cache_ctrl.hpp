@@ -52,6 +52,21 @@ class CacheController : public SfrDevice {
 
   const CacheConfig& config() const { return cfg_; }
 
+  void serialize_state(StateArchive& ar) {
+    ar.value(external_);
+    ar.value(data_);
+    for (auto& t : tags_) ar.value(t);
+    ar.value(bank_);
+    ar.value(ahi_);
+    ar.value(alo_);
+    ar.value(last_missed_);
+    std::int64_t h = hits_, m = misses_;
+    ar.value(h);
+    ar.value(m);
+    hits_ = static_cast<long>(h);
+    misses_ = static_cast<long>(m);
+  }
+
  private:
   std::uint32_t address() const;
   void post_increment();

@@ -16,6 +16,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/state_archive.hpp"
+
 namespace ascp::obs {
 class McuProfiler;
 }
@@ -130,6 +132,33 @@ class Core8051 {
   /// back, so firmware behaviour is unchanged.
   void set_profiler(obs::McuProfiler* profiler) { profiler_ = profiler; }
   obs::McuProfiler* profiler() const { return profiler_; }
+
+  /// Architectural state for checkpoint/restore. Attached buses, devices and
+  /// hooks are wiring, not state — the restorer re-attaches them.
+  void serialize_state(StateArchive& ar) {
+    ar.bytes(code_.data(), code_.size());
+    ar.bytes(iram_.data(), iram_.size());
+    ar.bytes(sfrs_.data(), sfrs_.size());
+    ar.value(pc_);
+    std::int64_t cyc = cycles_;
+    ar.value(cyc);
+    cycles_ = static_cast<long>(cyc);
+    ar.value(halted_);
+    ar.value(jammed_);
+    ar.value(in_isr_low_);
+    ar.value(in_isr_high_);
+    ar.value(int0_pin_);
+    ar.value(int1_pin_);
+    ar.value(int0_prev_);
+    ar.value(int1_prev_);
+    std::int32_t txc = tx_countdown_;
+    ar.value(txc);
+    tx_countdown_ = txc;
+    ar.value(tx_shift_);
+    ar.value(tx_shift_bit9_);
+    ar.value(last_tx_bit9_);
+    ar.value(rx_buf_);
+  }
 
  private:
   // Memory spaces.

@@ -35,6 +35,12 @@ class SpiMaster : public BridgeDevice {
 
   static constexpr std::uint16_t kRegData = 0, kRegCtrl = 1, kRegStatus = 2;
 
+  void serialize_state(StateArchive& ar) {
+    ar.value(rx_);
+    ar.value(done_);
+    ar.value(cs_);
+  }
+
  private:
   SpiSlave* slave_ = nullptr;
   std::uint8_t rx_ = 0xFF;
@@ -59,6 +65,14 @@ class SpiEeprom : public SpiSlave {
     mem_.at(addr % mem_.size()) ^= xor_mask;
   }
   std::size_t size() const { return mem_.size(); }
+
+  void serialize_state(StateArchive& ar) {
+    ar.value(mem_);
+    ar.enum_value(state_);
+    ar.value(command_);
+    ar.value(addr_);
+    ar.value(write_enabled_);
+  }
 
  private:
   enum class State { Idle, Addr1, Addr2, Read, Write };

@@ -46,6 +46,16 @@ class SramController : public BridgeDevice {
   /// Host-side bulk read-back (the "analysis purposes" path).
   std::vector<std::uint16_t> snapshot() const;
 
+  void serialize_state(StateArchive& ar) {
+    for (auto& w : mem_) ar.value(w);
+    ar.value(count_);
+    ar.value(rdptr_);
+    ar.value(node_);
+    ar.value(decim_);
+    ar.value(decim_phase_);
+    ar.value(armed_);
+  }
+
  private:
   std::vector<std::uint16_t> mem_;
   std::uint32_t count_ = 0;

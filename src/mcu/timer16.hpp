@@ -59,6 +59,13 @@ class Timer16 : public BridgeDevice {
 
   bool expired() const { return expired_; }
 
+  void serialize_state(StateArchive& ar) {
+    ar.value(count_);
+    ar.value(reload_);
+    ar.value(running_);
+    ar.value(expired_);
+  }
+
  private:
   std::uint16_t count_ = 0;
   std::uint16_t reload_ = 0;

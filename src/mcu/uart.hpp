@@ -43,6 +43,11 @@ class HostLink {
 
   bool idle() const { return to_mcu_.empty(); }
 
+  void serialize_state(StateArchive& ar) {
+    ar.value(from_mcu_);
+    ar.value(to_mcu_);
+  }
+
  private:
   std::vector<std::uint8_t> from_mcu_;
   std::deque<std::uint8_t> to_mcu_;

@@ -41,6 +41,16 @@ class Watchdog : public BridgeDevice {
   bool bitten() const { return bitten_; }
   long remaining() const { return remaining_; }
 
+  void serialize_state(StateArchive& ar) {
+    std::int64_t p = period_, r = remaining_;
+    ar.value(p);
+    ar.value(r);
+    period_ = static_cast<long>(p);
+    remaining_ = static_cast<long>(r);
+    ar.value(enabled_);
+    ar.value(bitten_);
+  }
+
  private:
   std::function<void()> on_bite_;
   long period_ = 20000;

@@ -24,6 +24,7 @@ const char* category_name(EventCategory c) {
     case EventCategory::Fault: return "fault";
     case EventCategory::Scheduler: return "scheduler";
     case EventCategory::Mcu: return "mcu";
+    case EventCategory::Engine: return "engine";
   }
   return "?";
 }

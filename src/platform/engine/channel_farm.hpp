@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -69,15 +70,44 @@ class ChannelFarm {
   /// Total decimated output samples across all channels so far.
   std::size_t total_samples() const;
 
+  // ---- exception containment ----------------------------------------------
+  // A channel that throws mid-advance() is marked failed and skipped by
+  // every later advance; the exception never crosses a worker thread
+  // boundary, so the pool and the sibling channels are unaffected. The
+  // failed channel's partial state is considered poisoned — a supervisor
+  // layer (FleetSupervisor) decides whether to rebuild it.
+  bool channel_failed(std::size_t i) const {
+    return slots_[i]->failed.load(std::memory_order_acquire);
+  }
+  /// The captured exception message ("" while the channel is healthy).
+  std::string channel_error(std::size_t i) const {
+    return channel_failed(i) ? slots_[i]->error : std::string();
+  }
+  std::size_t failed_channels() const;
+  /// Clear a channel's failed mark after replacing/repairing it in place.
+  void clear_channel_failure(std::size_t i) {
+    slots_[i]->error.clear();
+    slots_[i]->failed.store(false, std::memory_order_release);
+  }
+
  private:
+  // One worker owns a channel for the duration of an advance, so `error` is
+  // written by exactly one thread before the release-store on `failed`;
+  // cross-thread readers pair it with the acquire-load above.
+  struct Slot {
+    std::atomic<bool> failed{false};
+    std::string error;
+  };
+
   void worker_loop();
-  void advance_channel(ConditioningChannel& ch, double seconds);
+  void advance_channel(std::size_t i, double seconds);
 
   std::vector<std::unique_ptr<ConditioningChannel>> channels_;
+  std::vector<std::unique_ptr<Slot>> slots_;
   unsigned threads_ = 1;
 
   obs::MetricRegistry* metrics_ = nullptr;
-  obs::MetricRegistry::Id m_advances_ = 0, m_samples_ = 0;
+  obs::MetricRegistry::Id m_advances_ = 0, m_samples_ = 0, m_exceptions_ = 0;
   obs::MetricRegistry::Id h_ticks_ = 0;
 
   // Pool coordination: advance() publishes the time quantum under the mutex

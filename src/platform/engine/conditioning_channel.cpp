@@ -4,6 +4,7 @@
 
 #include "core/baselines.hpp"
 #include "core/gyro_system.hpp"
+#include "platform/engine/checkpoint.hpp"
 #include "safety/standard_faults.hpp"
 
 namespace ascp::engine {
@@ -17,6 +18,10 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
       sys_cfg.with_safety =
           cfg_.with_safety || cfg_.with_faults || static_cast<bool>(cfg_.campaign_factory);
       if (cfg_.configure) cfg_.configure(sys_cfg);
+      // The channel owns one continuous timeline: profiles are evaluated on
+      // the global tick axis, so advance(a); advance(b) — and a checkpoint
+      // resume — see the stimulus continue rather than restart at t = 0.
+      sys_cfg.stimulus_global_time = true;
       auto sys = std::make_unique<core::GyroSystem>(sys_cfg);
       gyro_ = sys.get();
       sensor_ = std::move(sys);
@@ -24,13 +29,15 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
       break;
     }
     case ChannelKind::Adxrs300: {
-      const auto bl_cfg = core::adxrs300_like();
+      auto bl_cfg = core::adxrs300_like();
+      bl_cfg.stimulus_global_time = true;
       sensor_ = std::make_unique<core::AnalogGyroBaseline>(bl_cfg);
       base_rate_hz_ = bl_cfg.analog_fs;
       break;
     }
     case ChannelKind::Gyrostar: {
-      const auto bl_cfg = core::gyrostar_like();
+      auto bl_cfg = core::gyrostar_like();
+      bl_cfg.stimulus_global_time = true;
       sensor_ = std::make_unique<core::AnalogGyroBaseline>(bl_cfg);
       base_rate_hz_ = bl_cfg.analog_fs;
       break;
@@ -77,23 +84,101 @@ ConditioningChannel::~ConditioningChannel() = default;
 
 void ConditioningChannel::advance(long n_base_ticks) {
   if (n_base_ticks <= 0) return;
+  const std::size_t before = out_.size();
   // RateSensor::run() quantizes seconds back to round(seconds·fs) ticks;
   // n/fs survives that round-trip exactly for any realistic tick count.
   sensor_->run(rate_, temp_, static_cast<double>(n_base_ticks) / base_rate_hz_, &out_);
   ticks_ += n_base_ticks;
-}
-
-std::uint64_t ConditioningChannel::output_hash() const {
-  std::uint64_t h = 1469598103934665603ull;
-  for (double d : out_) {
+  // Hash every produced sample before the queue bound can discard any: the
+  // fingerprint is a property of the simulation, not of consumer timing.
+  for (std::size_t i = before; i < out_.size(); ++i) {
     std::uint64_t u;
-    std::memcpy(&u, &d, sizeof u);
-    for (int i = 0; i < 8; ++i) {
-      h ^= (u >> (8 * i)) & 0xFF;
-      h *= 1099511628211ull;
+    std::memcpy(&u, &out_[i], sizeof u);
+    for (int b = 0; b < 8; ++b) {
+      hash_ ^= (u >> (8 * b)) & 0xFF;
+      hash_ *= 1099511628211ull;
     }
   }
-  return h;
+  total_outputs_ += out_.size() - before;
+  apply_queue_bound();
+}
+
+void ConditioningChannel::apply_queue_bound() {
+  if (cfg_.queue_capacity == 0 || out_.size() <= cfg_.queue_capacity) return;
+  const std::size_t excess = out_.size() - cfg_.queue_capacity;
+  switch (cfg_.queue_policy) {
+    case QueuePolicy::DropOldest:
+      out_.erase(out_.begin(), out_.begin() + static_cast<std::ptrdiff_t>(excess));
+      dropped_outputs_ += excess;
+      break;
+    case QueuePolicy::Shed:
+      out_.resize(cfg_.queue_capacity);
+      dropped_outputs_ += excess;
+      break;
+    case QueuePolicy::Block:
+      // Never discard: the queue may legitimately exceed capacity when the
+      // owner advanced past the full mark (one advance() can emit several
+      // samples); queue_full() already reads true so the owner stops here.
+      break;
+  }
+}
+
+void ConditioningChannel::serialize_state(StateArchive& ar) {
+  ar.begin_section("CHAN");
+  // Config invariants: restore() only makes sense into a channel built from
+  // the same config, so the image carries enough identity to catch misuse.
+  std::uint32_t kind = static_cast<std::uint32_t>(cfg_.kind);
+  std::uint64_t seed = cfg_.seed;
+  ar.value(kind);
+  ar.value(seed);
+  if (kind != static_cast<std::uint32_t>(cfg_.kind))
+    throw StateError("checkpoint channel-kind mismatch");
+  if (seed != cfg_.seed) throw StateError("checkpoint channel-seed mismatch");
+
+  std::int64_t ticks = ticks_;
+  ar.value(ticks);
+  if (!ar.saving()) ticks_ = static_cast<long>(ticks);
+  ar.value(hash_);
+  ar.value(total_outputs_);
+  ar.value(dropped_outputs_);
+  std::uint64_t pending = out_.size();
+  ar.value(pending);
+  if (!ar.saving()) {
+    if (pending > (1ull << 32)) throw StateError("checkpoint pending-queue count implausible");
+    out_.resize(static_cast<std::size_t>(pending));
+  }
+  for (auto& v : out_) ar.value(v);
+
+  bool has_campaign = campaign_ != nullptr;
+  ar.value(has_campaign);
+  if (has_campaign != (campaign_ != nullptr))
+    throw StateError("checkpoint fault-campaign presence mismatch");
+  if (campaign_) campaign_->serialize_state(ar);
+
+  if (gyro_) {
+    gyro_->serialize_state(ar);
+  } else {
+    auto* bl = dynamic_cast<core::AnalogGyroBaseline*>(sensor_.get());
+    if (!bl) throw StateError("checkpoint: unknown sensor architecture");
+    bl->serialize_state(ar);
+  }
+  ar.end_section();
+}
+
+std::vector<std::uint8_t> ConditioningChannel::snapshot() {
+  StateArchive ar = StateArchive::saver();
+  serialize_state(ar);
+  return wrap_checkpoint(static_cast<std::uint32_t>(cfg_.kind), ar.take());
+}
+
+void ConditioningChannel::restore(const std::vector<std::uint8_t>& image) {
+  std::uint32_t kind = 0;
+  const std::vector<std::uint8_t> payload = unwrap_checkpoint(image, &kind);
+  if (kind != static_cast<std::uint32_t>(cfg_.kind))
+    throw StateError("checkpoint is for a different channel kind");
+  StateArchive ar = StateArchive::loader(payload);
+  serialize_state(ar);
+  if (!ar.exhausted()) throw StateError("checkpoint has trailing bytes");
 }
 
 }  // namespace ascp::engine

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/state_archive.hpp"
 #include "common/trace.hpp"
 #include "core/rate_sensor.hpp"
 #include "obs/observability.hpp"
@@ -44,6 +45,16 @@ enum class ChannelKind {
   Gyrostar,   ///< analog baseline, Table 3 configuration
 };
 
+/// What advance() does with freshly produced output samples once the
+/// channel's result queue holds `queue_capacity` entries the consumer has
+/// not yet drained with take_outputs(). Only applies when queue_capacity > 0.
+enum class QueuePolicy {
+  DropOldest,  ///< evict the oldest queued samples to make room (ring-buffer)
+  Shed,        ///< discard the newest samples beyond capacity (tail-drop)
+  Block,       ///< never discard: queue_full() goes true and the fleet stops
+               ///< advancing the channel until the consumer drains it
+};
+
 struct ChannelConfig {
   ChannelKind kind = ChannelKind::GyroFull;
   /// Per-channel master seed. When the channel is built by a ChannelFarm the
@@ -58,6 +69,14 @@ struct ChannelConfig {
   /// profiler + MCU profiler) and attach it to the sensor. Observers are
   /// read-only: the output stream is bit-identical with or without it.
   bool with_obs = false;
+
+  // ---- result-queue bounds (graceful degradation) -------------------------
+  /// Maximum outputs() entries held between take_outputs() drains; 0 keeps
+  /// the historical unbounded queue. Every sample is hashed into
+  /// output_hash() *before* the bound applies, so determinism fingerprints
+  /// are unaffected by the overflow policy.
+  std::size_t queue_capacity = 0;
+  QueuePolicy queue_policy = QueuePolicy::DropOldest;
 
   // ---- scenario hooks (conformance fuzzing) -------------------------------
   // Every hook must be a pure/deterministic function of the channel's own
@@ -105,11 +124,46 @@ class ConditioningChannel {
   obs::Observability* observability() { return obs_.get(); }
   const obs::Observability* observability() const { return obs_.get(); }
 
-  /// FNV-1a over the output samples' bit patterns — the byte-identity
-  /// fingerprint the determinism tests and the farm bench compare.
-  std::uint64_t output_hash() const;
+  /// FNV-1a over every output sample's bit pattern, folded as samples are
+  /// produced — the byte-identity fingerprint the determinism tests, the
+  /// farm bench and the checkpoint replay proofs compare. Streams, so it
+  /// covers samples already drained or shed from the bounded queue.
+  std::uint64_t output_hash() const { return hash_; }
+  /// Lifetime output-sample count (unaffected by draining/shedding).
+  std::uint64_t total_outputs() const { return total_outputs_; }
+  /// Samples discarded by the DropOldest/Shed overflow policies.
+  std::uint64_t dropped_outputs() const { return dropped_outputs_; }
+  /// True when queue_policy is Block and the queue is at capacity — the
+  /// owner must drain with take_outputs() before advancing further.
+  bool queue_full() const {
+    return cfg_.queue_capacity > 0 && cfg_.queue_policy == QueuePolicy::Block &&
+           out_.size() >= cfg_.queue_capacity;
+  }
+  /// Drain the result queue (moves the pending samples out).
+  std::vector<double> take_outputs() {
+    std::vector<double> drained = std::move(out_);
+    out_.clear();
+    return drained;
+  }
+
+  // ---- checkpoint / restore ----------------------------------------------
+  /// Serialize the full platform state (sense chain, fixed-point DSP, MCU,
+  /// supervisor latches, campaign firing position, RNG streams, pending
+  /// queue) into a versioned, CRC-framed checkpoint image. A channel freshly
+  /// constructed from the *same* ChannelConfig and restore()d from the image
+  /// continues bit-exactly: outputs and output_hash() match a channel that
+  /// ran straight through. Closures (hooks, campaign actions) do not travel —
+  /// they are re-established by constructing from the config.
+  std::vector<std::uint8_t> snapshot();
+  /// Load a snapshot() image. Throws StateError on truncation, CRC mismatch,
+  /// version/kind/seed disagreement or any structural mismatch; the channel
+  /// must then be considered unusable (rebuild from config).
+  void restore(const std::vector<std::uint8_t>& image);
 
  private:
+  void serialize_state(StateArchive& ar);
+  void apply_queue_bound();
+
   ChannelConfig cfg_;
   std::unique_ptr<core::RateSensor> sensor_;
   core::GyroSystem* gyro_ = nullptr;  ///< non-owning; set for gyro kinds
@@ -121,6 +175,9 @@ class ConditioningChannel {
   std::vector<double> out_;
   double base_rate_hz_ = 0.0;
   long ticks_ = 0;
+  std::uint64_t hash_ = 1469598103934665603ull;  ///< FNV-1a offset basis
+  std::uint64_t total_outputs_ = 0;
+  std::uint64_t dropped_outputs_ = 0;
 };
 
 }  // namespace ascp::engine

@@ -1,0 +1,249 @@
+// fleet.hpp — crash-resilient supervised runtime over a channel fleet.
+//
+// ChannelFarm answers "how do N channels advance in parallel"; the
+// FleetSupervisor answers "what happens when one of them goes wrong while
+// the rest must keep streaming". It advances the fleet in fixed *fleet
+// ticks* of simulated time and wraps every channel in the full resilience
+// loop:
+//
+//   * checkpointing    — every `checkpoint_interval` ticks each channel's
+//                        bit-exact state image (ConditioningChannel::
+//                        snapshot) is retained as the last-good point;
+//   * worker watchdog  — a scan thread observes per-worker heartbeats and
+//                        flags any channel whose advance has exceeded the
+//                        tick deadline (detection is asynchronous: the
+//                        stalled advance itself cannot be interrupted);
+//   * containment      — a channel that throws mid-advance never unwinds a
+//                        worker thread or touches its siblings; the wrecked
+//                        instance is discarded;
+//   * restart          — the channel is rebuilt from its config and restored
+//                        from the last-good checkpoint, then deterministically
+//                        catches up the missed simulated time. A corrupt or
+//                        truncated image is detected by the CRC frame and
+//                        falls back to a cold rebuild + full replay. Restarts
+//                        back off exponentially (capped) and after
+//                        `max_restarts` the channel is permanently
+//                        quarantined with an ENGINE_FAULT trouble code;
+//   * degradation      — when a tick's wall time exceeds the real-time
+//                        budget, low-priority channels are shed (skipped)
+//                        until the fleet is back under budget; shed channels
+//                        catch up later, so no simulated time is ever lost.
+//
+// Determinism: chaos (stalls, exceptions, checkpoint corruption) is injected
+// from *outside* the channel's simulation state, and catch-up replays the
+// exact missed ticks — so a recovered channel's output_hash() equals a
+// clean twin that never crashed. The chaos bench proves this invariant.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/observability.hpp"
+#include "platform/engine/conditioning_channel.hpp"
+
+namespace ascp::engine {
+
+/// Lifecycle of one supervised channel.
+enum class ChannelHealth {
+  Running,      ///< advancing (possibly catching up after a restart/shed)
+  BackingOff,   ///< restarted, waiting out the backoff window
+  Quarantined,  ///< permanently parked after max_restarts failures
+};
+
+const char* channel_health_name(ChannelHealth h);
+
+struct FleetChannelSpec {
+  ChannelConfig config;
+  /// Shedding order under overload: lower priority is shed first.
+  int priority = 0;
+  /// Chaos/test hook invoked on the worker thread immediately before the
+  /// channel advances one *live* fleet tick (never during catch-up replay).
+  /// Throwing simulates a channel crash; sleeping simulates a stall. Must
+  /// not touch the channel's simulation state.
+  std::function<void(long fleet_tick)> before_advance;
+};
+
+struct FleetConfig {
+  /// Per-channel seeds fork from here exactly like ChannelFarm's, so a fleet
+  /// channel reproduces the stream of a solo channel with the same derived
+  /// seed.
+  std::uint64_t root_seed = 1;
+  bool reseed_channels = true;
+  /// Worker threads (1 = advance on the calling thread, no pool).
+  unsigned threads = 1;
+  /// Simulated seconds per fleet tick.
+  double tick_seconds = 0.005;
+  /// Wall-clock deadline for one channel advance; 0 disables the watchdog.
+  double tick_deadline_ms = 0.0;
+  /// Fleet ticks between checkpoints; 0 disables checkpointing (restarts
+  /// then always cold-rebuild and replay from tick zero).
+  long checkpoint_interval = 4;
+  /// Failed restarts before permanent quarantine.
+  int max_restarts = 3;
+  /// Restart backoff: min(base << (restarts-1), cap) fleet ticks.
+  long backoff_base_ticks = 1;
+  long backoff_cap_ticks = 8;
+  /// Per-tick wall budget driving priority shedding; 0 disables shedding.
+  double realtime_budget_ms = 0.0;
+  /// Optional telemetry (non-owning). Events are emitted from the
+  /// supervising thread only (EventLog is single-writer).
+  obs::MetricRegistry* metrics = nullptr;
+  obs::EventLog* events = nullptr;
+};
+
+/// Aggregate counters for the run so far (chaos-bench reporting).
+struct FleetStats {
+  long ticks = 0;
+  long stalls_detected = 0;
+  long exceptions = 0;
+  long restarts = 0;
+  long quarantined = 0;
+  long corrupt_checkpoints = 0;  ///< restore attempts rejected by the CRC frame
+  long checkpoints = 0;
+  long shed_channel_ticks = 0;   ///< channel-ticks skipped by load shedding
+  long delivered_samples = 0;    ///< outputs drained to the consumer
+  /// Wall-clock detection latency of stall incidents [ms] (time from the
+  /// advance starting to the watchdog flagging it).
+  std::vector<double> stall_detect_ms;
+  /// Wall-clock mean time to repair [ms]: failure observed → channel caught
+  /// back up with the fleet.
+  std::vector<double> mttr_ms;
+};
+
+class FleetSupervisor {
+ public:
+  FleetSupervisor(std::vector<FleetChannelSpec> specs, const FleetConfig& cfg);
+  ~FleetSupervisor();
+
+  FleetSupervisor(const FleetSupervisor&) = delete;
+  FleetSupervisor& operator=(const FleetSupervisor&) = delete;
+
+  /// Advance the whole fleet by `n` fleet ticks. Ends with a catch-up pass:
+  /// on return every non-quarantined channel has simulated exactly
+  /// `ticks_run() * tick_seconds` seconds.
+  void run_ticks(long n);
+
+  std::size_t size() const { return states_.size(); }
+  long ticks_run() const { return fleet_tick_; }
+  /// The live channel instance (rebuilt across restarts; never null).
+  ConditioningChannel& channel(std::size_t i) { return *states_[i]->channel; }
+  const ConditioningChannel& channel(std::size_t i) const { return *states_[i]->channel; }
+
+  ChannelHealth health(std::size_t i) const { return states_[i]->health; }
+  /// Fleet-level trouble codes for channel i (safety::Dtc vocabulary —
+  /// kDtcEngineFault after any crash/stall/restart/quarantine).
+  std::uint16_t fleet_dtcs(std::size_t i) const { return states_[i]->dtcs; }
+  int restarts(std::size_t i) const { return states_[i]->restarts; }
+  long ticks_done(std::size_t i) const { return states_[i]->ticks_done; }
+  std::string last_error(std::size_t i) const { return states_[i]->last_error; }
+
+  const FleetStats& stats() const { return stats_; }
+
+  /// Consumer for drained output samples (called on the supervising thread
+  /// after each tick). Unset, drained samples are counted and discarded.
+  void set_consumer(std::function<void(std::size_t, std::vector<double>&&)> fn) {
+    consumer_ = std::move(fn);
+  }
+
+  // ---- chaos/test hooks ----------------------------------------------------
+  /// Flip one bit inside the payload of channel i's last-good checkpoint
+  /// (no-op without one). The next restore detects the CRC mismatch.
+  void corrupt_last_checkpoint(std::size_t i);
+  /// Truncate channel i's last-good checkpoint to `keep` bytes.
+  void truncate_last_checkpoint(std::size_t i, std::size_t keep);
+  bool has_checkpoint(std::size_t i) const { return !states_[i]->last_good.empty(); }
+
+ private:
+  struct ChannelState {
+    std::unique_ptr<ConditioningChannel> channel;
+    ChannelConfig config;  ///< derived seed baked in (restart recipe)
+    int priority = 0;
+    std::function<void(long)> before_advance;
+
+    ChannelHealth health = ChannelHealth::Running;
+    long ticks_done = 0;  ///< fleet ticks of simulated time completed
+    std::vector<std::uint8_t> last_good;
+    long last_good_tick = 0;
+    int restarts = 0;
+    long backoff_until = 0;  ///< skip while fleet_tick_ < backoff_until
+    std::uint16_t dtcs = 0;
+    std::string last_error;
+    long shed_ticks = 0;
+
+    // Worker → supervisor failure handoff (one worker per channel per tick).
+    std::atomic<bool> tick_failed{false};
+    std::string tick_error;
+
+    // Open incident (failure observed, catch-up not yet complete).
+    bool incident_open = false;
+    std::chrono::steady_clock::time_point incident_start{};
+  };
+
+  /// Per-worker heartbeat the watchdog thread scans. `channel` is the index
+  /// being advanced (-1 idle); `start_ns` the steady-clock start.
+  struct Heartbeat {
+    std::atomic<long> channel{-1};
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<bool> flagged{false};
+  };
+
+  void worker_loop(unsigned worker_index);
+  void advance_one(std::size_t i, unsigned worker_index);
+  void run_one_tick();
+  void handle_failures();
+  void drain_outputs();
+  void take_checkpoints();
+  void restart_channel(std::size_t i);
+  void close_incidents();
+  void emit(obs::EventSeverity sev, const char* name, std::string detail,
+            std::initializer_list<obs::Event::KV> kv = {});
+  double now_sim() const;
+
+  std::vector<std::unique_ptr<ChannelState>> states_;
+  FleetConfig cfg_;
+  FleetStats stats_;
+  long fleet_tick_ = 0;
+  std::function<void(std::size_t, std::vector<double>&&)> consumer_;
+
+  obs::MetricRegistry::Id m_ticks_ = 0, m_stalls_ = 0, m_exceptions_ = 0, m_restarts_ = 0,
+                          m_quarantines_ = 0, m_shed_ = 0, m_delivered_ = 0,
+                          m_checkpoints_ = 0;
+
+  // Tick work list (indices of channels advancing this tick).
+  std::vector<std::size_t> runnable_;
+
+  // Worker pool (created when cfg.threads > 1), ChannelFarm-style barrier.
+  std::vector<std::thread> pool_;
+  std::vector<std::unique_ptr<Heartbeat>> heartbeats_;
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::size_t active_ = 0;
+  bool stop_ = false;
+
+  // Watchdog thread + its detection journal (consumed by the supervisor
+  // thread after each tick).
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::mutex stall_m_;
+  struct StallRecord {
+    long channel;
+    double elapsed_ms;
+  };
+  std::vector<StallRecord> stall_log_;
+
+  double last_tick_wall_ms_ = 0.0;
+};
+
+}  // namespace ascp::engine

@@ -95,6 +95,35 @@ class McuSubsystem {
   const AreaModel& area() const { return area_; }
   AreaModel& area() { return area_; }
 
+  /// Full programmable-side state: CPU, buses, peripherals, register fabric.
+  /// Wiring (device maps, hooks, JTAG attachment) is reconstructed by the
+  /// owner; presence flags catch checkpoints from a different PlatformConfig.
+  void serialize_state(StateArchive& ar) {
+    cpu_.serialize_state(ar);
+    bus_.serialize_state(ar);
+    host_.serialize_state(ar);
+    auto presence = [&ar](bool present, const char* what) {
+      bool stored = present;
+      ar.value(stored);
+      if (stored != present)
+        throw StateError(std::string("checkpoint platform mismatch: ") + what);
+    };
+    presence(static_cast<bool>(spi_), "spi");
+    if (spi_) {
+      spi_->serialize_state(ar);
+      eeprom_->serialize_state(ar);
+    }
+    presence(static_cast<bool>(timer_), "timer");
+    if (timer_) timer_->serialize_state(ar);
+    presence(static_cast<bool>(watchdog_), "watchdog");
+    if (watchdog_) watchdog_->serialize_state(ar);
+    presence(static_cast<bool>(sram_), "sram");
+    if (sram_) sram_->serialize_state(ar);
+    presence(static_cast<bool>(cache_), "cache");
+    if (cache_) cache_->serialize_state(ar);
+    regs_.serialize_values(ar);
+  }
+
  private:
   PlatformConfig cfg_;
   mcu::Core8051 cpu_;

@@ -88,6 +88,25 @@ class RegisterFile : public mcu::BridgeDevice {
   std::uint16_t read_reg(std::uint16_t reg) override;
   void write_reg(std::uint16_t reg, std::uint16_t value) override;
 
+  /// Checkpoint path: raw value transport, no write hooks. Hooks mutate the
+  /// owning block's config, and that state is serialized by its owner —
+  /// firing them here would apply those side effects twice (and STATUS
+  /// registers have no legal write path at all). Addresses are verified so a
+  /// checkpoint from a differently-shaped register map fails loudly.
+  void serialize_values(StateArchive& ar) {
+    std::uint32_t n = static_cast<std::uint32_t>(regs_.size());
+    ar.value(n);
+    if (n != regs_.size())
+      throw StateError("register-file size mismatch in checkpoint");
+    for (auto& [addr, reg] : regs_) {
+      std::uint16_t a = addr;
+      ar.value(a);
+      if (a != addr)
+        throw StateError("register-file address mismatch in checkpoint");
+      ar.value(reg.value);
+    }
+  }
+
  private:
   struct Reg {
     std::string name;

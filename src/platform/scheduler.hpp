@@ -51,6 +51,11 @@ class Scheduler {
   long ticks() const { return ticks_; }
   double now() const { return static_cast<double>(ticks_) / base_rate_; }
 
+  /// Checkpoint restore: reposition the tick counter so task phases resume
+  /// where the saved run left off. Only meaningful for persistent schedulers
+  /// (the analog baselines); per-run schedulers are rebuilt instead.
+  void set_ticks(long ticks) { ticks_ = ticks; }
+
   /// Attach a task profiler (null detaches). Already-registered and future
   /// tasks are registered with it; while attached, tick() counts every task
   /// invocation and wall-times a sampled subset (the profiler's

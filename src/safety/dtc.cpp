@@ -17,6 +17,8 @@ const char* dtc_name(std::uint16_t bit) {
     case kDtcWatchdogBite: return "WATCHDOG_BITE";
     case kDtcCalCrc: return "CAL_CRC";
     case kDtcSelfTest: return "SELF_TEST";
+    case kDtcCalReplay: return "CAL_REPLAY";
+    case kDtcEngineFault: return "ENGINE_FAULT";
     default: return "?";
   }
 }

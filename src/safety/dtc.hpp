@@ -41,6 +41,11 @@ enum Dtc : std::uint16_t {
   kDtcWatchdogBite = 1u << 10,  ///< firmware hang — watchdog reset taken
   kDtcCalCrc = 1u << 11,        ///< EEPROM calibration record failed its CRC
   kDtcSelfTest = 1u << 12,      ///< post-reset self-test reported a failure
+  kDtcCalReplay = 1u << 13,     ///< watchdog-recovery calibration replay found a
+                                ///< corrupt image — safe defaults substituted
+  kDtcEngineFault = 1u << 14,   ///< fleet runtime: channel crashed/stalled and
+                                ///< was restarted or quarantined by the
+                                ///< supervisor (engine-level, not chain-level)
 };
 
 /// Short mnemonic for one DTC bit (the lowest set bit of `bit`).

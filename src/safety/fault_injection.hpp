@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/state_archive.hpp"
 #include "obs/observability.hpp"
 
 namespace ascp::safety {
@@ -96,6 +97,20 @@ class FaultCampaign {
   const std::vector<Entry>& entries() const { return entries_; }
   std::vector<Entry>& entries() { return entries_; }
   std::size_t size() const { return entries_.size(); }
+
+  /// Checkpoint path: only the firing flags travel — callbacks are rebuilt
+  /// by the owning channel's campaign factory, and the faults' physical
+  /// effects live in (and restore with) the component state they mutated.
+  void serialize_state(StateArchive& ar) {
+    std::uint32_t n = static_cast<std::uint32_t>(entries_.size());
+    ar.value(n);
+    if (n != entries_.size())
+      throw StateError("fault-campaign entry count mismatch in checkpoint");
+    for (auto& e : entries_) {
+      ar.value(e.injected);
+      ar.value(e.cleared);
+    }
+  }
 
  private:
   std::vector<Entry> entries_;

@@ -261,7 +261,14 @@ void SafetySupervisor::notify_selftest(bool passed) {
 }
 
 void SafetySupervisor::notify_cal_replay(bool ok) {
-  if (!ok) latch(kDtcCalCrc);
+  if (!ok) {
+    // A corrupt image on the recovery path gets its own code (CAL_REPLAY) on
+    // top of the CRC one: the service tool must see that the chain is now
+    // running on substituted safe-default coefficients, not merely that an
+    // audit observed a bad CRC at some point.
+    latch(kDtcCalCrc);
+    latch(kDtcCalReplay);
+  }
 }
 
 void SafetySupervisor::rescan_config_shadows() {
@@ -317,6 +324,60 @@ void SafetySupervisor::reset() {
   quiet_slow_ = 0;
   shadows_.clear();
   if (regs_) post_diag();
+}
+
+void SafetySupervisor::serialize_state(StateArchive& ar) {
+  ar.enum_value(state_);
+  ar.value(dtcs_);
+  ar.value(events_);
+  ar.value(armed_);
+  std::int64_t sr = settle_run_, fi = fast_index_, si = slow_index_,
+               nr = nominal_return_fast_;
+  ar.value(sr);
+  ar.value(fi);
+  ar.value(si);
+  ar.value(nr);
+  settle_run_ = static_cast<long>(sr);
+  fast_index_ = static_cast<long>(fi);
+  slow_index_ = static_cast<long>(si);
+  nominal_return_fast_ = static_cast<long>(nr);
+  for (auto& f : first_latch_) {
+    std::int64_t v = f;
+    ar.value(v);
+    f = static_cast<long>(v);
+  }
+  ar.value(agc_baseline_);
+  ar.value(last_primary_);
+  ar.value(last_sense_);
+  auto int_field = [&ar](int& v) {
+    std::int32_t x = v;
+    ar.value(x);
+    v = x;
+  };
+  int_field(stuck_primary_);
+  int_field(stuck_sense_);
+  int_field(unlock_run_);
+  int_field(agc_rail_run_);
+  int_field(ctrl_rail_run_);
+  int_field(collapse_run_);
+  int_field(gain_run_);
+  ar.value(rate_active_);
+  ar.value(quad_active_);
+  ar.value(temp_active_);
+  ar.value(temp_frozen_);
+  ar.value(last_good_temp_);
+  int_field(critical_slow_);
+  int_field(quiet_slow_);
+  std::uint32_t n_shadows = static_cast<std::uint32_t>(shadows_.size());
+  ar.value(n_shadows);
+  if (!ar.saving()) shadows_.resize(n_shadows);
+  for (auto& sh : shadows_) {
+    ar.value(sh.addr);
+    ar.value(sh.value);
+  }
+  // DIAG registers are restored raw by the register file, but re-posting
+  // keeps them coherent even if that ordering ever changes.
+  if (!ar.saving()) post_diag();
 }
 
 void SafetySupervisor::latch(std::uint16_t dtc_bit) {

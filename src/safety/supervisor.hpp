@@ -166,6 +166,11 @@ class SafetySupervisor {
   /// baselines and shadows.
   void reset();
 
+  /// Checkpoint path: monitor state, latches and shadows. Attachments
+  /// (registers, obs, audit callback) are wiring and stay as constructed.
+  /// After a load the DIAG registers are re-posted from the restored state.
+  void serialize_state(StateArchive& ar);
+
  private:
   void latch(std::uint16_t dtc_bit);
   void capture_baselines(const FastSample& s);

@@ -109,6 +109,17 @@ class GyroMems {
 
   void reset();
 
+  void serialize_state(StateArchive& ar) {
+    ar.value(s_.x);
+    ar.value(s_.vx);
+    ar.value(s_.y);
+    ar.value(s_.vy);
+    rng_.serialize_state(ar);
+    ar.enum_value(drive_fault_);
+    ar.value(stuck_v_);
+    ar.value(quad_step_);
+  }
+
  private:
   struct State {
     double x = 0.0, vx = 0.0, y = 0.0, vy = 0.0;

@@ -4,10 +4,14 @@
 // are kept short.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "platform/engine/channel_farm.hpp"
+#include "safety/fault_injection.hpp"
 
 namespace ascp::engine {
 namespace {
@@ -105,6 +109,112 @@ TEST(ChannelFarm, AdvanceAccumulatesLikeOneLongRun) {
   for (int k = 0; k < 4; ++k) four.advance(0.01);
   ASSERT_EQ(one.channel(0).outputs().size(), four.channel(0).outputs().size());
   EXPECT_EQ(one.channel(0).output_hash(), four.channel(0).output_hash());
+}
+
+// ---- exception containment --------------------------------------------------
+
+/// A campaign whose inject Action throws — the canonical "channel crashes
+/// mid-advance" stimulus (fires from inside the DSP sample loop, deep under
+/// ConditioningChannel::advance).
+ChannelConfig throwing_config(long inject_at) {
+  ChannelConfig c;
+  c.kind = ChannelKind::GyroIdeal;
+  c.campaign_factory = [inject_at](core::GyroSystem&) {
+    auto campaign = std::make_unique<safety::FaultCampaign>();
+    campaign->add({"explode", safety::FaultLayer::Dsp, inject_at, -1, false, 0},
+                  [] { throw std::runtime_error("campaign action exploded"); });
+    return campaign;
+  };
+  return c;
+}
+
+TEST(ChannelFarm, ThrowingChannelIsContainedSiblingsBitIdentical) {
+  // Middle channel throws mid-advance on a worker thread; the exception must
+  // not unwind the pool, wedge the barrier, or perturb the siblings' streams.
+  std::vector<ChannelConfig> specs = {{ChannelKind::GyroIdeal, 1, 20.0, 25.0},
+                                      throwing_config(/*inject_at=*/100),
+                                      {ChannelKind::Adxrs300, 1, 40.0, 30.0}};
+  FarmConfig fc;
+  fc.root_seed = 21;
+  fc.threads = 3;
+  ChannelFarm farm(specs, fc);
+  farm.advance(0.05);
+
+  EXPECT_TRUE(farm.channel_failed(1));
+  EXPECT_NE(farm.channel_error(1).find("campaign action exploded"), std::string::npos);
+  EXPECT_EQ(farm.failed_channels(), 1u);
+  EXPECT_FALSE(farm.channel_failed(0));
+  EXPECT_FALSE(farm.channel_failed(2));
+
+  // Clean twin farm: same specs with the bomb defused. Seeds fork by index,
+  // so healthy channels must be byte-identical.
+  specs[1].campaign_factory = nullptr;
+  ChannelFarm clean(specs, fc);
+  clean.advance(0.05);
+  EXPECT_EQ(farm.channel(0).output_hash(), clean.channel(0).output_hash());
+  EXPECT_EQ(farm.channel(2).output_hash(), clean.channel(2).output_hash());
+}
+
+TEST(ChannelFarm, FailedChannelIsSkippedByLaterAdvances) {
+  std::vector<ChannelConfig> specs = {throwing_config(/*inject_at=*/50),
+                                      {ChannelKind::GyroIdeal, 1, 25.0, 25.0}};
+  FarmConfig fc;
+  fc.root_seed = 3;
+  fc.threads = 2;
+  ChannelFarm farm(specs, fc);
+  farm.advance(0.03);
+  ASSERT_TRUE(farm.channel_failed(0));
+  const long poisoned_ticks = farm.channel(0).ticks_advanced();
+
+  // Later advances keep the fleet moving and leave the wreck untouched.
+  farm.advance(0.03);
+  EXPECT_EQ(farm.channel(0).ticks_advanced(), poisoned_ticks);
+  EXPECT_EQ(farm.channel(1).ticks_advanced(), 115200);  // 60 ms at 1.92 MHz
+  EXPECT_TRUE(farm.channel_failed(0));
+  EXPECT_EQ(farm.channel_error(0), "campaign action exploded");
+}
+
+TEST(ChannelFarm, ClearedFailureResumesAdvancing) {
+  // clear_channel_failure is the supervisor's hook after repairing a channel
+  // in place; the farm must advance it again. The bomb is one-shot: a throw
+  // unwinds before FaultCampaign marks the entry injected, so a persistent
+  // thrower would just re-fire on the next advance.
+  auto fired = std::make_shared<std::atomic<int>>(0);
+  ChannelConfig one_shot;
+  one_shot.kind = ChannelKind::GyroIdeal;
+  one_shot.campaign_factory = [fired](core::GyroSystem&) {
+    auto campaign = std::make_unique<safety::FaultCampaign>();
+    campaign->add({"explode_once", safety::FaultLayer::Dsp, 50, -1, false, 0}, [fired] {
+      if (fired->fetch_add(1) == 0) throw std::runtime_error("campaign action exploded");
+    });
+    return campaign;
+  };
+  std::vector<ChannelConfig> specs = {one_shot};
+  FarmConfig fc;
+  fc.root_seed = 9;
+  ChannelFarm farm(specs, fc);
+  farm.advance(0.03);
+  ASSERT_TRUE(farm.channel_failed(0));
+  const long at_failure = farm.channel(0).ticks_advanced();
+
+  farm.clear_channel_failure(0);
+  EXPECT_FALSE(farm.channel_failed(0));
+  EXPECT_EQ(farm.channel_error(0), "");
+  farm.advance(0.01);
+  EXPECT_GT(farm.channel(0).ticks_advanced(), at_failure);
+}
+
+TEST(ChannelFarm, ExceptionsAreCountedInSharedMetrics) {
+  obs::MetricRegistry metrics;
+  std::vector<ChannelConfig> specs = {throwing_config(/*inject_at=*/10),
+                                      throwing_config(/*inject_at=*/10)};
+  FarmConfig fc;
+  fc.threads = 2;
+  fc.shared_metrics = &metrics;
+  ChannelFarm farm(specs, fc);
+  farm.advance(0.02);
+  EXPECT_EQ(farm.failed_channels(), 2u);
+  EXPECT_EQ(metrics.snapshot().counter_value("farm.channel_exceptions"), 2.0);
 }
 
 TEST(ChannelFarm, FaultCampaignChannelDivergesFromCleanTwin) {

@@ -302,10 +302,14 @@ TEST(Supervisor, PlatformEventsLatch) {
   EXPECT_NE(sup.dtcs() & kDtcWatchdogBite, 0);
   EXPECT_NE(sup.dtcs() & kDtcSelfTest, 0);
   EXPECT_NE(sup.dtcs() & kDtcCalCrc, 0);
+  // A failed replay also raises the dedicated recovery code: the service
+  // tool can tell "CRC audit failed in flight" from "recovery fell back to
+  // safe-default coefficients".
+  EXPECT_NE(sup.dtcs() & kDtcCalReplay, 0);
   EXPECT_EQ(sup.state(), SafetyState::Degraded);
   sup.notify_selftest(true);
   sup.notify_cal_replay(true);  // passing verdicts latch nothing new
-  EXPECT_EQ(sup.dtcs(), kDtcWatchdogBite | kDtcSelfTest | kDtcCalCrc);
+  EXPECT_EQ(sup.dtcs(), kDtcWatchdogBite | kDtcSelfTest | kDtcCalCrc | kDtcCalReplay);
 }
 
 TEST(Supervisor, DiagRegistersTrackStateAndClear) {

@@ -1,0 +1,162 @@
+// checkpoint_tool — capture, inspect and diff fleet checkpoint images.
+//
+//   checkpoint_tool capture SCENARIO OUT [--at F]
+//       Run the conformance scenario to fraction F of its scripted duration
+//       (default 0.5) and write the channel's checkpoint image to OUT.
+//   checkpoint_tool inspect FILE
+//       Print the CRC frame: version, channel kind, payload length, stored
+//       CRC and whether the payload matches it. Exit 1 when the frame is
+//       unreadable or the CRC fails — usable as a corruption probe in
+//       scripts.
+//   checkpoint_tool diff A B
+//       Compare two images field-by-field and byte-by-byte; prints the first
+//       payload divergence. Exit 0 identical, 1 different.
+//
+// Bit-exact restore means a checkpoint is a complete, portable description
+// of a conditioning channel mid-run; this tool makes that artifact visible
+// to humans and CI scripts.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "conformance/oracle.hpp"
+#include "conformance/scenario.hpp"
+#include "platform/engine/checkpoint.hpp"
+#include "platform/engine/conditioning_channel.hpp"
+
+using namespace ascp;
+using namespace ascp::engine;
+
+namespace {
+
+const char* kind_name(std::uint32_t kind) {
+  switch (static_cast<ChannelKind>(kind)) {
+    case ChannelKind::GyroFull: return "GyroFull";
+    case ChannelKind::GyroIdeal: return "GyroIdeal";
+    case ChannelKind::Adxrs300: return "Adxrs300";
+    case ChannelKind::Gyrostar: return "Gyrostar";
+  }
+  return "?";
+}
+
+bool read_image(const char* path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+int cmd_capture(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: checkpoint_tool capture SCENARIO OUT [--at F]\n");
+    return 2;
+  }
+  double at = 0.5;
+  for (int i = 2; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--at") && i + 1 < argc) at = std::atof(argv[++i]);
+
+  conformance::Scenario scenario;
+  try {
+    scenario = conformance::load_scenario(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "checkpoint_tool: %s\n", e.what());
+    return 2;
+  }
+  const ChannelConfig cfg = conformance::channel_config(scenario);
+  ConditioningChannel ch(cfg);
+  const long ticks = std::lround(scenario.duration_s * at * ch.base_rate_hz());
+  ch.advance(ticks);
+  const std::vector<std::uint8_t> image = ch.snapshot();
+
+  std::ofstream out(argv[1], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "checkpoint_tool: cannot write %s\n", argv[1]);
+    return 2;
+  }
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  std::printf("%s: %zu bytes at tick %ld (%.0f%% of %s)\n", argv[1], image.size(),
+              ch.ticks_advanced(), at * 100.0, argv[0]);
+  return 0;
+}
+
+int cmd_inspect(const char* path) {
+  std::vector<std::uint8_t> image;
+  if (!read_image(path, image)) {
+    std::fprintf(stderr, "checkpoint_tool: cannot read %s\n", path);
+    return 2;
+  }
+  CheckpointInfo info;
+  if (!inspect_checkpoint(image, &info)) {
+    std::printf("%s: not a checkpoint (bad magic or truncated header, %zu bytes)\n", path,
+                image.size());
+    return 1;
+  }
+  std::printf("%s:\n", path);
+  std::printf("  version:     %u\n", info.version);
+  std::printf("  kind:        %u (%s)\n", info.kind, kind_name(info.kind));
+  std::printf("  payload:     %llu bytes (file %zu)\n",
+              static_cast<unsigned long long>(info.payload_len), image.size());
+  std::printf("  crc32:       %08X  %s\n", info.crc, info.crc_ok ? "OK" : "MISMATCH");
+  return info.crc_ok ? 0 : 1;
+}
+
+int cmd_diff(const char* path_a, const char* path_b) {
+  std::vector<std::uint8_t> a, b;
+  if (!read_image(path_a, a) || !read_image(path_b, b)) {
+    std::fprintf(stderr, "checkpoint_tool: cannot read input images\n");
+    return 2;
+  }
+  CheckpointInfo ia, ib;
+  const bool ok_a = inspect_checkpoint(a, &ia), ok_b = inspect_checkpoint(b, &ib);
+  if (!ok_a || !ok_b) {
+    std::printf("unframed input: %s%s\n", ok_a ? "" : path_a, ok_b ? "" : path_b);
+    return 1;
+  }
+  bool same = true;
+  if (ia.version != ib.version) {
+    std::printf("version: %u vs %u\n", ia.version, ib.version);
+    same = false;
+  }
+  if (ia.kind != ib.kind) {
+    std::printf("kind: %s vs %s\n", kind_name(ia.kind), kind_name(ib.kind));
+    same = false;
+  }
+  if (ia.payload_len != ib.payload_len) {
+    std::printf("payload length: %llu vs %llu bytes\n",
+                static_cast<unsigned long long>(ia.payload_len),
+                static_cast<unsigned long long>(ib.payload_len));
+    same = false;
+  }
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t first = n, differing = 0;
+  for (std::size_t i = kCheckpointHeaderSize; i < n; ++i)
+    if (a[i] != b[i]) {
+      if (first == n) first = i;
+      ++differing;
+    }
+  if (differing) {
+    std::printf("payload: %zu differing byte(s), first at offset %zu (%02X vs %02X)\n",
+                differing, first, a[first], b[first]);
+    same = false;
+  }
+  std::printf("%s\n", same ? "identical" : "different");
+  return same ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && !std::strcmp(argv[1], "capture")) return cmd_capture(argc - 2, argv + 2);
+  if (argc == 3 && !std::strcmp(argv[1], "inspect")) return cmd_inspect(argv[2]);
+  if (argc == 4 && !std::strcmp(argv[1], "diff")) return cmd_diff(argv[2], argv[3]);
+  std::fprintf(stderr,
+               "usage: checkpoint_tool capture SCENARIO OUT [--at F]\n"
+               "       checkpoint_tool inspect FILE\n"
+               "       checkpoint_tool diff A B\n");
+  return 2;
+}

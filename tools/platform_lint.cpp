@@ -30,6 +30,7 @@
 #include "analysis/regmap_lint.hpp"
 #include "core/gyro_system.hpp"
 #include "mcu/assembler.hpp"
+#include "platform/engine/fleet.hpp"
 #include "safety/standard_faults.hpp"
 
 using namespace ascp;
@@ -127,6 +128,15 @@ int lint_events(bool verbose) {
   safety::FaultCampaign campaign;
   safety::faults::add_register_bit_flip(campaign, gyro, /*at=*/1000);
   gyro.set_fault_campaign(&campaign);
+
+  // Engine-category events come from the fleet runtime, which sits above
+  // GyroSystem — attach a minimal supervised fleet so its declaration lands
+  // in the same log. Construction alone declares; nothing advances.
+  engine::FleetChannelSpec spec;
+  spec.config.kind = engine::ChannelKind::Adxrs300;
+  engine::FleetConfig fleet_cfg;
+  fleet_cfg.events = &obs.events;
+  engine::FleetSupervisor fleet({spec}, fleet_cfg);
 
   std::printf("== event-category coverage (%zu categories) ==\n",
               ascp::obs::kAllEventCategories.size());
