@@ -19,6 +19,11 @@
 #                        exceptions, checkpoint corruption; zero lost
 #                        channels required) plus a checkpoint round-trip
 #                        replay under ASAN
+#   ci.sh wcet         — static timing proof: platform_lint --timing must be
+#                        error-free on the shipped platform, the unbounded-
+#                        loop fixture must be flagged, and the differential
+#                        WCET validation bench (static >= ISS-observed for
+#                        every corpus function) must pass in smoke mode
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,6 +58,19 @@ stage_chaos_smoke() {
     --gtest_filter='Corpus/CorpusCheckpoint.ResumeAtKBitExactWithStraightRun/*:CheckpointFrame.*'
 }
 
+stage_wcet() {
+  build_preset default --target platform_lint --target wcet_validation
+  echo "== platform_lint --timing: shipped platform real-time budget =="
+  ./build/tools/platform_lint --timing
+  echo "== platform_lint --timing: unbounded loop must be flagged =="
+  if ./build/tools/platform_lint --timing --asm tests/analysis/fixtures/unbounded_loop.asm; then
+    echo "ERROR: unbounded_loop.asm was not flagged" >&2
+    exit 1
+  fi
+  echo "== wcet_validation: static WCET >= ISS-observed (smoke) =="
+  ./build/bench/wcet_validation --smoke
+}
+
 stage_coverage() {
   build_preset coverage
   echo "== tier-1 tests (coverage build) =="
@@ -67,9 +85,10 @@ case "$stage" in
   fuzz-smoke)  stage_fuzz_smoke;  echo "CI STAGE fuzz-smoke PASSED";  exit 0 ;;
   fuzz-corpus) stage_fuzz_corpus; echo "CI STAGE fuzz-corpus PASSED"; exit 0 ;;
   chaos-smoke) stage_chaos_smoke; echo "CI STAGE chaos-smoke PASSED"; exit 0 ;;
+  wcet)        stage_wcet;        echo "CI STAGE wcet PASSED";        exit 0 ;;
   coverage)    stage_coverage;    echo "CI STAGE coverage PASSED";    exit 0 ;;
   all) ;;
-  *) echo "usage: ci.sh [coverage|fuzz-smoke|fuzz-corpus|chaos-smoke]" >&2; exit 2 ;;
+  *) echo "usage: ci.sh [coverage|fuzz-smoke|fuzz-corpus|chaos-smoke|wcet]" >&2; exit 2 ;;
 esac
 
 build_preset default
@@ -123,6 +142,7 @@ if ./build/tools/platform_lint --asm tests/analysis/fixtures/broken_firmware.asm
   exit 1
 fi
 
+stage_wcet
 stage_fuzz_smoke
 stage_fuzz_corpus
 stage_chaos_smoke

@@ -53,4 +53,8 @@ class Report {
   int warnings_ = 0;
 };
 
+/// Machine-readable rendering for `platform_lint --json`: an object with a
+/// summary and one entry per finding, stable key order, no dependencies.
+std::string to_json(const Report& rep);
+
 }  // namespace ascp::analysis

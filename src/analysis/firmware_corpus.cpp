@@ -61,7 +61,7 @@ report: MOV A,R2
         SJMP poll
 
 tx:     MOV SBUF,A
-txw:    JNB TI,txw
+txw:    JNB TI,txw           ;@loop-wait
         CLR TI
         RET
 )";
@@ -84,7 +84,7 @@ waitlk: MOV DPTR,#WDKICKLO   ; keep the dog fed while waiting for lock
         MOV DPTR,#LOCKREG
         MOVX A,@DPTR
         ANL A,#3             ; bit0 PLL, bit1 AGC
-        CJNE A,#3,waitlk
+        CJNE A,#3,waitlk     ;@loop-wait ; lock is plant-paced, not CPU work
         MOV A,#'L'
         LCALL tx
 
@@ -108,7 +108,7 @@ d2:     DJNZ R4,d2
         SJMP loop
 
 tx:     MOV SBUF,A
-txw:    JNB TI,txw
+txw:    JNB TI,txw           ;@loop-wait
         CLR TI
         RET
 )";
@@ -138,7 +138,7 @@ std::string greeting_app_source() {
         LCALL tx
         done: SJMP done
 tx:     MOV SBUF,A
-txw:    JNB TI,txw
+txw:    JNB TI,txw           ;@loop-wait
         CLR TI
         RET
 )";
@@ -150,12 +150,12 @@ std::string rs485_node_source() {
         MOV TMOD,#20h
         MOV TH1,#0FFh
         SETB TR1
-wait:   JNB RI,wait
+wait:   JNB RI,wait          ;@loop-wait
         MOV A,SBUF
         CLR RI
         CJNE A,#MYADDR,wait
         CLR SCON.5           ; selected: accept data frames
-cmd:    JNB RI,cmd
+cmd:    JNB RI,cmd           ;@loop-wait
         MOV A,SBUF
         CLR RI
         SETB SCON.5          ; single-command protocol: re-arm immediately
@@ -167,11 +167,11 @@ cmd:    JNB RI,cmd
         MOVX A,@DPTR         ; coherent high byte
         CLR SCON.3           ; replies carry TB8 = 0
         MOV SBUF,A
-t1:     JNB TI,t1
+t1:     JNB TI,t1            ;@loop-wait
         CLR TI
         MOV A,R2
         MOV SBUF,A
-t2:     JNB TI,t2
+t2:     JNB TI,t2            ;@loop-wait
         CLR TI
         SJMP wait
 )";
@@ -228,6 +228,8 @@ std::vector<FirmwareImage> shipped_firmware(const platform::BridgeMap& map) {
     fw.base = r.entry;  // strip the ORG padding: keep only emitted bytes
     fw.entry = r.entry;
     fw.image.assign(r.image.begin() + r.entry, r.image.end());
+    for (const auto& [addr, a] : r.loop_annots)
+      fw.loop_annots[addr] = LoopAnnot{a.bound, a.wait};
     out.push_back(std::move(fw));
   };
 

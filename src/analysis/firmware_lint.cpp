@@ -7,7 +7,7 @@
 #include <optional>
 #include <set>
 
-#include "analysis/disasm.hpp"
+#include "analysis/cfg.hpp"
 
 namespace ascp::analysis {
 namespace {
@@ -120,7 +120,7 @@ class FirmwareAnalysis {
       rep_.add(Severity::Error, "firmware", fw_.name, "empty firmware image");
       return std::move(rep_);
     }
-    discover();
+    cfg_ = build_cfg(fw_, &rep_);
     report_unreachable();
     analyze_stack();
     analyze_stores();
@@ -129,85 +129,15 @@ class FirmwareAnalysis {
   }
 
  private:
-  bool in_image(std::uint16_t addr) const {
-    return addr >= fw_.base && static_cast<std::size_t>(addr - fw_.base) < fw_.image.size();
-  }
+  bool in_image(std::uint16_t addr) const { return cfg_.in_image(addr); }
 
   std::string at(std::uint16_t addr) const { return fw_.name + ":" + hex16(addr); }
-
-  // ---- phase 1: reachable-instruction discovery / CFG ----------------------
-  void discover() {
-    std::deque<std::uint16_t> work{fw_.entry};
-    if (!in_image(fw_.entry)) {
-      rep_.add(Severity::Error, "firmware", fw_.name,
-               "entry point " + hex16(fw_.entry) + " lies outside the image");
-      return;
-    }
-    while (!work.empty()) {
-      const std::uint16_t addr = work.front();
-      work.pop_front();
-      if (insns_.contains(addr)) continue;
-      const Insn in = decode(fw_.image.data(), fw_.image.size(), fw_.base, addr);
-      insns_.emplace(addr, in);
-      if (in.truncated) {
-        rep_.add(Severity::Error, "firmware", at(addr),
-                 "instruction " + in.text() + " runs past the end of the image");
-        continue;
-      }
-      const auto next = static_cast<std::uint16_t>(addr + in.length);
-      const auto follow = [&](std::uint16_t t) {
-        if (in_image(t)) {
-          succ_[addr].push_back(t);
-          work.push_back(t);
-        } else if (external_exits_.insert(t).second) {
-          rep_.add(Severity::Info, "firmware", at(addr),
-                   "control transfers outside the image to " + hex16(t) +
-                       " (external code)");
-        }
-      };
-      const auto fallthrough = [&] {
-        if (!in_image(next)) {
-          rep_.add(Severity::Error, "firmware", at(addr),
-                   "execution can fall off the end of the image after " + in.text());
-        } else {
-          succ_[addr].push_back(next);
-          work.push_back(next);
-        }
-      };
-      switch (in.flow) {
-        case Flow::Seq: fallthrough(); break;
-        case Flow::Jump: follow(in.target); break;
-        case Flow::CondJump:
-          follow(in.target);
-          fallthrough();
-          break;
-        case Flow::Call:
-          call_sites_[addr] = in.target;
-          if (in_image(in.target)) {
-            routine_entries_.insert(in.target);
-            work.push_back(in.target);
-          } else if (external_exits_.insert(in.target).second) {
-            rep_.add(Severity::Info, "firmware", at(addr),
-                     "call to code outside the image at " + hex16(in.target));
-          }
-          fallthrough();
-          break;
-        case Flow::Ret:
-        case Flow::Reti:
-          break;
-        case Flow::IndirectJump:
-          rep_.add(Severity::Warning, "firmware", at(addr),
-                   "computed jump (JMP @A+DPTR) — control flow not statically resolved");
-          break;
-      }
-    }
-  }
 
   // ---- phase 2: unreachable bytes ------------------------------------------
   void report_unreachable() {
     std::vector<bool> covered(fw_.image.size(), false);
     bool has_movc = false;
-    for (const auto& [addr, in] : insns_) {
+    for (const auto& [addr, in] : cfg_.insns) {
       for (int i = 0; i < in.length; ++i) {
         const std::size_t off = static_cast<std::size_t>(addr - fw_.base) + i;
         if (off < covered.size()) covered[off] = true;
@@ -253,13 +183,13 @@ class FirmwareAnalysis {
     depth[entry] = 0;
     int peak = 0;
     bool unbounded = false, mismatch = false;
-    const bool top_level = entry == fw_.entry && !routine_entries_.contains(entry);
+    const bool top_level = entry == fw_.entry && !cfg_.routine_entries.contains(entry);
 
     while (!work.empty() && !unbounded) {
       const std::uint16_t addr = work.front();
       work.pop_front();
-      const auto it = insns_.find(addr);
-      if (it == insns_.end()) continue;
+      const auto it = cfg_.insns.find(addr);
+      if (it == cfg_.insns.end()) continue;
       const Insn& in = it->second;
       const int d = depth[addr];
       int d_out = d;
@@ -284,6 +214,14 @@ class FirmwareAnalysis {
           rep_.add(Severity::Warning, "firmware", at(addr),
                    "SP rewritten mid-flow — stack bound unreliable");
       }
+      if (in.flow == Flow::IndirectJump && stack_warned_.insert(addr).second) {
+        // The CFG has no edge to follow here, so the depth reached at this
+        // instruction is the last the walk can account for on this path.
+        rep_.add(Severity::Warning, "firmware", at(addr),
+                 "unresolved-jump: " + in.text() +
+                     " target not statically known — stack walk cannot follow "
+                     "the edge, bound excludes whatever runs there");
+      }
       if (in.flow == Flow::Ret || in.flow == Flow::Reti) {
         if (top_level)
           rep_.add(Severity::Error, "firmware", at(addr),
@@ -295,8 +233,8 @@ class FirmwareAnalysis {
                        " byte(s) still pushed) — returns to a data byte");
         continue;
       }
-      const auto sit = succ_.find(addr);
-      if (sit == succ_.end()) continue;
+      const auto sit = cfg_.succ.find(addr);
+      if (sit == cfg_.succ.end()) continue;
       for (const std::uint16_t s : sit->second) {
         const auto dit = depth.find(s);
         if (dit == depth.end()) {
@@ -325,7 +263,7 @@ class FirmwareAnalysis {
   }
 
   void analyze_stack() {
-    if (insns_.empty()) return;
+    if (cfg_.insns.empty()) return;
     std::set<std::uint16_t> on_stack;
     const int extra = routine_extra(fw_.entry, on_stack);
     const int sp_start = sp_explicit_ ? *sp_explicit_ : opt_.sp_reset;
@@ -348,7 +286,7 @@ class FirmwareAnalysis {
     // fall-through, resets at branch targets and after calls (the callee may
     // clobber DPTR).
     std::set<std::uint16_t> leaders{fw_.entry};
-    for (const auto& [addr, in] : insns_) {
+    for (const auto& [addr, in] : cfg_.insns) {
       if (in.flow == Flow::Jump || in.flow == Flow::CondJump || in.flow == Flow::Call)
         if (in_image(in.target)) leaders.insert(in.target);
       if (in.flow != Flow::Seq)
@@ -358,7 +296,7 @@ class FirmwareAnalysis {
     int dpl = -1, dph = -1;  // tracked DPTR halves, -1 = unknown
     std::uint16_t prev_end = 0;
     bool first = true;
-    for (const auto& [addr, in] : insns_) {
+    for (const auto& [addr, in] : cfg_.insns) {
       if (first || addr != prev_end || leaders.contains(addr)) dpl = dph = -1;
       first = false;
       prev_end = static_cast<std::uint16_t>(addr + in.length);
@@ -444,7 +382,7 @@ class FirmwareAnalysis {
 
     // May-kick per routine, propagated through the call graph to a fixpoint.
     std::map<std::uint16_t, std::set<std::uint16_t>> routine_body;  // entry -> insns
-    std::set<std::uint16_t> entries = routine_entries_;
+    std::set<std::uint16_t> entries = cfg_.routine_entries;
     entries.insert(fw_.entry);
     for (const std::uint16_t e : entries) {
       std::set<std::uint16_t>& body = routine_body[e];
@@ -452,8 +390,8 @@ class FirmwareAnalysis {
       while (!work.empty()) {
         const std::uint16_t a = work.front();
         work.pop_front();
-        if (!insns_.contains(a) || !body.insert(a).second) continue;
-        if (const auto s = succ_.find(a); s != succ_.end())
+        if (!cfg_.insns.contains(a) || !body.insert(a).second) continue;
+        if (const auto s = cfg_.succ.find(a); s != cfg_.succ.end())
           for (const std::uint16_t n : s->second) work.push_back(n);
       }
     }
@@ -465,8 +403,8 @@ class FirmwareAnalysis {
         if (kicking_routines.contains(e)) continue;
         for (const std::uint16_t a : body) {
           const bool kicks = kick_insns_.contains(a) ||
-                             (call_sites_.contains(a) &&
-                              kicking_routines.contains(call_sites_.at(a)));
+                             (cfg_.call_sites.contains(a) &&
+                              kicking_routines.contains(cfg_.call_sites.at(a)));
           if (kicks) {
             kicking_routines.insert(e);
             changed = true;
@@ -476,21 +414,23 @@ class FirmwareAnalysis {
       }
     }
 
-    for (const auto& scc : strongly_connected()) {
+    std::set<std::uint16_t> nodes;
+    for (const auto& [a, unused] : cfg_.insns) nodes.insert(a);
+    for (const auto& scc : strongly_connected(nodes, cfg_.succ)) {
       if (scc.size() == 1) {
         const std::uint16_t a = *scc.begin();
-        const auto s = succ_.find(a);
+        const auto s = cfg_.succ.find(a);
         const bool self_loop =
-            s != succ_.end() && std::count(s->second.begin(), s->second.end(), a) > 0;
+            s != cfg_.succ.end() && std::count(s->second.begin(), s->second.end(), a) > 0;
         if (!self_loop) continue;
       }
       bool escapes = false, kicks = false;
       for (const std::uint16_t a : scc) {
-        if (const auto s = succ_.find(a); s != succ_.end())
+        if (const auto s = cfg_.succ.find(a); s != cfg_.succ.end())
           for (const std::uint16_t n : s->second)
             if (!scc.contains(n)) escapes = true;
         if (kick_insns_.contains(a)) kicks = true;
-        if (const auto c = call_sites_.find(a); c != call_sites_.end())
+        if (const auto c = cfg_.call_sites.find(a); c != cfg_.call_sites.end())
           if (kicking_routines.contains(c->second)) kicks = true;
       }
       if (!escapes && !kicks)
@@ -500,70 +440,11 @@ class FirmwareAnalysis {
     }
   }
 
-  /// Tarjan's algorithm, iterative, over the reachable-instruction CFG.
-  std::vector<std::set<std::uint16_t>> strongly_connected() {
-    std::vector<std::set<std::uint16_t>> sccs;
-    std::map<std::uint16_t, int> index, low;
-    std::set<std::uint16_t> on_stack;
-    std::vector<std::uint16_t> stack;
-    int counter = 0;
-
-    struct Frame {
-      std::uint16_t node;
-      std::size_t child = 0;
-    };
-    for (const auto& [root, unused] : insns_) {
-      if (index.contains(root)) continue;
-      std::vector<Frame> frames{{root}};
-      index[root] = low[root] = counter++;
-      stack.push_back(root);
-      on_stack.insert(root);
-      while (!frames.empty()) {
-        Frame& f = frames.back();
-        const auto s = succ_.find(f.node);
-        const std::size_t nsucc = s == succ_.end() ? 0 : s->second.size();
-        if (f.child < nsucc) {
-          const std::uint16_t w = s->second[f.child++];
-          if (!insns_.contains(w)) continue;
-          if (!index.contains(w)) {
-            index[w] = low[w] = counter++;
-            stack.push_back(w);
-            on_stack.insert(w);
-            frames.push_back({w});
-          } else if (on_stack.contains(w)) {
-            low[f.node] = std::min(low[f.node], index[w]);
-          }
-        } else {
-          if (low[f.node] == index[f.node]) {
-            std::set<std::uint16_t> scc;
-            std::uint16_t w;
-            do {
-              w = stack.back();
-              stack.pop_back();
-              on_stack.erase(w);
-              scc.insert(w);
-            } while (w != f.node);
-            sccs.push_back(std::move(scc));
-          }
-          const std::uint16_t done = f.node;
-          frames.pop_back();
-          if (!frames.empty())
-            low[frames.back().node] = std::min(low[frames.back().node], low[done]);
-        }
-      }
-    }
-    return sccs;
-  }
-
   const FirmwareImage& fw_;
   const FirmwareLintOptions& opt_;
   Report rep_;
 
-  std::map<std::uint16_t, Insn> insns_;                      ///< reachable, by address
-  std::map<std::uint16_t, std::vector<std::uint16_t>> succ_; ///< CFG (calls fall through)
-  std::map<std::uint16_t, std::uint16_t> call_sites_;        ///< call addr -> callee
-  std::set<std::uint16_t> routine_entries_;                  ///< in-image call targets
-  std::set<std::uint16_t> external_exits_;
+  Cfg cfg_;  ///< shared reachable-instruction CFG (analysis/cfg.hpp)
   std::set<std::uint8_t> known_sfrs_;
   std::optional<ByteMap> bytemap_;
   std::set<std::uint16_t> kick_insns_;  ///< MOVX stores hitting watchdog KICK

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,12 +37,22 @@
 
 namespace ascp::analysis {
 
+/// Loop annotation carried over from assembly source (mcu::AsmResult):
+/// `bound` > 0 caps the iterations of the loop whose back edge sits at the
+/// annotated address; `wait` marks an external-event poll loop whose
+/// spinning the timing analyzer excludes from busy-time WCET.
+struct LoopAnnot {
+  long bound = 0;
+  bool wait = false;
+};
+
 /// One firmware image to analyze, as produced by the assembler.
 struct FirmwareImage {
   std::string name;                 ///< used in finding locations
   std::vector<std::uint8_t> image;  ///< raw bytes
   std::uint16_t base = 0;           ///< load address of image[0]
   std::uint16_t entry = 0;          ///< execution entry point (absolute)
+  std::map<std::uint16_t, LoopAnnot> loop_annots;  ///< back-edge addr -> annotation
 };
 
 struct FirmwareLintOptions {

@@ -558,6 +558,16 @@ void GyroSystem::serialize_state(StateArchive& ar) {
   ar.end_section();
 }
 
+std::vector<platform::Scheduler::TaskInfo> GyroSystem::schedule_tasks() {
+  // Register the real pipeline on a throwaway scheduler and enumerate it.
+  // Nothing ticks, so the captured references to these locals never dangle.
+  platform::Scheduler sched(cfg_.analog_fs);
+  TickState st;
+  const sensor::Profile rate, temp;
+  schedule_pipeline(sched, st, rate, temp, nullptr);
+  return sched.tasks();
+}
+
 void GyroSystem::run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
                      std::vector<double>* out) {
   // One pipeline instance per run() call: profiles are evaluated from t = 0

@@ -147,6 +147,12 @@ class GyroSystem : public RateSensor {
   void set_compensation(const dsp::CompensationCoeffs& c);
   const GyroSystemConfig& config() const { return cfg_; }
 
+  /// Enumerate the scheduler task graph run() would register (names, rate
+  /// dividers, phases) without advancing a single tick — the input the
+  /// static schedulability analysis (analysis/timing_lint) checks against
+  /// the per-sample CPU budget.
+  std::vector<platform::Scheduler::TaskInfo> schedule_tasks();
+
   /// Checkpoint path: runtime-mutable config knobs, both register files and
   /// every stateful component. Wiring (obs sink, trace, campaign pointer,
   /// register hook closures) stays as constructed — restore into a system

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
+#include <optional>
 
 namespace ascp::mcu {
 
@@ -90,19 +92,55 @@ std::vector<Assembler::Line> Assembler::parse(std::string_view source) {
     pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
     ++number;
 
-    // Strip comments (respecting character literals like #';').
-    std::string text;
+    // Strip comments (respecting character literals like #';'), keeping the
+    // comment text so ;@loop-… annotations survive parsing.
+    std::string text, comment;
     bool in_char = false;
-    for (char c : raw) {
+    std::size_t cut = raw.size();
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
       if (c == '\'') in_char = !in_char;
-      if (c == ';' && !in_char) break;
+      if (c == ';' && !in_char) {
+        cut = i;
+        break;
+      }
       text += c;
     }
+    if (cut < raw.size()) comment = trim(raw.substr(cut + 1));
     text = trim(text);
-    if (text.empty()) continue;
 
     Line line;
     line.number = number;
+
+    // Loop annotations: ";@loop-bound N" / ";@loop-wait". Anything else
+    // beginning with "@loop-" is a typo the analyzer must not silently skip.
+    // A second ';' ends the annotation and starts an ordinary comment.
+    if (const auto annot_end = comment.find(';'); annot_end != std::string::npos)
+      if (comment.rfind("@loop-", 0) == 0) comment = trim(comment.substr(0, annot_end));
+    if (comment.rfind("@loop-", 0) == 0) {
+      if (comment.rfind("@loop-wait", 0) == 0 &&
+          trim(comment.substr(10)).empty()) {
+        line.annot = 2;
+      } else if (comment.rfind("@loop-bound", 0) == 0) {
+        const std::string arg = trim(comment.substr(11));
+        char* end = nullptr;
+        const long n = std::strtol(arg.c_str(), &end, 10);
+        if (arg.empty() || end == nullptr || *end != '\0' || n < 1)
+          throw AsmError(number,
+                         "malformed ;@loop-bound annotation: expected a positive "
+                         "iteration count, got '" + arg + "'");
+        line.annot = 1;
+        line.annot_bound = n;
+      } else {
+        throw AsmError(number, "unknown loop annotation ';" + comment +
+                                   "' (expected ;@loop-bound N or ;@loop-wait)");
+      }
+    }
+
+    if (text.empty()) {
+      if (line.annot != 0) lines.push_back(line);  // binds to the next insn
+      continue;
+    }
 
     // Labels (several may share one line: "ok: done: SJMP done").
     for (;;) {
@@ -601,15 +639,32 @@ AsmResult Assembler::assemble(std::string_view source) {
   result.entry = lowest;
   result.image.assign(highest, 0x00);
 
-  // Pass 2: encode.
+  // Pass 2: encode. Loop annotations bind to the instruction emitted on
+  // their line, or (for comment-only lines) to the next emitted instruction.
   addr = 0;
+  struct PendingAnnot {
+    LoopAnnot annot;
+    int line;
+  };
+  std::optional<PendingAnnot> pending;
+  const auto take_annot = [&pending](const Line& l) {
+    if (l.annot == 0) return;
+    if (pending)
+      throw AsmError(l.number, "loop annotation shadows the unbound one on line " +
+                                   std::to_string(pending->line));
+    pending = PendingAnnot{LoopAnnot{l.annot_bound, l.annot == 2}, l.number};
+  };
   for (const Line& l : lines) {
+    take_annot(l);
     if (l.mnemonic.empty() || l.mnemonic == "EQU") continue;
     if (l.mnemonic == "ORG") {
       addr = eval(l.operands[0], l.number);
       continue;
     }
     if (l.mnemonic == "END") break;
+    if (pending && (l.mnemonic == "DB" || l.mnemonic == "DW" || l.mnemonic == "DS"))
+      throw AsmError(pending->line,
+                     "loop annotation must precede an instruction, not data");
     std::vector<std::uint8_t> bytes;
     if (l.mnemonic == "DB") {
       for (const auto& op : l.operands) bytes.push_back(eval8(op, l.number));
@@ -625,10 +680,16 @@ AsmResult Assembler::assemble(std::string_view source) {
       encode(l, addr, bytes);
       if (static_cast<int>(bytes.size()) != instruction_size(l))
         throw AsmError(l.number, "internal: size mismatch for '" + l.mnemonic + "'");
+      if (pending) {
+        result.loop_annots[addr] = pending->annot;
+        pending.reset();
+      }
     }
     std::copy(bytes.begin(), bytes.end(), result.image.begin() + addr);
     addr = static_cast<std::uint16_t>(addr + bytes.size());
   }
+  if (pending)
+    throw AsmError(pending->line, "loop annotation binds to no instruction");
 
   result.symbols = symbols_;
   return result;

@@ -31,10 +31,23 @@ class AsmError : public std::runtime_error {
   int line_;
 };
 
+/// Loop annotation attached to a back-edge instruction via an assembler
+/// comment. `;@loop-bound N` asserts the loop whose back edge is on that
+/// line executes its body at most N times per entry; `;@loop-wait` marks an
+/// external-event poll loop (UART RI/TI, hardware status) whose spinning is
+/// excluded from busy-time WCET and accounted as I/O wait instead. A comment
+/// starting with `;@loop-` that matches neither form is an AsmError, as is
+/// an annotation that does not bind to an instruction.
+struct LoopAnnot {
+  long bound = 0;     ///< max body executions per loop entry (0 with wait)
+  bool wait = false;  ///< external-event wait loop
+};
+
 struct AsmResult {
   std::vector<std::uint8_t> image;           ///< code image from address 0
   std::uint16_t entry = 0;                   ///< ORG of the first emitted byte
   std::map<std::string, std::uint16_t> symbols;  ///< resolved label/EQU values
+  std::map<std::uint16_t, LoopAnnot> loop_annots;  ///< back-edge address -> annotation
 };
 
 class Assembler {
@@ -54,6 +67,8 @@ class Assembler {
     std::string label;
     std::string mnemonic;
     std::vector<std::string> operands;
+    int annot = 0;         ///< 0 none, 1 ;@loop-bound, 2 ;@loop-wait
+    long annot_bound = 0;  ///< iterations for annot == 1
   };
 
   std::map<std::string, std::uint16_t> symbols_;

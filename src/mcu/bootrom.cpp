@@ -52,7 +52,7 @@ ecopy:  MOV A,R2
         JNZ enolo
         DEC R2
 enolo:  DEC R3
-        SJMP ecopy
+        SJMP ecopy           ;@loop-bound 65535 ; 16-bit length counter R2:R3
 edone:  MOV A,#0FFh
         LCALL spi_xfer       ; stored checksum
         XRL A,R4
@@ -64,7 +64,7 @@ edone:  MOV A,#0FFh
 no_eeprom:
         LCALL cs_off
 magic:  LCALL uart_rx
-        CJNE A,#0A5h,magic
+        CJNE A,#0A5h,magic   ;@loop-wait ; host-paced: resync until magic byte
         LCALL uart_rx
         MOV R2,A
         LCALL uart_rx
@@ -94,17 +94,17 @@ udone:  LCALL uart_rx        ; checksum
         LJMP PROGRAM
 bad:    MOV A,#15h           ; NAK
         LCALL uart_tx
-        SJMP magic
+        SJMP magic           ;@loop-wait ; retries are host-paced too
 
         ; ---- helpers ----
 uart_rx:
-        JNB RI,uart_rx
+        JNB RI,uart_rx       ;@loop-wait
         MOV A,SBUF           ; read before releasing RI: the host may refill
         CLR RI               ; the receive buffer the moment RI drops
         RET
 uart_tx:
         MOV SBUF,A
-waitti: JNB TI,waitti
+waitti: JNB TI,waitti        ;@loop-wait
         CLR TI
         RET
 cs_on:  MOV DPTR,#SPICTRL

@@ -53,13 +53,13 @@ rx_addr:                      ; receive addr_hi addr_lo into DPTR
         RET
 
 uart_rx:
-        JNB RI,uart_rx
+        JNB RI,uart_rx       ;@loop-wait
         MOV A,SBUF           ; read before clearing RI (host may refill)
         CLR RI
         RET
 uart_tx:
         MOV SBUF,A
-txw:    JNB TI,txw
+txw:    JNB TI,txw           ;@loop-wait
         CLR TI
         RET
 )";

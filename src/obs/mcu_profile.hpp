@@ -18,14 +18,17 @@ namespace ascp::obs {
 class McuProfiler {
  public:
   McuProfiler();
+  virtual ~McuProfiler() = default;
 
   /// One retired instruction: opcode byte at `pc` costing `cycles` machine
   /// cycles; `total_cycles` is the core's cycle counter *after* retirement.
-  void record_exec(std::uint16_t pc, std::uint8_t opcode, int cycles,
-                   std::uint64_t total_cycles);
+  /// Virtual so measurement harnesses (e.g. the WCET validation bench) can
+  /// observe the retirement stream while keeping the histogram behaviour.
+  virtual void record_exec(std::uint16_t pc, std::uint8_t opcode, int cycles,
+                           std::uint64_t total_cycles);
 
   /// Interrupt dispatch to `vector` at core cycle `total_cycles`.
-  void record_isr_enter(std::uint16_t vector, std::uint64_t total_cycles);
+  virtual void record_isr_enter(std::uint16_t vector, std::uint64_t total_cycles);
 
   std::uint64_t instructions() const { return instructions_; }
   std::uint64_t cycles() const { return cycles_; }

@@ -43,6 +43,13 @@ void Scheduler::set_profiler(obs::TaskProfiler* profiler) {
   if (profiler_) profiler_->set_base_rate(base_rate_);
 }
 
+std::vector<Scheduler::TaskInfo> Scheduler::tasks() const {
+  std::vector<TaskInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back({e.name, e.divider, e.phase});
+  return out;
+}
+
 void Scheduler::tick() {
   if (profiler_) {
     using clock = std::chrono::steady_clock;

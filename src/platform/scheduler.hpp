@@ -64,6 +64,15 @@ class Scheduler {
   void set_profiler(obs::TaskProfiler* profiler);
   obs::TaskProfiler* profiler() const { return profiler_; }
 
+  /// Static view of one registered task, for offline analysis (the timing
+  /// analyzer turns these into TaskSpecs without running anything).
+  struct TaskInfo {
+    std::string name;
+    long divider = 1;
+    long phase = 0;
+  };
+  std::vector<TaskInfo> tasks() const;
+
  private:
   struct Entry {
     long divider;

@@ -1,0 +1,15 @@
+; Negative WCET fixture: a data-dependent loop with no counted idiom and no
+; ;@loop-bound/;@loop-wait annotation. firmware_lint accepts this image (no
+; illegal stores, balanced stack); only the timing analyzer must reject it
+; with an "unbounded loop" error on the JNZ back edge.
+        ORG 0
+start:  MOV SP,#40h
+        MOV A,#0C3h          ; any nonzero seed
+        LCALL churn
+done:   SJMP done            ; park (exit-free main loop — needs no bound)
+
+churn:  MOV R7,A             ; rotate until the byte happens to hit zero:
+w:      RRC A                ; iteration count depends on data, not a counter
+        JNZ w
+        MOV A,R7
+        RET

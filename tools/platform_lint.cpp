@@ -5,13 +5,20 @@
 // as shipped, or of user-supplied artifacts.
 //
 //   platform_lint              lint the shipped platform: the live register
-//                              map, every firmware image in the corpus, and
-//                              the default (Table 1) DSP configuration
+//                              map, every firmware image in the corpus, the
+//                              default (Table 1) DSP configuration, plus the
+//                              static WCET / schedulability proof of the
+//                              firmware corpus against the per-sample CPU
+//                              budget (timing is always on for the full run)
 //   platform_lint --map FILE   lint a register-map description file
 //   platform_lint --asm FILE   assemble FILE and lint the resulting image
+//   platform_lint --timing     with --asm: also run the WCET analyzer on the
+//                              assembled image (unbounded loops become errors)
 //   platform_lint --events     check structured-event category coverage: every
 //                              EventCategory enumerator must have a declared
 //                              emitter on the fully assembled platform
+//   platform_lint --json FILE  additionally write every finding (info included)
+//                              as JSON to FILE
 //   -v / --verbose             also print info-level findings
 //
 // Exit status: 0 when no error-severity findings, 1 otherwise, 2 on usage
@@ -19,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -28,8 +36,10 @@
 #include "analysis/obs_lint.hpp"
 #include "analysis/range_lint.hpp"
 #include "analysis/regmap_lint.hpp"
+#include "analysis/timing_lint.hpp"
 #include "core/gyro_system.hpp"
 #include "mcu/assembler.hpp"
+#include "mcu/cache_ctrl.hpp"
 #include "platform/engine/fleet.hpp"
 #include "safety/standard_faults.hpp"
 
@@ -48,11 +58,34 @@ void print_report(const Report& report, bool verbose) {
   }
 }
 
+const char* g_json_path = nullptr;  ///< --json FILE (null = no export)
+
 int finish(const Report& report, bool verbose) {
   print_report(report, verbose);
   std::printf("platform_lint: %d error(s), %d warning(s), %zu finding(s)\n",
               report.errors(), report.warnings(), report.findings().size());
+  if (g_json_path) {
+    std::ofstream out(g_json_path);
+    if (!out) {
+      std::fprintf(stderr, "platform_lint: cannot write %s\n", g_json_path);
+      return 2;
+    }
+    out << to_json(report);
+  }
   return report.clean() ? 0 : 1;
+}
+
+/// Timing model of the shipped platform: cache controller defaults and the
+/// watchdog KICK register pair. The watchdog is present but not armed by
+/// default, so the kick-interval bound stays informational (period 0).
+TimingOptions platform_timing_options(const platform::BridgeMap& map) {
+  TimingOptions t;
+  const mcu::CacheConfig cache;
+  t.cache_miss_penalty = static_cast<int>(cache.miss_penalty_cycles);
+  t.cache_data_sfr = static_cast<std::uint8_t>(cache.sfr_base + 3);  // CDATA
+  t.kick_addrs = {map.watchdog, static_cast<std::uint16_t>(map.watchdog + 1)};
+  t.watchdog_period_cycles = 0;
+  return t;
 }
 
 bool read_file(const char* path, std::string& out) {
@@ -76,7 +109,7 @@ int lint_map_file(const char* path, bool verbose) {
   return finish(report, verbose);
 }
 
-int lint_asm_file(const char* path, bool verbose) {
+int lint_asm_file(const char* path, bool verbose, bool timing) {
   std::string text;
   if (!read_file(path, text)) {
     std::fprintf(stderr, "platform_lint: cannot read %s\n", path);
@@ -104,11 +137,15 @@ int lint_asm_file(const char* path, bool verbose) {
   fw.base = assembled.entry;
   fw.entry = assembled.entry;
   fw.image.assign(assembled.image.begin() + assembled.entry, assembled.image.end());
+  for (const auto& [addr, a] : assembled.loop_annots)
+    fw.loop_annots[addr] = LoopAnnot{a.bound, a.wait};
 
   FirmwareLintOptions opt;
   opt.map = &spec;
   opt.extra_sfrs = cache_ctrl_sfrs();
   report.merge(check_firmware(fw, opt));
+  if (timing)
+    report.merge(analyze_wcet(fw, platform_timing_options(gyro.platform().config().map)).report);
   return finish(report, verbose);
 }
 
@@ -173,6 +210,59 @@ int lint_platform(bool verbose) {
   std::printf("== fixed-point ranges (Table 1 configuration) ==\n");
   report.merge(check_ranges(cfg.sense, cfg.drive, cfg.comp));
 
+  // [4] Static WCET of the firmware corpus: every loop bounded (counted
+  // idiom, annotation, or main-loop classification), routines composed
+  // through calls, cache misses charged pessimistically.
+  const TimingOptions topt = platform_timing_options(map);
+  std::map<std::string, long> rounds;  // firmware -> worst main-loop round
+  for (const auto& fw : corpus::shipped_firmware(map)) {
+    std::printf("== timing %s ==\n", fw.name.c_str());
+    WcetResult res = analyze_wcet(fw, topt);
+    report.merge(res.report);
+    for (const auto& f : res.functions)
+      if (f.kind == FunctionWcet::Kind::MainLoop && f.bounded) {
+        auto& r = rounds[fw.name];
+        r = std::max(r, f.cycles);
+      }
+  }
+
+  // [5] Schedulability: the MCU earns cycles_per_sample() machine cycles
+  // per decimated output sample (paper §4.3: 20 MHz / 12 clocks). Each
+  // event-serving monitor must fit one worst-case main-loop round into that
+  // slice so it keeps pace with the sample stream. The telemetry monitor
+  // paces itself with delay loops (its round exceeds any slice by design)
+  // and the greeting app parks after two bytes — neither claims the budget.
+  const double out_hz = gyro.output_rate_hz();
+  const long budget = gyro.platform().cycles_per_sample(out_hz);
+  std::printf("== schedulability: %ld cycle(s)/sample at %.1f Hz ==\n", budget, out_hz);
+  {
+    std::string graph = "pipeline task graph:";
+    for (const auto& t : gyro.schedule_tasks())
+      graph += " " + (t.name.empty() ? std::string("<anon>") : t.name) + "(/" +
+               std::to_string(t.divider) +
+               (t.phase ? "+" + std::to_string(t.phase) : "") + ")";
+    report.add(Severity::Info, "timing", "scheduler", graph);
+  }
+  for (const char* name : {"monitor_rom", "diag_monitor", "watchdog_kicker", "rs485_node"}) {
+    const auto it = rounds.find(name);
+    if (it == rounds.end()) {
+      report.add(Severity::Error, "timing", name,
+                 "no bounded main-loop round — cannot prove the slice budget");
+      continue;
+    }
+    ScheduleSpec s;
+    s.name = std::string("mcu_slice/") + name;
+    s.base_rate_hz = out_hz;
+    s.cycles_per_tick = budget;
+    s.tasks = {{name, 1, 0, it->second}};
+    report.merge(check_schedule(s));
+  }
+  for (const char* name : {"telemetry_monitor", "greeting_app"})
+    if (rounds.count(name))
+      report.add(Severity::Info, "timing", name,
+                 "self-paced (round WCET " + std::to_string(rounds.at(name)) +
+                     " cycle(s)) — not held to the per-sample slice budget");
+
   return finish(report, verbose);
 }
 
@@ -181,6 +271,7 @@ int lint_platform(bool verbose) {
 int main(int argc, char** argv) {
   bool verbose = false;
   bool events = false;
+  bool timing = false;
   const char* map_file = nullptr;
   const char* asm_file = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -188,18 +279,23 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (!std::strcmp(argv[i], "--events")) {
       events = true;
+    } else if (!std::strcmp(argv[i], "--timing")) {
+      timing = true;
     } else if (!std::strcmp(argv[i], "--map") && i + 1 < argc) {
       map_file = argv[++i];
     } else if (!std::strcmp(argv[i], "--asm") && i + 1 < argc) {
       asm_file = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      g_json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: platform_lint [-v] [--map FILE | --asm FILE | --events]\n");
+                   "usage: platform_lint [-v] [--timing] [--json FILE] "
+                   "[--map FILE | --asm FILE | --events]\n");
       return 2;
     }
   }
   if (map_file) return lint_map_file(map_file, verbose);
-  if (asm_file) return lint_asm_file(asm_file, verbose);
+  if (asm_file) return lint_asm_file(asm_file, verbose, timing);
   if (events) return lint_events(verbose);
-  return lint_platform(verbose);
+  return lint_platform(verbose);  // timing is always on for the full run
 }
