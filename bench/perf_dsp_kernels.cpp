@@ -16,6 +16,7 @@
 #include "dsp/pll.hpp"
 #include "mcu/assembler.hpp"
 #include "mcu/core8051.hpp"
+#include "sensor/environment.hpp"
 #include "sensor/gyro_mems.hpp"
 
 using namespace ascp;
@@ -184,6 +185,37 @@ skip: SJMP loop
   for (auto _ : state) benchmark::DoNotOptimize(core.step());
 }
 BENCHMARK(BM_Core8051Instruction);
+
+// Profile evaluation sits on the per-tick stimulus path of every channel, so
+// the tagged-union dispatch has a perf row of its own. The mix covers the
+// analytic kinds; the Fn row prices the std::function escape hatch against it.
+static void BM_ProfileEval(benchmark::State& state) {
+  const sensor::Profile profiles[4] = {
+      sensor::Profile::sine(100.0, 25.0),
+      sensor::Profile::staircase({-50.0, 0.0, 50.0, 100.0}, 0.25),
+      sensor::Profile::chirp(80.0, 10.0, 400.0, 0.0, 1.0),
+      sensor::Profile::ramp(-10.0, 10.0, 0.0, 1.0),
+  };
+  double t = 0.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiles[i & 3].at(t));
+    t += 1e-6;
+    ++i;
+  }
+}
+BENCHMARK(BM_ProfileEval);
+
+static void BM_ProfileEvalFn(benchmark::State& state) {
+  const sensor::Profile p{sensor::Profile::Fn(
+      [](double t) { return 100.0 * std::sin(2.0 * 3.141592653589793 * 25.0 * t); })};
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.at(t));
+    t += 1e-6;
+  }
+}
+BENCHMARK(BM_ProfileEvalFn);
 
 static void BM_FullSystemMillisecond_Ideal(benchmark::State& state) {
   core::GyroSystem sys(core::default_gyro_system(core::Fidelity::Ideal));

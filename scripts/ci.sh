@@ -24,6 +24,11 @@
 #                        loop fixture must be flagged, and the differential
 #                        WCET validation bench (static >= ISS-observed for
 #                        every corpus function) must pass in smoke mode
+#   ci.sh replay       — stimulus record/replay proof: stimulus_tool
+#                        record→replay hash round-trip on two corpus
+#                        scenarios (one under ASAN), a stimulus_tool diff
+#                        self-check on the recorded traces, and the
+#                        queue/recorded channel-farm tests under TSan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,6 +76,35 @@ stage_wcet() {
   ./build/bench/wcet_validation --smoke
 }
 
+stage_replay() {
+  build_preset default --target stimulus_tool
+  build_preset asan --target stimulus_tool
+  local tmp
+  tmp=$(mktemp -d)
+  echo "== stimulus record→replay round-trip: vibration_shock (default build) =="
+  ./build/tools/stimulus_tool record tests/conformance/corpus/vibration_shock.scenario \
+    "$tmp/vibration_shock.strace"
+  ./build/tools/stimulus_tool replay tests/conformance/corpus/vibration_shock.scenario \
+    "$tmp/vibration_shock.strace"
+  echo "== stimulus record→replay round-trip: trace_segment_replay (ASAN) =="
+  ./build-asan/tools/stimulus_tool record tests/conformance/corpus/trace_segment_replay.scenario \
+    "$tmp/trace_segment_replay.strace"
+  ./build-asan/tools/stimulus_tool replay tests/conformance/corpus/trace_segment_replay.scenario \
+    "$tmp/trace_segment_replay.strace"
+  echo "== stimulus_tool diff: self vs self must be identical, cross must not =="
+  ./build/tools/stimulus_tool diff "$tmp/vibration_shock.strace" "$tmp/vibration_shock.strace"
+  if ./build/tools/stimulus_tool diff "$tmp/vibration_shock.strace" \
+      "$tmp/trace_segment_replay.strace"; then
+    echo "ERROR: diff of two different traces reported identical" >&2
+    exit 1
+  fi
+  rm -rf "$tmp"
+  echo "== tsan: queue-fed + recorded-trace channel farms =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs" --target test_engine
+  ./build-tsan/tests/test_engine --gtest_filter='FarmStimulus.*'
+}
+
 stage_coverage() {
   build_preset coverage
   echo "== tier-1 tests (coverage build) =="
@@ -86,9 +120,10 @@ case "$stage" in
   fuzz-corpus) stage_fuzz_corpus; echo "CI STAGE fuzz-corpus PASSED"; exit 0 ;;
   chaos-smoke) stage_chaos_smoke; echo "CI STAGE chaos-smoke PASSED"; exit 0 ;;
   wcet)        stage_wcet;        echo "CI STAGE wcet PASSED";        exit 0 ;;
+  replay)      stage_replay;      echo "CI STAGE replay PASSED";      exit 0 ;;
   coverage)    stage_coverage;    echo "CI STAGE coverage PASSED";    exit 0 ;;
   all) ;;
-  *) echo "usage: ci.sh [coverage|fuzz-smoke|fuzz-corpus|chaos-smoke|wcet]" >&2; exit 2 ;;
+  *) echo "usage: ci.sh [coverage|fuzz-smoke|fuzz-corpus|chaos-smoke|wcet|replay]" >&2; exit 2 ;;
 esac
 
 build_preset default
@@ -146,5 +181,6 @@ stage_wcet
 stage_fuzz_smoke
 stage_fuzz_corpus
 stage_chaos_smoke
+stage_replay
 
 echo "CI PASSED"

@@ -15,7 +15,7 @@ constexpr double kDspFs = 240e3;  ///< analog_fs / adc_div at the shipped operat
 Segment draw_rate_segment(Rng& r, double dur, double amp_cap) {
   Segment g;
   g.duration = dur;
-  switch (r.next_u64() % 4) {
+  switch (r.next_u64() % 5) {
     case 0:
       g.kind = SegKind::Constant;
       g.a = r.uniform(-amp_cap, amp_cap);
@@ -31,13 +31,29 @@ Segment draw_rate_segment(Rng& r, double dur, double amp_cap) {
       g.a = r.uniform(-amp_cap, amp_cap);
       g.b = r.uniform(-amp_cap, amp_cap);
       break;
-    default:
+    case 3:
       g.kind = SegKind::Chirp;
       g.a = r.uniform(0.1 * amp_cap, 0.5 * amp_cap);
       g.b = r.uniform(-0.3 * amp_cap, 0.3 * amp_cap);
       g.f0 = r.uniform(1.0, 10.0);
       g.f1 = r.uniform(10.0, 30.0);
       break;
+    default: {
+      // Recorded-trace fixture: a bounded random walk "field capture" played
+      // back at a modest sample rate (kept short so .scenario files stay
+      // reviewable; RecordedSource replay covers the high-rate case).
+      g.kind = SegKind::Trace;
+      g.f0 = r.uniform(200.0, 2000.0);
+      const std::size_t n = std::min<std::size_t>(
+          256, std::max<std::size_t>(2, static_cast<std::size_t>(dur * g.f0)));
+      double v = r.uniform(-0.5 * amp_cap, 0.5 * amp_cap);
+      g.samples.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        g.samples.push_back(v);
+        v = std::clamp(v + r.uniform(-0.05 * amp_cap, 0.05 * amp_cap), -amp_cap, amp_cap);
+      }
+      break;
+    }
   }
   return g;
 }

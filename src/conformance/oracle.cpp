@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <string_view>
 
@@ -12,6 +13,7 @@
 #include "mcu/monitor_rom.hpp"
 #include "safety/cal_store.hpp"
 #include "safety/standard_faults.hpp"
+#include "sensor/stimulus_source.hpp"
 
 namespace ascp::conformance {
 
@@ -319,6 +321,40 @@ ScenarioReport run_scenario(const Scenario& s, const OracleConfig& ocfg) {
                                    std::to_string(relocks) +
                                    " relocks (locked at end: " + (g->locked() ? "yes" : "no") + ")");
     }
+  }
+
+  // ---- recorded-trace replay (stimulus-seam round-trip) --------------------
+  // Scenarios carrying a Trace segment also prove the record → replay seam:
+  // a probed re-run must be bit-identical (probes are read-only), and feeding
+  // the captured stimulus back through a RecordedSource must reproduce the
+  // synthetic run's output hash exactly (the trace is captured at the base
+  // rate, so replay takes the integer-indexed bit-exact path).
+  const bool has_trace =
+      std::any_of(s.rate.begin(), s.rate.end(),
+                  [](const Segment& g) { return g.kind == SegKind::Trace; }) ||
+      std::any_of(s.temp.begin(), s.temp.end(),
+                  [](const Segment& g) { return g.kind == SegKind::Trace; });
+  if (has_trace) {
+    auto rec_cfg = channel_config(s);
+    sensor::StimulusRecorder recorder(ch.base_rate_hz());
+    rec_cfg.probe = &recorder;
+    engine::ConditioningChannel probed(rec_cfg);
+    run_channel(probed, s.duration_s);
+    if (probed.output_hash() != rep.output_hash)
+      chk.fail("probe_neutrality", "attaching the stimulus recorder changed the output stream");
+
+    auto trace = std::make_shared<sensor::StimulusTrace>(recorder.take());
+    auto replay_cfg = channel_config(s);
+    replay_cfg.stimulus_factory = [trace](double base_rate_hz) {
+      return std::make_unique<sensor::RecordedSource>(trace, base_rate_hz);
+    };
+    engine::ConditioningChannel replay(replay_cfg);
+    run_channel(replay, s.duration_s);
+    if (replay.output_hash() != rep.output_hash)
+      chk.fail("trace_replay",
+               "replaying the captured stimulus diverges from the synthetic run (hash " +
+                   std::to_string(replay.output_hash()) + " vs " +
+                   std::to_string(rep.output_hash) + ")");
   }
 
   // ---- class-specific differential references ------------------------------

@@ -42,6 +42,19 @@ double eval_segments(const std::vector<Segment>& segs, double fallback, double t
         last = seg.b + seg.a * std::sin(phase);
         break;
       }
+      case SegKind::Trace: {
+        // Zero-order hold over the recorded samples (RecordedSource's Hold
+        // interpolation); the final sample holds past the recording's end.
+        if (seg.samples.empty()) {
+          last = 0.0;
+          break;
+        }
+        const double pos = seg.f0 > 0.0 ? tl * seg.f0 : 0.0;
+        const double n = static_cast<double>(seg.samples.size());
+        last = seg.samples[pos >= n ? seg.samples.size() - 1
+                                    : static_cast<std::size_t>(pos < 0.0 ? 0.0 : pos)];
+        break;
+      }
     }
     if (t < end) return last;
     start = end;
@@ -147,6 +160,7 @@ const char* seg_kind_name(SegKind k) {
     case SegKind::Sine: return "sine";
     case SegKind::Ramp: return "ramp";
     case SegKind::Chirp: return "chirp";
+    case SegKind::Trace: return "trace";
   }
   return "?";
 }
@@ -180,7 +194,7 @@ bool parse_class(std::string_view text, ScenarioClass& out) {
 }
 
 bool parse_seg_kind(std::string_view text, SegKind& out) {
-  for (auto k : {SegKind::Constant, SegKind::Sine, SegKind::Ramp, SegKind::Chirp})
+  for (auto k : {SegKind::Constant, SegKind::Sine, SegKind::Ramp, SegKind::Chirp, SegKind::Trace})
     if (text == seg_kind_name(k)) {
       out = k;
       return true;
@@ -214,10 +228,17 @@ std::string to_text(const Scenario& s) {
   os << "datapath_bits " << s.datapath_bits << "\n";
   os << "open_loop " << (s.open_loop ? 1 : 0) << "\n";
   auto dump_segs = [&](const char* tag, const std::vector<Segment>& segs) {
-    for (const auto& g : segs)
+    for (const auto& g : segs) {
       os << tag << ' ' << seg_kind_name(g.kind) << ' ' << fmt_double(g.duration) << ' '
          << fmt_double(g.a) << ' ' << fmt_double(g.b) << ' ' << fmt_double(g.f0) << ' '
-         << fmt_double(g.f1) << "\n";
+         << fmt_double(g.f1);
+      // Trace segments append their sample count and literal values.
+      if (g.kind == SegKind::Trace) {
+        os << ' ' << g.samples.size();
+        for (double v : g.samples) os << ' ' << fmt_double(v);
+      }
+      os << "\n";
+    }
   };
   dump_segs("rate", s.rate);
   dump_segs("temp", s.temp);
@@ -289,6 +310,13 @@ Scenario from_text(std::string_view text) {
       need(kind);
       if (!parse_seg_kind(kind, g.kind)) parse_fail(lineno, "unknown segment kind '" + kind + "'");
       need(g.duration, g.a, g.b, g.f0, g.f1);
+      if (g.kind == SegKind::Trace) {
+        std::size_t count = 0;
+        need(count);
+        if (count > (1u << 24)) parse_fail(lineno, "trace sample count implausible");
+        g.samples.resize(count);
+        for (auto& v : g.samples) need(v);
+      }
       (key == "rate" ? s.rate : s.temp).push_back(g);
     } else if (key == "burst") {
       Burst b;

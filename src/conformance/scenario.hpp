@@ -28,16 +28,21 @@ enum class ScenarioClass {
   Iss,        ///< firmware-driven: MCU monitor vs chain, bit-identity with MCU
 };
 
-/// Piecewise stimulus segment, evaluated in segment-local time.
-enum class SegKind { Constant, Sine, Ramp, Chirp };
+/// Piecewise stimulus segment, evaluated in segment-local time. Trace plays
+/// back literal samples (recorded data embedded in the scenario): f0 is the
+/// sample rate, samples are held zero-order in segment-local time and the
+/// last one holds past the end — exactly RecordedSource's Hold semantics, so
+/// a `.strace` capture drops into a scenario loss-free.
+enum class SegKind { Constant, Sine, Ramp, Chirp, Trace };
 
 struct Segment {
   SegKind kind = SegKind::Constant;
   double duration = 0.1;  ///< seconds
   double a = 0.0;         ///< Constant: value; Sine/Chirp: amplitude; Ramp: start value
   double b = 0.0;         ///< Ramp: end value; Sine/Chirp: baseline offset
-  double f0 = 0.0;        ///< Sine: frequency; Chirp: start frequency [Hz]
+  double f0 = 0.0;        ///< Sine: frequency; Chirp: start frequency; Trace: sample rate [Hz]
   double f1 = 0.0;        ///< Chirp: end frequency [Hz]
+  std::vector<double> samples;  ///< Trace: recorded values (empty for other kinds)
 };
 
 /// Additive rate disturbance: freq > 0 is a vibration burst

@@ -88,12 +88,28 @@ Scenario shrink_scenario(Scenario failing, const StillFails& still_fails, int ma
       if (!try_edit(std::move(c))) break;
       progress = true;
     }
-    // Simplify the surviving stimulus to constants.
+    // Truncate recorded traces (halve the sample tail — a shorter recording
+    // that still reproduces is a much smaller repro artifact).
+    for (std::size_t i = 0; i < failing.rate.size(); ++i) {
+      while (failing.rate[i].kind == SegKind::Trace && failing.rate[i].samples.size() > 2) {
+        Scenario c = failing;
+        auto& g = c.rate[i];
+        g.samples.resize(std::max<std::size_t>(2, g.samples.size() / 2));
+        if (!try_edit(std::move(c))) break;
+        progress = true;
+      }
+    }
+    // Simplify the surviving stimulus to constants. A trace collapses to its
+    // first sample (its b slot is meaningless); other kinds prefer their
+    // baseline offset.
     for (std::size_t i = 0; i < failing.rate.size(); ++i) {
       if (failing.rate[i].kind == SegKind::Constant) continue;
       Scenario c = failing;
       auto& g = c.rate[i];
-      g = Segment{SegKind::Constant, g.duration, g.b != 0.0 ? g.b : g.a, 0.0, 0.0, 0.0};
+      const double level = g.kind == SegKind::Trace
+                               ? (g.samples.empty() ? 0.0 : g.samples.front())
+                               : (g.b != 0.0 ? g.b : g.a);
+      g = Segment{SegKind::Constant, g.duration, level, 0.0, 0.0, 0.0};
       if (try_edit(std::move(c))) progress = true;
     }
     // Halve the duration toward the detection-window floor.

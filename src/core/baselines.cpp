@@ -120,24 +120,33 @@ void AnalogGyroBaseline::build(std::uint64_t seed) {
   // decimators at phase zero). The conditioning fires on the last analog
   // step of each loop_div cycle; the DAQ samples the analog output on the
   // last conditioning sample of each out_div cycle.
-  const double dt = 1.0 / cfg_.analog_fs;
   const int out_div = static_cast<int>(loop_fs / cfg_.output_rate_hz + 0.5);
   const long out_period = static_cast<long>(cfg_.loop_div) * out_div;
   sched_ = std::make_unique<platform::Scheduler>(cfg_.analog_fs);
 
   sched_->every(
       1,
-      [this, dt] {
-        const double t = cfg_.stimulus_global_time
-                             ? static_cast<double>(sched_->ticks()) * dt
-                             : static_cast<double>(sched_->ticks() - run_origin_) * dt;
-        tick_temp_ = run_temp_->at(t);
+      [this] {
+        // ticks() here is the global index of the current tick; the active
+        // source maps it to its own time base (SyntheticSource applies the
+        // run-origin offset for local-time runs, bit-identical to the
+        // historical (ticks − run_origin)·dt arithmetic).
+        const sensor::StimulusSample smp = run_src_->sample(sched_->ticks());
+        tick_temp_ = smp.temp_c;
 
         sensor::GyroInputs in;
         in.v_drive = drive_v_;
-        in.rate_dps = run_rate_->at(t);
+        in.rate_dps = smp.rate_dps;
         in.temp_c = tick_temp_;
         pick_ = mems_->step(in);
+        if (probe_) {
+          using sensor::ProbePoint;
+          if (probe_stim_)
+            probe_->on_frame({ProbePoint::Stimulus, sched_->ticks(), smp.rate_dps, smp.temp_c});
+          if (probe_mems_)
+            probe_->on_frame(
+                {ProbePoint::PostMems, sched_->ticks(), pick_.dc_primary, pick_.dc_sense});
+        }
       },
       "analog");
 
@@ -173,11 +182,14 @@ void AnalogGyroBaseline::build(std::uint64_t seed) {
   sched_->every(
       out_period, out_period - 1,
       [this] {
-        if (!run_out_) return;
+        if (!run_out_ && !(probe_ && probe_out_)) return;
         const double v = cfg_.output_lpf_poles >= 2 ? lpf_state_[1] : lpf_state_[0];
         const double null =
             cfg_.null_v + null_draw_ + cfg_.null_tempco_v * (tick_temp_ - 25.0);
-        run_out_->push_back(null + v);
+        if (run_out_) run_out_->push_back(null + v);
+        if (probe_ && probe_out_)
+          probe_->on_frame(
+              {sensor::ProbePoint::DecimatedOutput, sched_->ticks(), null + v, tick_temp_});
       },
       "daq_output");
 }
@@ -214,19 +226,34 @@ void AnalogGyroBaseline::serialize_state(StateArchive& ar) {
 void AnalogGyroBaseline::run(const sensor::Profile& rate, const sensor::Profile& temp,
                              double seconds, std::vector<double>* out) {
   // Profiles are evaluated from t = 0 at the start of this call (the
-  // RateSensor contract); the scheduler — and with it the conditioning and
-  // DAQ decimation phase — persists across calls like the hardware would.
-  run_rate_ = &rate;
-  run_temp_ = &temp;
+  // RateSensor contract) unless the owner pinned the stimulus to the global
+  // tick axis; the origin makes the wrapper bit-identical to the historical
+  // (ticks − run_origin)·dt evaluation.
+  sensor::SyntheticSource src(rate, temp, cfg_.analog_fs,
+                              cfg_.stimulus_global_time ? 0 : sched_->ticks());
+  run(src, seconds, out);
+}
+
+void AnalogGyroBaseline::run(sensor::StimulusSource& src, double seconds,
+                             std::vector<double>* out) {
+  // The scheduler — and with it the conditioning and DAQ decimation phase —
+  // persists across calls like the hardware would.
+  run_src_ = &src;
   run_out_ = out;
-  run_origin_ = sched_->ticks();
   const auto wall0 = std::chrono::steady_clock::now();
   sched_->run_seconds(seconds);
   if (obs_.tasks)
     obs_.tasks->record_run(
         seconds, std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count());
-  run_rate_ = run_temp_ = nullptr;
+  run_src_ = nullptr;
   run_out_ = nullptr;
+}
+
+void AnalogGyroBaseline::set_probe(sensor::Probe* probe) {
+  probe_ = probe;
+  probe_stim_ = probe_ && probe_->wants(sensor::ProbePoint::Stimulus);
+  probe_mems_ = probe_ && probe_->wants(sensor::ProbePoint::PostMems);
+  probe_out_ = probe_ && probe_->wants(sensor::ProbePoint::DecimatedOutput);
 }
 
 }  // namespace ascp::core

@@ -71,11 +71,17 @@ class AnalogGyroBaseline : public RateSensor {
   double output_rate_hz() const override { return cfg_.output_rate_hz; }
   void run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
            std::vector<double>* out) override;
+  void run(sensor::StimulusSource& src, double seconds, std::vector<double>* out) override;
   double nominal_sensitivity() const override { return cfg_.nominal_sensitivity; }
   double nominal_null() const override { return cfg_.null_v; }
   double full_scale_dps() const override { return cfg_.full_scale_dps; }
 
   bool locked() const { return drive_->locked(); }
+
+  /// Attach a read-only chain probe (stimulus, post-MEMS, decimated output —
+  /// an analog baseline has no AFE or ADC taps). Same discipline as the
+  /// platform's: bit-identical attached or detached. Survives power_on.
+  void set_probe(sensor::Probe* probe);
 
   /// Attach an observability sink (profiler-only: an analog baseline has no
   /// PLL registers or DTCs to report, but its multi-rate kernel profiles the
@@ -104,10 +110,12 @@ class AnalogGyroBaseline : public RateSensor {
   // run() calls, so decimation phase carries over exactly as the analog
   // hardware's would.
   std::unique_ptr<platform::Scheduler> sched_;
-  const sensor::Profile* run_rate_ = nullptr;
-  const sensor::Profile* run_temp_ = nullptr;
+  sensor::StimulusSource* run_src_ = nullptr;
   std::vector<double>* run_out_ = nullptr;
-  long run_origin_ = 0;  ///< tick count at the current run() call's t = 0
+
+  // Probe taps are inline guards (the scheduler persists across attach).
+  sensor::Probe* probe_ = nullptr;
+  bool probe_stim_ = false, probe_mems_ = false, probe_out_ = false;
 
   // Per-tick state flowing between scheduler tasks.
   double tick_temp_ = 25.0;

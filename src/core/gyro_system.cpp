@@ -179,6 +179,9 @@ void GyroSystem::set_observability(const obs::ObsSink& sink) {
     obs_.events->declare_emitter(obs::EventCategory::Agc, "GyroSystem");
     obs_.events->declare_emitter(obs::EventCategory::Scheduler, "GyroSystem");
     obs_.events->declare_emitter(obs::EventCategory::Mcu, "GyroSystem");
+    // The Probe category is claimed by whoever attaches a probe; when one is
+    // already attached the declaration lands here too.
+    if (probe_) obs_.events->declare_emitter(obs::EventCategory::Probe, "GyroSystem");
   }
   if (obs_.metrics) {
     obs_m_outputs_ = obs_.metrics->counter("gyro.output_samples");
@@ -249,6 +252,15 @@ void GyroSystem::set_trace(TraceRecorder* trace, std::size_t decimate) {
   trace_->open("rate_out", 1.0 / output_rate_hz());
 }
 
+void GyroSystem::set_probe(sensor::Probe* probe) {
+  probe_ = probe;
+  if (probe_ && obs_.events) {
+    obs_.events->declare_emitter(obs::EventCategory::Probe, "GyroSystem");
+    obs_.events->emit(static_cast<double>(dsp_samples_) / (cfg_.analog_fs / cfg_.adc_div),
+                      obs::EventSeverity::Debug, obs::EventCategory::Probe, "probe_attach");
+  }
+}
+
 void GyroSystem::post_status(double measured_temp) {
   auto& rf = platform_.regs();
   rf.post_status(reg::kLock, static_cast<std::uint16_t>((drive_->pll_locked() ? 1 : 0) |
@@ -279,8 +291,7 @@ void GyroSystem::flush_sense_block() {
 }
 
 void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
-                                   const sensor::Profile& rate, const sensor::Profile& temp,
-                                   std::vector<double>* out) {
+                                   sensor::StimulusSource& src, std::vector<double>* out) {
   const bool full = cfg_.fidelity == Fidelity::Full;
   const double dt = 1.0 / cfg_.analog_fs;
   st.cpu_cycles_per_slow = cfg_.with_mcu ? platform_.cycles_per_sample(output_rate_hz()) : 0;
@@ -288,18 +299,20 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
   // ---- analog tick (1.92 MHz): environment, MEMS, charge amps, AFE -------
   sched.every(
       1,
-      [this, &sched, &st, &rate, &temp, dt, full] {
+      [this, &st, &src, dt, full] {
         st.sp.reset();
         st.ss.reset();
         // base_ticks_ increments at the end of this task, so here it equals
-        // the global index of the current tick; for the first run from a
-        // cold start both time axes are identical.
-        const double t = cfg_.stimulus_global_time ? static_cast<double>(base_ticks_) * dt
-                                                   : static_cast<double>(sched.ticks()) * dt;
-        st.temp_c = temp.at(t);
+        // the global index of the current tick — the axis every source
+        // samples on (SyntheticSource applies its own origin for local-time
+        // runs, reproducing the historical sched.ticks()·dt arithmetic).
+        st.tick = base_ticks_;
+        const sensor::StimulusSample smp = src.sample(base_ticks_);
+        st.temp_c = smp.temp_c;
+        st.rate_dps = smp.rate_dps;
 
         sensor::GyroInputs in;
-        in.rate_dps = rate.at(t);
+        in.rate_dps = smp.rate_dps;
         in.temp_c = st.temp_c;
         if (full) {
           in.v_drive = dac_drive_->output(dt, st.temp_c);
@@ -313,10 +326,10 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
         if (full) {
           // The SAR converters decimate internally: an ADC code pops out of
           // the acquisition channel every adc_div analog steps.
-          const double vp = champ_primary_->step(st.pick.dc_primary, st.temp_c);
-          const double vs = champ_sense_->step(st.pick.dc_sense, st.temp_c);
-          st.sp = acq_primary_->step(vp, st.temp_c);
-          st.ss = acq_sense_->step(vs, st.temp_c);
+          st.vp = champ_primary_->step(st.pick.dc_primary, st.temp_c);
+          st.vs = champ_sense_->step(st.pick.dc_sense, st.temp_c);
+          st.sp = acq_primary_->step(st.vp, st.temp_c);
+          st.ss = acq_sense_->step(st.vs, st.temp_c);
         }
         ++base_ticks_;
       },
@@ -338,6 +351,33 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
           st.ss = ideal_gain_sense_ * st.pick.dc_sense;
         },
         "adc_ideal");
+
+  // ---- probe taps (per analog tick) -------------------------------------
+  // Registered only when a probe is attached AND wants a tap this pipeline
+  // produces, so the detached configuration schedules exactly the same task
+  // set as before probes existed (the obs-layer zero-cost discipline). The
+  // frames read state the pipeline computes anyway — nothing is perturbed.
+  if (probe_) {
+    const bool w_stim = probe_->wants(sensor::ProbePoint::Stimulus);
+    const bool w_mems = probe_->wants(sensor::ProbePoint::PostMems);
+    const bool w_afe = full && probe_->wants(sensor::ProbePoint::PostAfe);
+    const bool w_adc = probe_->wants(sensor::ProbePoint::PostAdc);
+    if (w_stim || w_mems || w_afe || w_adc)
+      sched.every(
+          1,
+          [this, &st, w_stim, w_mems, w_afe, w_adc] {
+            using sensor::ProbePoint;
+            if (w_stim)
+              probe_->on_frame({ProbePoint::Stimulus, st.tick, st.rate_dps, st.temp_c});
+            if (w_mems)
+              probe_->on_frame(
+                  {ProbePoint::PostMems, st.tick, st.pick.dc_primary, st.pick.dc_sense});
+            if (w_afe) probe_->on_frame({ProbePoint::PostAfe, st.tick, st.vp, st.vs});
+            if (w_adc && st.sp)
+              probe_->on_frame({ProbePoint::PostAdc, st.tick, *st.sp, st.ss ? *st.ss : 0.0});
+          },
+          "probe");
+  }
 
   // ---- fault campaign (per DSP sample): the sample counter is the fault
   // time base, so it advances here even with no campaign attached ---------
@@ -459,9 +499,10 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
         "trace");
 
   // ---- decimated output rate (1.875 kHz) + MCU monitor slice ------------
+  const bool probe_out = probe_ && probe_->wants(sensor::ProbePoint::DecimatedOutput);
   sched.every(
       1,
-      [this, &st, out] {
+      [this, &st, out, probe_out] {
         if (!st.sp) return;
         // The temperature sensor is read every DSP sample (its noise stream
         // is part of the sample clock domain); the CIC decides when a slow
@@ -478,6 +519,9 @@ void GyroSystem::schedule_pipeline(platform::Scheduler& sched, TickState& st,
         }
         last_output_ = out_v;
         if (out) out->push_back(out_v);
+        if (probe_out)
+          probe_->on_frame(
+              {sensor::ProbePoint::DecimatedOutput, st.tick, out_v, measured_temp});
         if (obs_.metrics) {
           obs_.metrics->add(obs_m_outputs_);
           obs_.metrics->observe(obs_h_output_v_, out_v);
@@ -563,22 +607,32 @@ std::vector<platform::Scheduler::TaskInfo> GyroSystem::schedule_tasks() {
   // Nothing ticks, so the captured references to these locals never dangle.
   platform::Scheduler sched(cfg_.analog_fs);
   TickState st;
-  const sensor::Profile rate, temp;
-  schedule_pipeline(sched, st, rate, temp, nullptr);
+  sensor::SyntheticSource src({}, {}, cfg_.analog_fs);
+  schedule_pipeline(sched, st, src, nullptr);
   return sched.tasks();
 }
 
 void GyroSystem::run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
                      std::vector<double>* out) {
-  // One pipeline instance per run() call: profiles are evaluated from t = 0
-  // at the start of the call (the RateSensor contract), so the scheduler's
-  // tick origin is this call's first tick. All multi-rate structure lives in
-  // the Scheduler and in the hardware models' own decimators — there is no
-  // divider arithmetic here.
+  // Profiles are evaluated from t = 0 at the start of this call (the
+  // RateSensor contract) unless the owner pinned the stimulus to the global
+  // tick axis; either way the arithmetic inside SyntheticSource is exactly
+  // the historical tick·dt evaluation, so this wrapper is bit-identical to
+  // the pre-seam hard-wired path.
+  sensor::SyntheticSource src(rate, temp, cfg_.analog_fs,
+                              cfg_.stimulus_global_time ? 0 : base_ticks_);
+  run(src, seconds, out);
+}
+
+void GyroSystem::run(sensor::StimulusSource& src, double seconds, std::vector<double>* out) {
+  // One pipeline instance per run() call; the scheduler's tick origin is
+  // this call's first tick. All multi-rate structure lives in the Scheduler
+  // and in the hardware models' own decimators — there is no divider
+  // arithmetic here.
   platform::Scheduler sched(cfg_.analog_fs);
   TickState st;
   const long tick_origin = base_ticks_;
-  schedule_pipeline(sched, st, rate, temp, out);
+  schedule_pipeline(sched, st, src, out);
   if (obs_.tasks) {
     // Scheduler instances are per-run; the profiler accumulates across them.
     // The tick origin maps this run's local ticks onto the channel's global

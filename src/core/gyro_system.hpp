@@ -101,6 +101,7 @@ class GyroSystem : public RateSensor {
   double output_rate_hz() const override;
   void run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
            std::vector<double>* out) override;
+  void run(sensor::StimulusSource& src, double seconds, std::vector<double>* out) override;
   double nominal_sensitivity() const override { return 5e-3; }  // 5 mV/°/s, Table 1
   double nominal_null() const override { return cfg_.sense.output_offset; }
   double full_scale_dps() const override { return 300.0; }
@@ -139,6 +140,14 @@ class GyroSystem : public RateSensor {
   afe::ChargeAmp* champ_primary() { return champ_primary_.get(); }
   afe::ChargeAmp* champ_sense() { return champ_sense_.get(); }
 
+  /// Attach a read-only probe on the chain taps (stimulus, post-MEMS,
+  /// post-AFE, post-ADC, decimated output — see sensor::ProbePoint). Probes
+  /// follow the obs discipline: the numeric output is bit-identical with a
+  /// probe attached or not, and when detached (or for rejected points) no
+  /// task is even scheduled. nullptr detaches.
+  void set_probe(sensor::Probe* probe);
+  sensor::Probe* probe() const { return probe_; }
+
   /// Attach a trace recorder: Fig. 5/6 channels (amplitude_control,
   /// phase_error, amplitude_error, vco_control, pickoff) at fs/`decimate`
   /// plus rate_out at the decimated rate.
@@ -164,8 +173,11 @@ class GyroSystem : public RateSensor {
   /// the current tick's environment and the (optional) ADC sample pair
   /// flowing from the analog stage into the digital stages.
   struct TickState {
+    long tick = 0;         ///< global index of the current analog tick
     double temp_c = 25.0;
+    double rate_dps = 0.0;
     sensor::GyroOutputs pick{};
+    double vp = 0.0, vs = 0.0;  ///< charge-amp outputs (Full fidelity)
     std::optional<double> sp, ss;
     long cpu_cycles_per_slow = 0;
   };
@@ -176,8 +188,8 @@ class GyroSystem : public RateSensor {
   /// Registers the multi-rate conditioning pipeline on `sched`: analog tick
   /// → ADC sampling → fault campaign → DSP → supervisor → trace → decimated
   /// output + MCU slice, one scheduler task per stage, in that order.
-  void schedule_pipeline(platform::Scheduler& sched, TickState& st, const sensor::Profile& rate,
-                         const sensor::Profile& temp, std::vector<double>* out);
+  void schedule_pipeline(platform::Scheduler& sched, TickState& st,
+                         sensor::StimulusSource& src, std::vector<double>* out);
   /// True when the open-loop batched sense path applies (no per-sample
   /// observers: supervisor, campaign, trace, MCU).
   bool can_batch_sense();
@@ -222,6 +234,7 @@ class GyroSystem : public RateSensor {
 
   TraceRecorder* trace_ = nullptr;
   std::size_t trace_decimate_ = 16;
+  sensor::Probe* probe_ = nullptr;
 
   // Open-loop batched sense path: pending (pickoff, carrier) samples and the
   // block size that makes the next flush coincide with a CIC completion.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sensor/environment.hpp"
+#include "sensor/stimulus_source.hpp"
 
 namespace ascp::core {
 
@@ -34,6 +35,12 @@ class RateSensor {
   /// state persists across calls.
   virtual void run(const sensor::Profile& rate, const sensor::Profile& temp, double seconds,
                    std::vector<double>* out) = 0;
+
+  /// Source-fed run: sample `src` once per analog tick on the device's
+  /// global tick axis (the axis checkpoints resume on), appending output
+  /// samples to `out`. The Profile overload above is a convenience wrapper
+  /// that builds a SyntheticSource — both paths are bit-identical.
+  virtual void run(sensor::StimulusSource& src, double seconds, std::vector<double>* out) = 0;
 
   /// Datasheet scale factor the device is calibrated to [V per °/s].
   virtual double nominal_sensitivity() const = 0;

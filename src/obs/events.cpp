@@ -25,6 +25,7 @@ const char* category_name(EventCategory c) {
     case EventCategory::Scheduler: return "scheduler";
     case EventCategory::Mcu: return "mcu";
     case EventCategory::Engine: return "engine";
+    case EventCategory::Probe: return "probe";
   }
   return "?";
 }

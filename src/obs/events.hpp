@@ -35,12 +35,14 @@ enum class EventCategory : std::uint8_t {
   Scheduler = 6,   ///< run boundaries of the multi-rate kernel
   Mcu = 7,         ///< firmware-level events (recovery path, ISR anomalies)
   Engine = 8,      ///< fleet runtime: stall/crash detection, restart, quarantine
+  Probe = 9,       ///< stimulus/probe seam: probe attach, ingestion underrun
 };
 
-inline constexpr std::array<EventCategory, 9> kAllEventCategories = {
+inline constexpr std::array<EventCategory, 10> kAllEventCategories = {
     EventCategory::Pll,      EventCategory::Agc,      EventCategory::Supervisor,
     EventCategory::Dtc,      EventCategory::Watchdog, EventCategory::Fault,
-    EventCategory::Scheduler, EventCategory::Mcu,     EventCategory::Engine};
+    EventCategory::Scheduler, EventCategory::Mcu,     EventCategory::Engine,
+    EventCategory::Probe};
 
 const char* severity_name(EventSeverity s);
 const char* category_name(EventCategory c);
@@ -105,9 +107,9 @@ class EventLog {
   std::vector<Event> ring_;  ///< grows to capacity_, then wraps via head_
   std::size_t head_ = 0;     ///< index of the oldest event once wrapped
   std::uint64_t total_ = 0;
-  std::array<std::uint64_t, 9> by_category_{};
+  std::array<std::uint64_t, 10> by_category_{};
   std::array<std::uint64_t, 4> by_severity_{};
-  std::array<std::vector<std::string>, 9> emitters_{};
+  std::array<std::vector<std::string>, 10> emitters_{};
 };
 
 }  // namespace ascp::obs

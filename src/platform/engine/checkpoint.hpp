@@ -15,6 +15,15 @@
 // unwrap() distinguishes the two failure classes the chaos harness injects:
 // truncation (frame or payload shorter than declared) and corruption (CRC
 // mismatch), both reported as StateError with distinct messages.
+//
+// Versioning rules (shared with the `.strace` stimulus-trace container, see
+// sensor/stimulus_source.hpp): any payload-layout change bumps the format
+// version, readers reject versions they do not know, and there is no
+// cross-version migration — a checkpoint is a point-in-time artifact of one
+// build, not an interchange format. History:
+//   v1  PR 6 original layout
+//   v2  CHAN section gains the stimulus-source summary (kind u32 + cursor
+//       i64 at payload offsets 20/24) and the embedded source state
 #pragma once
 
 #include <cstdint>
@@ -25,7 +34,7 @@
 
 namespace ascp::engine {
 
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 constexpr std::size_t kCheckpointHeaderSize = 28;
 
 /// Parsed frame header (checkpoint_tool's inspect view).

@@ -76,8 +76,28 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
     gyro_->set_fault_campaign(campaign_.get());
   }
 
-  rate_ = cfg_.rate_profile ? *cfg_.rate_profile : sensor::Profile::constant(cfg_.rate_dps);
-  temp_ = cfg_.temp_profile ? *cfg_.temp_profile : sensor::Profile::constant(cfg_.temp_c);
+  // The stimulus seam: a factory-built source, or a SyntheticSource wrapping
+  // the profile fields (origin 0 — the channel owns one continuous global
+  // timeline, matching the stimulus_global_time setting above).
+  if (cfg_.stimulus_factory) {
+    stimulus_ = cfg_.stimulus_factory(base_rate_hz_);
+    if (!stimulus_) throw StateError("channel stimulus factory returned null");
+  } else {
+    stimulus_ = std::make_unique<sensor::SyntheticSource>(
+        cfg_.rate_profile ? *cfg_.rate_profile : sensor::Profile::constant(cfg_.rate_dps),
+        cfg_.temp_profile ? *cfg_.temp_profile : sensor::Profile::constant(cfg_.temp_c),
+        base_rate_hz_);
+  }
+
+  if (cfg_.probe) {
+    if (gyro_)
+      gyro_->set_probe(cfg_.probe);
+    else if (auto* bl = dynamic_cast<core::AnalogGyroBaseline*>(sensor_.get()))
+      bl->set_probe(cfg_.probe);
+  }
+  // Ingestion-side events (queue underrun) come from the channel itself.
+  if (obs_ && stimulus_->kind() != sensor::StimulusKind::Synthetic)
+    obs_->events.declare_emitter(obs::EventCategory::Probe, "ConditioningChannel");
 }
 
 ConditioningChannel::~ConditioningChannel() = default;
@@ -87,8 +107,14 @@ void ConditioningChannel::advance(long n_base_ticks) {
   const std::size_t before = out_.size();
   // RateSensor::run() quantizes seconds back to round(seconds·fs) ticks;
   // n/fs survives that round-trip exactly for any realistic tick count.
-  sensor_->run(rate_, temp_, static_cast<double>(n_base_ticks) / base_rate_hz_, &out_);
+  sensor_->run(*stimulus_, static_cast<double>(n_base_ticks) / base_rate_hz_, &out_);
   ticks_ += n_base_ticks;
+  if (obs_ && stimulus_->underruns() > last_underruns_) {
+    obs_->events.emit(static_cast<double>(ticks_) / base_rate_hz_, obs::EventSeverity::Warn,
+                      obs::EventCategory::Probe, "stimulus_underrun", {},
+                      {{"count", static_cast<double>(stimulus_->underruns())}});
+  }
+  last_underruns_ = stimulus_->underruns();
   // Hash every produced sample before the queue bound can discard any: the
   // fingerprint is a property of the simulation, not of consumer timing.
   for (std::size_t i = before; i < out_.size(); ++i) {
@@ -134,6 +160,18 @@ void ConditioningChannel::serialize_state(StateArchive& ar) {
   if (kind != static_cast<std::uint32_t>(cfg_.kind))
     throw StateError("checkpoint channel-kind mismatch");
   if (seed != cfg_.seed) throw StateError("checkpoint channel-seed mismatch");
+
+  // Stimulus-source summary at a fixed offset (checkpoint_tool inspect reads
+  // these two fields without linking the platform), then the source's own
+  // state so a mid-replay snapshot resumes at the exact cursor.
+  std::uint32_t stim_kind = static_cast<std::uint32_t>(stimulus_->kind());
+  std::int64_t stim_cursor = stimulus_->cursor();
+  ar.value(stim_kind);
+  ar.value(stim_cursor);
+  if (stim_kind != static_cast<std::uint32_t>(stimulus_->kind()))
+    throw StateError("checkpoint stimulus-source kind mismatch");
+  stimulus_->serialize_state(ar);
+  ar.value(last_underruns_);
 
   std::int64_t ticks = ticks_;
   ar.value(ticks);

@@ -94,6 +94,20 @@ struct ChannelConfig {
   /// Time-varying stimulus; when unset the constant rate_dps/temp_c apply.
   std::optional<sensor::Profile> rate_profile;
   std::optional<sensor::Profile> temp_profile;
+
+  // ---- stimulus/probe seam ------------------------------------------------
+  /// Builds the channel's stimulus source (overrides the profile fields
+  /// above). Receives the channel's base (analog) tick rate. Must be a
+  /// pure/deterministic function of the channel's own configuration, like
+  /// every other hook; the channel owns the returned source and checkpoints
+  /// its state. When unset, a SyntheticSource wraps the profiles —
+  /// bit-identical to the pre-seam behavior.
+  std::function<std::unique_ptr<sensor::StimulusSource>(double /*base_rate_hz*/)>
+      stimulus_factory;
+  /// Read-only probe attached to the sensor's chain taps (non-owning; must
+  /// outlive the channel). Bit-identity contract: the output stream is the
+  /// same with the probe attached or not.
+  sensor::Probe* probe = nullptr;
 };
 
 class ConditioningChannel {
@@ -120,6 +134,10 @@ class ConditioningChannel {
   core::GyroSystem* gyro() { return gyro_; }
   const core::GyroSystem* gyro() const { return gyro_; }
   const TraceRecorder* trace() const { return trace_.get(); }
+  /// The channel's stimulus source (never null). The QueueSource ingestion
+  /// path pushes through this accessor between advance() calls.
+  sensor::StimulusSource* stimulus() { return stimulus_.get(); }
+  const sensor::StimulusSource* stimulus() const { return stimulus_.get(); }
   /// Per-channel telemetry (null unless cfg.with_obs).
   obs::Observability* observability() { return obs_.get(); }
   const obs::Observability* observability() const { return obs_.get(); }
@@ -170,8 +188,8 @@ class ConditioningChannel {
   std::unique_ptr<safety::FaultCampaign> campaign_;
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<obs::Observability> obs_;
-  sensor::Profile rate_;
-  sensor::Profile temp_;
+  std::unique_ptr<sensor::StimulusSource> stimulus_;
+  std::uint64_t last_underruns_ = 0;  ///< edge detector for underrun events
   std::vector<double> out_;
   double base_rate_hz_ = 0.0;
   long ticks_ = 0;

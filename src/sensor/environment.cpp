@@ -1,49 +1,58 @@
 #include "sensor/environment.hpp"
 
-#include <cmath>
-
-#include "common/math.hpp"
-
 namespace ascp::sensor {
 
 Profile Profile::constant(double value) {
-  return Profile([value](double) { return value; });
+  Profile p;
+  p.kind_ = Kind::Constant;
+  p.a_ = value;
+  return p;
 }
 
 Profile Profile::step(double value, double t0) {
-  return Profile([value, t0](double t) { return t >= t0 ? value : 0.0; });
+  Profile p;
+  p.kind_ = Kind::Step;
+  p.a_ = value;
+  p.t0_ = t0;
+  return p;
 }
 
 Profile Profile::sine(double amplitude, double freq_hz, double t0) {
-  return Profile([amplitude, freq_hz, t0](double t) {
-    return t >= t0 ? amplitude * std::sin(kTwoPi * freq_hz * (t - t0)) : 0.0;
-  });
+  Profile p;
+  p.kind_ = Kind::Sine;
+  p.a_ = amplitude;
+  p.b_ = freq_hz;
+  p.t0_ = t0;
+  return p;
 }
 
 Profile Profile::ramp(double v0, double v1, double t0, double t1) {
-  return Profile([v0, v1, t0, t1](double t) {
-    if (t <= t0) return v0;
-    if (t >= t1) return v1;
-    return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
-  });
+  Profile p;
+  p.kind_ = Kind::Ramp;
+  p.a_ = v0;
+  p.b_ = v1;
+  p.t0_ = t0;
+  p.t1_ = t1;
+  return p;
 }
 
 Profile Profile::staircase(std::vector<double> levels, double dwell) {
-  return Profile([levels = std::move(levels), dwell](double t) {
-    if (levels.empty() || t < 0.0) return 0.0;
-    const auto idx = static_cast<std::size_t>(t / dwell);
-    return levels[idx < levels.size() ? idx : levels.size() - 1];
-  });
+  Profile p;
+  p.kind_ = Kind::Staircase;
+  p.b_ = dwell;
+  p.levels_ = std::move(levels);
+  return p;
 }
 
 Profile Profile::chirp(double amplitude, double f0, double f1, double t0, double t1) {
-  return Profile([amplitude, f0, f1, t0, t1](double t) {
-    if (t < t0) return 0.0;
-    const double tt = std::min(t, t1) - t0;
-    const double k = (f1 - f0) / (t1 - t0);
-    const double phase = kTwoPi * (f0 * tt + 0.5 * k * tt * tt);
-    return amplitude * std::sin(phase);
-  });
+  Profile p;
+  p.kind_ = Kind::Chirp;
+  p.a_ = amplitude;
+  p.b_ = f0;
+  p.c_ = f1;
+  p.t0_ = t0;
+  p.t1_ = t1;
+  return p;
 }
 
 }  // namespace ascp::sensor

@@ -1,0 +1,239 @@
+#include "sensor/stimulus_source.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace ascp::sensor {
+
+const char* stimulus_kind_name(StimulusKind k) {
+  switch (k) {
+    case StimulusKind::Synthetic: return "synthetic";
+    case StimulusKind::Recorded: return "recorded";
+    case StimulusKind::Queue: return "queue";
+  }
+  return "?";
+}
+
+const char* probe_point_name(ProbePoint p) {
+  switch (p) {
+    case ProbePoint::Stimulus: return "stimulus";
+    case ProbePoint::PostMems: return "post_mems";
+    case ProbePoint::PostAfe: return "post_afe";
+    case ProbePoint::PostAdc: return "post_adc";
+    case ProbePoint::DecimatedOutput: return "decimated_output";
+  }
+  return "?";
+}
+
+// ---- .strace container -----------------------------------------------------
+
+namespace {
+
+constexpr char kStraceMagic[8] = {'A', 'S', 'C', 'P', 'S', 'T', 'R', 'C'};
+
+void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& v, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& v, double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof u);
+  put_u64(v, u);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) x |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return x;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return x;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t u = get_u64(p);
+  double x;
+  std::memcpy(&x, &u, sizeof x);
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_strace(const StimulusTrace& trace) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(trace.samples.size() * 16);
+  for (const auto& s : trace.samples) {
+    put_f64(payload, s.rate_dps);
+    put_f64(payload, s.temp_c);
+  }
+  std::vector<std::uint8_t> image;
+  image.reserve(kStraceHeaderSize + payload.size());
+  image.insert(image.end(), kStraceMagic, kStraceMagic + sizeof kStraceMagic);
+  put_u32(image, kStraceVersion);
+  put_u32(image, static_cast<std::uint32_t>(trace.interp));
+  put_f64(image, trace.sample_rate_hz);
+  put_u64(image, trace.samples.size());
+  put_u32(image, crc32(payload.data(), payload.size()));
+  image.insert(image.end(), payload.begin(), payload.end());
+  return image;
+}
+
+bool inspect_strace(const std::vector<std::uint8_t>& bytes, StraceInfo* info) {
+  if (bytes.size() < kStraceHeaderSize) return false;
+  if (std::memcmp(bytes.data(), kStraceMagic, sizeof kStraceMagic) != 0) return false;
+  StraceInfo out;
+  out.version = get_u32(bytes.data() + 8);
+  out.interp = get_u32(bytes.data() + 12);
+  out.sample_rate_hz = get_f64(bytes.data() + 16);
+  out.count = get_u64(bytes.data() + 24);
+  out.crc = get_u32(bytes.data() + 32);
+  const std::uint64_t payload_len = out.count * 16;
+  out.crc_ok = bytes.size() >= kStraceHeaderSize + payload_len &&
+               crc32(bytes.data() + kStraceHeaderSize, static_cast<std::size_t>(payload_len)) ==
+                   out.crc;
+  if (info) *info = out;
+  return true;
+}
+
+StimulusTrace decode_strace(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kStraceHeaderSize) throw StateError("strace truncated: no header");
+  if (std::memcmp(bytes.data(), kStraceMagic, sizeof kStraceMagic) != 0)
+    throw StateError("strace bad magic");
+  const std::uint32_t version = get_u32(bytes.data() + 8);
+  if (version != kStraceVersion)
+    throw StateError("strace version " + std::to_string(version) + " unsupported");
+  const std::uint32_t interp = get_u32(bytes.data() + 12);
+  if (interp > static_cast<std::uint32_t>(TraceInterp::Linear))
+    throw StateError("strace unknown interpolation mode " + std::to_string(interp));
+  const std::uint64_t count = get_u64(bytes.data() + 24);
+  if (count > (1ull << 32)) throw StateError("strace sample count implausible");
+  const std::uint64_t payload_len = count * 16;
+  if (bytes.size() < kStraceHeaderSize + payload_len)
+    throw StateError("strace truncated: payload shorter than declared");
+  const std::uint32_t want = get_u32(bytes.data() + 32);
+  const std::uint32_t got =
+      crc32(bytes.data() + kStraceHeaderSize, static_cast<std::size_t>(payload_len));
+  if (want != got) throw StateError("strace CRC mismatch: payload corrupted");
+
+  StimulusTrace trace;
+  trace.sample_rate_hz = get_f64(bytes.data() + 16);
+  trace.interp = static_cast<TraceInterp>(interp);
+  trace.samples.resize(static_cast<std::size_t>(count));
+  const std::uint8_t* p = bytes.data() + kStraceHeaderSize;
+  for (auto& s : trace.samples) {
+    s.rate_dps = get_f64(p);
+    s.temp_c = get_f64(p + 8);
+    p += 16;
+  }
+  return trace;
+}
+
+bool save_strace(const std::string& path, const StimulusTrace& trace) {
+  const auto bytes = encode_strace(trace);
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+StimulusTrace load_strace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw StateError("cannot open strace file: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return decode_strace(bytes);
+}
+
+// ---- RecordedSource --------------------------------------------------------
+
+RecordedSource::RecordedSource(std::shared_ptr<const StimulusTrace> trace, double tick_rate_hz,
+                               long start_tick)
+    : trace_(std::move(trace)), tick_rate_hz_(tick_rate_hz), start_(start_tick) {
+  if (!trace_ || trace_->samples.empty())
+    throw StateError("recorded source needs a non-empty trace");
+  if (!(trace_->sample_rate_hz > 0.0) || !(tick_rate_hz_ > 0.0))
+    throw StateError("recorded source needs positive sample rates");
+  exact_ = trace_->sample_rate_hz == tick_rate_hz_;
+  step_ = trace_->sample_rate_hz / tick_rate_hz_;
+}
+
+StimulusSample RecordedSource::sample(long tick) {
+  const auto& s = trace_->samples;
+  const long n = static_cast<long>(s.size());
+  long k = tick - start_;
+  if (k < 0) k = 0;
+  if (exact_) {
+    // The bit-exact replay path: one trace sample per simulation tick, no
+    // floating-point index arithmetic at all.
+    if (k >= n) {
+      ++underruns_;
+      cursor_ = n - 1;
+      return s.back();
+    }
+    cursor_ = k;
+    return s[static_cast<std::size_t>(k)];
+  }
+  const double pos = static_cast<double>(k) * step_;
+  if (pos >= static_cast<double>(n - 1)) {
+    // The final sample's own interval holds it; anything beyond the trace
+    // duration is an underrun (still held — replay degrades, never throws).
+    if (pos >= static_cast<double>(n)) ++underruns_;
+    cursor_ = n - 1;
+    return s.back();
+  }
+  const auto i0 = static_cast<std::size_t>(pos);
+  cursor_ = static_cast<std::int64_t>(i0);
+  if (trace_->interp == TraceInterp::Hold) return s[i0];
+  const double frac = pos - static_cast<double>(i0);
+  const auto& lo = s[i0];
+  const auto& hi = s[i0 + 1];
+  return {lo.rate_dps + (hi.rate_dps - lo.rate_dps) * frac,
+          lo.temp_c + (hi.temp_c - lo.temp_c) * frac};
+}
+
+void RecordedSource::serialize_state(StateArchive& ar) {
+  ar.begin_section("SREC");
+  // Trace identity: a restored source must be replaying the *same* trace,
+  // or the cursor below is meaningless.
+  std::uint64_t count = trace_->samples.size();
+  double rate = trace_->sample_rate_hz;
+  ar.value(count);
+  ar.value(rate);
+  if (count != trace_->samples.size() || rate != trace_->sample_rate_hz)
+    throw StateError("checkpoint recorded-trace identity mismatch");
+  ar.value(cursor_);
+  ar.value(underruns_);
+  ar.end_section();
+}
+
+// ---- QueueSource -----------------------------------------------------------
+
+void QueueSource::serialize_state(StateArchive& ar) {
+  ar.begin_section("SQUE");
+  ar.value(last_.rate_dps);
+  ar.value(last_.temp_c);
+  ar.value(consumed_);
+  ar.value(underruns_);
+  std::uint64_t pending = q_.size();
+  ar.value(pending);
+  if (!ar.saving()) {
+    if (pending > cfg_.capacity)
+      throw StateError("checkpoint queue-source pending count exceeds capacity");
+    q_.resize(static_cast<std::size_t>(pending));
+  }
+  for (auto& s : q_) {
+    ar.value(s.rate_dps);
+    ar.value(s.temp_c);
+  }
+  ar.end_section();
+}
+
+}  // namespace ascp::sensor

@@ -69,6 +69,60 @@ TEST(ScenarioFormat, RoundTripPreservesFloatBitPatterns) {
   EXPECT_EQ(back.regs[0].value, 0x28);
 }
 
+TEST(ScenarioFormat, TraceSegmentRoundTripsWithBitExactSamples) {
+  Scenario s;
+  s.cls = ScenarioClass::Invariant;
+  s.duration_s = 0.05;
+  Segment g;
+  g.kind = SegKind::Trace;
+  g.duration = 0.05;
+  g.f0 = 1000.0;  // sample rate
+  g.samples = {0.1 + 0.2, 1.0 / 3.0, -29.999999999999996, 1e-17};
+  s.rate.push_back(g);
+
+  const std::string text = to_text(s);
+  EXPECT_NE(text.find("rate trace"), std::string::npos);
+  const Scenario back = from_text(text);
+  ASSERT_EQ(back.rate.size(), 1u);
+  ASSERT_EQ(back.rate[0].kind, SegKind::Trace);
+  ASSERT_EQ(back.rate[0].samples.size(), g.samples.size());
+  for (std::size_t i = 0; i < g.samples.size(); ++i)
+    EXPECT_TRUE(same_bits(back.rate[0].samples[i], g.samples[i])) << i;
+  EXPECT_EQ(to_text(back), text);
+}
+
+TEST(ScenarioFormat, TraceSegmentEvaluatesWithHoldSemantics) {
+  Scenario s;
+  s.duration_s = 1.0;
+  Segment g;
+  g.kind = SegKind::Trace;
+  g.duration = 1.0;
+  g.f0 = 4.0;  // 4 samples/s → each covers 0.25 s
+  g.samples = {1.0, 2.0, 3.0};
+  s.rate.push_back(g);
+  const auto p = rate_profile(s);
+  EXPECT_DOUBLE_EQ(p.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(0.26), 2.0);
+  EXPECT_DOUBLE_EQ(p.at(0.51), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(0.9), 3.0);   // past the recording: hold last
+  EXPECT_DOUBLE_EQ(p.at(10.0), 3.0);  // past the segment: hold last
+}
+
+TEST(ScenarioFormat, TraceSegmentTruncatedSampleListRejected) {
+  Scenario s;
+  Segment g;
+  g.kind = SegKind::Trace;
+  g.f0 = 100.0;
+  g.samples = {1.0, 2.0, 3.0};
+  s.rate.push_back(g);
+  std::string text = to_text(s);
+  // Drop the final sample but keep the declared count of 3.
+  const auto pos = text.rfind(" 3\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, 2);
+  EXPECT_THROW(from_text(text), std::runtime_error);
+}
+
 TEST(ScenarioFormat, MalformedInputThrowsWithDiagnostics) {
   EXPECT_THROW(from_text("this is not a scenario"), std::runtime_error);
   EXPECT_THROW(from_text("class no_such_class\n"), std::runtime_error);
@@ -196,6 +250,48 @@ TEST(ScenarioShrink, MinimizesToTheFailureRelevantCore) {
   EXPECT_LE(stats.attempts, 200);
   // Stimulus bookkeeping stays consistent after all edits.
   EXPECT_GE(min.rate[0].duration, min.duration_s);
+}
+
+TEST(ScenarioShrink, TruncatesTraceSegmentsWhenTheFailureSurvives) {
+  Scenario s;
+  s.cls = ScenarioClass::Invariant;
+  s.duration_s = 0.1;
+  Segment g;
+  g.kind = SegKind::Trace;
+  g.duration = 0.1;
+  g.f0 = 10000.0;
+  g.samples.assign(1024, 5.0);
+  s.rate.push_back(g);
+
+  // Failure independent of the trace contents: the shrinker should halve the
+  // sample list all the way to its floor of 2.
+  const Scenario min = shrink_scenario(s, [](const Scenario&) { return true; }, 500);
+  ASSERT_EQ(min.rate.size(), 1u);
+  // The constant-simplify pass then collapses the trace to its first sample.
+  EXPECT_EQ(min.rate[0].kind, SegKind::Constant);
+  EXPECT_EQ(min.rate[0].a, 5.0);
+  EXPECT_TRUE(min.rate[0].samples.empty());
+}
+
+TEST(ScenarioShrink, TraceCollapseUsesFirstSampleNotEmptySlots) {
+  Scenario s;
+  s.cls = ScenarioClass::Invariant;
+  s.duration_s = 0.1;
+  Segment g;
+  g.kind = SegKind::Trace;
+  g.duration = 0.1;
+  g.f0 = 1000.0;
+  g.samples = {42.0, 43.0};
+  s.rate.push_back(g);
+
+  // Only accept the collapse-to-constant edit (reject truncation first so the
+  // level is taken from the untruncated head sample).
+  const Scenario min =
+      shrink_scenario(s, [](const Scenario& c) { return c.rate[0].kind != SegKind::Trace ||
+                                                        c.rate[0].samples.size() == 2; }, 100);
+  ASSERT_EQ(min.rate.size(), 1u);
+  EXPECT_EQ(min.rate[0].kind, SegKind::Constant);
+  EXPECT_EQ(min.rate[0].a, 42.0);
 }
 
 TEST(ScenarioShrink, RespectsTheAttemptBudget) {

@@ -29,12 +29,15 @@ class TinySensor : public RateSensor {
     const long n = static_cast<long>(seconds * 1000.0);
     for (long i = 0; i < n; ++i) {
       const double t = i / 1000.0;
-      t_on_ += 1e-3;
-      const double dtc = temp.at(t) - 25.0;
-      const double transient = 0.2 * std::exp(-t_on_ / 0.03);
-      if (out)
-        out->push_back(null_ + 1e-4 * dtc + sens_ * (1.0 + 1e-4 * dtc) * rate.at(t) + transient +
-                       rng_.gaussian(1e-5));
+      step_one(rate.at(t), temp.at(t), out);
+    }
+  }
+
+  void run(sensor::StimulusSource& src, double seconds, std::vector<double>* out) override {
+    const long n = static_cast<long>(seconds * 1000.0);
+    for (long i = 0; i < n; ++i) {
+      const sensor::StimulusSample s = src.sample(i);
+      step_one(s.rate_dps, s.temp_c, out);
     }
   }
 
@@ -43,6 +46,15 @@ class TinySensor : public RateSensor {
   double full_scale_dps() const override { return 300.0; }
 
  private:
+  void step_one(double rate, double temp, std::vector<double>* out) {
+    t_on_ += 1e-3;
+    const double dtc = temp - 25.0;
+    const double transient = 0.2 * std::exp(-t_on_ / 0.03);
+    if (out)
+      out->push_back(null_ + 1e-4 * dtc + sens_ * (1.0 + 1e-4 * dtc) * rate + transient +
+                     rng_.gaussian(1e-5));
+  }
+
   double sens_ = 5e-3, null_ = 2.5, t_on_ = 0.0;
   ascp::Rng rng_{99};
 };

@@ -45,16 +45,12 @@ class FakeSensor : public RateSensor {
            std::vector<double>* out) override {
     (void)temp;
     const long n = static_cast<long>(seconds * cfg_.fs_out + 0.5);
-    for (long i = 0; i < n; ++i) {
-      const double t = static_cast<double>(i) / cfg_.fs_out;
-      const double r = rate.at(t);
-      const double x = r / cfg_.fs_dps;
-      const double nonlin = cfg_.cubic * x * x * x * cfg_.fs_dps;
-      state_ += alpha_ * (cfg_.sens * (r + nonlin) - state_);
-      t_since_on_ += 1.0 / cfg_.fs_out;
-      const double transient = cfg_.warmup_amp * std::exp(-t_since_on_ / cfg_.warmup_tau);
-      if (out) out->push_back(cfg_.null + state_ + transient + rng_.gaussian(noise_sigma_));
-    }
+    for (long i = 0; i < n; ++i) step_one(rate.at(static_cast<double>(i) / cfg_.fs_out), out);
+  }
+
+  void run(sensor::StimulusSource& src, double seconds, std::vector<double>* out) override {
+    const long n = static_cast<long>(seconds * cfg_.fs_out + 0.5);
+    for (long i = 0; i < n; ++i) step_one(src.sample(i).rate_dps, out);
   }
 
   double nominal_sensitivity() const override { return cfg_.sens; }
@@ -62,6 +58,15 @@ class FakeSensor : public RateSensor {
   double full_scale_dps() const override { return cfg_.fs_dps; }
 
  private:
+  void step_one(double r, std::vector<double>* out) {
+    const double x = r / cfg_.fs_dps;
+    const double nonlin = cfg_.cubic * x * x * x * cfg_.fs_dps;
+    state_ += alpha_ * (cfg_.sens * (r + nonlin) - state_);
+    t_since_on_ += 1.0 / cfg_.fs_out;
+    const double transient = cfg_.warmup_amp * std::exp(-t_since_on_ / cfg_.warmup_tau);
+    if (out) out->push_back(cfg_.null + state_ + transient + rng_.gaussian(noise_sigma_));
+  }
+
   Config cfg_;
   ascp::Rng rng_{1};
   double state_ = 0.0, t_since_on_ = 0.0, alpha_ = 0.0, noise_sigma_ = 0.0;

@@ -12,6 +12,7 @@
 
 #include "platform/engine/channel_farm.hpp"
 #include "safety/fault_injection.hpp"
+#include "sensor/stimulus_source.hpp"
 
 namespace ascp::engine {
 namespace {
@@ -234,6 +235,76 @@ TEST(ChannelFarm, FaultCampaignChannelDivergesFromCleanTwin) {
   f_faulted.advance(0.05);
   ASSERT_EQ(f_clean.channel(0).config().seed, f_faulted.channel(0).config().seed);
   EXPECT_NE(f_clean.channel(0).output_hash(), f_faulted.channel(0).output_hash());
+}
+
+// ---- stimulus-source channels under the farm --------------------------------
+// Also the TSan target for the seam: each channel owns its source, so
+// QueueSource-fed and RecordedSource-fed channels must race-free bit-match
+// across thread counts exactly like profile-fed ones (ci.sh replay stage
+// runs this suite under ThreadSanitizer).
+
+ChannelConfig queue_fed_config(int fill_ticks) {
+  ChannelConfig cfg;
+  cfg.kind = ChannelKind::GyroIdeal;
+  cfg.stimulus_factory = [fill_ticks](double) {
+    sensor::QueueSource::Config qc;
+    qc.capacity = static_cast<std::size_t>(fill_ticks);
+    auto q = std::make_unique<sensor::QueueSource>(qc);
+    for (int i = 0; i < fill_ticks; ++i)
+      q->push({30.0 + 0.01 * static_cast<double>(i % 100), 25.0});
+    return q;
+  };
+  return cfg;
+}
+
+TEST(FarmStimulus, QueueFedChannelsBitIdenticalAcrossThreadCounts) {
+  const double seconds = 0.02;
+  std::vector<ChannelConfig> specs;
+  for (int i = 0; i < 4; ++i) specs.push_back(queue_fed_config(20000 + 5000 * i));
+
+  FarmConfig solo;
+  solo.threads = 1;
+  ChannelFarm f1(specs, solo);
+  f1.advance(seconds);
+
+  FarmConfig quad;
+  quad.threads = 4;
+  ChannelFarm f4(specs, quad);
+  f4.advance(seconds);
+
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1.channel(i).output_hash(), f4.channel(i).output_hash()) << i;
+    EXPECT_EQ(f1.channel(i).stimulus()->underruns(), f4.channel(i).stimulus()->underruns()) << i;
+  }
+}
+
+TEST(FarmStimulus, RecordedChannelsBitIdenticalAcrossThreadCounts) {
+  // One shared immutable trace replayed by every channel — the sharing is
+  // what TSan scrutinizes (sources hold shared_ptr<const StimulusTrace>).
+  auto trace = std::make_shared<sensor::StimulusTrace>();
+  trace->sample_rate_hz = 1.92e6;
+  for (int i = 0; i < 50000; ++i)
+    trace->samples.push_back({20.0 + 0.001 * static_cast<double>(i % 997), 25.0});
+
+  ChannelConfig cfg;
+  cfg.kind = ChannelKind::GyroIdeal;
+  cfg.stimulus_factory = [trace](double base_rate_hz) {
+    return std::make_unique<sensor::RecordedSource>(trace, base_rate_hz);
+  };
+  std::vector<ChannelConfig> specs(4, cfg);
+
+  FarmConfig solo;
+  solo.threads = 1;
+  ChannelFarm f1(specs, solo);
+  f1.advance(0.02);
+
+  FarmConfig quad;
+  quad.threads = 4;
+  ChannelFarm f4(specs, quad);
+  f4.advance(0.02);
+
+  for (std::size_t i = 0; i < f1.size(); ++i)
+    EXPECT_EQ(f1.channel(i).output_hash(), f4.channel(i).output_hash()) << i;
 }
 
 }  // namespace

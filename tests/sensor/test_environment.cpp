@@ -83,5 +83,64 @@ TEST(Profile, ChirpSilentBeforeStart) {
   EXPECT_DOUBLE_EQ(p.at(0.5), 0.0);
 }
 
+// ---- boundary edge cases ---------------------------------------------------
+
+TEST(Profile, StaircaseExactDwellEdgeStartsNextLevel) {
+  const auto p = Profile::staircase({1.0, 2.0, 3.0}, 0.1);
+  // The boundary sample belongs to the step that starts there.
+  EXPECT_DOUBLE_EQ(p.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(0.1), 2.0);
+  EXPECT_DOUBLE_EQ(p.at(0.2), 3.0);
+  // The last dwell edge (t == n·dwell) holds the final level, not UB.
+  EXPECT_DOUBLE_EQ(p.at(0.3), 3.0);
+}
+
+TEST(Profile, StaircaseNegativeTimeIsZero) {
+  const auto p = Profile::staircase({1.0, 2.0}, 0.1);
+  EXPECT_DOUBLE_EQ(p.at(-0.05), 0.0);
+}
+
+TEST(Profile, StaircaseHugeTimeHoldsLastLevel) {
+  // t/dwell far beyond SIZE_MAX must clamp, not wrap through the size_t cast.
+  const auto p = Profile::staircase({1.0, 2.0}, 1e-12);
+  EXPECT_DOUBLE_EQ(p.at(1e9), 2.0);
+}
+
+TEST(Profile, StaircaseDegenerateDwellHoldsLastLevel) {
+  EXPECT_DOUBLE_EQ(Profile::staircase({4.0, 7.0}, 0.0).at(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(Profile::staircase({4.0, 7.0}, -1.0).at(0.5), 7.0);
+}
+
+TEST(Profile, ChirpStartsAtZeroPhase) {
+  const auto p = Profile::chirp(3.0, 5.0, 20.0, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 0.0);  // sin(0) exactly at t == t0
+}
+
+TEST(Profile, ChirpHoldsSweepEndValuePastT1) {
+  const auto p = Profile::chirp(1.0, 1.0, 10.0, 0.0, 10.0);
+  const double end = p.at(10.0);
+  EXPECT_DOUBLE_EQ(p.at(11.0), end);
+  EXPECT_DOUBLE_EQ(p.at(1e6), end);
+}
+
+TEST(Profile, ChirpDegenerateWindowIsConstantFrequencySine) {
+  // t1 <= t0 must not produce a 0/0 sweep slope: f0 applies from t0 on.
+  const auto p = Profile::chirp(2.0, 4.0, 9.0, 1.0, 1.0);
+  const auto ref = Profile::sine(2.0, 4.0, 1.0);
+  for (double t : {1.0, 1.03125, 1.25, 2.5}) EXPECT_DOUBLE_EQ(p.at(t), ref.at(t)) << t;
+}
+
+TEST(Profile, RampBoundarySamplesTakeEndpointValues) {
+  const auto p = Profile::ramp(-1.0, 1.0, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(p.at(2.0), -1.0);
+  EXPECT_DOUBLE_EQ(p.at(4.0), 1.0);
+}
+
+TEST(Profile, FnEscapeHatchStillWorks) {
+  const Profile p([](double t) { return 3.0 * t; });
+  EXPECT_DOUBLE_EQ(p.at(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(p.at(-2.0), -6.0);
+}
+
 }  // namespace
 }  // namespace ascp::sensor

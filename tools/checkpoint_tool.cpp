@@ -27,6 +27,7 @@
 #include "conformance/scenario.hpp"
 #include "platform/engine/checkpoint.hpp"
 #include "platform/engine/conditioning_channel.hpp"
+#include "sensor/stimulus_source.hpp"
 
 using namespace ascp;
 using namespace ascp::engine;
@@ -47,6 +48,32 @@ bool read_image(const char* path, std::vector<std::uint8_t>& out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+// ---- embedded stimulus summary ---------------------------------------------
+// Checkpoint format v2 places a stimulus-source summary at a fixed position
+// in the CHAN section so this tool can report it without instantiating the
+// platform: payload offsets 20 (kind, u32 LE) and 24 (cursor, i64 LE), i.e.
+// image offsets 48/52 past the 28-byte frame header.
+
+struct StimSummary {
+  std::uint32_t kind = 0;
+  std::int64_t cursor = -1;
+};
+
+bool read_stim_summary(const std::vector<std::uint8_t>& image, const CheckpointInfo& info,
+                       StimSummary* out) {
+  constexpr std::size_t kStimKindOff = kCheckpointHeaderSize + 20;
+  constexpr std::size_t kStimCursorOff = kCheckpointHeaderSize + 24;
+  if (info.version < 2 || image.size() < kStimCursorOff + 8) return false;
+  if (std::memcmp(image.data() + kCheckpointHeaderSize, "CHAN", 4) != 0) return false;
+  std::uint32_t k = 0;
+  std::uint64_t c = 0;
+  for (int i = 0; i < 4; ++i) k |= static_cast<std::uint32_t>(image[kStimKindOff + i]) << (8 * i);
+  for (int i = 0; i < 8; ++i) c |= static_cast<std::uint64_t>(image[kStimCursorOff + i]) << (8 * i);
+  out->kind = k;
+  out->cursor = static_cast<std::int64_t>(c);
   return true;
 }
 
@@ -102,6 +129,12 @@ int cmd_inspect(const char* path) {
   std::printf("  payload:     %llu bytes (file %zu)\n",
               static_cast<unsigned long long>(info.payload_len), image.size());
   std::printf("  crc32:       %08X  %s\n", info.crc, info.crc_ok ? "OK" : "MISMATCH");
+  StimSummary stim;
+  if (read_stim_summary(image, info, &stim)) {
+    std::printf("  stimulus:    %u (%s), cursor %lld\n", stim.kind,
+                sensor::stimulus_kind_name(static_cast<sensor::StimulusKind>(stim.kind)),
+                static_cast<long long>(stim.cursor));
+  }
   return info.crc_ok ? 0 : 1;
 }
 
@@ -131,6 +164,18 @@ int cmd_diff(const char* path_a, const char* path_b) {
                 static_cast<unsigned long long>(ia.payload_len),
                 static_cast<unsigned long long>(ib.payload_len));
     same = false;
+  }
+  StimSummary sa, sb;
+  if (read_stim_summary(a, ia, &sa) && read_stim_summary(b, ib, &sb)) {
+    if (sa.kind != sb.kind) {
+      std::printf("stimulus kind: %s vs %s\n",
+                  sensor::stimulus_kind_name(static_cast<sensor::StimulusKind>(sa.kind)),
+                  sensor::stimulus_kind_name(static_cast<sensor::StimulusKind>(sb.kind)));
+      same = false;
+    }
+    if (sa.cursor != sb.cursor)
+      std::printf("stimulus cursor: %lld vs %lld\n", static_cast<long long>(sa.cursor),
+                  static_cast<long long>(sb.cursor));
   }
   const std::size_t n = std::min(a.size(), b.size());
   std::size_t first = n, differing = 0;

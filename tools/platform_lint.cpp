@@ -42,6 +42,7 @@
 #include "mcu/cache_ctrl.hpp"
 #include "platform/engine/fleet.hpp"
 #include "safety/standard_faults.hpp"
+#include "sensor/stimulus_source.hpp"
 
 using namespace ascp;
 using namespace ascp::analysis;
@@ -165,6 +166,11 @@ int lint_events(bool verbose) {
   safety::FaultCampaign campaign;
   safety::faults::add_register_bit_flip(campaign, gyro, /*at=*/1000);
   gyro.set_fault_campaign(&campaign);
+
+  // Probe-category events come from the stimulus/probe seam: attaching a
+  // chain probe declares the emitter (again, no simulation needed).
+  sensor::StimulusRecorder recorder(cfg.analog_fs);
+  gyro.set_probe(&recorder);
 
   // Engine-category events come from the fleet runtime, which sits above
   // GyroSystem — attach a minimal supervised fleet so its declaration lands

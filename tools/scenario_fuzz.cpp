@@ -21,6 +21,7 @@
 // Exit status: 0 = no violations, 1 = any oracle violation or replay
 // divergence, 2 = usage/IO error.
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -262,6 +263,38 @@ int gen_corpus(const std::string& dir) {
     s.rate.push_back({SegKind::Ramp, s.duration_s, -120.0, 120.0, 0, 0});
     s.regs.push_back({false, 17, 96});  // sense PGA gain 6.0 via register
     emit("wordlength_regs", s);
+  }
+  {
+    // Recorded-trace stimulus: the rate axis is a raw sample list replayed
+    // zero-order-hold at f0, exercising the Trace segment evaluator and the
+    // oracle's record→replay proof on a checked-in corpus entry.
+    Scenario s;
+    s.seed = seed++;
+    s.cls = ScenarioClass::Invariant;
+    s.duration_s = 0.12;
+    Segment tr{SegKind::Trace, s.duration_s, 0, 0, 800.0, 0};
+    double v = -40.0;
+    for (int i = 0; i < 96; ++i) {
+      v += (i % 7 < 4) ? 3.5 : -4.25;  // deterministic jagged walk
+      tr.samples.push_back(v);
+    }
+    s.rate.push_back(tr);
+    s.temp.push_back({SegKind::Ramp, s.duration_s, 15.0, 55.0, 0, 0});
+    emit("trace_segment_replay", s);
+  }
+  {
+    // Damped-oscillation trace driven through the Full-vs-Ideal differential
+    // oracle: step-like ZOH edges must not open a fidelity gap.
+    Scenario s;
+    s.seed = seed++;
+    s.cls = ScenarioClass::DiffIdeal;
+    s.duration_s = 0.15;
+    Segment tr{SegKind::Trace, s.duration_s, 0, 0, 400.0, 0};
+    for (int i = 0; i < 60; ++i)
+      tr.samples.push_back(70.0 * std::sin(0.35 * i) * std::exp(-0.02 * i));
+    s.rate.push_back(tr);
+    s.temp.push_back({SegKind::Constant, s.duration_s, 25.0, 0, 0, 0});
+    emit("trace_diff_ideal", s);
   }
   std::printf("gen-corpus: wrote %d scenarios to %s\n", written, dir.c_str());
   return 0;

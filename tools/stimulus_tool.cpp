@@ -1,0 +1,215 @@
+// stimulus_tool — record, inspect, replay and diff `.strace` stimulus traces.
+//
+//   stimulus_tool record SCENARIO OUT.strace [--decimate N]
+//       Run the conformance scenario with a StimulusRecorder probe attached
+//       and write the captured stimulus (rate + temperature per analog tick)
+//       to OUT.strace. --decimate keeps every Nth tick (default 1 — the
+//       bit-exact setting for replay).
+//   stimulus_tool inspect FILE.strace
+//       Print the frame header: version, interpolation mode, sample rate,
+//       sample count, CRC status and a value summary. Exit 1 when the frame
+//       is unreadable or the CRC fails.
+//   stimulus_tool replay SCENARIO FILE.strace
+//       Re-run the scenario with its synthetic stimulus replaced by the
+//       recorded trace and print the decimated-output FNV-1a hash alongside
+//       the synthetic run's hash. Exit 0 when they match bit-exactly.
+//   stimulus_tool diff A.strace B.strace
+//       Compare two traces header-by-header and sample-by-sample; prints the
+//       first divergence. Exit 0 identical, 1 different.
+//
+// Together with checkpoint_tool this closes the reproducibility loop: a
+// field capture replayed through RecordedSource is bit-identical to the
+// synthetic run it was recorded from, and a mid-replay checkpoint resumes
+// at the exact trace cursor.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conformance/oracle.hpp"
+#include "conformance/scenario.hpp"
+#include "platform/engine/conditioning_channel.hpp"
+#include "sensor/stimulus_source.hpp"
+
+using namespace ascp;
+using namespace ascp::sensor;
+
+namespace {
+
+int cmd_record(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: stimulus_tool record SCENARIO OUT.strace [--decimate N]\n");
+    return 2;
+  }
+  std::size_t decimate = 1;
+  for (int i = 2; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--decimate") && i + 1 < argc)
+      decimate = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+
+  conformance::Scenario scenario;
+  try {
+    scenario = conformance::load_scenario(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stimulus_tool: %s\n", e.what());
+    return 2;
+  }
+  auto cfg = conformance::channel_config(scenario);
+  // Base rate is only known once the channel exists; build a throwaway first.
+  const double base_rate_hz = engine::ConditioningChannel(cfg).base_rate_hz();
+  StimulusRecorder recorder(base_rate_hz / static_cast<double>(decimate == 0 ? 1 : decimate),
+                            decimate);
+  cfg.probe = &recorder;
+  engine::ConditioningChannel ch(cfg);
+  ch.advance(std::llround(scenario.duration_s * ch.base_rate_hz()));
+
+  if (!save_strace(argv[1], recorder.trace())) {
+    std::fprintf(stderr, "stimulus_tool: cannot write %s\n", argv[1]);
+    return 2;
+  }
+  std::printf("%s: %zu samples at %.6g Hz (hash %016llX)\n", argv[1],
+              recorder.trace().samples.size(), recorder.trace().sample_rate_hz,
+              static_cast<unsigned long long>(ch.output_hash()));
+  return 0;
+}
+
+int cmd_inspect(const char* path) {
+  std::vector<std::uint8_t> image;
+  {
+    std::FILE* f = std::fopen(path, "rb");
+    if (!f) {
+      std::fprintf(stderr, "stimulus_tool: cannot read %s\n", path);
+      return 2;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long n = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    image.resize(n > 0 ? static_cast<std::size_t>(n) : 0);
+    if (!image.empty() && std::fread(image.data(), 1, image.size(), f) != image.size()) {
+      std::fclose(f);
+      std::fprintf(stderr, "stimulus_tool: short read on %s\n", path);
+      return 2;
+    }
+    std::fclose(f);
+  }
+  StraceInfo info;
+  if (!inspect_strace(image, &info)) {
+    std::printf("%s: not a stimulus trace (bad magic or truncated header, %zu bytes)\n", path,
+                image.size());
+    return 1;
+  }
+  std::printf("%s:\n", path);
+  std::printf("  version:     %u\n", info.version);
+  std::printf("  interp:      %s\n", info.interp == 0 ? "hold" : "linear");
+  std::printf("  sample rate: %.6g Hz\n", info.sample_rate_hz);
+  std::printf("  samples:     %llu (%.6g s)\n", static_cast<unsigned long long>(info.count),
+              info.sample_rate_hz > 0.0
+                  ? static_cast<double>(info.count) / info.sample_rate_hz
+                  : 0.0);
+  std::printf("  crc32:       %08X  %s\n", info.crc, info.crc_ok ? "OK" : "MISMATCH");
+  if (info.crc_ok) {
+    try {
+      const StimulusTrace trace = decode_strace(image);
+      double rmin = 0.0, rmax = 0.0;
+      if (!trace.samples.empty()) rmin = rmax = trace.samples.front().rate_dps;
+      for (const auto& s : trace.samples) {
+        rmin = std::min(rmin, s.rate_dps);
+        rmax = std::max(rmax, s.rate_dps);
+      }
+      std::printf("  rate range:  [%.6g, %.6g] dps\n", rmin, rmax);
+    } catch (const std::exception& e) {
+      std::printf("  decode:      %s\n", e.what());
+      return 1;
+    }
+  }
+  return info.crc_ok ? 0 : 1;
+}
+
+int cmd_replay(const char* scenario_path, const char* trace_path) {
+  conformance::Scenario scenario;
+  std::shared_ptr<StimulusTrace> trace;
+  try {
+    scenario = conformance::load_scenario(scenario_path);
+    trace = std::make_shared<StimulusTrace>(load_strace(trace_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stimulus_tool: %s\n", e.what());
+    return 2;
+  }
+
+  auto synth_cfg = conformance::channel_config(scenario);
+  engine::ConditioningChannel synth(synth_cfg);
+  synth.advance(std::llround(scenario.duration_s * synth.base_rate_hz()));
+
+  auto replay_cfg = conformance::channel_config(scenario);
+  replay_cfg.stimulus_factory = [trace](double base_rate_hz) {
+    return std::make_unique<RecordedSource>(trace, base_rate_hz);
+  };
+  engine::ConditioningChannel replay(replay_cfg);
+  replay.advance(std::llround(scenario.duration_s * replay.base_rate_hz()));
+
+  const bool match = replay.output_hash() == synth.output_hash();
+  std::printf("synthetic %016llX\nreplayed  %016llX\n%s\n",
+              static_cast<unsigned long long>(synth.output_hash()),
+              static_cast<unsigned long long>(replay.output_hash()),
+              match ? "bit-exact" : "DIVERGED");
+  return match ? 0 : 1;
+}
+
+int cmd_diff(const char* path_a, const char* path_b) {
+  StimulusTrace a, b;
+  try {
+    a = load_strace(path_a);
+    b = load_strace(path_b);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stimulus_tool: %s\n", e.what());
+    return 2;
+  }
+  bool same = true;
+  if (a.sample_rate_hz != b.sample_rate_hz) {
+    std::printf("sample rate: %.17g vs %.17g Hz\n", a.sample_rate_hz, b.sample_rate_hz);
+    same = false;
+  }
+  if (a.interp != b.interp) {
+    std::printf("interp: %u vs %u\n", static_cast<unsigned>(a.interp),
+                static_cast<unsigned>(b.interp));
+    same = false;
+  }
+  if (a.samples.size() != b.samples.size()) {
+    std::printf("sample count: %zu vs %zu\n", a.samples.size(), b.samples.size());
+    same = false;
+  }
+  const std::size_t n = std::min(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t ra, rb, ta, tb;
+    std::memcpy(&ra, &a.samples[i].rate_dps, 8);
+    std::memcpy(&rb, &b.samples[i].rate_dps, 8);
+    std::memcpy(&ta, &a.samples[i].temp_c, 8);
+    std::memcpy(&tb, &b.samples[i].temp_c, 8);
+    if (ra != rb || ta != tb) {
+      std::printf("first differing sample at %zu: (%.17g, %.17g) vs (%.17g, %.17g)\n", i,
+                  a.samples[i].rate_dps, a.samples[i].temp_c, b.samples[i].rate_dps,
+                  b.samples[i].temp_c);
+      same = false;
+      break;
+    }
+  }
+  std::printf("%s\n", same ? "identical" : "different");
+  return same ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && !std::strcmp(argv[1], "record")) return cmd_record(argc - 2, argv + 2);
+  if (argc == 3 && !std::strcmp(argv[1], "inspect")) return cmd_inspect(argv[2]);
+  if (argc == 4 && !std::strcmp(argv[1], "replay")) return cmd_replay(argv[2], argv[3]);
+  if (argc == 4 && !std::strcmp(argv[1], "diff")) return cmd_diff(argv[2], argv[3]);
+  std::fprintf(stderr,
+               "usage: stimulus_tool record SCENARIO OUT.strace [--decimate N]\n"
+               "       stimulus_tool inspect FILE.strace\n"
+               "       stimulus_tool replay SCENARIO FILE.strace\n"
+               "       stimulus_tool diff A.strace B.strace\n");
+  return 2;
+}
