@@ -12,14 +12,19 @@
 //                           corrupted checkpoint was rejected by the CRC
 //                           frame and demoted to a cold rebuild;
 //   * bit-exact recovery  — every surviving channel's output_hash() equals a
-//                           clean solo twin that never saw chaos.
+//                           clean solo twin that never saw chaos;
+//   * replayable forensics — every restart/quarantine dumped a `.blackbox`
+//                           crash image, every image decodes and replays to
+//                           the wrecked instance's exact output hash, and
+//                           every quarantined channel left at least one.
 //
 // Reports detection latency and MTTR percentiles to stdout and to
 // BENCH_fleet_chaos.json. Exit status 0 when every invariant holds.
 //
-//   fleet_chaos [--smoke] [--seed N]
-//     --smoke   shorter run with small stall sleeps (CI-friendly)
-//     --seed N  chaos-script seed (default 2026)
+//   fleet_chaos [--smoke] [--seed N] [--blackbox-dir DIR]
+//     --smoke           shorter run with small stall sleeps (CI-friendly)
+//     --seed N          chaos-script seed (default 2026)
+//     --blackbox-dir D  also write the crash images to D (CI forensics stage)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "platform/engine/blackbox.hpp"
 #include "platform/engine/fleet.hpp"
 #include "safety/dtc.hpp"
 
@@ -71,11 +77,13 @@ const std::vector<ChannelKind> kKinds = {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::uint64_t seed = 2026;
+  const char* blackbox_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) smoke = true;
     else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (!std::strcmp(argv[i], "--blackbox-dir") && i + 1 < argc) blackbox_dir = argv[++i];
     else {
-      std::fprintf(stderr, "usage: fleet_chaos [--smoke] [--seed N]\n");
+      std::fprintf(stderr, "usage: fleet_chaos [--smoke] [--seed N] [--blackbox-dir DIR]\n");
       return 2;
     }
   }
@@ -157,6 +165,15 @@ int main(int argc, char** argv) {
   FleetConfig cfg = fc;
   cfg.metrics = &obs.metrics;
   cfg.events = &obs.events;
+  cfg.spans = &obs.spans;
+  cfg.flight_recorders = true;
+  if (blackbox_dir) cfg.blackbox_dir = blackbox_dir;
+  // Every crash dump is captured for the forensics audit below (the sink
+  // runs on the supervising thread, so a plain vector is safe).
+  std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> dumps;
+  cfg.blackbox_sink = [&dumps](std::size_t ch, const std::vector<std::uint8_t>& image) {
+    dumps.emplace_back(ch, image);
+  };
   FleetSupervisor fleet(std::move(specs), cfg);
   std::vector<std::uint64_t> delivered(kKinds.size(), 0);
   fleet.set_consumer([&delivered](std::size_t i, std::vector<double>&& batch) {
@@ -208,6 +225,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- blackbox forensics audit --------------------------------------------
+  // Every captured crash image must decode and replay to the wrecked
+  // instance's exact crash fingerprint, and every quarantined channel must
+  // have left at least one image behind.
+  long blackbox_replays_ok = 0;
+  bool blackbox_replays_all = true;
+  std::set<std::size_t> dumped_channels;
+  for (const auto& [ch, image] : dumps) {
+    dumped_channels.insert(ch);
+    try {
+      const BlackboxImage img = decode_blackbox(image);
+      const BlackboxReplay rep = replay_blackbox(img);
+      if (rep.hash_match) {
+        ++blackbox_replays_ok;
+      } else {
+        blackbox_replays_all = false;
+        std::printf("blackbox ch %zu: replay hash mismatch at crash tick %lld\n", ch,
+                    static_cast<long long>(img.crash_ticks));
+      }
+    } catch (const std::exception& e) {
+      blackbox_replays_all = false;
+      std::printf("blackbox ch %zu: %s\n", ch, e.what());
+    }
+  }
+  long quarantines_with_blackbox = 0;
+  bool quarantines_dumped = true;
+  for (std::size_t i = 0; i < fleet.size(); ++i)
+    if (fleet.health(i) == ChannelHealth::Quarantined) {
+      if (dumped_channels.count(i)) ++quarantines_with_blackbox;
+      else quarantines_dumped = false;
+    }
+  const bool blackbox_ok = blackbox_replays_all && quarantines_dumped && !dumps.empty() &&
+                           st.blackbox_dumps == static_cast<long>(dumps.size());
+
   const bool stalls_detected = st.stalls_detected >= stalls_injected.load();
   const bool exceptions_handled =
       st.exceptions == exceptions_injected.load() && st.restarts >= 3;
@@ -215,7 +266,7 @@ int main(int argc, char** argv) {
   const bool quarantine_worked =
       st.quarantined == 1 && quarantined_with_dtc == 1;
   const bool pass = lost_channels == 0 && stalls_detected && exceptions_handled &&
-                    corruptions_detected && quarantine_worked && hashes_ok;
+                    corruptions_detected && quarantine_worked && hashes_ok && blackbox_ok;
 
   std::printf("== fleet_chaos%s: seed %llu, %zu channels, %ld ticks, %.2fs wall ==\n",
               smoke ? " (smoke)" : "", static_cast<unsigned long long>(seed), fleet.size(),
@@ -232,6 +283,10 @@ int main(int argc, char** argv) {
               maxv(st.mttr_ms), st.mttr_ms.size());
   std::printf("lost channels: %ld; surviving hashes bit-exact: %s\n", lost_channels,
               hashes_ok ? "yes" : "NO");
+  std::printf("forensics: %zu blackbox dump(s), %ld replayed bit-exact, "
+              "%ld/%ld quarantine(s) with image, %llu fleet spans\n",
+              dumps.size(), blackbox_replays_ok, quarantines_with_blackbox, st.quarantined,
+              static_cast<unsigned long long>(obs.spans.total()));
   std::printf("%s\n", pass ? "PASS" : "FAIL");
 
   if (FILE* f = std::fopen("BENCH_fleet_chaos.json", "w")) {
@@ -252,10 +307,14 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"delivered_samples\": %ld,\n", st.delivered_samples);
     std::fprintf(f, "  \"engine_events\": %llu,\n",
                  static_cast<unsigned long long>(obs.events.count(obs::EventCategory::Engine)));
-    std::fprintf(f, "  \"invariants\": {\"lost_channels\": %ld, \"stalls_detected\": %s, \"exceptions_handled\": %s, \"corruptions_detected\": %s, \"quarantine_with_dtc\": %s, \"hashes_bit_exact\": %s},\n",
+    std::fprintf(f, "  \"forensics\": {\"blackbox_dumps\": %ld, \"blackbox_replays_ok\": %ld, \"quarantines_with_blackbox\": %ld, \"fleet_spans\": %llu},\n",
+                 st.blackbox_dumps, blackbox_replays_ok, quarantines_with_blackbox,
+                 static_cast<unsigned long long>(obs.spans.total()));
+    std::fprintf(f, "  \"invariants\": {\"lost_channels\": %ld, \"stalls_detected\": %s, \"exceptions_handled\": %s, \"corruptions_detected\": %s, \"quarantine_with_dtc\": %s, \"hashes_bit_exact\": %s, \"blackboxes_replayable\": %s},\n",
                  lost_channels, stalls_detected ? "true" : "false",
                  exceptions_handled ? "true" : "false", corruptions_detected ? "true" : "false",
-                 quarantine_worked ? "true" : "false", hashes_ok ? "true" : "false");
+                 quarantine_worked ? "true" : "false", hashes_ok ? "true" : "false",
+                 blackbox_ok ? "true" : "false");
     std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
     std::fclose(f);
     std::printf("wrote BENCH_fleet_chaos.json\n");

@@ -1,0 +1,233 @@
+// perf_obs — cost of the observability layer, with an allocation meter.
+//
+// The obs contract is "cheap enough to leave armed on every channel, and
+// bit-neutral". This bench prices both halves:
+//
+//   * record path   — ns/op for the flight-recorder ring (event / metric
+//                     delta / probe sample), the event log and the span log,
+//                     measured *after* the rings have wrapped so the steady
+//                     state is what's priced. A global operator-new override
+//                     counts allocations inside each timed loop: the record
+//                     path must allocate exactly zero times.
+//   * attach cost   — one GyroIdeal channel advanced three ways (no obs /
+//                     with_obs / with_flight_recorder) over identical
+//                     simulated time. The three output hashes must be equal
+//                     (bit-neutrality) and the overhead percentages are
+//                     reported; detached-vs-baseline must be noise.
+//
+// Results go to stdout and BENCH_observability.json (or --json FILE).
+// Exit status: 0 when the record path is allocation-free and the hashes
+// match, 1 otherwise.
+//
+//   perf_obs            full iteration counts
+//   perf_obs --smoke    CI-sized loops, same checks
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "obs/observability.hpp"
+#include "platform/engine/conditioning_channel.hpp"
+
+// ---- allocation meter -------------------------------------------------------
+// Single-TU global override: every new/new[] in the binary bumps the counter.
+// Plain (unaligned) forms only — the obs layer never over-aligns — and the
+// matching deletes route through free() so the pairing stays consistent.
+namespace {
+std::uint64_t g_allocs = 0;
+}
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace ascp;
+
+namespace {
+
+struct OpRow {
+  const char* name;
+  double ns_per_op = 0.0;
+  std::uint64_t allocs = 0;
+  long iterations = 0;
+};
+
+/// Time `fn` over `iters` calls, counting allocations inside the loop.
+template <typename Fn>
+OpRow time_op(const char* name, long iters, Fn&& fn) {
+  OpRow row;
+  row.name = name;
+  row.iterations = iters;
+  const std::uint64_t a0 = g_allocs;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (long i = 0; i < iters; ++i) fn(i);
+  const auto t1 = std::chrono::steady_clock::now();
+  row.allocs = g_allocs - a0;
+  row.ns_per_op = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                  static_cast<double>(iters);
+  return row;
+}
+
+struct ChannelRun {
+  double wall_seconds = 0.0;
+  std::uint64_t hash = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t records = 0;
+  std::uint64_t spans = 0;
+};
+
+/// Advance one GyroIdeal channel `sim_ticks` base ticks in chunks, draining
+/// the queue like a fleet consumer would.
+ChannelRun run_channel(bool with_obs, bool with_recorder, long sim_ticks) {
+  engine::ChannelConfig cfg;
+  cfg.kind = engine::ChannelKind::GyroIdeal;
+  cfg.seed = 2026;
+  cfg.rate_dps = 30.0;
+  cfg.with_obs = with_obs;
+  cfg.with_flight_recorder = with_recorder;
+  engine::ConditioningChannel ch(cfg);
+
+  const long chunk = sim_ticks / 50 > 0 ? sim_ticks / 50 : sim_ticks;
+  ch.advance(chunk);  // warmup chunk: fault in pages, settle the PLL path
+  (void)ch.take_outputs();
+
+  ChannelRun r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (long done = 0; done < sim_ticks; done += chunk) {
+    ch.advance(chunk < sim_ticks - done ? chunk : sim_ticks - done);
+    (void)ch.take_outputs();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.hash = ch.output_hash();
+  r.samples = ch.total_outputs();
+  if (auto* obs = ch.observability()) r.spans = obs->spans.total();
+  if (auto* rec = ch.flight_recorder()) r.records = rec->total();
+  return r;
+}
+
+double pct_over(double base, double x) { return base > 0.0 ? (x - base) / base * 100.0 : 0.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = "BENCH_observability.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_obs [--smoke] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  const long iters = smoke ? 200000 : 2000000;
+
+  // ---- record-path microbenchmarks (steady state: rings pre-wrapped) -------
+  obs::FlightRecorder fr(2048);
+  obs::EventLog log(1024);
+  log.set_flight_recorder(&fr);
+  obs::SpanLog spans(1024);
+  for (int i = 0; i < 4096; ++i) {  // wrap every ring before timing
+    fr.record_metric(0.0, "warm", 1.0);
+    log.emit(0.0, obs::EventSeverity::Debug, obs::EventCategory::Engine, "warm");
+    spans.complete("warm", obs::SpanCategory::Channel, 0.0, 0.0);
+  }
+
+  std::vector<OpRow> rows;
+  rows.push_back(time_op("recorder.record_event", iters, [&](long i) {
+    fr.record_event(static_cast<double>(i), 1, 8, "tick_failed", "stall detected",
+                    "channel", 3.0, "elapsed_ms", 12.5);
+  }));
+  rows.push_back(time_op("recorder.record_metric", iters, [&](long i) {
+    fr.record_metric(static_cast<double>(i), "channel.outputs", 64.0);
+  }));
+  rows.push_back(time_op("recorder.record_probe", iters, [&](long i) {
+    fr.record_probe(static_cast<double>(i), 4, i, 0.25, -0.25);
+  }));
+  rows.push_back(time_op("eventlog.emit+tee", iters, [&](long i) {
+    log.emit(static_cast<double>(i), obs::EventSeverity::Info, obs::EventCategory::Engine,
+             "restart", {}, {{"channel", 1.0}, {"backoff_ticks", 2.0}});
+  }));
+  rows.push_back(time_op("spanlog.begin+end", iters, [&](long i) {
+    const auto id = spans.begin("channel.advance", obs::SpanCategory::Channel,
+                                static_cast<double>(i));
+    spans.end(id, static_cast<double>(i) + 1.0);
+  }));
+
+  bool alloc_free = true;
+  std::printf("record path (%ld iterations each, rings wrapped)\n", iters);
+  std::printf("%-24s %10s %8s\n", "op", "ns/op", "allocs");
+  for (const OpRow& r : rows) {
+    std::printf("%-24s %10.1f %8llu%s\n", r.name, r.ns_per_op,
+                static_cast<unsigned long long>(r.allocs), r.allocs ? "  <-- NOT ZERO" : "");
+    alloc_free = alloc_free && r.allocs == 0;
+  }
+
+  // ---- channel attach cost --------------------------------------------------
+  const long sim_ticks = smoke ? 200000 : 2000000;  // base ticks @ 1 MHz
+  const ChannelRun base = run_channel(false, false, sim_ticks);
+  const ChannelRun wobs = run_channel(true, false, sim_ticks);
+  const ChannelRun wrec = run_channel(true, true, sim_ticks);
+  const bool hash_equal = base.hash == wobs.hash && base.hash == wrec.hash;
+  const double obs_pct = pct_over(base.wall_seconds, wobs.wall_seconds);
+  const double rec_pct = pct_over(base.wall_seconds, wrec.wall_seconds);
+
+  std::printf("\nchannel advance, %ld base ticks (GyroIdeal)\n", sim_ticks);
+  std::printf("%-18s %10s %12s %9s %9s\n", "config", "wall_s", "samples", "spans", "records");
+  std::printf("%-18s %10.4f %12llu %9llu %9llu\n", "detached", base.wall_seconds,
+              static_cast<unsigned long long>(base.samples), 0ull, 0ull);
+  std::printf("%-18s %10.4f %12llu %9llu %9llu  (%+.1f%%)\n", "obs", wobs.wall_seconds,
+              static_cast<unsigned long long>(wobs.samples),
+              static_cast<unsigned long long>(wobs.spans),
+              static_cast<unsigned long long>(wobs.records), obs_pct);
+  std::printf("%-18s %10.4f %12llu %9llu %9llu  (%+.1f%%)\n", "flight_recorder",
+              wrec.wall_seconds, static_cast<unsigned long long>(wrec.samples),
+              static_cast<unsigned long long>(wrec.spans),
+              static_cast<unsigned long long>(wrec.records), rec_pct);
+  std::printf("output hashes %s\n", hash_equal ? "identical (bit-neutral)" : "MISMATCH");
+
+  // ---- JSON ----------------------------------------------------------------
+  FILE* f = std::fopen(json_path, "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"bench\": \"perf_obs\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"record_path\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      std::fprintf(f, "    {\"op\": \"%s\", \"ns_per_op\": %.2f, \"allocs\": %llu}%s\n",
+                   rows[i].name, rows[i].ns_per_op,
+                   static_cast<unsigned long long>(rows[i].allocs),
+                   i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "  ],\n  \"channel_advance\": {\n");
+    std::fprintf(f, "    \"base_ticks\": %ld,\n", sim_ticks);
+    std::fprintf(f, "    \"detached_wall_s\": %.6f,\n", base.wall_seconds);
+    std::fprintf(f, "    \"obs_wall_s\": %.6f,\n", wobs.wall_seconds);
+    std::fprintf(f, "    \"recorder_wall_s\": %.6f,\n", wrec.wall_seconds);
+    std::fprintf(f, "    \"obs_overhead_pct\": %.2f,\n", obs_pct);
+    std::fprintf(f, "    \"recorder_overhead_pct\": %.2f,\n", rec_pct);
+    std::fprintf(f, "    \"recorder_records\": %llu,\n",
+                 static_cast<unsigned long long>(wrec.records));
+    std::fprintf(f, "    \"hash_equal\": %s\n  },\n", hash_equal ? "true" : "false");
+    std::fprintf(f, "  \"record_path_alloc_free\": %s\n}\n", alloc_free ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  const bool pass = alloc_free && hash_equal;
+  if (!pass) std::fprintf(stderr, "perf_obs: FAIL (alloc_free=%d hash_equal=%d)\n",
+                          alloc_free ? 1 : 0, hash_equal ? 1 : 0);
+  return pass ? 0 : 1;
+}

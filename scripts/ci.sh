@@ -29,6 +29,11 @@
 #                        scenarios (one under ASAN), a stimulus_tool diff
 #                        self-check on the recorded traces, and the
 #                        queue/recorded channel-farm tests under TSan
+#   ci.sh blackbox     — crash-forensics proof under ASAN: chaos smoke with
+#                        --blackbox-dir, blackbox_tool inspect/export/replay
+#                        round-trip on a dumped image, and a bit-flipped
+#                        image must fail replay with the distinct blackbox
+#                        CRC error
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -105,6 +110,41 @@ stage_replay() {
   ./build-tsan/tests/test_engine --gtest_filter='FarmStimulus.*'
 }
 
+stage_blackbox() {
+  build_preset asan --target fleet_chaos --target blackbox_tool
+  local tmp
+  tmp=$(mktemp -d)
+  echo "== fleet chaos under ASAN, dumping .blackbox crash images =="
+  (cd "$tmp" && "$OLDPWD"/build-asan/bench/fleet_chaos --smoke --seed 2026 \
+    --blackbox-dir "$tmp/bb")
+  local image
+  image=$(ls "$tmp"/bb/*.blackbox | head -1)
+  echo "== blackbox_tool round-trip on $(basename "$image") =="
+  ./build-asan/tools/blackbox_tool inspect "$image"
+  ./build-asan/tools/blackbox_tool export "$image" --json "$tmp/bb.json" \
+    --trace "$tmp/bb_trace.json"
+  python3 -c "import json,sys; json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))" \
+    "$tmp/bb.json" "$tmp/bb_trace.json"
+  ./build-asan/tools/blackbox_tool replay "$image"
+  echo "== corrupted image must fail replay with the blackbox CRC error =="
+  python3 - "$image" "$tmp/corrupt.blackbox" <<'EOF'
+import sys
+data = bytearray(open(sys.argv[1], 'rb').read())
+data[28 + (len(data) - 28) // 3] ^= 0x01  # flip one payload bit past the header
+open(sys.argv[2], 'wb').write(data)
+EOF
+  if ./build-asan/tools/blackbox_tool replay "$tmp/corrupt.blackbox" 2>"$tmp/err.txt"; then
+    echo "ERROR: corrupted .blackbox image replayed successfully" >&2
+    exit 1
+  fi
+  if ! grep -q "blackbox CRC mismatch" "$tmp/err.txt"; then
+    echo "ERROR: corrupted image did not fail with the blackbox CRC error:" >&2
+    cat "$tmp/err.txt" >&2
+    exit 1
+  fi
+  rm -rf "$tmp"
+}
+
 stage_coverage() {
   build_preset coverage
   echo "== tier-1 tests (coverage build) =="
@@ -121,9 +161,10 @@ case "$stage" in
   chaos-smoke) stage_chaos_smoke; echo "CI STAGE chaos-smoke PASSED"; exit 0 ;;
   wcet)        stage_wcet;        echo "CI STAGE wcet PASSED";        exit 0 ;;
   replay)      stage_replay;      echo "CI STAGE replay PASSED";      exit 0 ;;
+  blackbox)    stage_blackbox;    echo "CI STAGE blackbox PASSED";    exit 0 ;;
   coverage)    stage_coverage;    echo "CI STAGE coverage PASSED";    exit 0 ;;
   all) ;;
-  *) echo "usage: ci.sh [coverage|fuzz-smoke|fuzz-corpus|chaos-smoke|wcet|replay]" >&2; exit 2 ;;
+  *) echo "usage: ci.sh [coverage|fuzz-smoke|fuzz-corpus|chaos-smoke|wcet|replay|blackbox]" >&2; exit 2 ;;
 esac
 
 build_preset default
@@ -161,6 +202,12 @@ echo "== observability: golden bit-identity (obs on vs off) =="
 echo "== observability: platform_top smoke =="
 ./build/tools/platform_top --smoke --json /tmp/ci_obs_snapshot.json
 
+echo "== observability: platform_top fleet health table =="
+./build/tools/platform_top --fleet --smoke
+
+echo "== observability: record-path cost + zero-allocation proof =="
+./build/bench/perf_obs --smoke --json /tmp/ci_perf_obs.json
+
 echo "== platform_lint: event-category coverage =="
 ./build/tools/platform_lint --events
 
@@ -182,5 +229,6 @@ stage_fuzz_smoke
 stage_fuzz_corpus
 stage_chaos_smoke
 stage_replay
+stage_blackbox
 
 echo "CI PASSED"

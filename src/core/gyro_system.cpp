@@ -182,7 +182,11 @@ void GyroSystem::set_observability(const obs::ObsSink& sink) {
     // The Probe category is claimed by whoever attaches a probe; when one is
     // already attached the declaration lands here too.
     if (probe_) obs_.events->declare_emitter(obs::EventCategory::Probe, "GyroSystem");
+    if (obs_.spans) obs_.events->declare_emitter(obs::EventCategory::Trace, "GyroSystem");
   }
+  // Sampled scheduler-task invocations double as Scheduler-category spans,
+  // parented to the enclosing gyro.run span.
+  if (obs_.tasks) obs_.tasks->set_span_log(obs_.spans);
   if (obs_.metrics) {
     obs_m_outputs_ = obs_.metrics->counter("gyro.output_samples");
     obs_m_dsp_ = obs_.metrics->counter("gyro.dsp_samples");
@@ -644,6 +648,14 @@ void GyroSystem::run(sensor::StimulusSource& src, double seconds, std::vector<do
     obs_.events->emit(static_cast<double>(dsp_samples_) / (cfg_.analog_fs / cfg_.adc_div),
                       obs::EventSeverity::Debug, obs::EventCategory::Scheduler, "run_begin",
                       {}, {{"seconds", seconds}});
+  const double t_sim0 = static_cast<double>(tick_origin) / cfg_.analog_fs;
+  if (obs_.spans && obs_.events && !obs_trace_announced_) {
+    obs_trace_announced_ = true;
+    obs_.events->emit(t_sim0, obs::EventSeverity::Debug, obs::EventCategory::Trace,
+                      "trace_begin", {},
+                      {{"trace_id", static_cast<double>(obs_.spans->trace_id())}});
+  }
+  obs::SpanScope run_span(obs_.spans, "gyro.run", obs::SpanCategory::Scheduler, t_sim0);
   const auto wall0 = std::chrono::steady_clock::now();
   sched.run_seconds(seconds);
   const double wall =
@@ -651,6 +663,7 @@ void GyroSystem::run(sensor::StimulusSource& src, double seconds, std::vector<do
   // Batched open-loop runs may end mid-block; push the tail through so the
   // chain's observable state matches the sample-serial path at return.
   flush_sense_block();
+  run_span.close(t_sim0 + seconds, wall * 1e6);
   if (obs_.tasks) obs_.tasks->record_run(seconds, wall);
   if (obs_.metrics) obs_.metrics->add(obs_m_runs_);
   if (obs_.events)

@@ -227,6 +227,8 @@ class GyroSystem : public RateSensor {
   obs::ObsSink obs_{};
   // Edge detectors for the PLL/AGC event emitters (per power-on).
   bool obs_pll_prev_ = false, obs_agc_prev_ = false, obs_pll_ever_ = false;
+  // One-shot trace_begin announcement when spans are attached.
+  bool obs_trace_announced_ = false;
   // Metric ids interned once at attach time (recording must not hit the
   // registry's name table).
   obs::MetricRegistry::Id obs_m_outputs_ = 0, obs_m_dsp_ = 0, obs_m_runs_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
+
 namespace ascp::obs {
 
 const char* severity_name(EventSeverity s) {
@@ -26,6 +28,8 @@ const char* category_name(EventCategory c) {
     case EventCategory::Mcu: return "mcu";
     case EventCategory::Engine: return "engine";
     case EventCategory::Probe: return "probe";
+    case EventCategory::Trace: return "trace";
+    case EventCategory::Recorder: return "recorder";
   }
   return "?";
 }
@@ -47,6 +51,11 @@ void EventLog::emit(double t_sim, EventSeverity sev, EventCategory cat, const ch
     if (i >= e.kv.size()) break;
     e.kv[i++] = p;
   }
+
+  if (recorder_)
+    recorder_->record_event(t_sim, static_cast<std::uint8_t>(sev),
+                            static_cast<std::uint8_t>(cat), name, e.detail.c_str(),
+                            e.kv[0].key, e.kv[0].value, e.kv[1].key, e.kv[1].value);
 
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(e));

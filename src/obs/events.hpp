@@ -23,6 +23,8 @@
 
 namespace ascp::obs {
 
+class FlightRecorder;
+
 enum class EventSeverity : std::uint8_t { Debug = 0, Info = 1, Warn = 2, Error = 3 };
 
 enum class EventCategory : std::uint8_t {
@@ -36,13 +38,17 @@ enum class EventCategory : std::uint8_t {
   Mcu = 7,         ///< firmware-level events (recovery path, ISR anomalies)
   Engine = 8,      ///< fleet runtime: stall/crash detection, restart, quarantine
   Probe = 9,       ///< stimulus/probe seam: probe attach, ingestion underrun
+  Trace = 10,      ///< causal-span layer: trace begin, span-ring pressure
+  Recorder = 11,   ///< flight recorder: attach, blackbox dump
 };
 
-inline constexpr std::array<EventCategory, 10> kAllEventCategories = {
+inline constexpr std::size_t kEventCategoryCount = 12;
+
+inline constexpr std::array<EventCategory, kEventCategoryCount> kAllEventCategories = {
     EventCategory::Pll,      EventCategory::Agc,      EventCategory::Supervisor,
     EventCategory::Dtc,      EventCategory::Watchdog, EventCategory::Fault,
     EventCategory::Scheduler, EventCategory::Mcu,     EventCategory::Engine,
-    EventCategory::Probe};
+    EventCategory::Probe,    EventCategory::Trace,    EventCategory::Recorder};
 
 const char* severity_name(EventSeverity s);
 const char* category_name(EventCategory c);
@@ -89,6 +95,13 @@ class EventLog {
 
   void clear();
 
+  // ---- flight-recorder tee -------------------------------------------------
+  /// Every subsequent emit() is also written into `fr` (null detaches). This
+  /// is how supervisor/DTC/engine transitions reach the black-box ring
+  /// without a second emission site per event.
+  void set_flight_recorder(FlightRecorder* fr) { recorder_ = fr; }
+  FlightRecorder* flight_recorder() const { return recorder_; }
+
   // ---- emitter coverage (platform_lint --events) ---------------------------
   // Instrumented components declare, at attach time, which categories they
   // emit. The static checker verifies every enumerator has a claimant in the
@@ -107,9 +120,10 @@ class EventLog {
   std::vector<Event> ring_;  ///< grows to capacity_, then wraps via head_
   std::size_t head_ = 0;     ///< index of the oldest event once wrapped
   std::uint64_t total_ = 0;
-  std::array<std::uint64_t, 10> by_category_{};
+  FlightRecorder* recorder_ = nullptr;
+  std::array<std::uint64_t, kEventCategoryCount> by_category_{};
   std::array<std::uint64_t, 4> by_severity_{};
-  std::array<std::vector<std::string>, 10> emitters_{};
+  std::array<std::vector<std::string>, kEventCategoryCount> emitters_{};
 };
 
 }  // namespace ascp::obs

@@ -59,7 +59,8 @@ std::string json_escape(std::string_view s) {
 // ---------------------------------------------------------------------------
 
 std::string text_report(const MetricsSnapshot& metrics, const EventLog* events,
-                        const TaskProfiler* tasks, const McuProfiler* mcu) {
+                        const TaskProfiler* tasks, const McuProfiler* mcu,
+                        const SpanLog* spans) {
   std::string out;
 
   if (!metrics.counters.empty() || !metrics.gauges.empty() || !metrics.histograms.empty()) {
@@ -119,6 +120,20 @@ std::string text_report(const MetricsSnapshot& metrics, const EventLog* events,
     if (tasks->slices_dropped())
       appendf(out, "  trace slices dropped: %llu\n",
               static_cast<unsigned long long>(tasks->slices_dropped()));
+  }
+
+  if (spans && spans->total()) {
+    out += "== spans ==\n";
+    appendf(out, "  total=%llu retained=%zu dropped=%llu open=%zu trace_id=%llu\n",
+            static_cast<unsigned long long>(spans->total()), spans->size(),
+            static_cast<unsigned long long>(spans->dropped()), spans->open_depth(),
+            static_cast<unsigned long long>(spans->trace_id()));
+    for (std::size_t c = 0; c < kSpanCategoryCount; ++c) {
+      const auto cat = static_cast<SpanCategory>(c);
+      if (spans->count(cat))
+        appendf(out, "  %-10s %llu\n", span_category_name(cat),
+                static_cast<unsigned long long>(spans->count(cat)));
+    }
   }
 
   if (mcu && mcu->instructions()) {
@@ -277,7 +292,23 @@ std::string json_snapshot(const MetricsSnapshot& metrics, const EventLog* events
 // Chrome trace_event JSON
 // ---------------------------------------------------------------------------
 
-std::string chrome_trace_json(const TaskProfiler& tasks, const EventLog* events) {
+std::string span_trace_event(const Span& s, int tid_base) {
+  const double ts = s.t_begin * 1e6;
+  const double dur = std::max(0.0, (s.t_end - s.t_begin) * 1e6);
+  std::string args = "\"trace_id\":\"" + std::to_string(s.trace_id) + "\"";
+  args += ",\"span_id\":\"" + std::to_string(s.span_id) + "\"";
+  args += ",\"parent_id\":\"" + std::to_string(s.parent_id) + "\"";
+  if (s.wall_us > 0.0) args += ",\"wall_us\":" + num(s.wall_us);
+  if (s.k0) args += ",\"" + json_escape(s.k0) + "\":" + num(s.v0);
+  if (s.k1) args += ",\"" + json_escape(s.k1) + "\":" + num(s.v1);
+  return "{\"ph\":\"X\",\"name\":\"" + json_escape(s.name) + "\",\"cat\":\"span:" +
+         span_category_name(s.category) + "\",\"pid\":1,\"tid\":" +
+         std::to_string(tid_base + static_cast<int>(s.category)) + ",\"ts\":" + num(ts) +
+         ",\"dur\":" + num(dur) + ",\"args\":{" + args + "}}";
+}
+
+std::string chrome_trace_json(const TaskProfiler& tasks, const EventLog* events,
+                              const SpanLog* spans) {
   struct Entry {
     double ts;
     int order;  ///< secondary key: metadata first, then slices, then instants
@@ -301,6 +332,15 @@ std::string chrome_trace_json(const TaskProfiler& tasks, const EventLog* events)
         {0.0, 0,
          "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":100,\"ts\":0,"
          "\"args\":{\"name\":\"events\"}}"});
+  if (spans) {
+    for (std::size_t c = 0; c < kSpanCategoryCount; ++c) {
+      std::string j =
+          "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" +
+          std::to_string(200 + static_cast<int>(c)) + ",\"ts\":0,\"args\":{\"name\":\"spans:" +
+          std::string(span_category_name(static_cast<SpanCategory>(c))) + "\"}}";
+      entries.push_back({0.0, 0, std::move(j)});
+    }
+  }
 
   // Task invocations as duration slices. ts is the invocation's sim time; the
   // drawn duration is a fixed fraction of the task period so consecutive
@@ -330,6 +370,15 @@ std::string chrome_trace_json(const TaskProfiler& tasks, const EventLog* events)
                       "\",\"pid\":1,\"tid\":100,\"ts\":" + num(ts) + ",\"args\":{" + args +
                       "}}";
       entries.push_back({ts, 2, std::move(j)});
+    });
+  }
+
+  // Causal spans as duration slices, one track per span category. The
+  // trace/span/parent id triple rides in args so the causal chain can be
+  // reconstructed even after Perfetto re-sorts the slices.
+  if (spans) {
+    spans->for_each([&](const Span& s) {
+      entries.push_back({s.t_begin * 1e6, 1, span_trace_event(s)});
     });
   }
 

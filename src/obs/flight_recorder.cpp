@@ -1,0 +1,95 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace ascp::obs {
+
+const char* flight_kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::Event: return "event";
+    case FlightKind::MetricDelta: return "metric";
+    case FlightKind::ProbeSample: return "probe";
+  }
+  return "?";
+}
+
+namespace {
+
+template <std::size_t N>
+void copy_str(char (&dst)[N], const char* src) {
+  if (!src) src = "";
+  std::strncpy(dst, src, N - 1);
+  dst[N - 1] = '\0';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+FlightRecord& FlightRecorder::next_slot() {
+  if (ring_.size() < capacity_) {
+    ring_.emplace_back();
+    ++total_;
+    return ring_.back();
+  }
+  FlightRecord& slot = ring_[head_];
+  head_ = (head_ + 1) % capacity_;
+  ++total_;
+  slot = FlightRecord{};
+  return slot;
+}
+
+void FlightRecorder::record_event(double t_sim, std::uint8_t severity, std::uint8_t category,
+                                  const char* name, const char* detail, const char* k0,
+                                  double v0, const char* k1, double v1) {
+  FlightRecord& r = next_slot();
+  r.t_sim = t_sim;
+  r.kind = FlightKind::Event;
+  r.severity = severity;
+  r.category = category;
+  copy_str(r.name, name);
+  copy_str(r.detail, detail);
+  r.k0 = k0;
+  r.v0 = v0;
+  r.k1 = k1;
+  r.v1 = v1;
+  ++by_kind_[static_cast<std::size_t>(FlightKind::Event)];
+}
+
+void FlightRecorder::record_metric(double t_sim, const char* name, double delta) {
+  FlightRecord& r = next_slot();
+  r.t_sim = t_sim;
+  r.kind = FlightKind::MetricDelta;
+  copy_str(r.name, name);
+  r.a = delta;
+  ++by_kind_[static_cast<std::size_t>(FlightKind::MetricDelta)];
+}
+
+void FlightRecorder::record_probe(double t_sim, std::uint8_t point, std::int64_t tick,
+                                  double a, double b) {
+  FlightRecord& r = next_slot();
+  r.t_sim = t_sim;
+  r.kind = FlightKind::ProbeSample;
+  r.category = point;
+  r.tick = tick;
+  r.a = a;
+  r.b = b;
+  ++by_kind_[static_cast<std::size_t>(FlightKind::ProbeSample)];
+}
+
+void FlightRecorder::for_each(const std::function<void(const FlightRecord&)>& fn) const {
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    fn(ring_[(head_ + i) % ring_.size()]);
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+  by_kind_.fill(0);
+}
+
+}  // namespace ascp::obs

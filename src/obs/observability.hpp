@@ -13,9 +13,11 @@
 #pragma once
 
 #include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/mcu_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/span.hpp"
 
 namespace ascp::obs {
 
@@ -25,8 +27,10 @@ struct ObsSink {
   EventLog* events = nullptr;
   TaskProfiler* tasks = nullptr;
   McuProfiler* mcu = nullptr;
+  SpanLog* spans = nullptr;
+  FlightRecorder* recorder = nullptr;
 
-  bool enabled() const { return metrics || events || tasks || mcu; }
+  bool enabled() const { return metrics || events || tasks || mcu || spans || recorder; }
 };
 
 /// Owning bundle of every observability component.
@@ -35,8 +39,10 @@ struct Observability {
   EventLog events;
   TaskProfiler tasks;
   McuProfiler mcu;
+  SpanLog spans;
+  FlightRecorder recorder;
 
-  ObsSink sink() { return {&metrics, &events, &tasks, &mcu}; }
+  ObsSink sink() { return {&metrics, &events, &tasks, &mcu, &spans, &recorder}; }
 };
 
 }  // namespace ascp::obs

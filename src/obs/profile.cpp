@@ -1,5 +1,7 @@
 #include "obs/profile.hpp"
 
+#include "obs/span.hpp"
+
 namespace ascp::obs {
 
 TaskProfiler::TaskProfiler(std::size_t slice_capacity)
@@ -32,6 +34,13 @@ void TaskProfiler::record(int id, long tick, double wall_seconds, double weight)
     slices_.push_back({id, tick_origin_ + tick, wall_seconds});
   } else {
     ++slices_dropped_;
+  }
+  if (span_log_) {
+    const double t0 = base_rate_hz_ > 0.0
+                          ? static_cast<double>(tick_origin_ + tick) / base_rate_hz_
+                          : 0.0;
+    span_log_->complete(t.name.c_str(), SpanCategory::Scheduler, t0, t0,
+                        wall_seconds * 1e6);
   }
 }
 

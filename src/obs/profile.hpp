@@ -20,6 +20,8 @@
 
 namespace ascp::obs {
 
+class SpanLog;
+
 class TaskProfiler {
  public:
   explicit TaskProfiler(std::size_t slice_capacity = 16384);
@@ -49,6 +51,13 @@ class TaskProfiler {
 
   /// Target per-task clock-sample rate [Hz] for auto stride.
   static constexpr double kAutoSampleHz = 2000.0;
+
+  /// Also record every *timed* invocation as a completed Scheduler-category
+  /// span in `log` (parented to whatever span is open — gyro.run /
+  /// channel.advance — so task work hangs off the advance that caused it).
+  /// Bounded by the same sampling stride that bounds clock reads. Null
+  /// detaches.
+  void set_span_log(SpanLog* log) { span_log_ = log; }
 
   /// One *timed* task invocation at scheduler-local `tick`, costing
   /// `wall_seconds`. `weight` is the sampling stride that selected it: the
@@ -98,6 +107,7 @@ class TaskProfiler {
  private:
   std::vector<TaskStats> tasks_;
   std::vector<std::uint64_t> timed_;
+  SpanLog* span_log_ = nullptr;
   long sample_stride_ = 0;
   std::vector<Slice> slices_;
   std::size_t slice_capacity_;

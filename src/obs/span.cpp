@@ -1,0 +1,145 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace ascp::obs {
+
+const char* span_category_name(SpanCategory c) {
+  switch (c) {
+    case SpanCategory::Channel: return "channel";
+    case SpanCategory::Scheduler: return "scheduler";
+    case SpanCategory::Fleet: return "fleet";
+  }
+  return "?";
+}
+
+namespace {
+
+void copy_name(char (&dst)[24], const char* src) {
+  if (!src) src = "";
+  std::strncpy(dst, src, sizeof dst - 1);
+  dst[sizeof dst - 1] = '\0';
+}
+
+}  // namespace
+
+SpanLog::SpanLog(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+std::uint64_t SpanLog::current() const {
+  std::uint64_t best = 0, best_order = 0;
+  for (const auto& s : open_) {
+    if (!s.used) continue;
+    if (s.order >= best_order) {
+      best_order = s.order;
+      best = s.span.span_id;
+    }
+  }
+  return best;
+}
+
+std::uint64_t SpanLog::begin(const char* name, SpanCategory cat, double t_begin,
+                             std::uint64_t parent) {
+  OpenSlot* slot = nullptr;
+  for (auto& s : open_) {
+    if (!s.used) {
+      slot = &s;
+      break;
+    }
+  }
+  if (!slot) {
+    ++open_dropped_;
+    return 0;
+  }
+  if (parent == kCurrentParent) parent = current();
+
+  slot->used = true;
+  slot->order = ++open_seq_;
+  ++open_count_;
+  Span& sp = slot->span;
+  sp = Span{};
+  sp.trace_id = trace_id_;
+  sp.span_id = next_id_++;
+  sp.parent_id = parent;
+  copy_name(sp.name, name);
+  sp.category = cat;
+  sp.t_begin = t_begin;
+  sp.t_end = t_begin;
+  return sp.span_id;
+}
+
+bool SpanLog::end(std::uint64_t id, double t_end, double wall_us) {
+  if (id == 0) return false;
+  for (auto& s : open_) {
+    if (!s.used || s.span.span_id != id) continue;
+    s.used = false;
+    --open_count_;
+    Span sp = s.span;
+    sp.t_end = t_end;
+    sp.wall_us = wall_us;
+    commit(std::move(sp));
+    return true;
+  }
+  return false;
+}
+
+void SpanLog::annotate(std::uint64_t id, const char* key, double value) {
+  if (id == 0) return;
+  for (auto& s : open_) {
+    if (!s.used || s.span.span_id != id) continue;
+    if (!s.span.k0) {
+      s.span.k0 = key;
+      s.span.v0 = value;
+    } else if (!s.span.k1) {
+      s.span.k1 = key;
+      s.span.v1 = value;
+    }
+    return;
+  }
+}
+
+std::uint64_t SpanLog::complete(const char* name, SpanCategory cat, double t_begin,
+                                double t_end, double wall_us, std::uint64_t parent) {
+  if (parent == kCurrentParent) parent = current();
+  Span sp;
+  sp.trace_id = trace_id_;
+  sp.span_id = next_id_++;
+  sp.parent_id = parent;
+  copy_name(sp.name, name);
+  sp.category = cat;
+  sp.t_begin = t_begin;
+  sp.t_end = t_end;
+  sp.wall_us = wall_us;
+  const std::uint64_t id = sp.span_id;
+  commit(std::move(sp));
+  return id;
+}
+
+void SpanLog::commit(Span&& s) {
+  ++by_category_[static_cast<std::size_t>(s.category)];
+  if (ring_.size() < capacity_) {
+    ring_.push_back(s);
+  } else {
+    ring_[head_] = s;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+void SpanLog::for_each(const std::function<void(const Span&)>& fn) const {
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    fn(ring_[(head_ + i) % ring_.size()]);
+}
+
+void SpanLog::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+  open_dropped_ = 0;
+  by_category_.fill(0);
+  for (auto& s : open_) s.used = false;
+  open_count_ = 0;
+}
+
+}  // namespace ascp::obs

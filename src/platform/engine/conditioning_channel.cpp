@@ -9,7 +9,47 @@
 
 namespace ascp::engine {
 
+/// Probe tee the channel interposes when the flight recorder is armed:
+/// forwards frames the user's probe asked for untouched, and samples the
+/// stimulus (strided — the analog tick rate would flood the ring) and every
+/// decimated output into the recorder. Read-only like any probe, so the
+/// bit-identity contract is preserved.
+class ChannelRecorderProbe final : public sensor::Probe {
+ public:
+  /// Prime stride so the retained stimulus samples never beat against the
+  /// chain's power-of-two decimators.
+  static constexpr std::uint64_t kStimulusStride = 997;
+
+  ChannelRecorderProbe(obs::FlightRecorder* rec, sensor::Probe* user, double base_rate_hz)
+      : rec_(rec), user_(user), base_rate_hz_(base_rate_hz) {}
+
+  bool wants(sensor::ProbePoint p) const override {
+    if (p == sensor::ProbePoint::Stimulus || p == sensor::ProbePoint::DecimatedOutput)
+      return true;
+    return user_ && user_->wants(p);
+  }
+
+  void on_frame(const sensor::ProbeFrame& f) override {
+    if (user_ && user_->wants(f.point)) user_->on_frame(f);
+    if (f.point == sensor::ProbePoint::Stimulus) {
+      if (stim_seen_++ % kStimulusStride != 0) return;
+    } else if (f.point != sensor::ProbePoint::DecimatedOutput) {
+      return;
+    }
+    rec_->record_probe(static_cast<double>(f.tick) / base_rate_hz_,
+                       static_cast<std::uint8_t>(f.point), f.tick, f.a, f.b);
+  }
+
+ private:
+  obs::FlightRecorder* rec_;
+  sensor::Probe* user_;
+  double base_rate_hz_;
+  std::uint64_t stim_seen_ = 0;
+};
+
 ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
+  // The recorder rides on the obs bundle (ring + event tee + span ids).
+  if (cfg_.with_flight_recorder) cfg_.with_obs = true;
   switch (cfg_.kind) {
     case ChannelKind::GyroFull:
     case ChannelKind::GyroIdeal: {
@@ -50,6 +90,11 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
 
   if (cfg_.with_obs) {
     obs_ = std::make_unique<obs::Observability>();
+    // One causal trace per channel, keyed by its seed: every span emitted
+    // into this bundle (advance wrappers, sampled scheduler tasks) shares it.
+    obs_->spans.set_trace_id(cfg_.seed);
+    if (cfg_.with_flight_recorder)
+      obs_->events.set_flight_recorder(&obs_->recorder);
     if (gyro_)
       gyro_->set_observability(obs_->sink());
     else if (auto* bl = dynamic_cast<core::AnalogGyroBaseline*>(sensor_.get()))
@@ -89,15 +134,27 @@ ConditioningChannel::ConditioningChannel(const ChannelConfig& cfg) : cfg_(cfg) {
         base_rate_hz_);
   }
 
-  if (cfg_.probe) {
+  sensor::Probe* probe = cfg_.probe;
+  if (cfg_.with_flight_recorder) {
+    recorder_probe_ = std::make_unique<ChannelRecorderProbe>(&obs_->recorder, cfg_.probe,
+                                                             base_rate_hz_);
+    probe = recorder_probe_.get();
+  }
+  if (probe) {
     if (gyro_)
-      gyro_->set_probe(cfg_.probe);
+      gyro_->set_probe(probe);
     else if (auto* bl = dynamic_cast<core::AnalogGyroBaseline*>(sensor_.get()))
-      bl->set_probe(cfg_.probe);
+      bl->set_probe(probe);
   }
   // Ingestion-side events (queue underrun) come from the channel itself.
   if (obs_ && stimulus_->kind() != sensor::StimulusKind::Synthetic)
     obs_->events.declare_emitter(obs::EventCategory::Probe, "ConditioningChannel");
+  if (cfg_.with_flight_recorder) {
+    obs_->events.declare_emitter(obs::EventCategory::Recorder, "ConditioningChannel");
+    obs_->events.emit(0.0, obs::EventSeverity::Info, obs::EventCategory::Recorder,
+                      "flight_recorder_attach", {},
+                      {{"capacity", static_cast<double>(obs_->recorder.capacity())}});
+  }
 }
 
 ConditioningChannel::~ConditioningChannel() = default;
@@ -105,12 +162,20 @@ ConditioningChannel::~ConditioningChannel() = default;
 void ConditioningChannel::advance(long n_base_ticks) {
   if (n_base_ticks <= 0) return;
   const std::size_t before = out_.size();
+  const std::uint64_t dropped_before = dropped_outputs_;
+  // Causal wrapper around the whole advance: scheduler-task spans sampled
+  // inside sensor_->run() parent under it. Closed-but-unwound on exception
+  // (SpanScope), so a crashing advance still leaves a complete span trail.
+  obs::SpanScope adv_span(obs_ ? &obs_->spans : nullptr, "channel.advance",
+                          obs::SpanCategory::Channel,
+                          static_cast<double>(ticks_) / base_rate_hz_);
   // RateSensor::run() quantizes seconds back to round(seconds·fs) ticks;
   // n/fs survives that round-trip exactly for any realistic tick count.
   sensor_->run(*stimulus_, static_cast<double>(n_base_ticks) / base_rate_hz_, &out_);
   ticks_ += n_base_ticks;
+  const double t_now = static_cast<double>(ticks_) / base_rate_hz_;
   if (obs_ && stimulus_->underruns() > last_underruns_) {
-    obs_->events.emit(static_cast<double>(ticks_) / base_rate_hz_, obs::EventSeverity::Warn,
+    obs_->events.emit(t_now, obs::EventSeverity::Warn,
                       obs::EventCategory::Probe, "stimulus_underrun", {},
                       {{"count", static_cast<double>(stimulus_->underruns())}});
   }
@@ -125,8 +190,19 @@ void ConditioningChannel::advance(long n_base_ticks) {
       hash_ *= 1099511628211ull;
     }
   }
-  total_outputs_ += out_.size() - before;
+  const std::uint64_t produced = out_.size() - before;
+  total_outputs_ += produced;
   apply_queue_bound();
+  adv_span.annotate("ticks", static_cast<double>(n_base_ticks));
+  adv_span.annotate("outputs", static_cast<double>(produced));
+  adv_span.close(t_now);
+  if (cfg_.with_flight_recorder) {
+    obs::FlightRecorder& rec = obs_->recorder;
+    rec.record_metric(t_now, "channel.outputs", static_cast<double>(produced));
+    if (dropped_outputs_ != dropped_before)
+      rec.record_metric(t_now, "channel.dropped_outputs",
+                        static_cast<double>(dropped_outputs_ - dropped_before));
+  }
 }
 
 void ConditioningChannel::apply_queue_bound() {

@@ -37,6 +37,8 @@ struct GyroSystemConfig;
 
 namespace ascp::engine {
 
+class ChannelRecorderProbe;
+
 /// Which conditioning architecture the channel instantiates.
 enum class ChannelKind {
   GyroFull,   ///< platform customization, Full fidelity (AFE + quantization)
@@ -69,6 +71,13 @@ struct ChannelConfig {
   /// profiler + MCU profiler) and attach it to the sensor. Observers are
   /// read-only: the output stream is bit-identical with or without it.
   bool with_obs = false;
+  /// Arm the channel's black-box flight recorder (implies with_obs): the
+  /// event log tees into the recorder ring, probe taps on the stimulus and
+  /// decimated-output points are sampled into it, and advance() records
+  /// per-call metric deltas — the structured tail a `.blackbox` crash image
+  /// retains. Same obs discipline: the output stream is bit-identical with
+  /// the recorder armed or not.
+  bool with_flight_recorder = false;
 
   // ---- result-queue bounds (graceful degradation) -------------------------
   /// Maximum outputs() entries held between take_outputs() drains; 0 keeps
@@ -141,6 +150,10 @@ class ConditioningChannel {
   /// Per-channel telemetry (null unless cfg.with_obs).
   obs::Observability* observability() { return obs_.get(); }
   const obs::Observability* observability() const { return obs_.get(); }
+  /// The armed flight-recorder ring (null unless cfg.with_flight_recorder).
+  obs::FlightRecorder* flight_recorder() {
+    return cfg_.with_flight_recorder && obs_ ? &obs_->recorder : nullptr;
+  }
 
   /// FNV-1a over every output sample's bit pattern, folded as samples are
   /// produced — the byte-identity fingerprint the determinism tests, the
@@ -188,6 +201,7 @@ class ConditioningChannel {
   std::unique_ptr<safety::FaultCampaign> campaign_;
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<obs::Observability> obs_;
+  std::unique_ptr<ChannelRecorderProbe> recorder_probe_;  ///< probe tee, recorder armed
   std::unique_ptr<sensor::StimulusSource> stimulus_;
   std::uint64_t last_underruns_ = 0;  ///< edge detector for underrun events
   std::vector<double> out_;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
 
 #include "common/rng.hpp"
+#include "platform/engine/blackbox.hpp"
 #include "platform/engine/checkpoint.hpp"
 #include "safety/dtc.hpp"
 
@@ -31,7 +34,11 @@ const char* channel_health_name(ChannelHealth h) {
 
 FleetSupervisor::FleetSupervisor(std::vector<FleetChannelSpec> specs, const FleetConfig& cfg)
     : cfg_(cfg) {
-  if (cfg_.events) cfg_.events->declare_emitter(obs::EventCategory::Engine, "FleetSupervisor");
+  if (cfg_.events) {
+    cfg_.events->declare_emitter(obs::EventCategory::Engine, "FleetSupervisor");
+    cfg_.events->declare_emitter(obs::EventCategory::Recorder, "FleetSupervisor");
+  }
+  if (cfg_.spans) cfg_.spans->set_trace_id(cfg_.root_seed);
   if (cfg_.metrics) {
     m_ticks_ = cfg_.metrics->counter("fleet.ticks");
     m_stalls_ = cfg_.metrics->counter("fleet.stalls_detected");
@@ -41,6 +48,7 @@ FleetSupervisor::FleetSupervisor(std::vector<FleetChannelSpec> specs, const Flee
     m_shed_ = cfg_.metrics->counter("fleet.shed_channel_ticks");
     m_delivered_ = cfg_.metrics->counter("fleet.delivered_samples");
     m_checkpoints_ = cfg_.metrics->counter("fleet.checkpoints");
+    m_blackbox_ = cfg_.metrics->counter("fleet.blackbox_dumps");
   }
 
   Rng root(cfg_.root_seed);
@@ -48,6 +56,7 @@ FleetSupervisor::FleetSupervisor(std::vector<FleetChannelSpec> specs, const Flee
   for (std::size_t i = 0; i < specs.size(); ++i) {
     auto st = std::make_unique<ChannelState>();
     st->config = std::move(specs[i].config);
+    if (cfg_.flight_recorders) st->config.with_flight_recorder = true;
     if (cfg_.reseed_channels)
       st->config.seed = root.fork(static_cast<std::uint64_t>(i) + 1).next_u64();
     st->priority = specs[i].priority;
@@ -112,6 +121,80 @@ void FleetSupervisor::emit(obs::EventSeverity sev, const char* name, std::string
     cfg_.events->emit(now_sim(), sev, obs::EventCategory::Engine, name, std::move(detail), kv);
 }
 
+void FleetSupervisor::span_edge(const char* name, std::size_t channel, std::uint64_t parent,
+                                const char* k1, double v1) {
+  if (!cfg_.spans) return;
+  const std::uint64_t id = cfg_.spans->begin(
+      name, obs::SpanCategory::Fleet, now_sim(),
+      parent ? parent : obs::SpanLog::kCurrentParent);
+  cfg_.spans->annotate(id, "channel", static_cast<double>(channel));
+  if (k1) cfg_.spans->annotate(id, k1, v1);
+  cfg_.spans->end(id, now_sim());
+}
+
+void FleetSupervisor::open_incident(std::size_t i) {
+  ChannelState& st = *states_[i];
+  if (st.incident_open) return;
+  st.incident_open = true;
+  st.incident_start = std::chrono::steady_clock::now();
+  // The incident span stays open until catch-up completes (or quarantine
+  // closes it for good), so every lifecycle edge parents under it.
+  if (cfg_.spans) {
+    st.incident_span =
+        cfg_.spans->begin("incident", obs::SpanCategory::Fleet, now_sim());
+    cfg_.spans->annotate(st.incident_span, "channel", static_cast<double>(i));
+  }
+}
+
+void FleetSupervisor::dump_blackbox(std::size_t i) {
+  if (!cfg_.blackbox_sink && cfg_.blackbox_dir.empty()) return;
+  ChannelState& st = *states_[i];
+  BlackboxImage img;
+  img.kind = static_cast<std::uint32_t>(st.config.kind);
+  img.seed = st.config.seed;
+  img.channel_index = i;
+  img.fleet_tick = fleet_tick_;
+  img.reason = st.last_error;
+  img.dtcs = st.dtcs;
+  img.restarts = st.restarts;
+  img.health = static_cast<std::uint8_t>(st.health);
+  img.rate_dps = st.config.rate_dps;
+  img.temp_c = st.config.temp_c;
+  img.with_safety = st.config.with_safety;
+  img.with_faults = st.config.with_faults;
+  // The wrecked instance is still intact here (dump precedes the rebuild) and
+  // its fingerprint is always a clean prefix: the hash folds only after a
+  // fully successful sensor run.
+  img.crash_ticks = st.channel->ticks_advanced();
+  img.crash_hash = st.channel->output_hash();
+  img.crash_outputs = st.channel->total_outputs();
+  img.checkpoint_tick = st.last_good_tick;
+  img.checkpoint = st.last_good;  // verbatim — possibly corrupt, replay re-detects
+  if (auto* obs = st.channel->observability()) {
+    if (auto* rec = st.channel->flight_recorder())
+      capture_flight_records(*rec, &img.records);
+    capture_spans(obs->spans, &img.channel_spans);
+    capture_metrics(obs->metrics, &img.counters, &img.gauges);
+  }
+  if (cfg_.spans) capture_spans(*cfg_.spans, &img.fleet_spans);
+
+  const std::vector<std::uint8_t> bytes = encode_blackbox(img);
+  const long seq = stats_.blackbox_dumps++;
+  if (cfg_.metrics) cfg_.metrics->add(m_blackbox_);
+  if (cfg_.blackbox_sink) cfg_.blackbox_sink(i, bytes);
+  if (!cfg_.blackbox_dir.empty()) {
+    std::filesystem::create_directories(cfg_.blackbox_dir);
+    char name[64];
+    std::snprintf(name, sizeof name, "bb%05ld_ch%02zu.blackbox", seq, i);
+    save_blackbox_file(cfg_.blackbox_dir + "/" + name, bytes);
+  }
+  if (cfg_.events)
+    cfg_.events->emit(now_sim(), obs::EventSeverity::Warn, obs::EventCategory::Recorder,
+                      "blackbox_dump", st.last_error,
+                      {{"channel", static_cast<double>(i)},
+                       {"bytes", static_cast<double>(bytes.size())}});
+}
+
 void FleetSupervisor::advance_one(std::size_t i, unsigned worker_index) {
   ChannelState& st = *states_[i];
   Heartbeat& hb = *heartbeats_[worker_index];
@@ -165,6 +248,10 @@ void FleetSupervisor::worker_loop(unsigned worker_index) {
 }
 
 void FleetSupervisor::run_one_tick() {
+  // The tick span brackets the whole supervisory cycle (advance + failure
+  // handling + drain + checkpoint), so incident spans opened mid-tick parent
+  // under it.
+  obs::SpanScope tick_span(cfg_.spans, "fleet.tick", obs::SpanCategory::Fleet, now_sim());
   // Build this tick's work list: healthy channels, minus backoff windows,
   // minus (under overload) low-priority sheds.
   runnable_.clear();
@@ -232,10 +319,9 @@ void FleetSupervisor::run_one_tick() {
       ++stats_.stalls_detected;
       stats_.stall_detect_ms.push_back(s.elapsed_ms);
       if (cfg_.metrics) cfg_.metrics->add(m_stalls_);
-      if (!st.incident_open) {
-        st.incident_open = true;
-        st.incident_start = std::chrono::steady_clock::now();
-      }
+      open_incident(static_cast<std::size_t>(s.channel));
+      span_edge("stall_detect", static_cast<std::size_t>(s.channel),
+                st.incident_span, "elapsed_ms", s.elapsed_ms);
       emit(obs::EventSeverity::Warn, "worker_stall", "tick deadline exceeded",
            {{"channel", static_cast<double>(s.channel)},
             {"elapsed_ms", s.elapsed_ms},
@@ -247,6 +333,8 @@ void FleetSupervisor::run_one_tick() {
   drain_outputs();
   take_checkpoints();
   close_incidents();
+  tick_span.annotate("runnable", static_cast<double>(runnable_.size()));
+  tick_span.close(now_sim());
 }
 
 void FleetSupervisor::handle_failures() {
@@ -258,10 +346,8 @@ void FleetSupervisor::handle_failures() {
     st.dtcs |= safety::kDtcEngineFault;
     ++stats_.exceptions;
     if (cfg_.metrics) cfg_.metrics->add(m_exceptions_);
-    if (!st.incident_open) {
-      st.incident_open = true;
-      st.incident_start = std::chrono::steady_clock::now();
-    }
+    open_incident(i);
+    span_edge("channel_exception", i, st.incident_span);
     emit(obs::EventSeverity::Error, "channel_exception", st.tick_error,
          {{"channel", static_cast<double>(i)}});
     restart_channel(i);
@@ -270,18 +356,36 @@ void FleetSupervisor::handle_failures() {
 
 void FleetSupervisor::restart_channel(std::size_t i) {
   ChannelState& st = *states_[i];
+  // Forensics first: the wrecked instance is still intact here, so the dump
+  // captures its clean-prefix fingerprint, the ring tail, and the last-good
+  // checkpoint bytes (verbatim — even if about to be rejected as corrupt).
+  // This covers every failure class: exception, corrupt checkpoint, and the
+  // quarantine branch below.
+  dump_blackbox(i);
   ++st.restarts;
   if (st.restarts > cfg_.max_restarts) {
     st.health = ChannelHealth::Quarantined;
     ++stats_.quarantined;
     if (cfg_.metrics) cfg_.metrics->add(m_quarantines_);
     st.incident_open = false;  // permanent: not a repairable incident
+    span_edge("quarantine", i, st.incident_span, "restarts",
+              static_cast<double>(st.restarts));
+    if (cfg_.spans && st.incident_span) {
+      cfg_.spans->end(st.incident_span, now_sim());
+      st.incident_span = 0;
+    }
     emit(obs::EventSeverity::Error, "channel_quarantine",
          "restart budget exhausted: " + st.last_error,
          {{"channel", static_cast<double>(i)}, {"restarts", static_cast<double>(st.restarts)}});
     return;
   }
 
+  const std::uint64_t restart_span =
+      cfg_.spans ? cfg_.spans->begin("restart", obs::SpanCategory::Fleet, now_sim(),
+                                     st.incident_span ? st.incident_span
+                                                      : obs::SpanLog::kCurrentParent)
+                 : 0;
+  if (restart_span) cfg_.spans->annotate(restart_span, "channel", static_cast<double>(i));
   // The wrecked instance may hold partially-mutated state — discard it and
   // rebuild from the recipe, then restore the last-good image if it checks
   // out. A corrupt/truncated image is *detected* (CRC frame) and demoted to
@@ -292,14 +396,20 @@ void FleetSupervisor::restart_channel(std::size_t i) {
     try {
       st.channel->restore(st.last_good);
       st.ticks_done = st.last_good_tick;
+      span_edge("restore_checkpoint", i, restart_span, "from_tick",
+                static_cast<double>(st.last_good_tick));
     } catch (const StateError& e) {
       ++stats_.corrupt_checkpoints;
+      span_edge("checkpoint_corrupt", i, restart_span);
       emit(obs::EventSeverity::Error, "checkpoint_corrupt", e.what(),
            {{"channel", static_cast<double>(i)}});
       st.channel = std::make_unique<ConditioningChannel>(st.config);
       st.ticks_done = 0;
       st.last_good.clear();
+      span_edge("cold_rebuild", i, restart_span);
     }
+  } else {
+    span_edge("cold_rebuild", i, restart_span);
   }
 
   const long backoff = std::min(cfg_.backoff_cap_ticks,
@@ -308,6 +418,10 @@ void FleetSupervisor::restart_channel(std::size_t i) {
   st.health = st.backoff_until > fleet_tick_ ? ChannelHealth::BackingOff : ChannelHealth::Running;
   ++stats_.restarts;
   if (cfg_.metrics) cfg_.metrics->add(m_restarts_);
+  if (cfg_.spans && restart_span) {
+    cfg_.spans->annotate(restart_span, "backoff_ticks", static_cast<double>(backoff));
+    cfg_.spans->end(restart_span, now_sim());
+  }
   emit(obs::EventSeverity::Warn, "channel_restart",
        st.last_good.empty() && st.ticks_done == 0 ? "cold rebuild" : "restored from checkpoint",
        {{"channel", static_cast<double>(i)},
@@ -349,8 +463,14 @@ void FleetSupervisor::close_incidents() {
                           std::chrono::steady_clock::now() - st.incident_start)
                           .count();
     stats_.mttr_ms.push_back(ms);
+    const std::size_t idx = static_cast<std::size_t>(&stp - states_.data());
+    span_edge("catch_up", idx, st.incident_span, "mttr_ms", ms);
+    if (cfg_.spans && st.incident_span) {
+      cfg_.spans->end(st.incident_span, now_sim());
+      st.incident_span = 0;
+    }
     emit(obs::EventSeverity::Info, "channel_recovered", {},
-         {{"channel", static_cast<double>(&stp - states_.data())}, {"mttr_ms", ms}});
+         {{"channel", static_cast<double>(idx)}, {"mttr_ms", ms}});
   }
 }
 
@@ -380,6 +500,8 @@ void FleetSupervisor::run_ticks(long n) {
       st.last_error = st.tick_error;
       st.dtcs |= safety::kDtcEngineFault;
       ++stats_.exceptions;
+      open_incident(i);
+      span_edge("channel_exception", i, st.incident_span);
       restart_channel(i);
     }
   }

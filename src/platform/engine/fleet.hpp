@@ -98,6 +98,23 @@ struct FleetConfig {
   /// supervising thread only (EventLog is single-writer).
   obs::MetricRegistry* metrics = nullptr;
   obs::EventLog* events = nullptr;
+  /// Optional causal-span log (non-owning, supervising thread only): every
+  /// fleet tick and every lifecycle edge of an incident — stall detect →
+  /// exception → restart → restore/cold-rebuild → catch-up → quarantine —
+  /// is recorded with ancestry, trace id = root_seed.
+  obs::SpanLog* spans = nullptr;
+  /// Arm every channel's flight recorder (forces with_flight_recorder on the
+  /// per-channel configs before construction), so a crash dump always has a
+  /// ring tail to retain.
+  bool flight_recorders = false;
+  /// Crash forensics: when a channel is restarted or quarantined the
+  /// supervisor dumps a framed `.blackbox` image (blackbox.hpp) of the
+  /// wrecked instance — ring tail, last-good checkpoint, metrics, spans —
+  /// into this directory (created on demand; empty disables) …
+  std::string blackbox_dir;
+  /// … and/or hands the framed bytes to this callback (supervising thread).
+  std::function<void(std::size_t channel, const std::vector<std::uint8_t>& image)>
+      blackbox_sink;
 };
 
 /// Aggregate counters for the run so far (chaos-bench reporting).
@@ -111,6 +128,7 @@ struct FleetStats {
   long checkpoints = 0;
   long shed_channel_ticks = 0;   ///< channel-ticks skipped by load shedding
   long delivered_samples = 0;    ///< outputs drained to the consumer
+  long blackbox_dumps = 0;       ///< `.blackbox` crash images written
   /// Wall-clock detection latency of stall incidents [ms] (time from the
   /// advance starting to the watchdog flagging it).
   std::vector<double> stall_detect_ms;
@@ -186,6 +204,7 @@ class FleetSupervisor {
     // Open incident (failure observed, catch-up not yet complete).
     bool incident_open = false;
     std::chrono::steady_clock::time_point incident_start{};
+    std::uint64_t incident_span = 0;  ///< open "incident" span id (0 = none)
   };
 
   /// Per-worker heartbeat the watchdog thread scans. `channel` is the index
@@ -207,6 +226,13 @@ class FleetSupervisor {
   void emit(obs::EventSeverity sev, const char* name, std::string detail,
             std::initializer_list<obs::Event::KV> kv = {});
   double now_sim() const;
+  /// Dump the wrecked (still-intact) instance of channel i as a `.blackbox`
+  /// image. No-op unless a sink or directory is configured.
+  void dump_blackbox(std::size_t i);
+  /// Completed Fleet-category lifecycle span tagged with the channel index.
+  void span_edge(const char* name, std::size_t channel, std::uint64_t parent,
+                 const char* k1 = nullptr, double v1 = 0.0);
+  void open_incident(std::size_t i);
 
   std::vector<std::unique_ptr<ChannelState>> states_;
   FleetConfig cfg_;
@@ -216,7 +242,7 @@ class FleetSupervisor {
 
   obs::MetricRegistry::Id m_ticks_ = 0, m_stalls_ = 0, m_exceptions_ = 0, m_restarts_ = 0,
                           m_quarantines_ = 0, m_shed_ = 0, m_delivered_ = 0,
-                          m_checkpoints_ = 0;
+                          m_checkpoints_ = 0, m_blackbox_ = 0;
 
   // Tick work list (indices of channels advancing this tick).
   std::vector<std::size_t> runnable_;

@@ -7,8 +7,10 @@
 // documented fixed offsets.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -199,6 +201,78 @@ TEST(ProbeNeutrality, AllTapsAttachedIsBitIdenticalToBareRun) {
     EXPECT_GT(probe.frames(), 0u) << name;
     EXPECT_EQ(probed.output_hash(), bare.output_hash()) << name;
     EXPECT_EQ(probed.total_outputs(), bare.total_outputs()) << name;
+  }
+}
+
+// ---- flight recorder + span neutrality over the whole corpus ----------------
+
+std::vector<std::string> all_corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& e : std::filesystem::directory_iterator(ASCP_CORPUS_DIR))
+    if (e.path().extension() == ".scenario") files.push_back(e.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// PR 9's zero-perturbation proof at corpus breadth: every scenario, run with
+// the flight recorder armed (which implies the full obs sink — events, spans,
+// metrics, probe tee on the recorder ring), must hash identically to the bare
+// run. The corpus spans both fidelities, open/closed loop, register writes,
+// fault campaigns and ISS-driven runs, so this is the widest net available.
+TEST(CorpusObsNeutrality, RecorderAndSpansArmedBitIdenticalSolo) {
+  const auto files = all_corpus_files();
+  ASSERT_GE(files.size(), 19u);
+  for (const auto& f : files) {
+    const auto s = conformance::load_scenario(f);
+    const ChannelConfig bare_cfg = conformance::channel_config(s);
+    const long total = scenario_ticks(bare_cfg, s.duration_s);
+
+    ConditioningChannel bare(bare_cfg);
+    bare.advance(total);
+
+    auto armed_cfg = conformance::channel_config(s);
+    armed_cfg.with_flight_recorder = true;
+    ConditioningChannel armed(armed_cfg);
+    armed.advance(total);
+
+    ASSERT_NE(armed.flight_recorder(), nullptr) << f;
+    EXPECT_GT(armed.flight_recorder()->total(), 0u) << f;  // ring actually fed
+    EXPECT_EQ(armed.output_hash(), bare.output_hash()) << f;
+    EXPECT_EQ(armed.total_outputs(), bare.total_outputs()) << f;
+  }
+}
+
+// The same corpus as one 4-thread farm with every recorder armed: each
+// channel must still land on its bare solo hash (no cross-channel or
+// thread-count perturbation from the recording path).
+TEST(CorpusObsNeutrality, RecorderArmedFourThreadFarmMatchesBareSoloHashes) {
+  const auto files = all_corpus_files();
+  std::vector<std::uint64_t> bare_hashes;
+  std::vector<ChannelConfig> armed_specs;
+  double max_duration = 0.0;
+  for (const auto& f : files) {
+    const auto s = conformance::load_scenario(f);
+    max_duration = std::max(max_duration, s.duration_s);
+    armed_specs.push_back(conformance::channel_config(s));
+    armed_specs.back().with_flight_recorder = true;
+  }
+  ASSERT_FALSE(armed_specs.empty());
+  // Common duration: profiles hold their last value past the scripted end.
+  for (const auto& f : files) {
+    const auto s = conformance::load_scenario(f);
+    ConditioningChannel bare(conformance::channel_config(s));
+    bare.advance(scenario_ticks(conformance::channel_config(s), max_duration));
+    bare_hashes.push_back(bare.output_hash());
+  }
+
+  FarmConfig fc;
+  fc.reseed_channels = false;  // corpus seeds are part of the scenarios
+  fc.threads = 4;
+  ChannelFarm farm(armed_specs, fc);
+  farm.advance(max_duration);
+  for (std::size_t i = 0; i < farm.size(); ++i) {
+    EXPECT_EQ(farm.channel(i).output_hash(), bare_hashes[i]) << files[i];
+    EXPECT_GT(farm.channel(i).flight_recorder()->total(), 0u) << files[i];
   }
 }
 

@@ -59,6 +59,35 @@ TEST(Events, RingWrapsAtCapacityKeepingNewest) {
   EXPECT_EQ(log.count(EventCategory::Scheduler), 6u);
 }
 
+TEST(Events, CapacityOneRingAlwaysHoldsTheNewest) {
+  // Degenerate ring: every emit lands exactly at the wrap point, so the
+  // head bookkeeping is exercised on every write.
+  EventLog log(1);
+  for (int i = 0; i < 5; ++i)
+    log.emit(static_cast<double>(i), EventSeverity::Info, EventCategory::Engine, "tick");
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.total(), 5u);
+  EXPECT_EQ(log.dropped(), 4u);
+  const auto ev = log.events();
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_DOUBLE_EQ(ev[0].t_sim, 4.0);
+}
+
+TEST(Events, DoubleWrapStaysOrderedOldestToNewest) {
+  // More than two full revolutions: for_each must still visit a contiguous
+  // strictly-increasing window ending at the newest emission.
+  EventLog log(3);
+  for (int i = 0; i < 11; ++i)
+    log.emit(static_cast<double>(i), EventSeverity::Debug, EventCategory::Scheduler, "t");
+  std::vector<double> ts;
+  log.for_each([&](const Event& e) { ts.push_back(e.t_sim); });
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts[0], 8.0);
+  EXPECT_DOUBLE_EQ(ts[1], 9.0);
+  EXPECT_DOUBLE_EQ(ts[2], 10.0);
+  EXPECT_EQ(log.dropped(), 8u);
+}
+
 TEST(Events, ClearEmptiesRingAndTallies) {
   EventLog log;
   log.emit(0.0, EventSeverity::Info, EventCategory::Fault, "fault_inject");

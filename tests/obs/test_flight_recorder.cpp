@@ -1,0 +1,121 @@
+// FlightRecorder tests: the three record kinds, fixed-capacity ring wrap,
+// truncating name/detail copies (records must outlive their producers — the
+// .blackbox contract), the EventLog tee and clear().
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace ascp::obs {
+namespace {
+
+std::vector<FlightRecord> all(const FlightRecorder& fr) {
+  std::vector<FlightRecord> v;
+  fr.for_each([&](const FlightRecord& r) { v.push_back(r); });
+  return v;
+}
+
+TEST(FlightRecorder, RecordsAllThreeKinds) {
+  FlightRecorder fr;
+  fr.record_event(0.1, 2, 8, "tick_failed", "stall detected", "channel", 3.0, "ms", 12.5);
+  fr.record_metric(0.2, "channel.outputs", 64.0);
+  fr.record_probe(0.3, 4, 12345, 0.25, -0.5);
+  ASSERT_EQ(fr.size(), 3u);
+  EXPECT_EQ(fr.count(FlightKind::Event), 1u);
+  EXPECT_EQ(fr.count(FlightKind::MetricDelta), 1u);
+  EXPECT_EQ(fr.count(FlightKind::ProbeSample), 1u);
+
+  const auto v = all(fr);
+  EXPECT_EQ(v[0].kind, FlightKind::Event);
+  EXPECT_EQ(v[0].severity, 2);
+  EXPECT_EQ(v[0].category, 8);
+  EXPECT_STREQ(v[0].name, "tick_failed");
+  EXPECT_STREQ(v[0].detail, "stall detected");
+  EXPECT_STREQ(v[0].k0, "channel");
+  EXPECT_DOUBLE_EQ(v[0].v0, 3.0);
+  EXPECT_STREQ(v[0].k1, "ms");
+  EXPECT_DOUBLE_EQ(v[0].v1, 12.5);
+
+  EXPECT_EQ(v[1].kind, FlightKind::MetricDelta);
+  EXPECT_STREQ(v[1].name, "channel.outputs");
+  EXPECT_DOUBLE_EQ(v[1].a, 64.0);
+
+  EXPECT_EQ(v[2].kind, FlightKind::ProbeSample);
+  EXPECT_EQ(v[2].category, 4);  // ProbePoint rides in `category`
+  EXPECT_EQ(v[2].tick, 12345);
+  EXPECT_DOUBLE_EQ(v[2].a, 0.25);
+  EXPECT_DOUBLE_EQ(v[2].b, -0.5);
+}
+
+TEST(FlightRecorder, RingWrapsKeepingNewest) {
+  FlightRecorder fr(4);
+  for (int i = 0; i < 10; ++i) fr.record_metric(static_cast<double>(i), "m", 1.0);
+  EXPECT_EQ(fr.capacity(), 4u);
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.total(), 10u);
+  EXPECT_EQ(fr.dropped(), 6u);
+  EXPECT_EQ(fr.count(FlightKind::MetricDelta), 10u);  // tallies count written
+  const auto v = all(fr);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v.front().t_sim, 6.0);  // oldest retained, in order
+  EXPECT_DOUBLE_EQ(v.back().t_sim, 9.0);
+}
+
+TEST(FlightRecorder, NameAndDetailTruncateIntoFixedBuffers) {
+  FlightRecorder fr;
+  const std::string long_name(64, 'n');
+  const std::string long_detail(128, 'd');
+  fr.record_event(0.0, 0, 0, long_name.c_str(), long_detail.c_str());
+  const auto v = all(fr);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(std::string(v[0].name), std::string(23, 'n'));    // 24-byte buffer
+  EXPECT_EQ(std::string(v[0].detail), std::string(39, 'd'));  // 40-byte buffer
+}
+
+TEST(FlightRecorder, EventLogTeeMirrorsEmissions) {
+  // The tee is how supervisor/DTC transitions reach the black-box ring
+  // without a second emission site: every emit() lands in both.
+  FlightRecorder fr;
+  EventLog log;
+  log.emit(0.0, EventSeverity::Info, EventCategory::Dtc, "before_tee");
+  log.set_flight_recorder(&fr);
+  log.emit(1.0, EventSeverity::Error, EventCategory::Engine, "tick_failed", "crash",
+           {{"channel", 2.0}});
+  log.set_flight_recorder(nullptr);
+  log.emit(2.0, EventSeverity::Info, EventCategory::Engine, "after_detach");
+
+  EXPECT_EQ(log.total(), 3u);
+  ASSERT_EQ(fr.size(), 1u);  // only the emission while attached
+  const auto v = all(fr);
+  EXPECT_EQ(v[0].kind, FlightKind::Event);
+  EXPECT_DOUBLE_EQ(v[0].t_sim, 1.0);
+  EXPECT_EQ(v[0].severity, static_cast<std::uint8_t>(EventSeverity::Error));
+  EXPECT_EQ(v[0].category, static_cast<std::uint8_t>(EventCategory::Engine));
+  EXPECT_STREQ(v[0].name, "tick_failed");
+  EXPECT_STREQ(v[0].detail, "crash");
+  EXPECT_STREQ(v[0].k0, "channel");
+  EXPECT_DOUBLE_EQ(v[0].v0, 2.0);
+}
+
+TEST(FlightRecorder, ClearEmptiesRingAndTallies) {
+  FlightRecorder fr;
+  fr.record_metric(0.0, "m", 1.0);
+  fr.record_probe(0.0, 0, 0, 0.0, 0.0);
+  fr.clear();
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_EQ(fr.total(), 0u);
+  EXPECT_EQ(fr.count(FlightKind::MetricDelta), 0u);
+  EXPECT_EQ(fr.count(FlightKind::ProbeSample), 0u);
+}
+
+TEST(FlightRecorder, KindNamesAreDistinct) {
+  EXPECT_STRNE(flight_kind_name(FlightKind::Event), flight_kind_name(FlightKind::MetricDelta));
+  EXPECT_STRNE(flight_kind_name(FlightKind::MetricDelta),
+               flight_kind_name(FlightKind::ProbeSample));
+}
+
+}  // namespace
+}  // namespace ascp::obs

@@ -107,6 +107,60 @@ TEST(Metrics, HistogramPercentilesClampToExactExtrema) {
   EXPECT_DOUBLE_EQ(st.p99, 3.5);
 }
 
+TEST(Metrics, HistogramEmptyStatsAreAllZero) {
+  // Both a histogram that was created but never observed and a name that
+  // does not exist must come back as the all-zero stats block — percentile
+  // code must not walk buckets for count == 0.
+  MetricRegistry reg;
+  reg.histogram("created_never_observed");
+  for (const char* name : {"created_never_observed", "no_such_histogram"}) {
+    const auto st = reg.snapshot().histogram_stats(name);
+    EXPECT_EQ(st.count, 0u) << name;
+    EXPECT_DOUBLE_EQ(st.sum, 0.0) << name;
+    EXPECT_DOUBLE_EQ(st.min, 0.0) << name;
+    EXPECT_DOUBLE_EQ(st.max, 0.0) << name;
+    EXPECT_DOUBLE_EQ(st.p50, 0.0) << name;
+    EXPECT_DOUBLE_EQ(st.p95, 0.0) << name;
+    EXPECT_DOUBLE_EQ(st.p99, 0.0) << name;
+    EXPECT_DOUBLE_EQ(st.mean(), 0.0) << name;  // no divide-by-zero
+  }
+}
+
+TEST(Metrics, HistogramSingleSampleClampsAllPercentiles) {
+  // One on-edge sample: every percentile rank resolves to the only bucket,
+  // and min == max == every percentile.
+  MetricRegistry reg;
+  const auto id = reg.histogram("single");
+  reg.observe(id, 2.0);
+  const auto st = reg.snapshot().histogram_stats("single");
+  EXPECT_EQ(st.count, 1u);
+  EXPECT_DOUBLE_EQ(st.min, 2.0);
+  EXPECT_DOUBLE_EQ(st.max, 2.0);
+  EXPECT_DOUBLE_EQ(st.p50, 2.0);
+  EXPECT_DOUBLE_EQ(st.p95, 2.0);
+  EXPECT_DOUBLE_EQ(st.p99, 2.0);
+  EXPECT_DOUBLE_EQ(st.mean(), 2.0);
+}
+
+TEST(Metrics, HistogramBucketZeroUnderflowClampsToTrackedMin) {
+  // Zero and deep-underflow values land in bucket 0, whose floor (0.0)
+  // undershoots nothing only for exact zeros — percentiles must clamp to the
+  // tracked extrema either way, and max must clamp *down* for bucket floors
+  // that overshoot (impossible) or percentile walks that hit the last bucket.
+  MetricRegistry reg;
+  const auto id = reg.histogram("tiny");
+  reg.observe(id, 0.0);
+  reg.observe(id, 1e-15);  // far below 2^kMinExp → bucket 0
+  ASSERT_EQ(MetricRegistry::bucket_index(1e-15), 0);
+  const auto st = reg.snapshot().histogram_stats("tiny");
+  EXPECT_EQ(st.count, 2u);
+  EXPECT_DOUBLE_EQ(st.min, 0.0);
+  EXPECT_DOUBLE_EQ(st.max, 1e-15);
+  EXPECT_DOUBLE_EQ(st.p50, 0.0);   // bucket-0 floor, clamped to min
+  EXPECT_LE(st.p99, st.max);       // never reports above the tracked max
+  EXPECT_GE(st.p99, st.min);
+}
+
 TEST(Metrics, ShardedRecordingMergesAcrossThreads) {
   MetricRegistry reg;
   const auto c = reg.counter("hits");

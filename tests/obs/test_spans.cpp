@@ -1,0 +1,169 @@
+// SpanLog tests: causal ancestry (explicit parents and the current-parent
+// sentinel), interleaved open spans addressed by id, ring wrap, open-table
+// overflow accounting, the SpanScope RAII contract under exceptions and the
+// Chrome-trace export of span records.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/span.hpp"
+
+namespace ascp::obs {
+namespace {
+
+std::vector<Span> all(const SpanLog& log) {
+  std::vector<Span> v;
+  log.for_each([&](const Span& s) { v.push_back(s); });
+  return v;
+}
+
+TEST(Spans, CompleteStoresAllFieldsWithTraceId) {
+  SpanLog log;
+  log.set_trace_id(0xBEEF);
+  const auto id = log.complete("fleet.tick", SpanCategory::Fleet, 1.0, 1.5, 250.0,
+                               /*parent=*/0);
+  ASSERT_NE(id, 0u);
+  const auto v = all(log);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].trace_id, 0xBEEFu);
+  EXPECT_EQ(v[0].span_id, id);
+  EXPECT_EQ(v[0].parent_id, 0u);  // forced root
+  EXPECT_STREQ(v[0].name, "fleet.tick");
+  EXPECT_EQ(v[0].category, SpanCategory::Fleet);
+  EXPECT_DOUBLE_EQ(v[0].t_begin, 1.0);
+  EXPECT_DOUBLE_EQ(v[0].t_end, 1.5);
+  EXPECT_DOUBLE_EQ(v[0].wall_us, 250.0);
+}
+
+TEST(Spans, CurrentParentSentinelNestsUnderInnermostOpen) {
+  SpanLog log;
+  const auto outer = log.begin("tick", SpanCategory::Fleet, 0.0, /*parent=*/0);
+  const auto inner = log.begin("incident", SpanCategory::Fleet, 0.1);  // kCurrentParent
+  const auto leaf = log.begin("restart", SpanCategory::Fleet, 0.2);
+  EXPECT_EQ(log.open_depth(), 3u);
+  EXPECT_EQ(log.current(), leaf);
+  EXPECT_TRUE(log.end(leaf, 0.3));
+  EXPECT_TRUE(log.end(inner, 0.4));
+  EXPECT_TRUE(log.end(outer, 0.5));
+  const auto v = all(log);  // committed in end order
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].parent_id, inner);  // leaf under incident
+  EXPECT_EQ(v[1].parent_id, outer);  // incident under tick
+  EXPECT_EQ(v[2].parent_id, 0u);     // tick is a root
+}
+
+TEST(Spans, InterleavedEndsAddressedById) {
+  // Fleet incidents on different channels interleave: a is begun first but
+  // ended last. An open *table* (not a stack) must handle that.
+  SpanLog log;
+  const auto a = log.begin("incident_a", SpanCategory::Fleet, 0.0, /*parent=*/0);
+  const auto b = log.begin("incident_b", SpanCategory::Fleet, 1.0, /*parent=*/0);
+  EXPECT_TRUE(log.end(b, 2.0));
+  EXPECT_TRUE(log.end(a, 3.0));
+  EXPECT_FALSE(log.end(a, 4.0));  // double close
+  EXPECT_FALSE(log.end(0, 4.0));  // the dropped-span sentinel is a safe no-op
+  const auto v = all(log);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_STREQ(v[0].name, "incident_b");
+  EXPECT_DOUBLE_EQ(v[1].t_end, 3.0);
+}
+
+TEST(Spans, AnnotateFillsTwoSlotsThenIgnores) {
+  SpanLog log;
+  const auto id = log.begin("restart", SpanCategory::Fleet, 0.0);
+  log.annotate(id, "channel", 3.0);
+  log.annotate(id, "backoff_ticks", 2.0);
+  log.annotate(id, "overflow", 9.0);  // both slots taken → dropped
+  log.end(id, 1.0);
+  const auto v = all(log);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_STREQ(v[0].k0, "channel");
+  EXPECT_DOUBLE_EQ(v[0].v0, 3.0);
+  EXPECT_STREQ(v[0].k1, "backoff_ticks");
+  EXPECT_DOUBLE_EQ(v[0].v1, 2.0);
+}
+
+TEST(Spans, RingWrapsKeepingNewestAndTallies) {
+  SpanLog log(4);
+  for (int i = 0; i < 7; ++i)
+    log.complete("s", SpanCategory::Channel, static_cast<double>(i),
+                 static_cast<double>(i) + 0.5);
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total(), 7u);
+  EXPECT_EQ(log.dropped(), 3u);
+  EXPECT_EQ(log.count(SpanCategory::Channel), 7u);  // tallies count committed
+  const auto v = all(log);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v.front().t_begin, 3.0);  // oldest retained
+  EXPECT_DOUBLE_EQ(v.back().t_begin, 6.0);   // newest
+}
+
+TEST(Spans, OpenTableOverflowDropsNotAllocates) {
+  SpanLog log;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < SpanLog::kMaxOpenSpans; ++i)
+    ids.push_back(log.begin("open", SpanCategory::Channel, 0.0, /*parent=*/0));
+  EXPECT_EQ(log.open_depth(), SpanLog::kMaxOpenSpans);
+  const auto overflow = log.begin("too_many", SpanCategory::Channel, 0.0);
+  EXPECT_EQ(overflow, 0u);  // dropped, not queued
+  EXPECT_EQ(log.open_dropped(), 1u);
+  for (const auto id : ids) EXPECT_TRUE(log.end(id, 1.0));
+  EXPECT_EQ(log.size(), SpanLog::kMaxOpenSpans);
+}
+
+TEST(Spans, LongNameTruncatedNotOverrun) {
+  SpanLog log;
+  log.complete("a_very_long_span_name_that_exceeds_the_fixed_buffer",
+               SpanCategory::Scheduler, 0.0, 1.0);
+  const auto v = all(log);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(std::string(v[0].name), std::string("a_very_long_span_name_t"));  // 23 + NUL
+}
+
+TEST(Spans, ScopeClosesOnExceptionAtBeginTime) {
+  SpanLog log;
+  try {
+    SpanScope scope(&log, "channel.advance", SpanCategory::Channel, 2.0);
+    ASSERT_NE(scope.id(), 0u);
+    throw std::runtime_error("injected crash");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(log.open_depth(), 0u);  // never leaks the fixed open table
+  const auto v = all(log);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0].t_begin, 2.0);
+  EXPECT_DOUBLE_EQ(v[0].t_end, 2.0);  // closed at begin time, not a fake span
+}
+
+TEST(Spans, ScopeWithNullLogIsNoOp) {
+  SpanScope scope(nullptr, "noop", SpanCategory::Channel, 0.0);
+  EXPECT_EQ(scope.id(), 0u);
+  scope.annotate("ignored", 1.0);
+  scope.close(1.0);  // must not crash
+}
+
+TEST(Spans, ChromeTraceExportCarriesAncestryAndPayload) {
+  SpanLog log;
+  log.set_trace_id(7);
+  const auto parent = log.begin("fleet.tick", SpanCategory::Fleet, 0.0, /*parent=*/0);
+  const auto child = log.begin("restart", SpanCategory::Fleet, 0.001);
+  log.annotate(child, "channel", 2.0);
+  log.end(child, 0.002);
+  log.end(parent, 0.005);
+
+  TaskProfiler tasks;  // empty — only the span track matters here
+  const std::string json = chrome_trace_json(tasks, nullptr, &log);
+  EXPECT_NE(json.find("\"name\":\"restart\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fleet.tick\""), std::string::npos);
+  EXPECT_NE(json.find("\"channel\":2"), std::string::npos);
+  // Ancestry is exported as id/parent args so Perfetto queries can join them.
+  EXPECT_NE(json.find("\"parent_id\":\"" + std::to_string(parent) + "\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"7\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ascp::obs

@@ -1,0 +1,345 @@
+// blackbox_tool — inspect, export and *replay* `.blackbox` crash images.
+//
+//   blackbox_tool inspect FILE
+//       Print the CRC frame and the decoded crash summary: who died, when,
+//       why, what the recorder retained, whether a checkpoint is embedded.
+//       Exit 1 when the frame is unreadable or the CRC fails.
+//   blackbox_tool export FILE [--json OUT] [--trace OUT]
+//       Decode the image into machine-readable form: --json writes the full
+//       structured dump (crash context, ring tail, spans, metric snapshot);
+//       --trace writes a Chrome trace_event file of the causal spans (fleet
+//       + channel tracks) with flight-recorder records as instants — load it
+//       in Perfetto and read the incident's causal chain off the timeline.
+//   blackbox_tool replay FILE [--verbose]
+//       Crash forensics that *reproduce*: rebuild the channel from the
+//       embedded identity (kind + seed + carried knobs), restore the embedded
+//       last-good checkpoint (a corrupt one is detected and demoted to a cold
+//       replay, exactly like the fleet supervisor), advance to the crash tick
+//       and compare the streaming output hash against the recorded crash
+//       fingerprint. Exit 0 iff the failure state was reproduced bit-exactly.
+//
+// A blackbox is only worth carrying if it replays; this tool is the proof.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "platform/engine/blackbox.hpp"
+#include "platform/engine/fleet.hpp"
+#include "sensor/stimulus_source.hpp"
+
+using namespace ascp;
+using namespace ascp::engine;
+
+namespace {
+
+const char* kind_name(std::uint32_t kind) {
+  switch (static_cast<ChannelKind>(kind)) {
+    case ChannelKind::GyroFull: return "GyroFull";
+    case ChannelKind::GyroIdeal: return "GyroIdeal";
+    case ChannelKind::Adxrs300: return "Adxrs300";
+    case ChannelKind::Gyrostar: return "Gyrostar";
+  }
+  return "?";
+}
+
+std::string num(double v) {
+  if (v != v || v > 1e300 || v < -1e300) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Owning BlackboxSpan → POD obs::Span view (name copied into the fixed
+/// buffer, kv keys borrowed for the duration of the call) so the shared
+/// span_trace_event renderer applies.
+obs::Span to_span(const BlackboxSpan& s) {
+  obs::Span out;
+  out.trace_id = s.trace_id;
+  out.span_id = s.span_id;
+  out.parent_id = s.parent_id;
+  std::strncpy(out.name, s.name.c_str(), sizeof out.name - 1);
+  out.category = static_cast<obs::SpanCategory>(s.category);
+  out.t_begin = s.t_begin;
+  out.t_end = s.t_end;
+  out.wall_us = s.wall_us;
+  if (!s.k0.empty()) {
+    out.k0 = s.k0.c_str();
+    out.v0 = s.v0;
+  }
+  if (!s.k1.empty()) {
+    out.k1 = s.k1.c_str();
+    out.v1 = s.v1;
+  }
+  return out;
+}
+
+std::string record_json(const BlackboxFlightRecord& r) {
+  std::string j = "{\"t\":" + num(r.t_sim);
+  j += ",\"kind\":\"";
+  j += obs::flight_kind_name(static_cast<obs::FlightKind>(r.kind));
+  j += "\"";
+  if (static_cast<obs::FlightKind>(r.kind) == obs::FlightKind::Event) {
+    j += ",\"severity\":\"";
+    j += obs::severity_name(static_cast<obs::EventSeverity>(r.severity));
+    j += "\",\"category\":\"";
+    j += obs::category_name(static_cast<obs::EventCategory>(r.category));
+    j += "\"";
+  } else if (static_cast<obs::FlightKind>(r.kind) == obs::FlightKind::ProbeSample) {
+    j += ",\"point\":\"";
+    j += sensor::probe_point_name(static_cast<sensor::ProbePoint>(r.category));
+    j += "\",\"tick\":" + std::to_string(r.tick);
+  }
+  j += ",\"name\":\"" + obs::json_escape(r.name) + "\"";
+  if (!r.detail.empty()) j += ",\"detail\":\"" + obs::json_escape(r.detail) + "\"";
+  j += ",\"a\":" + num(r.a) + ",\"b\":" + num(r.b);
+  if (!r.k0.empty()) j += ",\"" + obs::json_escape(r.k0) + "\":" + num(r.v0);
+  if (!r.k1.empty()) j += ",\"" + obs::json_escape(r.k1) + "\":" + num(r.v1);
+  j += "}";
+  return j;
+}
+
+std::string span_json(const BlackboxSpan& s) {
+  std::string j = "{\"trace_id\":\"" + std::to_string(s.trace_id) + "\"";
+  j += ",\"span_id\":\"" + std::to_string(s.span_id) + "\"";
+  j += ",\"parent_id\":\"" + std::to_string(s.parent_id) + "\"";
+  j += ",\"name\":\"" + obs::json_escape(s.name) + "\"";
+  j += ",\"category\":\"";
+  j += obs::span_category_name(static_cast<obs::SpanCategory>(s.category));
+  j += "\",\"t_begin\":" + num(s.t_begin) + ",\"t_end\":" + num(s.t_end);
+  if (s.wall_us > 0.0) j += ",\"wall_us\":" + num(s.wall_us);
+  if (!s.k0.empty()) j += ",\"" + obs::json_escape(s.k0) + "\":" + num(s.v0);
+  if (!s.k1.empty()) j += ",\"" + obs::json_escape(s.k1) + "\":" + num(s.v1);
+  j += "}";
+  return j;
+}
+
+std::string image_json(const BlackboxImage& img) {
+  std::string j = "{\n  \"meta\": {";
+  j += "\"kind\":\"" + std::string(kind_name(img.kind)) + "\"";
+  j += ",\"seed\":" + std::to_string(img.seed);
+  j += ",\"channel\":" + std::to_string(img.channel_index);
+  j += ",\"fleet_tick\":" + std::to_string(img.fleet_tick);
+  j += ",\"reason\":\"" + obs::json_escape(img.reason) + "\"";
+  j += ",\"dtcs\":" + std::to_string(img.dtcs);
+  j += ",\"restarts\":" + std::to_string(img.restarts);
+  j += ",\"health\":\"";
+  j += channel_health_name(static_cast<ChannelHealth>(img.health));
+  j += "\",\"rate_dps\":" + num(img.rate_dps) + ",\"temp_c\":" + num(img.temp_c);
+  j += ",\"with_safety\":" + std::string(img.with_safety ? "true" : "false");
+  j += ",\"with_faults\":" + std::string(img.with_faults ? "true" : "false");
+  j += "},\n  \"crash\": {";
+  j += "\"ticks\":" + std::to_string(img.crash_ticks);
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(img.crash_hash));
+  j += ",\"output_hash\":\"" + std::string(hash) + "\"";
+  j += ",\"outputs\":" + std::to_string(img.crash_outputs);
+  j += "},\n  \"checkpoint\": {";
+  j += "\"tick\":" + std::to_string(img.checkpoint_tick);
+  j += ",\"bytes\":" + std::to_string(img.checkpoint.size());
+  j += "},\n  \"records\": [";
+  for (std::size_t i = 0; i < img.records.size(); ++i)
+    j += (i ? ",\n    " : "\n    ") + record_json(img.records[i]);
+  j += "\n  ],\n  \"channel_spans\": [";
+  for (std::size_t i = 0; i < img.channel_spans.size(); ++i)
+    j += (i ? ",\n    " : "\n    ") + span_json(img.channel_spans[i]);
+  j += "\n  ],\n  \"fleet_spans\": [";
+  for (std::size_t i = 0; i < img.fleet_spans.size(); ++i)
+    j += (i ? ",\n    " : "\n    ") + span_json(img.fleet_spans[i]);
+  j += "\n  ],\n  \"metrics\": {\"counters\":{";
+  for (std::size_t i = 0; i < img.counters.size(); ++i)
+    j += (i ? "," : "") + ("\"" + obs::json_escape(img.counters[i].name) + "\":" +
+                           num(img.counters[i].value));
+  j += "},\"gauges\":{";
+  for (std::size_t i = 0; i < img.gauges.size(); ++i)
+    j += (i ? "," : "") + ("\"" + obs::json_escape(img.gauges[i].name) + "\":" +
+                           num(img.gauges[i].value));
+  j += "}}\n}\n";
+  return j;
+}
+
+std::string image_trace(const BlackboxImage& img) {
+  // tid layout: 200+cat channel spans, 300+cat fleet spans, 400 records.
+  std::string j = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto push = [&](const std::string& e) {
+    if (!first) j += ",\n";
+    first = false;
+    j += e;
+  };
+  for (int c = 0; c < static_cast<int>(obs::kSpanCategoryCount); ++c) {
+    const char* cn = obs::span_category_name(static_cast<obs::SpanCategory>(c));
+    push("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(200 + c) + ",\"args\":{\"name\":\"channel spans:" +
+         std::string(cn) + "\"}}");
+    push("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(300 + c) + ",\"args\":{\"name\":\"fleet spans:" +
+         std::string(cn) + "\"}}");
+  }
+  push("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":400,"
+       "\"args\":{\"name\":\"flight recorder\"}}");
+  for (const auto& s : img.channel_spans) push(obs::span_trace_event(to_span(s), 200));
+  for (const auto& s : img.fleet_spans) push(obs::span_trace_event(to_span(s), 300));
+  for (const auto& r : img.records) {
+    std::string e = "{\"name\":\"" + obs::json_escape(r.name) + "\",\"ph\":\"i\",\"s\":\"t\"";
+    e += ",\"pid\":1,\"tid\":400,\"ts\":" + num(r.t_sim * 1e6);
+    e += ",\"cat\":\"";
+    e += obs::flight_kind_name(static_cast<obs::FlightKind>(r.kind));
+    e += "\",\"args\":{\"a\":" + num(r.a) + ",\"b\":" + num(r.b) + "}}";
+    push(e);
+  }
+  j += "\n]}\n";
+  return j;
+}
+
+bool write_file(const char* path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+
+int cmd_inspect(const char* path) {
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = load_blackbox_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "blackbox_tool: %s\n", e.what());
+    return 2;
+  }
+  BlackboxInfo info;
+  if (!inspect_blackbox(bytes, &info)) {
+    std::printf("%s: not a blackbox (bad magic or truncated header, %zu bytes)\n", path,
+                bytes.size());
+    return 1;
+  }
+  std::printf("%s:\n", path);
+  std::printf("  version:     %u\n", info.version);
+  std::printf("  kind:        %u (%s)\n", info.kind, kind_name(info.kind));
+  std::printf("  payload:     %llu bytes (file %zu)\n",
+              static_cast<unsigned long long>(info.payload_len), bytes.size());
+  std::printf("  crc32:       %08X  %s\n", info.crc, info.crc_ok ? "OK" : "MISMATCH");
+  if (!info.crc_ok) return 1;
+
+  try {
+    const BlackboxImage img = decode_blackbox(bytes);
+    std::printf("  channel:     #%llu seed %llu\n",
+                static_cast<unsigned long long>(img.channel_index),
+                static_cast<unsigned long long>(img.seed));
+    std::printf("  fleet tick:  %lld  health %s  restarts %d  dtcs 0x%04X\n",
+                static_cast<long long>(img.fleet_tick),
+                channel_health_name(static_cast<ChannelHealth>(img.health)), img.restarts,
+                img.dtcs);
+    std::printf("  reason:      %s\n", img.reason.empty() ? "(none)" : img.reason.c_str());
+    std::printf("  crash:       tick %lld, hash %016llx, %llu outputs\n",
+                static_cast<long long>(img.crash_ticks),
+                static_cast<unsigned long long>(img.crash_hash),
+                static_cast<unsigned long long>(img.crash_outputs));
+    std::printf("  checkpoint:  %zu bytes at tick %lld%s\n", img.checkpoint.size(),
+                static_cast<long long>(img.checkpoint_tick),
+                img.checkpoint.empty() ? " (none — cold replay)" : "");
+    std::printf("  recorder:    %zu records\n", img.records.size());
+    std::printf("  spans:       %zu channel, %zu fleet\n", img.channel_spans.size(),
+                img.fleet_spans.size());
+    std::printf("  metrics:     %zu counters, %zu gauges\n", img.counters.size(),
+                img.gauges.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "blackbox_tool: decode failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  const char* json_path = nullptr;
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+      json_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+      trace_path = argv[++i];
+  }
+  if (!json_path && !trace_path) {
+    std::fprintf(stderr, "blackbox_tool export: need --json OUT and/or --trace OUT\n");
+    return 2;
+  }
+  BlackboxImage img;
+  try {
+    img = decode_blackbox(load_blackbox_file(argv[0]));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "blackbox_tool: %s\n", e.what());
+    return 1;
+  }
+  if (json_path) {
+    if (!write_file(json_path, image_json(img))) {
+      std::fprintf(stderr, "blackbox_tool: cannot write %s\n", json_path);
+      return 2;
+    }
+    std::printf("%s: JSON dump (%zu records, %zu+%zu spans)\n", json_path,
+                img.records.size(), img.channel_spans.size(), img.fleet_spans.size());
+  }
+  if (trace_path) {
+    if (!write_file(trace_path, image_trace(img))) {
+      std::fprintf(stderr, "blackbox_tool: cannot write %s\n", trace_path);
+      return 2;
+    }
+    std::printf("%s: Chrome trace (load in Perfetto / chrome://tracing)\n", trace_path);
+  }
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--verbose")) verbose = true;
+  BlackboxImage img;
+  try {
+    img = decode_blackbox(load_blackbox_file(argv[0]));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "blackbox_tool: %s\n", e.what());
+    return 1;
+  }
+  if (verbose)
+    std::printf("replaying %s channel #%llu (seed %llu) to tick %lld …\n",
+                kind_name(img.kind), static_cast<unsigned long long>(img.channel_index),
+                static_cast<unsigned long long>(img.seed),
+                static_cast<long long>(img.crash_ticks));
+  BlackboxReplay rep;
+  try {
+    rep = replay_blackbox(img);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "blackbox_tool: replay failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("checkpoint: %s\n", rep.checkpoint_corrupt ? "embedded image corrupt — cold replay"
+                                  : rep.checkpoint_used  ? "restored from embedded image"
+                                                         : "none — cold replay");
+  std::printf("replayed:   tick %lld, hash %016llx, %llu outputs\n",
+              static_cast<long long>(rep.replay_ticks),
+              static_cast<unsigned long long>(rep.replay_hash),
+              static_cast<unsigned long long>(rep.replay_outputs));
+  std::printf("recorded:   tick %lld, hash %016llx, %llu outputs\n",
+              static_cast<long long>(img.crash_ticks),
+              static_cast<unsigned long long>(img.crash_hash),
+              static_cast<unsigned long long>(img.crash_outputs));
+  std::printf("%s\n", rep.hash_match ? "REPRODUCED: failure state matches bit-exactly"
+                                     : "MISMATCH: replay diverged from the crash fingerprint");
+  return rep.hash_match ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && !std::strcmp(argv[1], "inspect")) return cmd_inspect(argv[2]);
+  if (argc >= 3 && !std::strcmp(argv[1], "export")) return cmd_export(argc - 2, argv + 2);
+  if (argc >= 3 && !std::strcmp(argv[1], "replay")) return cmd_replay(argc - 2, argv + 2);
+  std::fprintf(stderr,
+               "usage: blackbox_tool inspect FILE\n"
+               "       blackbox_tool export FILE [--json OUT] [--trace OUT]\n"
+               "       blackbox_tool replay FILE [--verbose]\n");
+  return 2;
+}

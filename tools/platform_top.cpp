@@ -13,7 +13,12 @@
 //   platform_top --faults        attach the standard fault campaign
 //   platform_top --trace FILE    write a Chrome trace_event JSON (Perfetto)
 //   platform_top --json FILE     write the full JSON snapshot
-//                                (BENCH_observability.json by default)
+//                                (BENCH_platform_top.json by default;
+//                                BENCH_observability.json belongs to
+//                                bench/perf_obs)
+//   platform_top --fleet         supervised-fleet mode: run a small mixed
+//                                fleet with flight recorders + causal spans
+//                                armed and print a per-channel health table
 //
 // Exit status: 0 on success, 1 when the run produced no output samples or an
 // export failed, 2 on usage errors.
@@ -27,6 +32,7 @@
 #include "core/gyro_system.hpp"
 #include "obs/export.hpp"
 #include "obs/observability.hpp"
+#include "platform/engine/fleet.hpp"
 #include "safety/standard_faults.hpp"
 #include "sensor/environment.hpp"
 
@@ -42,19 +48,106 @@ bool write_file(const char* path, const std::string& content) {
   return true;
 }
 
+const char* kind_name(engine::ChannelKind k) {
+  switch (k) {
+    case engine::ChannelKind::GyroFull: return "GyroFull";
+    case engine::ChannelKind::GyroIdeal: return "GyroIdeal";
+    case engine::ChannelKind::Adxrs300: return "Adxrs300";
+    case engine::ChannelKind::Gyrostar: return "Gyrostar";
+  }
+  return "?";
+}
+
+// ---- supervised-fleet mode: top(1) for a fleet, not a chip -----------------
+// A small mixed fleet with flight recorders + causal spans armed, advanced a
+// deterministic number of fleet ticks; the digest is a per-channel health
+// table sourced from supervisor state, channel telemetry and span stats.
+int run_fleet_mode(bool smoke) {
+  obs::Observability fo;  // supervisor-side telemetry bundle
+  engine::FleetConfig fc;
+  fc.root_seed = 424242;
+  fc.threads = 4;
+  fc.tick_seconds = 0.002;
+  fc.checkpoint_interval = 4;
+  fc.flight_recorders = true;
+  fc.metrics = &fo.metrics;
+  fc.events = &fo.events;
+  fc.spans = &fo.spans;
+
+  const engine::ChannelKind kinds[] = {
+      engine::ChannelKind::GyroIdeal, engine::ChannelKind::GyroIdeal,
+      engine::ChannelKind::Adxrs300, engine::ChannelKind::Gyrostar};
+  std::vector<engine::FleetChannelSpec> specs(4);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].config.kind = kinds[i];
+    specs[i].config.rate_dps = 10.0 + static_cast<double>(i) * 15.0;
+    specs[i].config.queue_capacity = 4096;
+    specs[i].priority = static_cast<int>(i % 2);
+  }
+  engine::FleetSupervisor fleet(std::move(specs), fc);
+  const long ticks = smoke ? 25 : 100;
+  fleet.run_ticks(ticks);
+
+  std::printf("fleet: %zu channels, %ld ticks of %.3f ms, %u workers\n", fleet.size(),
+              fleet.ticks_run(), fc.tick_seconds * 1e3, fc.threads);
+  std::printf("%3s %-10s %-11s %8s %10s %10s %7s %6s %7s %8s\n", "ch", "kind", "health",
+              "restarts", "ticks", "underruns", "drops", "dtcs", "spans", "records");
+  bool healthy = true;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    auto& ch = fleet.channel(i);
+    const auto* obs = ch.observability();
+    const auto* rec = ch.flight_recorder();
+    std::printf("%3zu %-10s %-11s %8d %10ld %10llu %7llu 0x%04X %7llu %8llu\n", i,
+                kind_name(ch.config().kind), engine::channel_health_name(fleet.health(i)),
+                fleet.restarts(i), fleet.ticks_done(i),
+                static_cast<unsigned long long>(ch.stimulus()->underruns()),
+                static_cast<unsigned long long>(ch.dropped_outputs()), fleet.fleet_dtcs(i),
+                static_cast<unsigned long long>(obs ? obs->spans.total() : 0),
+                static_cast<unsigned long long>(rec ? rec->total() : 0));
+    healthy = healthy && fleet.health(i) == engine::ChannelHealth::Running &&
+              fleet.ticks_done(i) == fleet.ticks_run();
+  }
+
+  const auto snap = fo.metrics.snapshot();
+  std::printf("== fleet counters ==\n");
+  for (const auto& [name, value] : snap.counters)
+    if (name.rfind("fleet.", 0) == 0) std::printf("  %-28s %12.0f\n", name.c_str(), value);
+  // Every fleet tick is one span; anything beyond that is a lifecycle edge
+  // (stall_detect / incident / restart / catch_up / …).
+  const std::uint64_t fleet_spans = fo.spans.count(obs::SpanCategory::Fleet);
+  const std::uint64_t tick_spans = static_cast<std::uint64_t>(fleet.ticks_run());
+  std::printf("== fleet spans ==\n");
+  std::printf("  total %llu retained %zu (ticks %llu, lifecycle %llu) open %zu dropped %llu\n",
+              static_cast<unsigned long long>(fo.spans.total()), fo.spans.size(),
+              static_cast<unsigned long long>(tick_spans),
+              static_cast<unsigned long long>(
+                  fleet_spans > tick_spans ? fleet_spans - tick_spans : 0),
+              fo.spans.open_depth(),
+              static_cast<unsigned long long>(fo.spans.dropped() + fo.spans.open_dropped()));
+
+  if (!healthy) {
+    std::fprintf(stderr, "platform_top: fleet ended unhealthy\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double seconds = 2.0;
   bool smoke = false;
   bool faults = false;
+  bool fleet_mode = false;
   const char* trace_path = nullptr;
-  const char* json_path = "BENCH_observability.json";
+  const char* json_path = "BENCH_platform_top.json";
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) {
       smoke = true;
     } else if (!std::strcmp(argv[i], "--faults")) {
       faults = true;
+    } else if (!std::strcmp(argv[i], "--fleet")) {
+      fleet_mode = true;
     } else if (!std::strcmp(argv[i], "--seconds") && i + 1 < argc) {
       seconds = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
@@ -63,11 +156,12 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: platform_top [--smoke] [--faults] [--seconds S] "
+                   "usage: platform_top [--smoke] [--faults] [--fleet] [--seconds S] "
                    "[--trace FILE] [--json FILE]\n");
       return 2;
     }
   }
+  if (fleet_mode) return run_fleet_mode(smoke);
   if (smoke) seconds = 0.25;
   if (seconds <= 0.0) {
     std::fprintf(stderr, "platform_top: --seconds must be > 0\n");
